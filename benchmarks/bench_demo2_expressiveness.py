@@ -1,0 +1,85 @@
+"""DEMO-2: expressive power of supported queries and constraints.
+
+Paper artifact: demonstration part 2.  For each query class (S, SJ, SJU,
+SJUD) the benchmark runs every approach that *supports* the class and
+asserts the support matrix itself:
+
+* Hippo answers all four classes;
+* rewriting raises on SJU (unions are its documented gap);
+* both agree wherever both apply.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import join_tables, union_tables
+from repro.errors import RewritingError
+from repro.workloads import (
+    difference_query,
+    join_query,
+    selection_query,
+    union_query,
+)
+
+N_TUPLES = 1000
+CONFLICTS = 0.05
+
+
+@pytest.fixture(scope="module")
+def joined():
+    return join_tables(N_TUPLES, CONFLICTS)
+
+
+@pytest.fixture(scope="module")
+def unioned():
+    return union_tables(N_TUPLES, CONFLICTS)
+
+
+@pytest.mark.benchmark(group="demo2-S")
+def test_demo2_selection_hippo(benchmark, joined):
+    query = selection_query("l").sql
+    answers = benchmark(lambda: joined.hippo.consistent_answers(query))
+    assert answers.as_set() == joined.rewriting.consistent_answers(query).as_set()
+
+
+@pytest.mark.benchmark(group="demo2-S")
+def test_demo2_selection_rewriting(benchmark, joined):
+    query = selection_query("l").sql
+    benchmark(lambda: joined.rewriting.consistent_answers(query))
+
+
+@pytest.mark.benchmark(group="demo2-SJ")
+def test_demo2_join_hippo(benchmark, joined):
+    query = join_query("l", "r").sql
+    answers = benchmark(lambda: joined.hippo.consistent_answers(query))
+    assert answers.as_set() == joined.rewriting.consistent_answers(query).as_set()
+
+
+@pytest.mark.benchmark(group="demo2-SJ")
+def test_demo2_join_rewriting(benchmark, joined):
+    query = join_query("l", "r").sql
+    benchmark(lambda: joined.rewriting.consistent_answers(query))
+
+
+@pytest.mark.benchmark(group="demo2-SJU")
+def test_demo2_union_hippo_only(benchmark, unioned):
+    query = union_query("l", "r")
+    assert not query.rewriting_supported
+    with pytest.raises(RewritingError):
+        unioned.rewriting.rewrite(query.sql)
+    answers = benchmark(lambda: unioned.hippo.consistent_answers(query.sql))
+    benchmark.extra_info["answers"] = len(answers.rows)
+
+
+@pytest.mark.benchmark(group="demo2-SJUD")
+def test_demo2_difference_hippo(benchmark, unioned):
+    query = difference_query("l", "r").sql
+    answers = benchmark(lambda: unioned.hippo.consistent_answers(query))
+    assert answers.as_set() == unioned.rewriting.consistent_answers(query).as_set()
+
+
+@pytest.mark.benchmark(group="demo2-SJUD")
+def test_demo2_difference_rewriting(benchmark, unioned):
+    query = difference_query("l", "r").sql
+    benchmark(lambda: unioned.rewriting.consistent_answers(query))

@@ -1,0 +1,74 @@
+"""DEMO-3c: running time by query class (S / SJ / SJU / SJUD).
+
+Two generated tables, 5% conflicts, one benchmark per (class, approach)
+pair that supports the class.  Expected shape: joins dominate the cost
+for every approach; Hippo's overhead factor over raw SQL is similar
+across classes; unions run at Hippo-only speed (rewriting inapplicable).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import TwoTableSetup, join_tables, union_tables
+from repro.workloads import (
+    difference_query,
+    join_query,
+    selection_query,
+    union_query,
+)
+
+N_TUPLES = 1500
+CONFLICTS = 0.05
+
+
+@pytest.fixture(scope="module")
+def joined() -> TwoTableSetup:
+    return join_tables(N_TUPLES, CONFLICTS)
+
+
+@pytest.fixture(scope="module")
+def unioned() -> TwoTableSetup:
+    return union_tables(N_TUPLES, CONFLICTS)
+
+
+@pytest.mark.benchmark(group="demo3c-classes")
+def test_demo3c_s_raw(benchmark, joined):
+    benchmark(lambda: joined.hippo.raw_answers(selection_query("l").sql))
+
+
+@pytest.mark.benchmark(group="demo3c-classes")
+def test_demo3c_s_hippo(benchmark, joined):
+    benchmark(lambda: joined.hippo.consistent_answers(selection_query("l").sql))
+
+
+@pytest.mark.benchmark(group="demo3c-classes")
+def test_demo3c_sj_raw(benchmark, joined):
+    benchmark(lambda: joined.hippo.raw_answers(join_query("l", "r").sql))
+
+
+@pytest.mark.benchmark(group="demo3c-classes")
+def test_demo3c_sj_hippo(benchmark, joined):
+    benchmark(lambda: joined.hippo.consistent_answers(join_query("l", "r").sql))
+
+
+@pytest.mark.benchmark(group="demo3c-classes")
+def test_demo3c_sju_raw(benchmark, unioned):
+    benchmark(lambda: unioned.hippo.raw_answers(union_query("l", "r").sql))
+
+
+@pytest.mark.benchmark(group="demo3c-classes")
+def test_demo3c_sju_hippo(benchmark, unioned):
+    benchmark(lambda: unioned.hippo.consistent_answers(union_query("l", "r").sql))
+
+
+@pytest.mark.benchmark(group="demo3c-classes")
+def test_demo3c_sjud_raw(benchmark, unioned):
+    benchmark(lambda: unioned.hippo.raw_answers(difference_query("l", "r").sql))
+
+
+@pytest.mark.benchmark(group="demo3c-classes")
+def test_demo3c_sjud_hippo(benchmark, unioned):
+    benchmark(
+        lambda: unioned.hippo.consistent_answers(difference_query("l", "r").sql)
+    )

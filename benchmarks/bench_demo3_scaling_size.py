@@ -1,0 +1,45 @@
+"""DEMO-3a: running time vs database size (the part-3 headline figure).
+
+Series: raw SQL / Hippo / query rewriting, selection query, 5% conflicts,
+N swept.  Expected shape: all three scale near-linearly; Hippo tracks raw
+SQL within a small constant factor and stays below rewriting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import single_table
+from repro.workloads import selection_query
+
+SIZES = [500, 1000, 2000, 4000, 8000]
+CONFLICTS = 0.05
+
+
+@pytest.fixture(scope="module", params=SIZES)
+def setup(request):
+    return single_table(request.param, CONFLICTS)
+
+
+@pytest.mark.benchmark(group="demo3a-size")
+def test_demo3a_raw_sql(benchmark, setup):
+    query = selection_query("r").sql
+    benchmark(lambda: setup.hippo.raw_answers(query))
+    benchmark.extra_info["n_tuples"] = setup.n_tuples
+
+
+@pytest.mark.benchmark(group="demo3a-size")
+def test_demo3a_hippo(benchmark, setup):
+    query = selection_query("r").sql
+    answers = benchmark(lambda: setup.hippo.consistent_answers(query))
+    benchmark.extra_info["n_tuples"] = setup.n_tuples
+    benchmark.extra_info["answers"] = len(answers.rows)
+
+
+@pytest.mark.benchmark(group="demo3a-size")
+def test_demo3a_rewriting(benchmark, setup):
+    query = selection_query("r").sql
+    answers = benchmark(lambda: setup.rewriting.consistent_answers(query))
+    benchmark.extra_info["n_tuples"] = setup.n_tuples
+    # The approaches must agree wherever rewriting applies.
+    assert answers.as_set() == setup.hippo.consistent_answers(query).as_set()

@@ -1,0 +1,38 @@
+"""EXT-1: range-consistent scalar aggregation (reference [3] extension).
+
+The polynomial range algorithms vs. their cost drivers: table size and
+conflict rate.  Expected shape: near-linear in N, insensitive to the
+conflict rate (one grouping pass either way).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aggregates import aggregate_range
+from repro.engine import Database
+from repro.workloads import generate_key_conflict_table
+
+SIZES = [1000, 4000]
+FUNCTIONS = ["COUNT", "SUM", "MIN", "MAX", "AVG"]
+
+
+@pytest.fixture(scope="module", params=SIZES)
+def populated(request):
+    db = Database()
+    table = generate_key_conflict_table(db, "pay", request.param, 0.10, seed=29)
+    return db, table, request.param
+
+
+@pytest.mark.benchmark(group="ext1-aggregates")
+@pytest.mark.parametrize("function", FUNCTIONS)
+def test_ext1_aggregate_range(benchmark, populated, function):
+    db, table, n_tuples = populated
+    column = None if function == "COUNT" else "b0"
+    result = benchmark(lambda: aggregate_range(db, table.fd, function, column))
+    benchmark.extra_info["n_tuples"] = n_tuples
+    benchmark.extra_info["glb"] = result.glb
+    benchmark.extra_info["lub"] = result.lub
+    assert result.glb <= result.lub
+    if function == "COUNT":
+        assert result.definite  # one tuple per key in every repair

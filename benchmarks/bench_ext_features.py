@@ -1,0 +1,109 @@
+"""EXT-2..4: benchmarks for the extension features.
+
+* EXT-2 restricted foreign keys: detection with an FK cascade chain.
+* EXT-3 exact repair counting: component factorization counts astronomical
+  repair spaces without enumeration.
+* EXT-4 grouped aggregate ranges: per-group COUNT/SUM bounds.
+* possible answers: the certainty dual costs about the same as the
+  consistent answers it brackets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, HippoEngine
+from repro.aggregates import grouped_count_range, grouped_sum_range
+from repro.conflicts import detect_conflicts
+from repro.constraints import ForeignKeyConstraint, FunctionalDependency
+from repro.repairs import count_repairs_exact
+from repro.workloads import generate_key_conflict_table
+
+N_TUPLES = 3000
+
+
+@pytest.fixture(scope="module")
+def fk_db():
+    """customer <- orders chain with 5% dangling orders."""
+    db = Database()
+    import random
+
+    rng = random.Random(37)
+    db.execute("CREATE TABLE customer (id INTEGER, city INTEGER)")
+    db.execute("CREATE TABLE orders (oid INTEGER, cid INTEGER, total INTEGER)")
+    n_customers = N_TUPLES // 3
+    db.insert_rows(
+        "customer", [(i, rng.randrange(100)) for i in range(n_customers)]
+    )
+    order_rows = []
+    for oid in range(N_TUPLES):
+        dangling = rng.random() < 0.05
+        cid = n_customers + oid if dangling else rng.randrange(n_customers)
+        order_rows.append((oid, cid, rng.randrange(1000)))
+    db.insert_rows("orders", order_rows)
+    fk = ForeignKeyConstraint("orders", ["cid"], "customer", ["id"])
+    fd = FunctionalDependency("orders", ["oid"], ["cid", "total"])
+    return db, [fd, fk]
+
+
+@pytest.mark.benchmark(group="ext2-foreign-keys")
+def test_ext2_fk_detection(benchmark, fk_db):
+    db, constraints = fk_db
+    report = benchmark(lambda: detect_conflicts(db, constraints))
+    singletons = report.hypergraph.summary()["singleton_edges"]
+    benchmark.extra_info["dangling_orders"] = singletons
+    assert singletons > 0
+
+
+@pytest.mark.benchmark(group="ext2-foreign-keys")
+def test_ext2_fk_consistent_answers(benchmark, fk_db):
+    db, constraints = fk_db
+    hippo = HippoEngine(db, constraints)
+    query = (
+        "SELECT o.oid, o.cid, o.total, c.city FROM orders o, customer c"
+        " WHERE o.cid = c.id"
+    )
+    answers = benchmark(lambda: hippo.consistent_answers(query))
+    benchmark.extra_info["answers"] = len(answers.rows)
+
+
+@pytest.fixture(scope="module")
+def conflicted():
+    db = Database()
+    table = generate_key_conflict_table(db, "r", N_TUPLES, 0.30, seed=43)
+    return db, table, HippoEngine(db, [table.fd])
+
+
+@pytest.mark.benchmark(group="ext3-counting")
+def test_ext3_repair_counting(benchmark, conflicted):
+    _db, _table, hippo = conflicted
+    count = benchmark(lambda: count_repairs_exact(hippo.hypergraph))
+    benchmark.extra_info["repairs_log2"] = count.total.bit_length() - 1
+    benchmark.extra_info["components"] = count.components
+    # 30% of 3000 tuples in pair conflicts: an astronomical repair count,
+    # obtained without enumerating a single repair.
+    assert count.total >= 2 ** 400
+
+
+@pytest.mark.benchmark(group="ext4-grouped-aggregates")
+def test_ext4_grouped_count(benchmark, conflicted):
+    db, table, _hippo = conflicted
+    ranges = benchmark(lambda: grouped_count_range(db, table.fd, "b0"))
+    benchmark.extra_info["groups"] = len(ranges)
+
+
+@pytest.mark.benchmark(group="ext4-grouped-aggregates")
+def test_ext4_grouped_sum(benchmark, conflicted):
+    db, table, _hippo = conflicted
+    ranges = benchmark(lambda: grouped_sum_range(db, table.fd, "b0", "a"))
+    assert all(r.glb <= r.lub for r in ranges.values())
+
+
+@pytest.mark.benchmark(group="ext5-possible")
+def test_ext5_possible_answers(benchmark, conflicted):
+    _db, _table, hippo = conflicted
+    answers = benchmark(lambda: hippo.possible_answers("SELECT * FROM r"))
+    consistent = hippo.consistent_answers("SELECT * FROM r")
+    benchmark.extra_info["possible"] = len(answers.rows)
+    benchmark.extra_info["consistent"] = len(consistent.rows)
+    assert consistent.as_set() <= answers.as_set()

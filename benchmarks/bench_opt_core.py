@@ -1,0 +1,40 @@
+"""OPT-2: the certain core short-cut.
+
+The paper: "using an expression selecting a subset of the set of
+consistent query answers, we can significantly reduce the number of
+tuples that have to be processed by Prover."  Series: core on vs. off.
+With 5% conflicts, ~95% of candidates are certain and skip the Prover.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import single_table
+from repro.workloads import full_scan_query
+
+N_TUPLES = 3000
+CONFLICTS = 0.05
+
+
+@pytest.fixture(scope="module", params=[True, False], ids=["core-on", "core-off"])
+def setup(request):
+    return single_table(N_TUPLES, CONFLICTS, use_core=request.param), request.param
+
+
+@pytest.mark.benchmark(group="opt2-core")
+def test_opt2_core_shortcut(benchmark, setup):
+    built, use_core = setup
+    query = full_scan_query("r").sql
+    answers = benchmark(lambda: built.hippo.consistent_answers(query))
+    benchmark.extra_info["use_core"] = use_core
+    benchmark.extra_info["candidates"] = answers.stats["candidates"]
+    benchmark.extra_info["skipped_by_core"] = answers.stats["skipped_by_core"]
+    benchmark.extra_info["prover_checked"] = answers.stats[
+        "prover"
+    ].candidates_checked
+    if use_core:
+        # The short-cut must spare the vast majority of candidates.
+        assert answers.stats["skipped_by_core"] >= 0.9 * answers.stats["candidates"]
+    else:
+        assert answers.stats["skipped_by_core"] == 0

@@ -1,0 +1,46 @@
+"""OPT-1: membership checks answered without executing database queries.
+
+The paper: optimizations "allow us to answer the required membership
+checks without executing any queries on the database".  Series: the base
+system (per-check point queries), the cached variant, and the extended-
+envelope/provenance variant.  Alongside time, the benchmark records the
+actual number of database queries issued by the Prover -- the provenance
+strategy must issue zero for this (monotone, duplicate-free) workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import single_table
+from repro.workloads import full_scan_query
+
+N_TUPLES = 3000
+CONFLICTS = 0.10
+
+STRATEGIES = ["query", "cached", "provenance"]
+
+
+@pytest.fixture(scope="module", params=STRATEGIES)
+def setup(request):
+    # use_core=False so every candidate reaches the Prover: this isolates
+    # the membership-strategy effect from the core short-cut (OPT-2).
+    return single_table(
+        N_TUPLES, CONFLICTS, membership=request.param, use_core=False
+    ), request.param
+
+
+@pytest.mark.benchmark(group="opt1-membership")
+def test_opt1_membership_strategy(benchmark, setup):
+    built, strategy = setup
+    query = full_scan_query("r").sql
+    answers = benchmark(lambda: built.hippo.consistent_answers(query))
+    membership = answers.stats["membership"]
+    benchmark.extra_info["strategy"] = strategy
+    benchmark.extra_info["membership_checks"] = membership.checks
+    benchmark.extra_info["db_queries"] = membership.db_queries
+    benchmark.extra_info["free_answers"] = membership.free_answers
+    if strategy == "query":
+        assert membership.db_queries == membership.checks > 0
+    if strategy == "provenance":
+        assert membership.db_queries == 0

@@ -1,0 +1,75 @@
+"""Shared setup helpers for the benchmark suite.
+
+Every benchmark mirrors an artifact of the paper's demonstration (see
+DESIGN.md's experiment index).  Engines are built once per parameter set
+-- Conflict Detection runs before query processing in Hippo's data flow,
+so detection cost is *not* part of per-query times (it is measured by its
+own benchmark in bench_pipeline.py).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import Database, HippoEngine
+from repro.rewriting import RewritingEngine
+from repro.workloads import (
+    generate_join_pair,
+    generate_key_conflict_table,
+    generate_union_pair,
+)
+
+
+@dataclass
+class SingleTableSetup:
+    """One generated table plus ready-made engines."""
+
+    db: Database
+    hippo: HippoEngine
+    rewriting: RewritingEngine
+    n_tuples: int
+    conflict_fraction: float
+
+
+def single_table(
+    n_tuples: int,
+    conflict_fraction: float,
+    seed: int = 11,
+    membership: str = "provenance",
+    use_core: bool = True,
+) -> SingleTableSetup:
+    """``r(a, b0)`` with a key FD and the requested conflict rate."""
+    db = Database()
+    table = generate_key_conflict_table(
+        db, "r", n_tuples, conflict_fraction, seed=seed
+    )
+    hippo = HippoEngine(db, [table.fd], membership=membership, use_core=use_core)
+    rewriting = RewritingEngine(db, [table.fd])
+    return SingleTableSetup(db, hippo, rewriting, n_tuples, conflict_fraction)
+
+
+@dataclass
+class TwoTableSetup:
+    """Two generated tables (for SJ / SJU / SJUD workloads)."""
+
+    db: Database
+    hippo: HippoEngine
+    rewriting: RewritingEngine
+
+
+def join_tables(n_tuples: int, conflict_fraction: float, seed: int = 13) -> TwoTableSetup:
+    db = Database()
+    left, right = generate_join_pair(db, "l", "r", n_tuples, conflict_fraction, seed=seed)
+    constraints = [left.fd, right.fd]
+    return TwoTableSetup(
+        db, HippoEngine(db, constraints), RewritingEngine(db, constraints)
+    )
+
+
+def union_tables(n_tuples: int, conflict_fraction: float, seed: int = 17) -> TwoTableSetup:
+    db = Database()
+    left, right = generate_union_pair(db, "l", "r", n_tuples, conflict_fraction, seed=seed)
+    constraints = [left.fd, right.fd]
+    return TwoTableSetup(
+        db, HippoEngine(db, constraints), RewritingEngine(db, constraints)
+    )

@@ -1,0 +1,67 @@
+"""Demonstration part 1: CQA extracts more information than data cleaning.
+
+    "we will demonstrate that using consistent query answers we can
+    extract more information from an inconsistent database than in the
+    approach where the input query is evaluated over the database from
+    which the conflicting tuples have been removed"  (Hippo, EDBT 2004)
+
+Two customer databases are integrated; they dispute some customers'
+status (and occasionally city).  The remove-conflicts approach loses
+every disputed customer.  Consistent query answering keeps everything
+that is certain -- including city facts recovered *through* the dispute
+by a union query.
+
+Run:  python examples/data_integration.py
+"""
+
+from repro import HippoEngine
+from repro.workloads import (
+    CITY_CERTAIN_QUERY,
+    GOLD_QUERY,
+    build_integration_scenario,
+)
+
+
+def main() -> None:
+    scenario = build_integration_scenario(n_customers=300, disputed_fraction=0.2)
+    print(
+        f"integrated customer table: {scenario.n_agreeing} agreeing,"
+        f" {scenario.n_disputed} disputed, {scenario.n_unique} single-source"
+    )
+
+    hippo = HippoEngine(scenario.db, [scenario.fd])
+    print("conflict hypergraph:", hippo.hypergraph.summary())
+
+    print("\n-- Query A: certain (id, city) facts (union over statuses) --")
+    print(CITY_CERTAIN_QUERY)
+    consistent = hippo.consistent_answers(CITY_CERTAIN_QUERY)
+    cleaned = hippo.cleaned_answers(CITY_CERTAIN_QUERY)
+    raw = hippo.raw_answers(CITY_CERTAIN_QUERY)
+    print(f"  raw SQL answers:               {len(raw.rows):5d}  (may be wrong)")
+    print(f"  after removing conflicts:      {len(cleaned.rows):5d}")
+    print(f"  consistent answers (Hippo):    {len(consistent.rows):5d}")
+    recovered = consistent.as_set() - cleaned.as_set()
+    print(
+        f"  -> CQA recovered {len(recovered)} certain city facts about"
+        " disputed customers that cleaning threw away, e.g.:"
+    )
+    for row in sorted(recovered)[:5]:
+        print("     ", row)
+
+    print("\n-- Query B: certainly-gold customers (selection) --")
+    print(GOLD_QUERY)
+    consistent_b = hippo.consistent_answers(GOLD_QUERY)
+    cleaned_b = hippo.cleaned_answers(GOLD_QUERY)
+    print(f"  after removing conflicts:      {len(cleaned_b.rows):5d}")
+    print(f"  consistent answers (Hippo):    {len(consistent_b.rows):5d}")
+    print(
+        "  (equal here: a disputed customer is never *certainly* gold,"
+        " so for this monotone query cleaning happens to coincide)"
+    )
+
+    assert cleaned.as_set() <= consistent.as_set() <= raw.as_set()
+    print("\ninvariant checked: cleaned <= consistent <= raw answers")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,132 @@
+"""Demonstration part 2: expressive power of queries and constraints.
+
+    "we will show the advantages of our method over competing approaches
+    by demonstrating the expressive power of supported queries and
+    integrity constraints"  (Hippo, EDBT 2004)
+
+Runs a suite of queries spanning Hippo's SJUD class, plus constraint
+variations (FD, exclusion, a ternary denial constraint), against three
+approaches -- Hippo, PODS'99 query rewriting, and remove-conflicts
+cleaning -- and prints a support/correctness matrix.  Ground truth comes
+from exhaustive repair enumeration (the instance is kept small on
+purpose).
+
+Run:  python examples/expressiveness.py
+"""
+
+from repro import Database, HippoEngine
+from repro.constraints import (
+    DenialConstraint,
+    ConstraintAtom,
+    ExclusionConstraint,
+    FunctionalDependency,
+)
+from repro.errors import RewritingError, UnsupportedQueryError
+from repro.repairs import ground_truth_consistent_answers
+from repro.rewriting import RewritingEngine
+from repro.sql.parser import parse_expression
+
+
+def build_database() -> Database:
+    db = Database()
+    db.execute("CREATE TABLE emp (name TEXT, dept TEXT, salary INTEGER)")
+    db.execute("CREATE TABLE mgr (name TEXT, dept TEXT)")
+    db.execute("CREATE TABLE retired (name TEXT, dept TEXT)")
+    db.execute(
+        "INSERT INTO emp VALUES"
+        " ('ann','cs',10), ('ann','cs',12), ('bob','ee',20),"
+        " ('carol','cs',15), ('carol','me',15), ('dave','ee',18),"
+        " ('erin','cs',11)"
+    )
+    db.execute("INSERT INTO mgr VALUES ('bob','ee'), ('carol','cs'), ('frank','cs')")
+    db.execute("INSERT INTO retired VALUES ('dave','ee'), ('gina','me')")
+    db.execute("CREATE TABLE former (name TEXT, dept TEXT, salary INTEGER)")
+    db.execute(
+        "INSERT INTO former VALUES ('bob','ee',20), ('erin','cs',11), ('zed','cs',9)"
+    )
+    return db
+
+
+CONSTRAINT_SETS = {
+    "key FD": [FunctionalDependency("emp", ["name"], ["dept", "salary"])],
+    "FD + exclusion": [
+        FunctionalDependency("emp", ["name"], ["dept", "salary"]),
+        ExclusionConstraint("emp", "retired", [("name", "name")]),
+    ],
+    "ternary denial": [
+        FunctionalDependency("emp", ["name"], ["dept", "salary"]),
+        # No department may simultaneously hold an employee earning < 12,
+        # one earning > 17 and a manager (a made-up 3-tuple policy).
+        DenialConstraint(
+            "no-spread-with-mgr",
+            (
+                ConstraintAtom("e1", "emp"),
+                ConstraintAtom("e2", "emp"),
+                ConstraintAtom("m", "mgr"),
+            ),
+            parse_expression(
+                "e1.dept = e2.dept AND e1.dept = m.dept"
+                " AND e1.salary < 12 AND e2.salary > 17"
+            ),
+        ),
+    ],
+}
+
+QUERIES = {
+    "S    selection": "SELECT * FROM emp WHERE salary >= 12",
+    "SJ   join": (
+        "SELECT e.name, e.dept, e.salary, m.name FROM emp e, mgr m"
+        " WHERE e.dept = m.dept AND e.name <> m.name"
+    ),
+    "SJU  union": (
+        "SELECT name, dept FROM emp WHERE salary = 10"
+        " UNION SELECT name, dept FROM emp WHERE salary = 12"
+    ),
+    "SJUD difference": "SELECT * FROM emp EXCEPT SELECT * FROM former",
+}
+
+
+def evaluate_cell(approach: str, engine, query: str, truth) -> str:
+    try:
+        if approach == "hippo":
+            answers = engine.consistent_answers(query).as_set()
+        elif approach == "rewriting":
+            answers = engine.consistent_answers(query).as_set()
+        else:
+            answers = engine.cleaned_answers(query).as_set()
+    except (RewritingError, UnsupportedQueryError):
+        return "unsupported"
+    if answers == truth:
+        return "exact"
+    if answers < truth:
+        return f"subset (-{len(truth - answers)})"
+    return "WRONG"
+
+
+def main() -> None:
+    for constraint_label, constraints in CONSTRAINT_SETS.items():
+        db = build_database()
+        hippo = HippoEngine(db, constraints)
+        rewriting = RewritingEngine(db, constraints)
+        print(f"\n=== constraints: {constraint_label} ===")
+        print(f"{'query':22s} {'Hippo':12s} {'rewriting':14s} {'cleaning':12s}")
+        for label, sql in QUERIES.items():
+            tree, _ = hippo.parse(sql)
+            truth = ground_truth_consistent_answers(db, hippo.hypergraph, tree)
+            hippo_cell = evaluate_cell("hippo", hippo, sql, truth)
+            rewriting_cell = evaluate_cell("rewriting", rewriting, sql, truth)
+            cleaning_cell = evaluate_cell("cleaning", hippo, sql, truth)
+            print(
+                f"{label:22s} {hippo_cell:12s} {rewriting_cell:14s}"
+                f" {cleaning_cell:12s}"
+            )
+    print(
+        "\nReading: Hippo answers every SJUD query exactly under every"
+        "\ndenial-constraint set; rewriting cannot express unions and"
+        "\nrejects non-binary constraints; cleaning silently loses answers"
+        "\n(and is only accidentally exact when no conflict meets the query)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Demonstration part 3 (interactive form): Hippo vs rewriting vs raw SQL.
+
+    "we will compare the running times of our approach and the query
+    rewriting approach, showing that our approach is more efficient.  For
+    every query being tested, we will also measure the execution time of
+    this query by the RDBMS backend ...  This will allow us to conclude
+    that the time overhead of our approach is acceptable."
+
+This script prints the comparison as tables (the full parameter sweeps
+live in benchmarks/; this is the demo-sized version).
+
+Run:  python examples/performance_comparison.py
+"""
+
+import time
+
+from repro import Database, HippoEngine
+from repro.rewriting import RewritingEngine
+from repro.workloads import generate_key_conflict_table, selection_query
+
+
+def timed(callable_, repeat: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeat):
+        started = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def main() -> None:
+    print("workload: R(a, b0), key FD a -> b0, 5% of tuples in conflict")
+    print("query:    SELECT * FROM r WHERE b0 < 500000   (~50% selectivity)")
+    header = (
+        f"{'N':>7s} {'raw SQL':>10s} {'Hippo':>10s} {'rewriting':>10s}"
+        f" {'Hippo/raw':>10s} {'rewr/Hippo':>10s}"
+    )
+    print("\n" + header)
+    for n_tuples in (500, 1000, 2000, 4000, 8000):
+        db = Database()
+        table = generate_key_conflict_table(db, "r", n_tuples, 0.05, seed=1)
+        hippo = HippoEngine(db, [table.fd])
+        rewriting = RewritingEngine(db, [table.fd])
+        query = selection_query("r").sql
+
+        raw_seconds = timed(lambda: hippo.raw_answers(query))
+        hippo_seconds = timed(lambda: hippo.consistent_answers(query))
+        rewriting_seconds = timed(lambda: rewriting.consistent_answers(query))
+
+        hippo_answers = hippo.consistent_answers(query).as_set()
+        rewriting_answers = rewriting.consistent_answers(query).as_set()
+        assert hippo_answers == rewriting_answers, "approaches disagree!"
+
+        print(
+            f"{n_tuples:7d} {raw_seconds * 1e3:9.2f}ms"
+            f" {hippo_seconds * 1e3:9.2f}ms {rewriting_seconds * 1e3:9.2f}ms"
+            f" {hippo_seconds / raw_seconds:9.2f}x"
+            f" {rewriting_seconds / hippo_seconds:9.2f}x"
+        )
+
+    print("\nvarying conflict rate at N = 4000:")
+    print(f"{'conflict%':>9s} {'raw SQL':>10s} {'Hippo':>10s} {'rewriting':>10s}")
+    for fraction in (0.0, 0.02, 0.05, 0.10, 0.20, 0.30):
+        db = Database()
+        table = generate_key_conflict_table(db, "r", 4000, fraction, seed=2)
+        hippo = HippoEngine(db, [table.fd])
+        rewriting = RewritingEngine(db, [table.fd])
+        query = selection_query("r").sql
+        raw_seconds = timed(lambda: hippo.raw_answers(query))
+        hippo_seconds = timed(lambda: hippo.consistent_answers(query))
+        rewriting_seconds = timed(lambda: rewriting.consistent_answers(query))
+        print(
+            f"{fraction * 100:8.0f}% {raw_seconds * 1e3:9.2f}ms"
+            f" {hippo_seconds * 1e3:9.2f}ms {rewriting_seconds * 1e3:9.2f}ms"
+        )
+
+    print(
+        "\nshape to observe (matching the paper's claims): Hippo stays a"
+        "\nsmall constant factor above raw SQL and beats rewriting, whose"
+        "\ncorrelated NOT EXISTS work grows with the table regardless of"
+        "\nhow few conflicts exist."
+    )
+
+
+if __name__ == "__main__":
+    main()

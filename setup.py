@@ -1,0 +1,5 @@
+"""Setup shim: enables legacy editable installs (no `wheel` available offline)."""
+
+from setuptools import setup
+
+setup()

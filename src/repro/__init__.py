@@ -1,0 +1,46 @@
+"""repro: a reproduction of Hippo (Chomicki, Marcinkowski & Staworko, EDBT 2004).
+
+Hippo computes *consistent query answers* -- answers true in every repair
+of an inconsistent database -- for SJUD SQL queries under denial
+constraints, using a main-memory conflict hypergraph instead of
+materializing the (possibly exponentially many) repairs.
+
+Public API highlights
+---------------------
+
+* :class:`repro.engine.Database` -- the in-memory RDBMS substrate.
+* :class:`repro.core.HippoEngine` -- the full pipeline of the paper's
+  Figure 1 (conflict detection -> enveloping -> evaluation -> prover).
+* :mod:`repro.constraints` -- denial constraints, functional dependencies
+  and exclusion constraints.
+* :mod:`repro.rewriting` -- the PODS'99 query-rewriting baseline.
+* :mod:`repro.repairs` -- exhaustive repair enumeration (ground truth).
+* :mod:`repro.workloads` -- synthetic inconsistent-database generators.
+
+Quickstart
+----------
+
+>>> from repro import Database, HippoEngine
+>>> from repro.constraints import FunctionalDependency
+>>> db = Database()
+>>> _ = db.execute("CREATE TABLE emp (name TEXT, salary INTEGER)")
+>>> _ = db.execute("INSERT INTO emp VALUES ('ann', 10), ('ann', 20), ('bob', 30)")
+>>> hippo = HippoEngine(db, [FunctionalDependency("emp", ["name"], ["salary"])])
+>>> sorted(hippo.consistent_answers("SELECT * FROM emp").rows)
+[('bob', 30)]
+"""
+
+from repro.engine import Database, Result
+from repro.version import __version__
+
+__all__ = ["Database", "Result", "HippoEngine", "__version__"]
+
+
+def __getattr__(name: str):
+    # HippoEngine is re-exported lazily to keep `import repro` cheap and to
+    # avoid an import cycle while the package initializes.
+    if name == "HippoEngine":
+        from repro.core import HippoEngine
+
+        return HippoEngine
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,12 @@
+"""Range-consistent aggregation (extension; TCS 2003 reference [3])."""
+
+from repro.aggregates.groups import grouped_count_range, grouped_sum_range
+from repro.aggregates.ranges import AggregateRange, aggregate_range, brute_force_range
+
+__all__ = [
+    "AggregateRange",
+    "aggregate_range",
+    "brute_force_range",
+    "grouped_count_range",
+    "grouped_sum_range",
+]

@@ -1,0 +1,188 @@
+"""Range-consistent answers for scalar aggregation (extension).
+
+The demo paper's reference [3] (Arenas, Bertossi, Chomicki, He, Raghavan &
+Spinrad, *Scalar Aggregation in Inconsistent Databases*, TCS 296(3), 2003)
+defines the consistent answer to an aggregate query as the *range*
+``[glb, lub]`` of its value across all repairs, and gives polynomial
+algorithms for one key FD.  Hippo's future work points at this line; the
+module reproduces the single-FD algorithms:
+
+With a key FD ``X -> rest``, every repair keeps exactly one tuple per key
+group, so with per-group minima ``m_g`` and maxima ``M_g`` over the
+aggregated column:
+
+==========  ======================  ======================
+aggregate   glb                      lub
+==========  ======================  ======================
+COUNT(*)    #groups                 #groups
+SUM(c)      sum of m_g              sum of M_g
+MIN(c)      min of m_g              min of M_g
+MAX(c)      max of m_g              max of M_g
+AVG(c)      (sum of m_g)/#groups    (sum of M_g)/#groups
+==========  ======================  ======================
+
+(The MIN/MAX lub/glb entries follow from a simple exchange argument: each
+repair picks one value per group, so e.g. the largest achievable minimum
+picks every group's maximum.)
+
+Everything is validated against brute-force repair enumeration in the
+test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.constraints.fd import FunctionalDependency
+from repro.engine.database import Database
+from repro.errors import ConstraintError, UnsupportedQueryError
+
+_SUPPORTED = ("COUNT", "SUM", "MIN", "MAX", "AVG")
+
+
+@dataclass(frozen=True)
+class AggregateRange:
+    """The range-consistent answer ``[glb, lub]`` of an aggregate.
+
+    Attributes:
+        glb: greatest lower bound of the value over all repairs.
+        lub: least upper bound of the value over all repairs.
+        definite: whether glb == lub (the aggregate is repair-invariant).
+    """
+
+    glb: float
+    lub: float
+
+    @property
+    def definite(self) -> bool:
+        return self.glb == self.lub
+
+
+def _validate_key_fd(db: Database, fd: FunctionalDependency) -> tuple[int, ...]:
+    """Check the FD is a key FD for its relation; return key indexes."""
+    schema = db.catalog.table(fd.relation).schema
+    lhs = {a.lower() for a in fd.lhs}
+    rhs = {a.lower() for a in fd.rhs}
+    all_columns = {c.lower() for c in schema.column_names}
+    if lhs | rhs != all_columns:
+        raise ConstraintError(
+            "aggregate ranges require a *key* FD (lhs + rhs covering every"
+            f" column of {fd.relation!r}); got {fd}"
+        )
+    return tuple(schema.index_of(a) for a in fd.lhs)
+
+
+def aggregate_range(
+    db: Database,
+    fd: FunctionalDependency,
+    function: str,
+    column: Optional[str] = None,
+) -> AggregateRange:
+    """Range-consistent answer to ``SELECT agg(column) FROM fd.relation``.
+
+    Args:
+        fd: the (single) key FD the relation is inconsistent with respect to.
+        function: COUNT / SUM / MIN / MAX / AVG (COUNT means ``COUNT(*)``).
+        column: the aggregated column (ignored for COUNT).
+
+    Raises:
+        UnsupportedQueryError: unknown aggregate, NULLs in the aggregated
+            column, or (for MIN/MAX/SUM/AVG on an empty table) an undefined
+            aggregate value.
+        ConstraintError: the FD is not a key FD.
+    """
+    name = function.upper()
+    if name not in _SUPPORTED:
+        raise UnsupportedQueryError(
+            f"unsupported aggregate {function!r}; expected one of {_SUPPORTED}"
+        )
+    key_indexes = _validate_key_fd(db, fd)
+    table = db.catalog.table(fd.relation)
+
+    if name == "COUNT":
+        groups = {tuple(row[i] for i in key_indexes) for row in table.rows()}
+        count = float(len(groups))
+        return AggregateRange(count, count)
+
+    if column is None:
+        raise UnsupportedQueryError(f"{name} requires a column argument")
+    column_index = table.schema.index_of(column)
+
+    group_min: dict[tuple, float] = {}
+    group_max: dict[tuple, float] = {}
+    for row in table.rows():
+        value = row[column_index]
+        if value is None:
+            raise UnsupportedQueryError(
+                f"NULL in {fd.relation}.{column}: aggregate ranges assume"
+                " a NULL-free aggregated column"
+            )
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise UnsupportedQueryError(
+                f"{name} requires a numeric column, found {value!r}"
+            )
+        key = tuple(row[i] for i in key_indexes)
+        if key not in group_min:
+            group_min[key] = group_max[key] = value
+        else:
+            group_min[key] = min(group_min[key], value)
+            group_max[key] = max(group_max[key], value)
+
+    if not group_min:
+        raise UnsupportedQueryError(
+            f"{name} over an empty relation has no defined value"
+        )
+
+    minima = list(group_min.values())
+    maxima = list(group_max.values())
+    if name == "SUM":
+        return AggregateRange(float(sum(minima)), float(sum(maxima)))
+    if name == "MIN":
+        return AggregateRange(float(min(minima)), float(min(maxima)))
+    if name == "MAX":
+        return AggregateRange(float(max(minima)), float(max(maxima)))
+    # AVG: COUNT is repair-invariant (one tuple per group), so the average
+    # is extremal exactly when the sum is.
+    groups = float(len(minima))
+    return AggregateRange(sum(minima) / groups, sum(maxima) / groups)
+
+
+def brute_force_range(
+    db: Database,
+    fd: FunctionalDependency,
+    function: str,
+    column: Optional[str] = None,
+) -> AggregateRange:
+    """Oracle: the same range by enumerating every repair (tests only)."""
+    from repro.conflicts.detection import detect_conflicts
+    from repro.repairs.enumerate import all_repairs
+
+    name = function.upper()
+    if name not in _SUPPORTED:
+        raise UnsupportedQueryError(f"unsupported aggregate {function!r}")
+    _validate_key_fd(db, fd)
+    table = db.catalog.table(fd.relation)
+    column_index = table.schema.index_of(column) if column is not None else None
+
+    report = detect_conflicts(db, [fd])
+    values: list[float] = []
+    for repair in all_repairs(db, report.hypergraph):
+        kept = repair[fd.relation.lower()]
+        # Set semantics: duplicate stored copies of a tuple count once,
+        # matching the relational CQA model (and the fast algorithm).
+        rows = sorted({row for tid, row in table.items() if tid in kept})
+        if name == "COUNT":
+            values.append(float(len(rows)))
+            continue
+        assert column_index is not None
+        column_values = [row[column_index] for row in rows]
+        if name == "SUM":
+            values.append(float(sum(column_values)))
+        elif name == "MIN":
+            values.append(float(min(column_values)))
+        elif name == "MAX":
+            values.append(float(max(column_values)))
+        else:
+            values.append(sum(column_values) / len(column_values))
+    return AggregateRange(min(values), max(values))

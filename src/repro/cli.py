@@ -1,0 +1,283 @@
+"""An interactive frontend for Hippo (the demo experience).
+
+The original system was demonstrated live: load data, declare integrity
+constraints, and compare consistent answers against naive evaluation.
+This module provides that loop for scripts, pipes and terminals::
+
+    $ python -m repro.cli
+    hippo> CREATE TABLE emp (name TEXT, salary INTEGER);
+    hippo> INSERT INTO emp VALUES ('ann', 10), ('ann', 20), ('bob', 5);
+    hippo> .constraint FD emp: name -> salary
+    hippo> .consistent SELECT * FROM emp;
+    ('bob', 5)
+    (1 consistent answer; 3 candidates, 1 via core)
+
+Meta-commands (everything else is executed as SQL):
+
+=====================  ====================================================
+``.constraint SPEC``   add a constraint (KEY / FD / EXCLUSION / DENIAL)
+``.constraints``       list the active constraints
+``.detect``            (re)run conflict detection, print hypergraph stats
+``.consistent SQL``    consistent answers to a query
+``.possible SQL``      possible answers (true in some repair)
+``.cleaned SQL``       evaluate over the conflict-free sub-database
+``.raw SQL``           evaluate ignoring inconsistency
+``.rewrite SQL``       show the PODS'99 rewritten SQL and its answers
+``.explain SQL``       show the envelope query handed to the RDBMS
+``.why SQL ; TUPLE``   explain why a tuple is / is not consistent
+``.repairs``           exact repair count (component factorization)
+``.help`` / ``.quit``  the obvious
+=====================  ====================================================
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, Iterable, Optional
+
+from repro.constraints.parser import parse_constraint
+from repro.core.hippo import AnswerSet, HippoEngine
+from repro.engine.database import Database
+from repro.engine.types import format_value
+from repro.errors import ReproError
+from repro.ra import CatalogSchemaProvider, tree_to_sql
+from repro.repairs import TooManyRepairsError, count_repairs_exact
+from repro.rewriting import RewritingEngine
+
+
+class HippoShell:
+    """State + command dispatch for the interactive frontend."""
+
+    PROMPT = "hippo> "
+
+    def __init__(self, out: Optional[IO[str]] = None) -> None:
+        self.db = Database()
+        self.constraints: list = []
+        self._engine: Optional[HippoEngine] = None
+        self._out = out if out is not None else sys.stdout
+        self._buffer: list[str] = []
+
+    # -------------------------------------------------------------- helpers
+
+    def _print(self, text: str = "") -> None:
+        self._out.write(text + "\n")
+
+    def _hippo(self) -> HippoEngine:
+        """The engine, (re)building conflict detection when stale."""
+        if self._engine is None:
+            self._engine = HippoEngine(self.db, self.constraints)
+        return self._engine
+
+    def _invalidate(self) -> None:
+        self._engine = None
+
+    def _print_answers(self, answers: AnswerSet, label: str) -> None:
+        for row in answers.rows:
+            self._print("  " + "(" + ", ".join(format_value(v) for v in row) + ")")
+        extras = ""
+        if "candidates" in answers.stats:
+            extras = (
+                f"; {answers.stats['candidates']} candidates"
+                f", {answers.stats.get('skipped_by_core', 0)} via core"
+            )
+        plural = "" if len(answers.rows) == 1 else "s"
+        self._print(f"({len(answers.rows)} {label}{plural}{extras})")
+
+    # ------------------------------------------------------------- commands
+
+    def handle(self, line: str) -> bool:
+        """Process one input line; returns False to stop the loop.
+
+        SQL statements may span multiple lines: input accumulates until a
+        line ends with ``;``.  Meta-commands are single-line and only
+        recognized while no statement is pending.
+        """
+        stripped = line.strip()
+        if not self._buffer and (not stripped or stripped.startswith("--")):
+            return True
+        try:
+            if not self._buffer and stripped.startswith("."):
+                return self._meta(stripped)
+            self._buffer.append(line)
+            if stripped.endswith(";"):
+                self.flush()
+        except ReproError as exc:
+            self._print(f"error: {exc}")
+        except TooManyRepairsError as exc:
+            self._print(f"error: {exc}")
+        return True
+
+    def flush(self) -> None:
+        """Execute any pending (possibly multi-line) SQL input."""
+        if not self._buffer:
+            return
+        text = "\n".join(self._buffer)
+        self._buffer = []
+        self._sql(text)
+
+    def _sql(self, text: str) -> None:
+        from repro.sql.parser import parse_script
+
+        for statement in parse_script(text):
+            result = self.db.execute_statement(statement)
+            if result.columns:
+                self._print("  ".join(result.columns))
+                for row in result.rows:
+                    self._print("  ".join(format_value(v) for v in row))
+                self._print(f"({result.rowcount} rows)")
+            else:
+                self._print(f"ok ({result.rowcount} rows affected)")
+        self._invalidate()
+
+    def _meta(self, line: str) -> bool:
+        command, _, argument = line.partition(" ")
+        argument = argument.strip().rstrip(";")
+        if command in (".quit", ".exit"):
+            return False
+        if command == ".help":
+            self._print(__doc__ or "")
+            return True
+        if command == ".constraint":
+            provider = CatalogSchemaProvider(self.db.catalog)
+            self.constraints.append(parse_constraint(argument, provider))
+            self._invalidate()
+            self._print(f"added: {self.constraints[-1]}")
+            return True
+        if command == ".constraints":
+            if not self.constraints:
+                self._print("(no constraints)")
+            for constraint in self.constraints:
+                self._print(f"  {constraint}")
+            return True
+        if command == ".detect":
+            engine = self._hippo()
+            summary = engine.hypergraph.summary()
+            self._print(
+                f"conflict hypergraph: {summary['edges']} edges,"
+                f" {summary['conflicting_tuples']} conflicting tuples"
+                f" (detection {engine.detection.seconds * 1e3:.1f} ms)"
+            )
+            return True
+        if command == ".consistent":
+            self._print_answers(
+                self._hippo().consistent_answers(argument), "consistent answer"
+            )
+            return True
+        if command == ".possible":
+            self._print_answers(
+                self._hippo().possible_answers(argument), "possible answer"
+            )
+            return True
+        if command == ".cleaned":
+            self._print_answers(self._hippo().cleaned_answers(argument), "row")
+            return True
+        if command == ".raw":
+            self._print_answers(self._hippo().raw_answers(argument), "row")
+            return True
+        if command == ".rewrite":
+            rewriting = RewritingEngine(self.db, self.constraints)
+            self._print(rewriting.rewrite_sql(argument))
+            self._print_answers(rewriting.consistent_answers(argument), "answer")
+            return True
+        if command == ".explain":
+            tree, _ = self._hippo().parse(argument)
+            self._print("envelope: " + tree_to_sql(tree))
+            return True
+        if command == ".why":
+            query_text, _, tuple_text = argument.partition(";")
+            candidate = tuple(
+                _parse_cli_value(part) for part in tuple_text.split(",")
+            )
+            report = self._hippo().explain_candidate(query_text.strip(), candidate)
+            verdict = "consistent" if report["consistent"] else (
+                "possible but not consistent"
+                if report["possible"]
+                else "not even possible"
+            )
+            self._print(f"{report['candidate']}: {verdict}")
+            self._print(f"  depends on facts: {', '.join(report['facts'])}")
+            if "falsifying_repair_excludes" in report:
+                self._print(
+                    "  a repair excluding"
+                    f" {{{', '.join(report['falsifying_repair_excludes'])}}}"
+                    + (
+                        " and containing"
+                        f" {{{', '.join(report['falsifying_repair_requires'])}}}"
+                        if report["falsifying_repair_requires"]
+                        else ""
+                    )
+                    + " falsifies the query"
+                )
+            return True
+        if command == ".repairs":
+            count = count_repairs_exact(self._hippo().hypergraph)
+            self._print(
+                f"{count.total} repairs"
+                f" ({count.components} conflict components;"
+                f" factor sizes {list(count.component_counts)[:10]}...)"
+                if count.components > 10
+                else f"{count.total} repairs"
+                f" ({count.components} conflict components;"
+                f" factors {list(count.component_counts)})"
+            )
+            return True
+        self._print(f"unknown command {command!r}; try .help")
+        return True
+
+    # ----------------------------------------------------------------- loop
+
+    def run(self, lines: Iterable[str], interactive: bool = False) -> None:
+        """Drive the shell over an iterable of input lines."""
+        for line in lines:
+            if interactive:
+                pass  # prompt handled by caller
+            if not self.handle(line):
+                return
+        try:
+            self.flush()  # a trailing statement without ';' still runs
+        except (ReproError, TooManyRepairsError) as exc:
+            self._print(f"error: {exc}")
+
+
+def _parse_cli_value(text: str):
+    """Parse a .why tuple component: int, float, NULL or bare string."""
+    stripped = text.strip()
+    if stripped.upper() == "NULL":
+        return None
+    if stripped.startswith("'") and stripped.endswith("'"):
+        return stripped[1:-1]
+    try:
+        return int(stripped)
+    except ValueError:
+        pass
+    try:
+        return float(stripped)
+    except ValueError:
+        return stripped
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Entry point: reads from the files given in argv, else stdin."""
+    arguments = list(argv if argv is not None else sys.argv[1:])
+    shell = HippoShell()
+    if arguments:
+        for path in arguments:
+            with open(path, encoding="utf-8") as handle:
+                shell.run(handle)
+        return 0
+    if sys.stdin.isatty():  # pragma: no cover - interactive only
+        print("Hippo consistent-query-answering shell; .help for commands")
+        while True:
+            try:
+                line = input(HippoShell.PROMPT)
+            except (EOFError, KeyboardInterrupt):
+                print()
+                return 0
+            if not shell.handle(line):
+                return 0
+    shell.run(sys.stdin)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

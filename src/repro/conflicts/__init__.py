@@ -1,0 +1,19 @@
+"""Conflict detection and the conflict hypergraph."""
+
+from repro.conflicts.detection import DetectionReport, detect_conflicts, violations_of
+from repro.conflicts.hypergraph import (
+    ConflictHypergraph,
+    Vertex,
+    minimal_edges,
+    vertex,
+)
+
+__all__ = [
+    "DetectionReport",
+    "detect_conflicts",
+    "violations_of",
+    "ConflictHypergraph",
+    "Vertex",
+    "minimal_edges",
+    "vertex",
+]

@@ -1,0 +1,176 @@
+"""Conflict Detection: populating the conflict hypergraph.
+
+The paper's data flow (Figure 1) runs Conflict Detection once, before any
+query is processed: for every denial constraint, the tuples jointly
+violating it are found and stored as hyperedges.  A denial constraint's
+body is structurally an SJ query over its atoms, so detection compiles
+each constraint through the same plan machinery as ordinary queries
+(self-joins become hash joins on the equality conjuncts -- e.g. an FD's
+``t1.X = t2.X`` -- which keeps detection near-linear when conflicts are
+sparse).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.constraints.denial import DenialConstraint, to_denial_constraints
+from repro.constraints.foreign_key import ForeignKeyConstraint, topological_fk_order
+from repro.conflicts.hypergraph import (
+    ConflictHypergraph,
+    Vertex,
+    minimal_edges,
+    vertex,
+)
+from repro.engine.database import Database
+from repro.errors import ConstraintError
+from repro.ra.compile import compile_core
+from repro.ra.sjud import Atom, SJUDCore
+
+
+@dataclass
+class DetectionReport:
+    """What Conflict Detection did (surfaced in benchmarks / examples).
+
+    Attributes:
+        hypergraph: the resulting conflict hypergraph.
+        per_constraint: constraint name -> number of (minimal) violations
+            found for it.
+        seconds: wall-clock detection time.
+    """
+
+    hypergraph: ConflictHypergraph
+    per_constraint: dict[str, int] = field(default_factory=dict)
+    seconds: float = 0.0
+
+
+def violations_of(db: Database, constraint: DenialConstraint) -> list[frozenset[Vertex]]:
+    """All violation sets of one denial constraint (not yet minimized)."""
+    core = SJUDCore(
+        atoms=tuple(Atom(a.alias, a.relation) for a in constraint.atoms),
+        condition=constraint.condition,
+        outputs=(),
+    )
+    node = compile_core(core, db)
+    relations = [a.relation.lower() for a in constraint.atoms]
+    results: list[frozenset[Vertex]] = []
+    seen: set[frozenset[Vertex]] = set()
+    for row in node.rows(()):
+        edge = frozenset(
+            vertex(relation, tid) for relation, tid in zip(relations, row)
+        )
+        if edge not in seen:
+            seen.add(edge)
+            results.append(edge)
+    return results
+
+
+def detect_conflicts(
+    db: Database, constraints: Iterable[object]
+) -> DetectionReport:
+    """Run Conflict Detection for a set of constraints.
+
+    ``constraints`` may mix denial constraints, FDs, keys, exclusion
+    constraints (anything :func:`to_denial_constraints` accepts) and
+    *restricted* foreign keys (see
+    :mod:`repro.constraints.foreign_key`), whose dangling tuples become
+    singleton hyperedges.
+
+    Raises:
+        ConstraintError: when a foreign key falls outside the restricted
+            class (cyclic references, or a referenced relation involved
+            in choice conflicts).
+    """
+    started = time.perf_counter()
+    foreign_keys = [c for c in constraints if isinstance(c, ForeignKeyConstraint)]
+    denials = to_denial_constraints(
+        c for c in constraints if not isinstance(c, ForeignKeyConstraint)
+    )
+    edges: list[frozenset[Vertex]] = []
+    labels: list[str] = []
+    per_constraint: dict[str, int] = {}
+    for constraint in denials:
+        found = violations_of(db, constraint)
+        per_constraint[constraint.name] = len(found)
+        edges.extend(found)
+        labels.extend([constraint.name] * len(found))
+    if foreign_keys:
+        fk_edges, fk_labels, fk_counts = _foreign_key_violations(
+            db, foreign_keys, edges
+        )
+        edges.extend(fk_edges)
+        labels.extend(fk_labels)
+        per_constraint.update(fk_counts)
+    kept, kept_labels = minimal_edges(edges, labels)
+    hypergraph = ConflictHypergraph(kept, kept_labels)
+    # Re-count after minimization so the report reflects stored edges.
+    stored: dict[str, int] = {}
+    for label in hypergraph.edge_labels:
+        stored[label] = stored.get(label, 0) + 1
+    for name in per_constraint:
+        per_constraint[name] = stored.get(name, 0)
+    elapsed = time.perf_counter() - started
+    return DetectionReport(hypergraph, per_constraint, elapsed)
+
+
+def _foreign_key_violations(
+    db: Database,
+    foreign_keys: list[ForeignKeyConstraint],
+    denial_edges: list[frozenset[Vertex]],
+) -> tuple[list[frozenset[Vertex]], list[str], dict[str, int]]:
+    """Dangling tuples of restricted foreign keys, as singleton edges.
+
+    Restriction check: a referenced relation may only lose tuples
+    deterministically -- through singleton denial edges or upstream FK
+    dangling -- never through a choice conflict (an edge of size >= 2).
+    """
+    referenced = {fk.referenced.lower() for fk in foreign_keys}
+    for edge in denial_edges:
+        if len(edge) < 2:
+            continue
+        for v in edge:
+            if v.relation in referenced:
+                raise ConstraintError(
+                    f"relation {v.relation!r} is referenced by a foreign key"
+                    " but participates in a multi-tuple conflict: outside"
+                    " the restricted foreign-key class (repairing such"
+                    " databases by deletions is not hypergraph-expressible)"
+                )
+
+    # Deterministic deletions seen so far: singleton denial edges.
+    deleted: dict[str, set[int]] = {}
+    for edge in denial_edges:
+        if len(edge) == 1:
+            (v,) = edge
+            deleted.setdefault(v.relation, set()).add(v.tid)
+
+    edges: list[frozenset[Vertex]] = []
+    labels: list[str] = []
+    counts: dict[str, int] = {}
+    for fk in topological_fk_order(foreign_keys):
+        child = db.catalog.table(fk.referencing)
+        parent = db.catalog.table(fk.referenced)
+        child_indexes = [child.schema.index_of(c) for c in fk.columns]
+        parent_indexes = [parent.schema.index_of(c) for c in fk.ref_columns]
+        parent_deleted = deleted.get(fk.referenced.lower(), set())
+        surviving_keys = {
+            tuple(row[i] for i in parent_indexes)
+            for tid, row in parent.items()
+            if tid not in parent_deleted
+        }
+        label = str(fk)
+        counts[label] = 0
+        child_key = fk.referencing.lower()
+        for tid, row in child.items():
+            key = tuple(row[i] for i in child_indexes)
+            if not fk.match_nulls and any(part is None for part in key):
+                continue  # MATCH SIMPLE: NULL keys reference nothing
+            if key in surviving_keys:
+                continue
+            edges.append(frozenset({vertex(child_key, tid)}))
+            labels.append(label)
+            counts[label] += 1
+            deleted.setdefault(child_key, set()).add(tid)
+    return edges, labels, counts

@@ -1,0 +1,25 @@
+"""Integrity constraints: denial constraints and their common subclasses."""
+
+from repro.constraints.denial import (
+    ConstraintAtom,
+    DenialConstraint,
+    to_denial_constraints,
+)
+from repro.constraints.exclusion import ExclusionConstraint
+from repro.constraints.fd import FunctionalDependency, key_constraint, primary_key_fd
+from repro.constraints.foreign_key import ForeignKeyConstraint, topological_fk_order
+from repro.constraints.parser import parse_constraint, parse_constraints
+
+__all__ = [
+    "ConstraintAtom",
+    "DenialConstraint",
+    "to_denial_constraints",
+    "ExclusionConstraint",
+    "ForeignKeyConstraint",
+    "topological_fk_order",
+    "FunctionalDependency",
+    "key_constraint",
+    "primary_key_fd",
+    "parse_constraint",
+    "parse_constraints",
+]

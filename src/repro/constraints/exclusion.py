@@ -1,0 +1,82 @@
+"""Exclusion constraints: no matching pair across two relations.
+
+The paper names exclusion constraints, alongside FDs, as the denial
+subclasses Hippo handles.  An exclusion constraint says two relations may
+not both contain a tuple agreeing on given attributes (optionally under an
+extra condition):
+
+    NOT ( R(t1) AND S(t2) AND t1.a1 = t2.b1 AND ... AND extra )
+
+For example, nobody may appear in both ``employee`` and ``contractor``
+with the same ssn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.constraints.denial import ConstraintAtom, DenialConstraint
+from repro.errors import ConstraintError
+from repro.sql import ast
+
+
+@dataclass(frozen=True)
+class ExclusionConstraint:
+    """``R(a1..an) excludes S(b1..bn)`` (optionally with an extra condition).
+
+    Attributes:
+        left_relation / right_relation: the two relations (may be equal,
+            expressing "no two distinct tuples of R agree on ...", though a
+            functional dependency is usually the better tool for that).
+        pairs: attribute pairs that must match for a violation.
+        extra: additional condition over aliases ``t1`` (left) and ``t2``
+            (right).
+    """
+
+    left_relation: str
+    right_relation: str
+    pairs: tuple[tuple[str, str], ...]
+    extra: Optional[ast.Expression] = None
+
+    def __init__(
+        self,
+        left_relation: str,
+        right_relation: str,
+        pairs: Sequence[tuple[str, str]],
+        extra: Optional[ast.Expression] = None,
+    ) -> None:
+        object.__setattr__(self, "left_relation", left_relation)
+        object.__setattr__(self, "right_relation", right_relation)
+        object.__setattr__(self, "pairs", tuple(tuple(pair) for pair in pairs))
+        object.__setattr__(self, "extra", extra)
+        if not self.pairs and self.extra is None:
+            raise ConstraintError(
+                "exclusion constraint needs attribute pairs or a condition"
+            )
+
+    def to_denials(self) -> list[DenialConstraint]:
+        """The equivalent binary denial constraint."""
+        atoms = (
+            ConstraintAtom("t1", self.left_relation),
+            ConstraintAtom("t2", self.right_relation),
+        )
+        conjuncts: list[ast.Expression] = [
+            ast.BinaryOp(
+                "=", ast.ColumnRef("t1", left), ast.ColumnRef("t2", right)
+            )
+            for left, right in self.pairs
+        ]
+        if self.extra is not None:
+            conjuncts.append(self.extra)
+        name = (
+            f"excl:{self.left_relation}~{self.right_relation}:"
+            f"{','.join(f'{l}={r}' for l, r in self.pairs)}"
+        )
+        return [DenialConstraint(name, atoms, ast.conjunction(conjuncts))]
+
+    def __str__(self) -> str:
+        pairs = ", ".join(f"{l}={r}" for l, r in self.pairs)
+        return (
+            f"EXCLUSION {self.left_relation} ~ {self.right_relation} ON {pairs}"
+        )

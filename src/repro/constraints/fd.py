@@ -1,0 +1,117 @@
+"""Functional dependencies and key constraints, as denial constraints.
+
+An FD ``R: X -> Y`` compiles to one denial constraint per dependent
+attribute ``A in Y``:
+
+    NOT ( R(t1) AND R(t2) AND t1.X = t2.X AND t1.A <> t2.A )
+
+so a violation is always a *pair* of tuples -- the conflict hypergraph for
+FDs is an ordinary graph, matching the theory in Arenas et al. (TCS 2003)
+and Chomicki & Marcinkowski (2005).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.constraints.denial import ConstraintAtom, DenialConstraint
+from repro.errors import ConstraintError
+from repro.sql import ast
+
+
+@dataclass(frozen=True)
+class FunctionalDependency:
+    """``relation: lhs -> rhs``.
+
+    Attributes:
+        relation: the constrained relation.
+        lhs: determinant attributes (must be non-empty).
+        rhs: dependent attributes (must be non-empty, disjoint from lhs).
+    """
+
+    relation: str
+    lhs: tuple[str, ...]
+    rhs: tuple[str, ...]
+
+    def __init__(self, relation: str, lhs: Sequence[str], rhs: Sequence[str]) -> None:
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "lhs", tuple(lhs))
+        object.__setattr__(self, "rhs", tuple(rhs))
+        if not self.lhs:
+            raise ConstraintError("functional dependency needs a non-empty LHS")
+        if not self.rhs:
+            raise ConstraintError("functional dependency needs a non-empty RHS")
+        lhs_lower = {a.lower() for a in self.lhs}
+        rhs_lower = {a.lower() for a in self.rhs}
+        if lhs_lower & rhs_lower:
+            raise ConstraintError(
+                f"FD on {relation!r}: attributes {sorted(lhs_lower & rhs_lower)}"
+                " appear on both sides"
+            )
+
+    def to_denials(self) -> list[DenialConstraint]:
+        """One binary denial constraint per dependent attribute."""
+        atoms = (
+            ConstraintAtom("t1", self.relation),
+            ConstraintAtom("t2", self.relation),
+        )
+        constraints = []
+        for dependent in self.rhs:
+            conjuncts: list[ast.Expression] = [
+                ast.BinaryOp(
+                    "=",
+                    ast.ColumnRef("t1", determinant),
+                    ast.ColumnRef("t2", determinant),
+                )
+                for determinant in self.lhs
+            ]
+            conjuncts.append(
+                ast.BinaryOp(
+                    "<>",
+                    ast.ColumnRef("t1", dependent),
+                    ast.ColumnRef("t2", dependent),
+                )
+            )
+            name = f"fd:{self.relation}:{','.join(self.lhs)}->{dependent}"
+            constraints.append(
+                DenialConstraint(name, atoms, ast.conjunction(conjuncts))
+            )
+        return constraints
+
+    def __str__(self) -> str:
+        return f"FD {self.relation}: {', '.join(self.lhs)} -> {', '.join(self.rhs)}"
+
+
+def key_constraint(relation: str, key: Sequence[str], columns: Sequence[str]) -> FunctionalDependency:
+    """A key constraint: the key determines every non-key column.
+
+    Args:
+        relation: the constrained relation.
+        key: the key attributes.
+        columns: all column names of the relation (the RHS is computed as
+            ``columns - key``).
+
+    Raises:
+        ConstraintError: if the key covers every column (nothing to check).
+    """
+    key_lower = {k.lower() for k in key}
+    rhs = [c for c in columns if c.lower() not in key_lower]
+    if not rhs:
+        raise ConstraintError(
+            f"key {tuple(key)} of {relation!r} covers all columns;"
+            " a trivial key cannot be violated by deletions"
+        )
+    return FunctionalDependency(relation, list(key), rhs)
+
+
+def primary_key_fd(db, relation: str) -> FunctionalDependency:
+    """Derive the key FD from a table's declared PRIMARY KEY.
+
+    Raises:
+        ConstraintError: if the table has no primary key.
+    """
+    schema = db.catalog.table(relation).schema
+    if not schema.primary_key:
+        raise ConstraintError(f"table {relation!r} declares no PRIMARY KEY")
+    return key_constraint(relation, schema.primary_key, schema.column_names)

@@ -1,0 +1,32 @@
+"""The Hippo core: enveloping, grounding, the Prover and the pipeline."""
+
+from repro.core.envelope import EnvelopeEvaluation, Enveloper, provenance_hints
+from repro.core.facts import Fact, fact
+from repro.core.grounding import GroundQuery
+from repro.core.hippo import AnswerSet, HippoEngine
+from repro.core.membership import (
+    CachedMembership,
+    MembershipStats,
+    ProvenanceMembership,
+    QueryMembership,
+    make_membership,
+)
+from repro.core.prover import Prover, ProverStats
+
+__all__ = [
+    "EnvelopeEvaluation",
+    "Enveloper",
+    "provenance_hints",
+    "Fact",
+    "fact",
+    "GroundQuery",
+    "AnswerSet",
+    "HippoEngine",
+    "CachedMembership",
+    "MembershipStats",
+    "ProvenanceMembership",
+    "QueryMembership",
+    "make_membership",
+    "Prover",
+    "ProverStats",
+]

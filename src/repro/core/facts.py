@@ -1,0 +1,35 @@
+"""Ground facts: value-level tuples the Prover reasons about.
+
+The CQA theory is set-based: a membership atom ``R(v1..vn)`` asks whether
+a tuple *with those values* is in a repair.  Storage-level tuple ids (the
+hypergraph's vertices) are related to facts through the membership
+resolvers in :mod:`repro.core.membership`:
+
+* a fact may match **no** tid (not in the database),
+* exactly one tid (the usual, duplicate-free case), or
+* several tids (duplicate rows).  Duplicates are interchangeable for
+  *requiring* a fact in a repair (their conflict neighbourhoods are
+  value-symmetric) but excluding a fact means excluding **every** copy.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.engine.types import SQLValue, format_value
+
+
+class Fact(NamedTuple):
+    """A ground fact ``relation(values)`` (relation name lower-cased)."""
+
+    relation: str
+    values: tuple
+
+    def __str__(self) -> str:
+        rendered = ", ".join(format_value(value) for value in self.values)
+        return f"{self.relation}({rendered})"
+
+
+def fact(relation: str, values: tuple) -> Fact:
+    """Construct a normalized fact."""
+    return Fact(relation.lower(), tuple(values))

@@ -1,0 +1,225 @@
+"""Boolean formulas over membership atoms, with NNF / DNF conversion.
+
+Grounding a query for a candidate tuple yields a formula ``Phi`` over
+atoms ``fact in M`` such that for every subset ``M`` of the database,
+``candidate in Q(M)  iff  M |= Phi``.  The candidate is a consistent
+answer iff no repair satisfies ``not Phi`` -- so the Prover converts
+``not Phi`` to disjunctive normal form and checks each disjunct with one
+"does a repair containing S and avoiding T exist?" query against the
+conflict hypergraph.
+
+DNF conversion is exponential in formula size in the worst case, but the
+formula's size is bounded by the *query* size (number of atoms in the
+SJUD tree), not the data -- which is exactly why Hippo's data complexity
+stays polynomial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+from repro.core.facts import Fact
+
+
+class Formula:
+    """Marker base class."""
+
+
+@dataclass(frozen=True)
+class TrueF(Formula):
+    """The constant true."""
+
+
+@dataclass(frozen=True)
+class FalseF(Formula):
+    """The constant false."""
+
+
+@dataclass(frozen=True)
+class AtomF(Formula):
+    """Membership atom: ``fact`` is in the repair."""
+
+    fact: Fact
+
+
+@dataclass(frozen=True)
+class NotF(Formula):
+    """Negation."""
+
+    child: Formula
+
+
+@dataclass(frozen=True)
+class AndF(Formula):
+    """Conjunction (n-ary)."""
+
+    children: tuple[Formula, ...]
+
+
+@dataclass(frozen=True)
+class OrF(Formula):
+    """Disjunction (n-ary)."""
+
+    children: tuple[Formula, ...]
+
+
+TRUE = TrueF()
+FALSE = FalseF()
+
+
+def conj(children: Iterable[Formula]) -> Formula:
+    """Simplifying conjunction constructor."""
+    flat: list[Formula] = []
+    for child in children:
+        if isinstance(child, FalseF):
+            return FALSE
+        if isinstance(child, TrueF):
+            continue
+        if isinstance(child, AndF):
+            flat.extend(child.children)
+        else:
+            flat.append(child)
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return AndF(tuple(flat))
+
+
+def disj(children: Iterable[Formula]) -> Formula:
+    """Simplifying disjunction constructor."""
+    flat: list[Formula] = []
+    for child in children:
+        if isinstance(child, TrueF):
+            return TRUE
+        if isinstance(child, FalseF):
+            continue
+        if isinstance(child, OrF):
+            flat.extend(child.children)
+        else:
+            flat.append(child)
+    if not flat:
+        return FALSE
+    if len(flat) == 1:
+        return flat[0]
+    return OrF(tuple(flat))
+
+
+def negate(formula: Formula) -> Formula:
+    """Logical negation (kept shallow; NNF handles the pushing)."""
+    if isinstance(formula, TrueF):
+        return FALSE
+    if isinstance(formula, FalseF):
+        return TRUE
+    if isinstance(formula, NotF):
+        return formula.child
+    return NotF(formula)
+
+
+def to_nnf(formula: Formula, negated: bool = False) -> Formula:
+    """Negation normal form: negations pushed onto atoms."""
+    if isinstance(formula, TrueF):
+        return FALSE if negated else TRUE
+    if isinstance(formula, FalseF):
+        return TRUE if negated else FALSE
+    if isinstance(formula, AtomF):
+        return NotF(formula) if negated else formula
+    if isinstance(formula, NotF):
+        return to_nnf(formula.child, not negated)
+    if isinstance(formula, AndF):
+        children = tuple(to_nnf(child, negated) for child in formula.children)
+        return disj(children) if negated else conj(children)
+    if isinstance(formula, OrF):
+        children = tuple(to_nnf(child, negated) for child in formula.children)
+        return conj(children) if negated else disj(children)
+    raise TypeError(f"unknown formula node {type(formula).__name__}")
+
+
+#: One DNF disjunct: (facts that must be IN the repair,
+#:                    facts that must be OUT of the repair).
+Disjunct = tuple[frozenset[Fact], frozenset[Fact]]
+
+
+def to_dnf(formula: Formula) -> list[Disjunct]:
+    """Disjunctive normal form of an NNF-able formula.
+
+    Contradictory disjuncts (a fact required both in and out) are dropped.
+    An empty list means *unsatisfiable*; a disjunct ``(empty, empty)``
+    means *valid* (true in every repair).
+    """
+    nnf = to_nnf(formula)
+
+    def recurse(node: Formula) -> list[Disjunct]:
+        if isinstance(node, TrueF):
+            return [(frozenset(), frozenset())]
+        if isinstance(node, FalseF):
+            return []
+        if isinstance(node, AtomF):
+            return [(frozenset([node.fact]), frozenset())]
+        if isinstance(node, NotF):
+            assert isinstance(node.child, AtomF), "input must be in NNF"
+            return [(frozenset(), frozenset([node.child.fact]))]
+        if isinstance(node, OrF):
+            result: list[Disjunct] = []
+            for child in node.children:
+                result.extend(recurse(child))
+            return result
+        if isinstance(node, AndF):
+            partial: list[Disjunct] = [(frozenset(), frozenset())]
+            for child in node.children:
+                child_disjuncts = recurse(child)
+                combined: list[Disjunct] = []
+                for pos1, neg1 in partial:
+                    for pos2, neg2 in child_disjuncts:
+                        pos = pos1 | pos2
+                        neg = neg1 | neg2
+                        if pos & neg:
+                            continue  # contradictory
+                        combined.append((pos, neg))
+                partial = combined
+                if not partial:
+                    return []
+            return partial
+        raise TypeError(f"unknown formula node {type(node).__name__}")
+
+    # Deduplicate and drop disjuncts subsumed by smaller ones.
+    disjuncts = recurse(nnf)
+    unique: list[Disjunct] = []
+    seen: set[tuple[frozenset[Fact], frozenset[Fact]]] = set()
+    for disjunct in disjuncts:
+        if disjunct not in seen:
+            seen.add(disjunct)
+            unique.append(disjunct)
+    return unique
+
+
+def atoms_of(formula: Formula) -> frozenset[Fact]:
+    """Every fact mentioned by the formula."""
+    if isinstance(formula, AtomF):
+        return frozenset([formula.fact])
+    if isinstance(formula, NotF):
+        return atoms_of(formula.child)
+    if isinstance(formula, (AndF, OrF)):
+        result: frozenset[Fact] = frozenset()
+        for child in formula.children:
+            result |= atoms_of(child)
+        return result
+    return frozenset()
+
+
+def evaluate(formula: Formula, present: Union[set, frozenset]) -> bool:
+    """Evaluate under an explicit set of present facts (testing aid)."""
+    if isinstance(formula, TrueF):
+        return True
+    if isinstance(formula, FalseF):
+        return False
+    if isinstance(formula, AtomF):
+        return formula.fact in present
+    if isinstance(formula, NotF):
+        return not evaluate(formula.child, present)
+    if isinstance(formula, AndF):
+        return all(evaluate(child, present) for child in formula.children)
+    if isinstance(formula, OrF):
+        return any(evaluate(child, present) for child in formula.children)
+    raise TypeError(f"unknown formula node {type(formula).__name__}")

@@ -1,0 +1,129 @@
+"""Grounding: candidate tuple x SJUD query -> boolean membership formula.
+
+Because Hippo's query class restricts projection to be non-existential,
+a candidate answer determines, for every atom of every core, the *unique*
+witness tuple that could have produced it (see
+:func:`repro.ra.sjud.reconstruction_map`).  Grounding therefore reduces
+``candidate in Q(M)`` to a quantifier-free boolean combination of ground
+membership atoms:
+
+* core ``pi(sigma(R1 x .. x Rk))``: reconstruct each atom's tuple from the
+  candidate; if the core's condition fails on the reconstruction the core
+  contributes FALSE, otherwise it contributes ``R1(t1) AND .. AND Rk(tk)``;
+* ``Q1 UNION Q2`` contributes ``Phi1 OR Phi2``;
+* ``Q1 EXCEPT Q2`` contributes ``Phi1 AND NOT Phi2``.
+
+The resulting formula's size depends only on the query, never on the
+data -- the linchpin of Hippo's polynomial data complexity.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core import formula as fm
+from repro.core.facts import Fact
+from repro.engine.expressions import ExpressionCompiler, Scope
+from repro.sql import ast
+from repro.ra.sjud import (
+    Difference,
+    SJUDCore,
+    SJUDTree,
+    SchemaProvider,
+    Source,
+    Union_,
+    reconstruction_map,
+)
+
+
+class _GroundCore:
+    """Pre-compiled grounding for one core."""
+
+    def __init__(self, core: SJUDCore, schema: SchemaProvider) -> None:
+        self.core = core
+        recon = reconstruction_map(core, schema)
+        self.atom_plans: list[tuple[str, list[Source]]] = [
+            (atom.relation.lower(), recon[atom.alias.lower()])
+            for atom in core.atoms
+        ]
+        # The condition is evaluated over the reconstructed concatenation
+        # of all atom tuples, laid out atom by atom.
+        entries: list[tuple[Optional[str], str]] = []
+        offsets: dict[tuple[str, str], int] = {}
+        for atom in core.atoms:
+            for column in schema.relation_columns(atom.relation):
+                offsets[(atom.alias.lower(), column.lower())] = len(entries)
+                entries.append((atom.alias.lower(), column.lower()))
+        self.condition: Optional[Callable] = None
+        if core.condition is not None:
+            compiler = ExpressionCompiler(Scope(entries))
+            self.condition = compiler.compile_predicate(core.condition)
+        # Output re-projection check: candidate values must agree with the
+        # reconstruction (a candidate produced by *another* branch of a
+        # union/difference may contradict this core's pinned constants).
+        self.projection_checks: list[tuple[int, object]] = []
+        for index, column in enumerate(core.outputs):
+            source = column.source
+            if isinstance(source, ast.Literal):
+                self.projection_checks.append((index, ("const", source.value)))
+            else:
+                offset = offsets[(source.table.lower(), source.name.lower())]
+                self.projection_checks.append((index, ("offset", offset)))
+
+    def reconstruct(self, candidate: tuple) -> list[Fact]:
+        """The unique witness facts for this candidate."""
+        facts = []
+        for relation, sources in self.atom_plans:
+            values = tuple(
+                candidate[payload] if kind == "slot" else payload
+                for kind, payload in sources
+            )
+            facts.append(Fact(relation, values))
+        return facts
+
+    def ground(self, candidate: tuple) -> fm.Formula:
+        facts = self.reconstruct(candidate)
+        concatenated = tuple(value for fact_ in facts for value in fact_.values)
+        for index, (kind, payload) in self.projection_checks:
+            expected = payload if kind == "const" else concatenated[payload]
+            if candidate[index] != expected:
+                return fm.FALSE
+        if self.condition is not None and not self.condition((concatenated,)):
+            return fm.FALSE
+        return fm.conj(fm.AtomF(fact_) for fact_ in facts)
+
+
+class GroundQuery:
+    """A query prepared for repeated grounding (one per input query)."""
+
+    def __init__(self, tree: SJUDTree, schema: SchemaProvider) -> None:
+        self._tree = self._prepare(tree, schema)
+
+    def _prepare(self, tree: SJUDTree, schema: SchemaProvider):
+        if isinstance(tree, SJUDCore):
+            return _GroundCore(tree, schema)
+        if isinstance(tree, Union_):
+            return ("union", self._prepare(tree.left, schema), self._prepare(tree.right, schema))
+        if isinstance(tree, Difference):
+            return ("difference", self._prepare(tree.left, schema), self._prepare(tree.right, schema))
+        raise TypeError(f"cannot ground {type(tree).__name__}")
+
+    def formula_for(self, candidate: tuple) -> fm.Formula:
+        """The membership formula ``Phi`` with ``t in Q(M) iff M |= Phi``."""
+
+        def recurse(node) -> fm.Formula:
+            if isinstance(node, _GroundCore):
+                return node.ground(candidate)
+            op, left, right = node
+            if op == "union":
+                return fm.disj([recurse(left), recurse(right)])
+            return fm.conj([recurse(left), fm.negate(recurse(right))])
+
+        return recurse(self._tree)
+
+    def witness_facts(self, candidate: tuple) -> frozenset[Fact]:
+        """All facts the formula for ``candidate`` could mention.
+
+        Used by the prefetch membership strategy to batch lookups.
+        """
+        return fm.atoms_of(self.formula_for(candidate))

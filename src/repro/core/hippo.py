@@ -1,0 +1,335 @@
+"""The Hippo engine: the full pipeline of the paper's Figure 1.
+
+::
+
+    Query ──> Enveloping ──> Candidates ──> Evaluation ┐
+                                                       ├──> Prover ──> Answer Set
+    IC ───> Conflict Detection ──> Conflict Hypergraph ┘
+    DB ──────────────────────────────────────────────────┘
+
+Conflict Detection runs once per (database, constraint set); each query
+then goes through Enveloping, RDBMS Evaluation of the candidates, and the
+Prover.  Two optional optimizations from the paper are controlled by
+constructor flags:
+
+* ``membership`` -- how the Prover's membership checks are answered
+  (``"query"``: the base system's per-check point queries;
+  ``"cached"``: batched; ``"provenance"``: the extended-envelope
+  optimization answering checks without database queries);
+* ``use_core`` -- evaluate the certain-answer core ``Q-down`` and skip
+  the Prover for candidates found there.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.conflicts.detection import DetectionReport, detect_conflicts
+from repro.conflicts.hypergraph import ConflictHypergraph
+from repro.core.envelope import Enveloper, provenance_hints
+from repro.core.grounding import GroundQuery
+from repro.core.membership import make_membership
+from repro.core.prover import Prover, ProverStats
+from repro.engine.database import Database
+from repro.engine.types import sort_key
+from repro.errors import UnsupportedQueryError
+from repro.ra.compile import evaluate_tree
+from repro.ra.sjud import (
+    CatalogSchemaProvider,
+    SJUDTree,
+    from_sql_query,
+    output_names_of,
+)
+from repro.sql import ast
+from repro.sql.parser import parse_query
+
+QueryLike = Union[str, ast.Query, SJUDTree]
+
+
+@dataclass
+class AnswerSet:
+    """The consistent answers to a query, with run statistics.
+
+    Attributes:
+        columns: output column names.
+        rows: the consistent answers, deterministically ordered.
+        stats: pipeline counters (see :meth:`HippoEngine.consistent_answers`).
+    """
+
+    columns: list[str]
+    rows: list[tuple]
+    stats: dict[str, object] = field(default_factory=dict)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def as_set(self) -> frozenset[tuple]:
+        return frozenset(self.rows)
+
+
+class HippoEngine:
+    """Consistent query answering over one database + constraint set.
+
+    Args:
+        db: the database instance (need not satisfy the constraints --
+            that is the point).
+        constraints: denial constraints / FDs / keys / exclusions.
+        membership: Prover membership strategy (``"provenance"`` default).
+        use_core: skip the Prover for candidates in the certain core.
+
+    The conflict hypergraph is built eagerly; call :meth:`refresh` after
+    modifying the data.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        constraints: Iterable[object],
+        membership: str = "provenance",
+        use_core: bool = True,
+    ) -> None:
+        self.db = db
+        self.constraints = list(constraints)
+        self.membership_strategy = membership
+        self.use_core = use_core
+        self._schema = CatalogSchemaProvider(db.catalog)
+        self.detection: DetectionReport = detect_conflicts(db, self.constraints)
+        self._enveloper = Enveloper(db, self.hypergraph)
+
+    # ------------------------------------------------------------ plumbing
+
+    @property
+    def hypergraph(self) -> ConflictHypergraph:
+        """The conflict hypergraph built by Conflict Detection."""
+        return self.detection.hypergraph
+
+    def refresh(self) -> None:
+        """Re-run Conflict Detection (after data changes)."""
+        self.detection = detect_conflicts(self.db, self.constraints)
+        self._enveloper = Enveloper(self.db, self.hypergraph)
+
+    def parse(self, query: QueryLike) -> tuple[SJUDTree, tuple[ast.OrderItem, ...]]:
+        """Normalize any supported query form to an SJUD tree.
+
+        Returns the tree plus any top-level ORDER BY items (consistent
+        answers are a set; ordering is re-applied to the final answers).
+
+        Raises:
+            UnsupportedQueryError: for queries outside Hippo's class.
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        if isinstance(query, ast.Query):
+            order_by = query.order_by
+            tree = from_sql_query(query, self._schema)
+            return tree, order_by
+        return query, ()
+
+    # ------------------------------------------------------------- answers
+
+    def consistent_answers(self, query: QueryLike) -> AnswerSet:
+        """The paper's Answer Set: tuples true in every repair.
+
+        The returned :class:`AnswerSet` carries statistics:
+        ``candidates`` (envelope size), ``certain`` (core size),
+        ``prover_checked``, ``prover_rejected``, membership-check counts,
+        and per-stage wall-clock times.
+        """
+        started = time.perf_counter()
+        tree, order_by = self.parse(query)
+        columns = list(output_names_of(tree))
+
+        envelope = self._enveloper.evaluate(tree, compute_core=self.use_core)
+
+        duplicate_free = not any(
+            self.db.catalog.table(name).has_duplicates()
+            for name in self.db.catalog.table_names()
+        )
+        membership = make_membership(
+            self.membership_strategy, self.db, duplicate_free
+        )
+        prover = Prover(self.hypergraph, membership)
+        grounder = GroundQuery(tree, self._schema)
+
+        answers: list[tuple] = []
+        skipped_by_core = 0
+        prover_started = time.perf_counter()
+        for candidate, provenance in envelope.candidates.items():
+            if self.use_core and candidate in envelope.certain:
+                skipped_by_core += 1
+                answers.append(candidate)
+                continue
+            if self.membership_strategy == "provenance":
+                membership.prime(provenance_hints(self.db, provenance))
+            phi = grounder.formula_for(candidate)
+            if prover.is_consistent_answer(phi):
+                answers.append(candidate)
+        prover_seconds = time.perf_counter() - prover_started
+
+        rows = self._order(answers, columns, order_by)
+        total_seconds = time.perf_counter() - started
+        stats: dict[str, object] = {
+            "candidates": envelope.candidate_count,
+            "certain": len(envelope.certain),
+            "skipped_by_core": skipped_by_core,
+            "answers": len(rows),
+            "prover": prover.stats,
+            "membership": membership.stats,
+            "envelope_seconds": envelope.seconds,
+            "prover_seconds": prover_seconds,
+            "total_seconds": total_seconds,
+            "hypergraph": self.hypergraph.summary(),
+        }
+        return AnswerSet(columns, rows, stats)
+
+    def possible_answers(self, query: QueryLike) -> AnswerSet:
+        """Tuples true in *some* repair (the dual of consistent answers).
+
+        Together the two sets bracket the inconsistent database's
+        information: ``consistent <= any-resolution <= possible``.
+        """
+        started = time.perf_counter()
+        tree, order_by = self.parse(query)
+        columns = list(output_names_of(tree))
+        envelope = self._enveloper.evaluate(tree, compute_core=self.use_core)
+        duplicate_free = not any(
+            self.db.catalog.table(name).has_duplicates()
+            for name in self.db.catalog.table_names()
+        )
+        membership = make_membership(
+            self.membership_strategy, self.db, duplicate_free
+        )
+        prover = Prover(self.hypergraph, membership)
+        grounder = GroundQuery(tree, self._schema)
+        answers = []
+        for candidate, provenance in envelope.candidates.items():
+            if self.use_core and candidate in envelope.certain:
+                answers.append(candidate)  # certain implies possible
+                continue
+            if self.membership_strategy == "provenance":
+                membership.prime(provenance_hints(self.db, provenance))
+            if prover.is_possible_answer(grounder.formula_for(candidate)):
+                answers.append(candidate)
+        rows = self._order(answers, columns, order_by)
+        return AnswerSet(
+            columns,
+            rows,
+            {
+                "candidates": envelope.candidate_count,
+                "answers": len(rows),
+                "total_seconds": time.perf_counter() - started,
+            },
+        )
+
+    def explain_candidate(self, query: QueryLike, candidate: tuple) -> dict:
+        """Why a tuple is / is not a consistent answer.
+
+        Returns a report with the candidate's ground formula, whether it
+        is consistent and possible, and -- when it is not consistent --
+        one counterexample requirement: a (require, forbid) fact pair for
+        which a repair falsifying the formula exists.
+        """
+        from repro.core import formula as fm
+        from repro.sql.formatter import format_expression  # noqa: F401
+
+        tree, _ = self.parse(query)
+        grounder = GroundQuery(tree, self._schema)
+        membership = make_membership("cached", self.db)
+        prover = Prover(self.hypergraph, membership)
+        phi = grounder.formula_for(tuple(candidate))
+        consistent = prover.is_consistent_answer(phi)
+        possible = prover.is_possible_answer(phi)
+        report: dict[str, object] = {
+            "candidate": tuple(candidate),
+            "formula": phi,
+            "facts": sorted(str(f) for f in fm.atoms_of(phi)),
+            "consistent": consistent,
+            "possible": possible,
+        }
+        if not consistent:
+            for require, forbid in fm.to_dnf(fm.negate(phi)):
+                if prover.exists_repair(require, forbid):
+                    report["falsifying_repair_requires"] = sorted(
+                        str(f) for f in require
+                    )
+                    report["falsifying_repair_excludes"] = sorted(
+                        str(f) for f in forbid
+                    )
+                    break
+        return report
+
+    # ------------------------------------------------------------ baselines
+
+    def raw_answers(self, query: QueryLike) -> AnswerSet:
+        """Evaluate the query directly, ignoring inconsistency.
+
+        This is the paper's "execution time of this query by the RDBMS
+        backend ... the approach when we ignore the fact that the database
+        is inconsistent".
+        """
+        started = time.perf_counter()
+        tree, order_by = self.parse(query)
+        columns = list(output_names_of(tree))
+        rows = evaluate_tree(tree, self.db)
+        ordered = self._order(rows, columns, order_by)
+        return AnswerSet(
+            columns, ordered, {"total_seconds": time.perf_counter() - started}
+        )
+
+    def cleaned_answers(self, query: QueryLike) -> AnswerSet:
+        """Evaluate over the database with all conflicting tuples removed.
+
+        The "traditional approach" of the paper's introduction ("removing
+        the conflicting data ... is not a good option"): it returns a
+        subset of the consistent answers for monotone queries and can be
+        plain wrong for queries with difference.
+        """
+        started = time.perf_counter()
+        tree, order_by = self.parse(query)
+        columns = list(output_names_of(tree))
+        rows = evaluate_tree(
+            tree, self.db, self._enveloper._restrict_clean
+        )
+        ordered = self._order(rows, columns, order_by)
+        return AnswerSet(
+            columns, ordered, {"total_seconds": time.perf_counter() - started}
+        )
+
+    # -------------------------------------------------------------- helpers
+
+    def _order(
+        self,
+        rows: Iterable[tuple],
+        columns: Sequence[str],
+        order_by: tuple[ast.OrderItem, ...],
+    ) -> list[tuple]:
+        """Apply top-level ORDER BY (or a deterministic default order)."""
+        materialized = list(rows)
+        if not order_by:
+            materialized.sort(key=lambda row: tuple(sort_key(v) for v in row))
+            return materialized
+        lowered = [column.lower() for column in columns]
+        for item in reversed(order_by):
+            index = self._order_index(item.expr, lowered)
+            materialized.sort(
+                key=lambda row: sort_key(row[index]),
+                reverse=not item.ascending,
+            )
+        return materialized
+
+    @staticmethod
+    def _order_index(expr: ast.Expression, columns: list[str]) -> int:
+        if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+            if 1 <= expr.value <= len(columns):
+                return expr.value - 1
+            raise UnsupportedQueryError(f"ORDER BY position {expr.value} out of range")
+        if isinstance(expr, ast.ColumnRef) and expr.name.lower() in columns:
+            return columns.index(expr.name.lower())
+        raise UnsupportedQueryError(
+            "ORDER BY on consistent answers must reference an output column"
+        )

@@ -1,0 +1,181 @@
+"""Membership-check strategies for the Prover.
+
+For every candidate tuple, the Prover must decide whether certain ground
+facts are in the database (and with which tids).  The paper:
+
+    "In the base version of the system this is done by simply executing
+    the appropriate membership queries on the database.  This is a costly
+    procedure ...  We have introduced several optimizations addressing
+    this problem.  In general, by modifying the expression defining the
+    envelope ... the optimizations allow us to answer the required
+    membership checks without executing any queries on the database."
+
+Three strategies reproduce that spectrum:
+
+* :class:`QueryMembership` -- the base system: every check is a point
+  query against the engine (counted in ``point_lookups``).
+* :class:`CachedMembership` -- batches/memoizes lookups, the moral
+  equivalent of prefetching all potentially needed facts once.
+* :class:`ProvenanceMembership` -- the extended-envelope optimization:
+  the envelope evaluation already carried each candidate's witness tids,
+  so positive checks about those facts are answered without touching the
+  database at all; only facts outside the provenance (e.g. from the
+  negative side of a difference) fall back to a cached lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Protocol
+
+from repro.conflicts.hypergraph import Vertex
+from repro.core.facts import Fact
+from repro.engine.database import Database
+
+
+@dataclass
+class MembershipStats:
+    """Counters surfaced by benchmarks.
+
+    Attributes:
+        checks: membership questions asked by the Prover.
+        db_queries: checks that executed a database point query.
+        free_answers: checks answered from provenance / cache.
+    """
+
+    checks: int = 0
+    db_queries: int = 0
+    free_answers: int = 0
+
+
+class MembershipResolver(Protocol):
+    """What the Prover needs to know about facts."""
+
+    stats: MembershipStats
+
+    def some_vertex(self, fact: Fact) -> Optional[Vertex]:
+        """Any one tid storing ``fact`` (None when absent).
+
+        Duplicate copies of a fact have value-symmetric conflict
+        neighbourhoods, so any copy serves as the *required* witness.
+        """
+
+    def all_vertices(self, fact: Fact) -> frozenset[Vertex]:
+        """Every tid storing ``fact`` (excluding a fact excludes them all)."""
+
+    def prime(self, provenance: dict[Fact, Vertex]) -> None:
+        """Install per-candidate provenance hints (no-op by default)."""
+
+
+class QueryMembership:
+    """The base strategy: one point query per check, no caching."""
+
+    def __init__(self, db: Database) -> None:
+        self._db = db
+        self.stats = MembershipStats()
+
+    def _lookup(self, fact: Fact) -> frozenset[Vertex]:
+        self.stats.db_queries += 1
+        tids = self._db.lookup(fact.relation, fact.values)
+        return frozenset(Vertex(fact.relation, tid) for tid in tids)
+
+    def some_vertex(self, fact: Fact) -> Optional[Vertex]:
+        self.stats.checks += 1
+        vertices = self._lookup(fact)
+        return min(vertices) if vertices else None
+
+    def all_vertices(self, fact: Fact) -> frozenset[Vertex]:
+        self.stats.checks += 1
+        return self._lookup(fact)
+
+    def prime(self, provenance: dict[Fact, Vertex]) -> None:
+        """The base strategy ignores provenance."""
+
+
+class CachedMembership:
+    """Memoized lookups: each distinct fact costs at most one query."""
+
+    def __init__(self, db: Database) -> None:
+        self._db = db
+        self._cache: dict[Fact, frozenset[Vertex]] = {}
+        self.stats = MembershipStats()
+
+    def _lookup(self, fact: Fact) -> frozenset[Vertex]:
+        cached = self._cache.get(fact)
+        if cached is not None:
+            self.stats.free_answers += 1
+            return cached
+        self.stats.db_queries += 1
+        tids = self._db.lookup(fact.relation, fact.values)
+        vertices = frozenset(Vertex(fact.relation, tid) for tid in tids)
+        self._cache[fact] = vertices
+        return vertices
+
+    def some_vertex(self, fact: Fact) -> Optional[Vertex]:
+        self.stats.checks += 1
+        vertices = self._lookup(fact)
+        return min(vertices) if vertices else None
+
+    def all_vertices(self, fact: Fact) -> frozenset[Vertex]:
+        self.stats.checks += 1
+        return self._lookup(fact)
+
+    def prime(self, provenance: dict[Fact, Vertex]) -> None:
+        """The cached strategy ignores provenance."""
+
+
+class ProvenanceMembership:
+    """The extended-envelope strategy: provenance answers checks for free.
+
+    Args:
+        db: the database (fallback lookups).
+        duplicate_free: when True (the common, set-semantics case --
+            verified by the caller), a provenance hint fully answers
+            ``all_vertices`` too; with duplicates it only answers
+            ``some_vertex`` and exclusion checks fall back to a lookup.
+    """
+
+    def __init__(self, db: Database, duplicate_free: bool = True) -> None:
+        self._fallback = CachedMembership(db)
+        self._hints: dict[Fact, Vertex] = {}
+        self._duplicate_free = duplicate_free
+        self.stats = self._fallback.stats  # shared counters
+
+    def prime(self, provenance: dict[Fact, Vertex]) -> None:
+        self._hints = provenance
+
+    def some_vertex(self, fact: Fact) -> Optional[Vertex]:
+        hint = self._hints.get(fact)
+        if hint is not None:
+            self.stats.checks += 1
+            self.stats.free_answers += 1
+            return hint
+        return self._fallback.some_vertex(fact)
+
+    def all_vertices(self, fact: Fact) -> frozenset[Vertex]:
+        hint = self._hints.get(fact)
+        if hint is not None and self._duplicate_free:
+            self.stats.checks += 1
+            self.stats.free_answers += 1
+            return frozenset([hint])
+        return self._fallback.all_vertices(fact)
+
+
+def make_membership(
+    strategy: str, db: Database, duplicate_free: bool = True
+) -> MembershipResolver:
+    """Factory: ``"query"``, ``"cached"`` or ``"provenance"``.
+
+    Raises:
+        ValueError: for unknown strategy names.
+    """
+    if strategy == "query":
+        return QueryMembership(db)
+    if strategy == "cached":
+        return CachedMembership(db)
+    if strategy == "provenance":
+        return ProvenanceMembership(db, duplicate_free)
+    raise ValueError(
+        f"unknown membership strategy {strategy!r}"
+        " (expected 'query', 'cached' or 'provenance')"
+    )

@@ -1,0 +1,164 @@
+"""HProver: deciding consistency of a candidate answer.
+
+Theory (Chomicki & Marcinkowski, *Minimal-Change Integrity Maintenance
+Using Tuple Deletions*): for denial constraints, repairs are the maximal
+independent sets of the conflict hypergraph, and
+
+    there is a repair M with S subset-of M and M disjoint-from T
+        iff
+    one can choose, for every tuple t of T that is in the database, a
+    hyperedge e_t containing t whose remainder e_t - {t} avoids T, such
+    that S union (all remainders) is independent.
+
+(The remainders "block" the T-tuples: any maximal independent superset of
+the union would complete the edge e_t if it tried to include t.)  The
+number of tuples in S and T is bounded by the *query* size, and each
+tuple's candidate edges are polynomial in the data, so the check is
+polynomial-time in the data.
+
+A candidate ``t`` with ground formula ``Phi`` is a consistent answer iff
+*no* repair satisfies ``not Phi``; the Prover converts ``not Phi`` to DNF
+and runs the repair-existence check on every disjunct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.conflicts.hypergraph import ConflictHypergraph, Vertex
+from repro.core import formula as fm
+from repro.core.facts import Fact
+from repro.core.membership import MembershipResolver
+
+
+@dataclass
+class ProverStats:
+    """Counters surfaced by benchmarks.
+
+    Attributes:
+        candidates_checked: tuples submitted to the Prover.
+        consistent: tuples accepted as consistent answers.
+        disjuncts_checked: DNF disjuncts of ``not Phi`` examined.
+        repair_searches: repair-existence checks executed.
+        independence_checks: hypergraph independence tests performed.
+        witness_combinations: covering-edge combinations explored.
+    """
+
+    candidates_checked: int = 0
+    consistent: int = 0
+    disjuncts_checked: int = 0
+    repair_searches: int = 0
+    independence_checks: int = 0
+    witness_combinations: int = 0
+
+
+class Prover:
+    """Checks candidate tuples against the conflict hypergraph."""
+
+    def __init__(
+        self, hypergraph: ConflictHypergraph, membership: MembershipResolver
+    ) -> None:
+        self.hypergraph = hypergraph
+        self.membership = membership
+        self.stats = ProverStats()
+
+    # ----------------------------------------------------------- entrypoint
+
+    def is_consistent_answer(self, phi: fm.Formula) -> bool:
+        """Whether ``Phi`` holds in *every* repair."""
+        self.stats.candidates_checked += 1
+        negated = fm.negate(phi)
+        for require, forbid in fm.to_dnf(negated):
+            self.stats.disjuncts_checked += 1
+            if self.exists_repair(require, forbid):
+                return False
+        self.stats.consistent += 1
+        return True
+
+    def is_possible_answer(self, phi: fm.Formula) -> bool:
+        """Whether ``Phi`` holds in *some* repair (the certainty dual).
+
+        Possible answers bound what any way of resolving the conflicts
+        could yield; together with the consistent answers they bracket
+        the information content of the inconsistent database.
+        """
+        self.stats.candidates_checked += 1
+        for require, forbid in fm.to_dnf(phi):
+            self.stats.disjuncts_checked += 1
+            if self.exists_repair(require, forbid):
+                return True
+        return False
+
+    # ------------------------------------------------------- repair search
+
+    def exists_repair(
+        self, require: Iterable[Fact], forbid: Iterable[Fact]
+    ) -> bool:
+        """Is there a repair containing ``require`` and avoiding ``forbid``?"""
+        self.stats.repair_searches += 1
+
+        required_vertices: set[Vertex] = set()
+        for fact in require:
+            witness = self.membership.some_vertex(fact)
+            if witness is None:
+                return False  # the fact is not even in the database
+            required_vertices.add(witness)
+
+        if not self._independent(required_vertices):
+            return False
+
+        forbidden_vertices: set[Vertex] = set()
+        for fact in forbid:
+            forbidden_vertices |= self.membership.all_vertices(fact)
+        # Facts absent from the database are trivially avoided.
+
+        if required_vertices & forbidden_vertices:
+            return False
+
+        # For every forbidden tuple, collect the hyperedges that can block
+        # it: edges through it whose remainder avoids the forbidden set.
+        blockers: list[tuple[Vertex, list[frozenset[Vertex]]]] = []
+        for target in forbidden_vertices:
+            candidate_edges = [
+                edge
+                for edge in self.hypergraph.edges_of(target)
+                if not ((edge - {target}) & forbidden_vertices)
+            ]
+            if not candidate_edges:
+                # The tuple is in every repair (e.g. conflict-free): no
+                # repair can avoid it.
+                return False
+            # Prefer small remainders: cheaper and more likely independent.
+            candidate_edges.sort(key=len)
+            blockers.append((target, candidate_edges))
+
+        return self._choose_blockers(blockers, 0, set(required_vertices))
+
+    def _choose_blockers(
+        self,
+        blockers: list[tuple[Vertex, list[frozenset[Vertex]]]],
+        position: int,
+        chosen: set[Vertex],
+    ) -> bool:
+        """Backtracking search over covering-edge choices.
+
+        Independence is antitone (supersets of dependent sets stay
+        dependent), so pruning at every level is sound; checking at every
+        level makes the final set independent by construction.
+        """
+        if position == len(blockers):
+            return True
+        target, edges = blockers[position]
+        for edge in edges:
+            self.stats.witness_combinations += 1
+            remainder = edge - {target}
+            extended = chosen | remainder
+            if self._independent(extended):
+                if self._choose_blockers(blockers, position + 1, extended):
+                    return True
+        return False
+
+    def _independent(self, vertices: set[Vertex]) -> bool:
+        self.stats.independence_checks += 1
+        return self.hypergraph.is_independent(vertices)

@@ -1,0 +1,67 @@
+"""The catalog: the named tables of a database instance."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+from repro.engine.schema import TableSchema
+from repro.engine.storage import Table
+from repro.errors import CatalogError
+
+
+class Catalog:
+    """Case-insensitive registry of tables."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {}
+
+    def create_table(self, schema: TableSchema) -> Table:
+        """Create and register an empty table.
+
+        Raises:
+            CatalogError: if a table with that name already exists.
+        """
+        key = schema.name.lower()
+        if key in self._tables:
+            raise CatalogError(f"table {schema.name!r} already exists")
+        table = Table(schema)
+        self._tables[key] = table
+        return table
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        """Remove a table.
+
+        Raises:
+            CatalogError: if the table is missing and ``if_exists`` is False.
+        """
+        key = name.lower()
+        if key not in self._tables:
+            if if_exists:
+                return
+            raise CatalogError(f"no such table: {name!r}")
+        del self._tables[key]
+
+    def table(self, name: str) -> Table:
+        """Look a table up by name.
+
+        Raises:
+            CatalogError: if the table does not exist.
+        """
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no such table: {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        """Whether a table with this name exists."""
+        return name.lower() in self._tables
+
+    def table_names(self) -> list[str]:
+        """Declared names of all tables (creation order)."""
+        return [table.schema.name for table in self._tables.values()]
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)

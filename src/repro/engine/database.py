@@ -1,0 +1,274 @@
+"""The `Database` facade: the in-memory RDBMS the Hippo frontend talks to.
+
+This plays the role PostgreSQL played in the original system: it executes
+SQL (DDL, DML and queries), answers point membership lookups, and keeps
+execution statistics so the Hippo layer's optimizations are observable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.engine.catalog import Catalog
+from repro.engine.expressions import ExpressionCompiler, Scope
+from repro.engine.plan import Filter, Scan, run_plan
+from repro.engine.planner import Planner
+from repro.engine.schema import Column, TableSchema
+from repro.engine.stats import ExecutionStats
+from repro.engine.storage import Table
+from repro.engine.types import SQLType, SQLValue, type_from_name
+from repro.errors import CatalogError, ExecutionError, PlanError
+from repro.sql import ast
+from repro.sql.parser import parse_script, parse_statement
+
+
+@dataclass
+class Result:
+    """The outcome of executing a statement.
+
+    Attributes:
+        columns: output column names (empty for DDL / DML).
+        rows: result rows (empty for DDL / DML).
+        rowcount: number of rows affected (DML) or returned (queries).
+    """
+
+    columns: list[str]
+    rows: list[tuple]
+    rowcount: int
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def as_set(self) -> frozenset[tuple]:
+        """The rows as a set (order-insensitive comparisons in tests)."""
+        return frozenset(self.rows)
+
+    def scalar(self) -> SQLValue:
+        """The single value of a single-row, single-column result.
+
+        Raises:
+            ExecutionError: if the shape is not 1x1.
+        """
+        if len(self.rows) != 1 or len(self.rows[0]) != 1:
+            raise ExecutionError(
+                f"scalar() needs a 1x1 result, got {len(self.rows)} rows"
+            )
+        return self.rows[0][0]
+
+
+class Database:
+    """An in-memory SQL database instance."""
+
+    def __init__(self) -> None:
+        self.catalog = Catalog()
+        self.stats = ExecutionStats()
+        # index name (lower) -> (table name, column names) for diagnostics.
+        self._indexes: dict[str, tuple[str, tuple[str, ...]]] = {}
+
+    # ------------------------------------------------------------- execution
+
+    def execute(self, sql: str) -> Result:
+        """Parse and execute a single SQL statement."""
+        return self.execute_statement(parse_statement(sql))
+
+    def execute_script(self, sql: str) -> list[Result]:
+        """Execute a ``;``-separated script, returning one result each."""
+        return [self.execute_statement(stmt) for stmt in parse_script(sql)]
+
+    def query(self, sql: str) -> Result:
+        """Execute a statement that must be a query."""
+        statement = parse_statement(sql)
+        if not isinstance(statement, ast.SelectStatement):
+            raise ExecutionError("query() requires a SELECT statement")
+        return self.execute_statement(statement)
+
+    def execute_statement(self, statement: ast.Statement) -> Result:
+        """Execute an already-parsed statement."""
+        self.stats.statements += 1
+        if isinstance(statement, ast.SelectStatement):
+            return self._execute_select(statement.query)
+        if isinstance(statement, ast.CreateTable):
+            return self._execute_create(statement)
+        if isinstance(statement, ast.DropTable):
+            self.catalog.drop_table(statement.name, statement.if_exists)
+            self._indexes = {
+                name: info
+                for name, info in self._indexes.items()
+                if info[0].lower() != statement.name.lower()
+            }
+            return Result([], [], 0)
+        if isinstance(statement, ast.CreateIndex):
+            return self._execute_create_index(statement)
+        if isinstance(statement, ast.Insert):
+            return self._execute_insert(statement)
+        if isinstance(statement, ast.Delete):
+            return self._execute_delete(statement)
+        if isinstance(statement, ast.Update):
+            return self._execute_update(statement)
+        raise ExecutionError(f"cannot execute {type(statement).__name__}")
+
+    def plan(self, query: ast.Query):
+        """Plan a query AST (exposed for the RA layer and for EXPLAIN)."""
+        return Planner(self.catalog, self.stats).plan_query(query)
+
+    def explain(self, sql: str) -> str:
+        """The physical plan of a query, as an indented tree."""
+        statement = parse_statement(sql)
+        if not isinstance(statement, ast.SelectStatement):
+            raise ExecutionError("explain() requires a SELECT statement")
+        return self.plan(statement.query).plan.explain()
+
+    # ----------------------------------------------------- programmatic API
+
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[tuple[str, SQLType] | Column],
+        primary_key: Optional[Sequence[str]] = None,
+    ) -> Table:
+        """Create a table without going through SQL (used by workloads)."""
+        built = tuple(
+            column if isinstance(column, Column) else Column(column[0], column[1])
+            for column in columns
+        )
+        schema = TableSchema(name, built, tuple(primary_key or ()))
+        return self.catalog.create_table(schema)
+
+    def insert_rows(self, table_name: str, rows: Iterable[Sequence[SQLValue]]) -> list[int]:
+        """Bulk-insert rows; returns the assigned tids."""
+        table = self.catalog.table(table_name)
+        return [table.insert(row) for row in rows]
+
+    def table(self, name: str) -> Table:
+        """Access a stored table by name."""
+        return self.catalog.table(name)
+
+    def lookup(self, table_name: str, row: Sequence[SQLValue]) -> frozenset[int]:
+        """Point membership query: tids of rows equal to ``row``.
+
+        This is the primitive the paper's base Prover uses ("executing the
+        appropriate membership queries on the database"); it bumps the
+        ``point_lookups`` statistic so benchmarks can count them.
+        """
+        self.stats.point_lookups += 1
+        return self.catalog.table(table_name).lookup(row)
+
+    # ------------------------------------------------------------- internals
+
+    def _execute_select(self, query: ast.Query) -> Result:
+        planned = self.plan(query)
+        rows = run_plan(planned.plan)
+        return Result(planned.columns, rows, len(rows))
+
+    def _execute_create(self, statement: ast.CreateTable) -> Result:
+        if statement.if_not_exists and self.catalog.has_table(statement.name):
+            return Result([], [], 0)
+        columns = tuple(
+            Column(col.name, type_from_name(col.type_name), nullable=not col.not_null)
+            for col in statement.columns
+        )
+        schema = TableSchema(statement.name, columns, statement.primary_key)
+        self.catalog.create_table(schema)
+        return Result([], [], 0)
+
+    def _execute_create_index(self, statement: ast.CreateIndex) -> Result:
+        key = statement.name.lower()
+        if key in self._indexes:
+            if statement.if_not_exists:
+                return Result([], [], 0)
+            raise CatalogError(f"index {statement.name!r} already exists")
+        table = self.catalog.table(statement.table)
+        positions = [table.schema.index_of(c) for c in statement.columns]
+        table.create_index(positions)
+        self._indexes[key] = (statement.table, statement.columns)
+        return Result([], [], 0)
+
+    def create_index(self, table_name: str, columns: Sequence[str]) -> None:
+        """Programmatic CREATE INDEX (used by workloads and tests)."""
+        name = f"idx_{table_name}_{'_'.join(columns)}"
+        self._execute_create_index(
+            ast.CreateIndex(name, table_name, tuple(columns), if_not_exists=True)
+        )
+
+    def indexes(self) -> dict[str, tuple[str, tuple[str, ...]]]:
+        """Declared indexes: name -> (table, columns)."""
+        return dict(self._indexes)
+
+    def _evaluate_literal_row(
+        self, exprs: Sequence[ast.Expression]
+    ) -> list[SQLValue]:
+        compiler = ExpressionCompiler(Scope([], None, 0))
+        values = []
+        for expr in exprs:
+            evaluator = compiler.compile(expr)
+            values.append(evaluator(((),)))
+        return values
+
+    def _execute_insert(self, statement: ast.Insert) -> Result:
+        table = self.catalog.table(statement.table)
+        schema = table.schema
+        count = 0
+        for row_exprs in statement.rows:
+            values = self._evaluate_literal_row(row_exprs)
+            if statement.columns:
+                if len(values) != len(statement.columns):
+                    raise ExecutionError(
+                        f"INSERT has {len(values)} values for"
+                        f" {len(statement.columns)} columns"
+                    )
+                full_row: list[SQLValue] = [None] * schema.arity
+                for column_name, value in zip(statement.columns, values):
+                    full_row[schema.index_of(column_name)] = value
+                table.insert(full_row)
+            else:
+                table.insert(values)
+            count += 1
+        return Result([], [], count)
+
+    def _matching_tids(
+        self, table: Table, where: Optional[ast.Expression]
+    ) -> list[tuple[int, tuple]]:
+        """(tid, row) pairs of rows satisfying ``where``."""
+        scan = Scan(table, self.stats, include_tid=True)
+        node = scan
+        if where is not None:
+            scope = Scope(
+                [(table.schema.name, c.lower()) for c in table.schema.column_names],
+                None,
+                0,
+            )
+            planner = Planner(self.catalog, self.stats)
+            compiler = planner._compiler(scope)
+            node = Filter(scan, compiler.compile_predicate(where))
+        return [(row[-1], row[:-1]) for row in run_plan(node)]
+
+    def _execute_delete(self, statement: ast.Delete) -> Result:
+        table = self.catalog.table(statement.table)
+        matches = self._matching_tids(table, statement.where)
+        for tid, _row in matches:
+            table.delete(tid)
+        return Result([], [], len(matches))
+
+    def _execute_update(self, statement: ast.Update) -> Result:
+        table = self.catalog.table(statement.table)
+        schema = table.schema
+        scope = Scope(
+            [(schema.name, c.lower()) for c in schema.column_names], None, 0
+        )
+        planner = Planner(self.catalog, self.stats)
+        compiler = planner._compiler(scope)
+        compiled = [
+            (schema.index_of(column), compiler.compile(value))
+            for column, value in statement.assignments
+        ]
+        matches = self._matching_tids(table, statement.where)
+        for tid, row in matches:
+            new_row = list(row)
+            for index, evaluator in compiled:
+                new_row[index] = evaluator((row,))
+            table.update(tid, new_row)
+        return Result([], [], len(matches))

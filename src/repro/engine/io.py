@@ -1,0 +1,147 @@
+"""Import / export utilities: SQL dumps and CSV loading.
+
+Hippo is an RDBMS *frontend*: "the data stored in the RDBMS needs not be
+altered."  These helpers move data in and out of the substrate engine so
+real datasets (e.g. two CSV exports of autonomous sources) can be
+integrated and queried consistently.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import IO, Iterable, Optional, Sequence
+
+from repro.engine.database import Database
+from repro.engine.schema import TableSchema
+from repro.engine.types import SQLType, SQLValue, literal_sql
+from repro.errors import SchemaError
+
+
+def dump_sql(db: Database, table_names: Optional[Sequence[str]] = None) -> str:
+    """A re-executable SQL script recreating the database's tables.
+
+    Rows are emitted in tid order, so a dump/restore round trip preserves
+    the *relative* tuple order (tids themselves restart from zero).
+    """
+    statements: list[str] = []
+    names = table_names if table_names is not None else db.catalog.table_names()
+    for name in names:
+        table = db.catalog.table(name)
+        schema = table.schema
+        column_parts = []
+        for column in schema.columns:
+            text = f"{column.name} {column.sql_type}"
+            if not column.nullable:
+                text += " NOT NULL"
+            column_parts.append(text)
+        if schema.primary_key:
+            column_parts.append(f"PRIMARY KEY ({', '.join(schema.primary_key)})")
+        statements.append(
+            f"CREATE TABLE {schema.name} ({', '.join(column_parts)});"
+        )
+        rows = list(table.rows())
+        for start in range(0, len(rows), 500):
+            chunk = rows[start : start + 500]
+            values = ",\n  ".join(
+                "(" + ", ".join(literal_sql(v) for v in row) + ")" for row in chunk
+            )
+            statements.append(f"INSERT INTO {schema.name} VALUES\n  {values};")
+    return "\n".join(statements) + ("\n" if statements else "")
+
+
+def restore_sql(script: str) -> Database:
+    """Build a fresh database from a :func:`dump_sql` script."""
+    db = Database()
+    db.execute_script(script)
+    return db
+
+
+def _parse_csv_value(text: str, sql_type: SQLType) -> SQLValue:
+    if text == "":
+        return None
+    if sql_type is SQLType.INTEGER:
+        return int(text)
+    if sql_type is SQLType.REAL:
+        return float(text)
+    if sql_type is SQLType.BOOLEAN:
+        lowered = text.strip().lower()
+        if lowered in ("true", "t", "1", "yes"):
+            return True
+        if lowered in ("false", "f", "0", "no"):
+            return False
+        raise SchemaError(f"cannot read {text!r} as BOOLEAN")
+    return text
+
+
+def load_csv(
+    db: Database,
+    table_name: str,
+    source: IO[str],
+    has_header: bool = True,
+) -> int:
+    """Load CSV rows into an existing table; returns the row count.
+
+    With ``has_header`` the header's column names are matched (case-
+    insensitively, in any order) against the table schema; otherwise
+    columns are positional.  Empty fields load as NULL.
+
+    Raises:
+        SchemaError: on unknown header columns or arity mismatches.
+    """
+    table = db.catalog.table(table_name)
+    schema = table.schema
+    reader = csv.reader(source)
+
+    positions: Optional[list[int]] = None
+    if has_header:
+        try:
+            header = next(reader)
+        except StopIteration:
+            return 0
+        positions = [schema.index_of(column) for column in header]
+        if len(set(positions)) != len(positions):
+            raise SchemaError(f"duplicate column in CSV header: {header}")
+
+    count = 0
+    for record in reader:
+        if not record:
+            continue
+        if positions is not None:
+            if len(record) != len(positions):
+                raise SchemaError(
+                    f"CSV row has {len(record)} fields, header had"
+                    f" {len(positions)}"
+                )
+            row: list[SQLValue] = [None] * schema.arity
+            for position, text in zip(positions, record):
+                row[position] = _parse_csv_value(
+                    text, schema.columns[position].sql_type
+                )
+        else:
+            if len(record) != schema.arity:
+                raise SchemaError(
+                    f"CSV row has {len(record)} fields, table"
+                    f" {table_name!r} has {schema.arity} columns"
+                )
+            row = [
+                _parse_csv_value(text, column.sql_type)
+                for text, column in zip(record, schema.columns)
+            ]
+        table.insert(row)
+        count += 1
+    return count
+
+
+def dump_csv(db: Database, table_name: str, target: IO[str]) -> int:
+    """Write a table as CSV (with header); returns the row count.
+
+    NULL is written as the empty field, matching :func:`load_csv`.
+    """
+    table = db.catalog.table(table_name)
+    writer = csv.writer(target)
+    writer.writerow(table.schema.column_names)
+    count = 0
+    for row in table.rows():
+        writer.writerow(["" if v is None else v for v in row])
+        count += 1
+    return count

@@ -1,0 +1,517 @@
+"""Physical plan operators (iterator / volcano model).
+
+Every node implements ``rows(env)``, yielding output tuples.  ``env`` is
+the tuple of *outer* rows (for correlated subplans); a node combines its
+own row with ``env`` as ``(row,) + env`` when evaluating expressions.
+
+The planner wires compiled expression evaluators (closures produced by
+:mod:`repro.engine.expressions`) into these operators, so the operators
+themselves are independent of the SQL AST.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Sequence
+
+from repro.engine import functions
+from repro.engine.expressions import Env, Evaluator
+from repro.engine.stats import ExecutionStats
+from repro.engine.storage import Table
+from repro.engine.types import SQLValue, sort_key
+
+Row = tuple
+Predicate = Callable[[Env], bool]
+
+
+class PlanNode:
+    """Base class for physical operators."""
+
+    #: number of columns in this node's output rows
+    width: int
+
+    def rows(self, env: Env) -> Iterator[Row]:
+        raise NotImplementedError
+
+    def children(self) -> Sequence["PlanNode"]:
+        """Child operators (for plan display / tests)."""
+        return ()
+
+    def explain(self, indent: int = 0) -> str:
+        """A compact, indented rendering of the plan tree."""
+        line = "  " * indent + self.describe()
+        parts = [line]
+        for child in self.children():
+            parts.append(child.explain(indent + 1))
+        return "\n".join(parts)
+
+    def describe(self) -> str:
+        """One-line description of this operator."""
+        return type(self).__name__
+
+
+class Scan(PlanNode):
+    """Full scan of a stored table.
+
+    Args:
+        table: the storage table.
+        stats: counter sink.
+        include_tid: when True, the tid is appended as an extra trailing
+            column -- used by conflict detection and provenance tracking.
+        keep_tids: when not None, only rows whose tid is in this set are
+            produced -- used to evaluate queries over a repair or over the
+            conflict-free core without copying data.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        stats: ExecutionStats,
+        include_tid: bool = False,
+        keep_tids: Optional[frozenset[int]] = None,
+    ) -> None:
+        self.table = table
+        self.stats = stats
+        self.include_tid = include_tid
+        self.keep_tids = keep_tids
+        self.width = table.schema.arity + (1 if include_tid else 0)
+
+    def rows(self, env: Env) -> Iterator[Row]:
+        include_tid = self.include_tid
+        stats = self.stats
+        for tid, row in self.table.restricted_rows(self.keep_tids):
+            stats.rows_scanned += 1
+            yield row + (tid,) if include_tid else row
+
+    def describe(self) -> str:
+        extra = " +tid" if self.include_tid else ""
+        restricted = " restricted" if self.keep_tids is not None else ""
+        return f"Scan({self.table.schema.name}{extra}{restricted})"
+
+
+class IndexScan(PlanNode):
+    """Point lookup through a secondary hash index.
+
+    Produced by the planner when equality-with-constant conjuncts cover
+    an index's columns; only the matching rows are touched (and counted),
+    which is how the engine models the index scans a disk-based RDBMS
+    would use for selective predicates.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        stats: ExecutionStats,
+        positions: Sequence[int],
+        values: Sequence[SQLValue],
+    ) -> None:
+        self.table = table
+        self.stats = stats
+        self.positions = tuple(positions)
+        self.values = tuple(values)
+        self.width = table.schema.arity
+
+    def rows(self, env: Env) -> Iterator[Row]:
+        if any(value is None for value in self.values):
+            return  # '=' with NULL matches nothing
+        tids = self.table.index_lookup(self.positions, self.values)
+        for tid in sorted(tids):
+            if self.table.has_tid(tid):
+                self.stats.rows_scanned += 1
+                yield self.table.get(tid)
+
+    def describe(self) -> str:
+        columns = ", ".join(
+            self.table.schema.column_names[p] for p in self.positions
+        )
+        return f"IndexScan({self.table.schema.name} on [{columns}])"
+
+
+class Values(PlanNode):
+    """A constant in-memory relation."""
+
+    def __init__(self, rows: Sequence[Row], width: int) -> None:
+        self._rows = list(rows)
+        self.width = width
+
+    def rows(self, env: Env) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def describe(self) -> str:
+        return f"Values({len(self._rows)} rows)"
+
+
+class SingleRow(PlanNode):
+    """Produces exactly one empty row (SELECT without FROM)."""
+
+    width = 0
+
+    def rows(self, env: Env) -> Iterator[Row]:
+        yield ()
+
+
+class Filter(PlanNode):
+    """Keeps rows whose predicate evaluates to TRUE."""
+
+    def __init__(self, child: PlanNode, predicate: Predicate) -> None:
+        self.child = child
+        self.predicate = predicate
+        self.width = child.width
+
+    def rows(self, env: Env) -> Iterator[Row]:
+        predicate = self.predicate
+        for row in self.child.rows(env):
+            if predicate((row,) + env):
+                yield row
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.child,)
+
+
+class Project(PlanNode):
+    """Computes a new row from expression evaluators."""
+
+    def __init__(self, child: PlanNode, evaluators: Sequence[Evaluator]) -> None:
+        self.child = child
+        self.evaluators = list(evaluators)
+        self.width = len(self.evaluators)
+
+    def rows(self, env: Env) -> Iterator[Row]:
+        evaluators = self.evaluators
+        for row in self.child.rows(env):
+            inner_env = (row,) + env
+            yield tuple(evaluator(inner_env) for evaluator in evaluators)
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.child,)
+
+
+class NestedLoopJoin(PlanNode):
+    """Nested-loop join; supports inner, cross and left-outer joins.
+
+    The right side is materialized once per call (it may be consumed many
+    times).  ``predicate`` sees the concatenated row.
+    """
+
+    def __init__(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        predicate: Optional[Predicate] = None,
+        kind: str = "inner",
+    ) -> None:
+        if kind not in ("inner", "cross", "left"):
+            raise ValueError(f"unsupported join kind: {kind}")
+        self.left = left
+        self.right = right
+        self.predicate = predicate
+        self.kind = kind
+        self.width = left.width + right.width
+
+    def rows(self, env: Env) -> Iterator[Row]:
+        right_rows = list(self.right.rows(env))
+        predicate = self.predicate
+        pad = (None,) * self.right.width
+        for left_row in self.left.rows(env):
+            matched = False
+            for right_row in right_rows:
+                combined = left_row + right_row
+                if predicate is None or predicate((combined,) + env):
+                    matched = True
+                    yield combined
+            if self.kind == "left" and not matched:
+                yield left_row + pad
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        return f"NestedLoopJoin({self.kind})"
+
+
+class HashJoin(PlanNode):
+    """Equi-join via a hash table built on the right input.
+
+    NULL keys never match (SQL semantics).  ``residual`` is an extra
+    predicate applied to the concatenated row (for non-equi conjuncts).
+    """
+
+    def __init__(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        left_keys: Sequence[Evaluator],
+        right_keys: Sequence[Evaluator],
+        residual: Optional[Predicate] = None,
+        kind: str = "inner",
+    ) -> None:
+        if kind not in ("inner", "left"):
+            raise ValueError(f"unsupported hash-join kind: {kind}")
+        if len(left_keys) != len(right_keys) or not left_keys:
+            raise ValueError("hash join requires matching, non-empty key lists")
+        self.left = left
+        self.right = right
+        self.left_keys = list(left_keys)
+        self.right_keys = list(right_keys)
+        self.residual = residual
+        self.kind = kind
+        self.width = left.width + right.width
+
+    def rows(self, env: Env) -> Iterator[Row]:
+        buckets: dict[tuple, list[Row]] = {}
+        for right_row in self.right.rows(env):
+            inner_env = (right_row,) + env
+            key = tuple(evaluator(inner_env) for evaluator in self.right_keys)
+            if any(part is None for part in key):
+                continue
+            buckets.setdefault(key, []).append(right_row)
+        residual = self.residual
+        pad = (None,) * self.right.width
+        for left_row in self.left.rows(env):
+            inner_env = (left_row,) + env
+            key = tuple(evaluator(inner_env) for evaluator in self.left_keys)
+            matched = False
+            if not any(part is None for part in key):
+                for right_row in buckets.get(key, ()):
+                    combined = left_row + right_row
+                    if residual is None or residual((combined,) + env):
+                        matched = True
+                        yield combined
+            if self.kind == "left" and not matched:
+                yield left_row + pad
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        return f"HashJoin({self.kind}, {len(self.left_keys)} keys)"
+
+
+class UnionAll(PlanNode):
+    """Concatenation of union-compatible inputs."""
+
+    def __init__(self, children_nodes: Sequence[PlanNode]) -> None:
+        if not children_nodes:
+            raise ValueError("UnionAll requires at least one child")
+        widths = {child.width for child in children_nodes}
+        if len(widths) != 1:
+            raise ValueError("UnionAll children must have equal width")
+        self._children = list(children_nodes)
+        self.width = children_nodes[0].width
+
+    def rows(self, env: Env) -> Iterator[Row]:
+        for child in self._children:
+            yield from child.rows(env)
+
+    def children(self) -> Sequence[PlanNode]:
+        return tuple(self._children)
+
+
+class Distinct(PlanNode):
+    """Removes duplicate rows (first occurrence wins, order preserved)."""
+
+    def __init__(self, child: PlanNode) -> None:
+        self.child = child
+        self.width = child.width
+
+    def rows(self, env: Env) -> Iterator[Row]:
+        seen: set[Row] = set()
+        for row in self.child.rows(env):
+            if row not in seen:
+                seen.add(row)
+                yield row
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.child,)
+
+
+class Except(PlanNode):
+    """Set difference.  ``all=False`` (default) applies set semantics."""
+
+    def __init__(self, left: PlanNode, right: PlanNode, all: bool = False) -> None:
+        if left.width != right.width:
+            raise ValueError("EXCEPT requires equal-width inputs")
+        self.left = left
+        self.right = right
+        self.all = all
+        self.width = left.width
+
+    def rows(self, env: Env) -> Iterator[Row]:
+        if self.all:
+            counts: dict[Row, int] = {}
+            for row in self.right.rows(env):
+                counts[row] = counts.get(row, 0) + 1
+            for row in self.left.rows(env):
+                remaining = counts.get(row, 0)
+                if remaining:
+                    counts[row] = remaining - 1
+                else:
+                    yield row
+            return
+        removed = set(self.right.rows(env))
+        emitted: set[Row] = set()
+        for row in self.left.rows(env):
+            if row not in removed and row not in emitted:
+                emitted.add(row)
+                yield row
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        return f"Except(all={self.all})"
+
+
+class Intersect(PlanNode):
+    """Set intersection.  ``all=False`` (default) applies set semantics."""
+
+    def __init__(self, left: PlanNode, right: PlanNode, all: bool = False) -> None:
+        if left.width != right.width:
+            raise ValueError("INTERSECT requires equal-width inputs")
+        self.left = left
+        self.right = right
+        self.all = all
+        self.width = left.width
+
+    def rows(self, env: Env) -> Iterator[Row]:
+        if self.all:
+            counts: dict[Row, int] = {}
+            for row in self.right.rows(env):
+                counts[row] = counts.get(row, 0) + 1
+            for row in self.left.rows(env):
+                remaining = counts.get(row, 0)
+                if remaining:
+                    counts[row] = remaining - 1
+                    yield row
+            return
+        keep = set(self.right.rows(env))
+        emitted: set[Row] = set()
+        for row in self.left.rows(env):
+            if row in keep and row not in emitted:
+                emitted.add(row)
+                yield row
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        return f"Intersect(all={self.all})"
+
+
+class Sort(PlanNode):
+    """ORDER BY: stable sort on evaluated keys (NULLs first)."""
+
+    def __init__(
+        self, child: PlanNode, keys: Sequence[tuple[Evaluator, bool]]
+    ) -> None:
+        self.child = child
+        self.keys = list(keys)
+        self.width = child.width
+
+    def rows(self, env: Env) -> Iterator[Row]:
+        materialized = list(self.child.rows(env))
+        # Stable multi-key sort: apply keys right-to-left.
+        for evaluator, ascending in reversed(self.keys):
+            materialized.sort(
+                key=lambda row: sort_key(evaluator((row,) + env)),
+                reverse=not ascending,
+            )
+        return iter(materialized)
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.child,)
+
+
+class Limit(PlanNode):
+    """LIMIT / OFFSET."""
+
+    def __init__(
+        self, child: PlanNode, limit: Optional[int], offset: Optional[int]
+    ) -> None:
+        self.child = child
+        self.limit = limit
+        self.offset = offset or 0
+        self.width = child.width
+
+    def rows(self, env: Env) -> Iterator[Row]:
+        remaining = self.limit
+        skipped = 0
+        for row in self.child.rows(env):
+            if skipped < self.offset:
+                skipped += 1
+                continue
+            if remaining is not None:
+                if remaining <= 0:
+                    return
+                remaining -= 1
+            yield row
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Limit({self.limit}, offset={self.offset})"
+
+
+#: An aggregate spec: (function name, distinct, argument evaluator or None
+#: for COUNT(*)).
+AggregateSpec = tuple[str, bool, Optional[Evaluator]]
+
+
+class Aggregate(PlanNode):
+    """Hash aggregation.
+
+    Output rows are ``group key values + one value per aggregate spec``.
+    With no GROUP BY keys, exactly one row is produced even for empty
+    input (``COUNT(*) = 0``, ``SUM = NULL``, ...).
+    """
+
+    def __init__(
+        self,
+        child: PlanNode,
+        group_keys: Sequence[Evaluator],
+        aggregates: Sequence[AggregateSpec],
+    ) -> None:
+        self.child = child
+        self.group_keys = list(group_keys)
+        self.aggregates = list(aggregates)
+        self.width = len(self.group_keys) + len(self.aggregates)
+
+    def _new_accumulators(self) -> list[functions.Aggregate]:
+        return [
+            functions.make_aggregate(name, distinct)
+            for name, distinct, _arg in self.aggregates
+        ]
+
+    def rows(self, env: Env) -> Iterator[Row]:
+        groups: dict[Row, list[functions.Aggregate]] = {}
+        order: list[Row] = []
+        for row in self.child.rows(env):
+            inner_env = (row,) + env
+            key = tuple(evaluator(inner_env) for evaluator in self.group_keys)
+            accumulators = groups.get(key)
+            if accumulators is None:
+                accumulators = self._new_accumulators()
+                groups[key] = accumulators
+                order.append(key)
+            for accumulator, (_name, _distinct, arg) in zip(
+                accumulators, self.aggregates
+            ):
+                value = 1 if arg is None else arg(inner_env)
+                accumulator.add(value)
+        if not groups and not self.group_keys:
+            groups[()] = self._new_accumulators()
+            order.append(())
+        for key in order:
+            yield key + tuple(acc.result() for acc in groups[key])
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        names = ", ".join(name for name, _d, _a in self.aggregates)
+        return f"Aggregate(keys={len(self.group_keys)}, aggs=[{names}])"
+
+
+def run_plan(plan: PlanNode) -> list[Row]:
+    """Execute a plan with an empty outer environment."""
+    return list(plan.rows(()))

@@ -1,0 +1,938 @@
+"""Translation of query ASTs into physical plans.
+
+The planner performs the classic minimal set of rewrites a real system
+needs to make the Hippo experiments meaningful:
+
+* WHERE clauses are split into conjuncts;
+* equality conjuncts linking two FROM sources become hash joins (the
+  paper's conflict-detection self-joins and the envelope queries rely on
+  this to run in linear time, exactly as PostgreSQL would execute them);
+* remaining conjuncts become filters at the earliest point where all of
+  their columns are available;
+* correlated EXISTS / IN subqueries are compiled into subplans with a memo
+  cache keyed on the captured outer values, which stands in for the index
+  scans an RDBMS would use when executing the rewriting baseline's
+  ``NOT EXISTS`` residues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Optional, Sequence, Union
+
+from repro.engine import functions, plan
+from repro.engine.catalog import Catalog
+from repro.engine.expressions import (
+    Env,
+    Evaluator,
+    ExpressionCompiler,
+    Scope,
+)
+from repro.engine.stats import ExecutionStats
+from repro.errors import PlanError
+from repro.sql import ast
+
+_SENTINEL = object()
+
+
+class _AbortDecorrelation(Exception):
+    """Internal: the subquery shape cannot be decorrelated."""
+
+
+def _flatten_from(from_items) -> tuple:
+    """Flatten explicit inner joins into plain comma sources."""
+    flat: list[ast.FromItem] = []
+
+    def visit(item) -> None:
+        if isinstance(item, ast.Join):
+            visit(item.left)
+            visit(item.right)
+        else:
+            flat.append(item)
+
+    for item in from_items:
+        visit(item)
+    return tuple(flat)
+
+
+@dataclass
+class PlannedQuery:
+    """A compiled query: physical plan + output column names."""
+
+    plan: plan.PlanNode
+    columns: list[str]
+
+
+@dataclass
+class _Source:
+    """A planned FROM item: its plan plus visible columns.
+
+    ``consumed`` records conjuncts already absorbed into the access path
+    (index lookups), so callers drop them instead of re-filtering.
+    """
+
+    node: plan.PlanNode
+    entries: list[tuple[Optional[str], str]]
+    displays: list[str]
+    consumed: list[ast.Expression] = field(default_factory=list)
+
+
+class _Subplan:
+    """A compiled, cacheable subquery (implements ``CompiledSubquery``).
+
+    The cache key is the tuple of outer values the subquery actually
+    references (its *captures*).  Uncorrelated subqueries therefore run
+    exactly once per statement.
+    """
+
+    def __init__(
+        self,
+        node: plan.PlanNode,
+        captures: list[tuple[int, int]],
+        site_level: int,
+        stats: ExecutionStats,
+    ) -> None:
+        self._node = node
+        self._captures = captures
+        self._site_level = site_level
+        self._stats = stats
+        self._exists_cache: dict[tuple, bool] = {}
+        self._values_cache: dict[tuple, list] = {}
+
+    def _key(self, env: Env) -> tuple:
+        site_level = self._site_level
+        return tuple(env[site_level - level][index] for level, index in self._captures)
+
+    def has_rows(self, env: Env) -> bool:
+        key = self._key(env)
+        cached = self._exists_cache.get(key, _SENTINEL)
+        if cached is not _SENTINEL:
+            self._stats.subquery_cache_hits += 1
+            return cached  # type: ignore[return-value]
+        self._stats.subquery_evaluations += 1
+        result = next(iter(self._node.rows(env)), _SENTINEL) is not _SENTINEL
+        self._exists_cache[key] = result
+        return result
+
+    def first_column_values(self, env: Env) -> list:
+        key = self._key(env)
+        cached = self._values_cache.get(key)
+        if cached is not None:
+            self._stats.subquery_cache_hits += 1
+            return cached
+        self._stats.subquery_evaluations += 1
+        values = [row[0] for row in self._node.rows(env)]
+        self._values_cache[key] = values
+        return values
+
+
+class _DecorrelatedSubplan:
+    """A correlated EXISTS / IN subquery executed as a hash semi-join.
+
+    A real RDBMS answers a correlated ``NOT EXISTS`` residue with an index
+    scan per outer row; the equivalent here is decorrelation: the equality
+    conjuncts binding inner expressions to outer references are stripped
+    from the subquery, the remainder is evaluated **once**, its rows are
+    hashed on the inner sides of those equalities, and each outer row
+    probes the hash table (applying any remaining correlated conjuncts to
+    the bucket's rows).  Without this, the rewriting baseline would
+    degrade to a quadratic nested loop no real system would exhibit,
+    skewing the paper's part-3 comparison in Hippo's favour.
+    """
+
+    def __init__(
+        self,
+        inner_plan: plan.PlanNode,
+        n_keys: int,
+        outer_keys: list,
+        residual_predicate,
+        value_evaluator,
+        stats: ExecutionStats,
+    ) -> None:
+        self._inner_plan = inner_plan
+        self._n_keys = n_keys
+        self._outer_keys = outer_keys
+        self._residual = residual_predicate
+        self._value = value_evaluator
+        self._stats = stats
+        self._index: Optional[dict[tuple, list[tuple]]] = None
+
+    def _buckets(self) -> dict[tuple, list[tuple]]:
+        if self._index is None:
+            self._stats.subquery_evaluations += 1
+            index: dict[tuple, list[tuple]] = {}
+            n_keys = self._n_keys
+            for row in self._inner_plan.rows(()):
+                key = row[:n_keys]
+                if any(part is None for part in key):
+                    continue  # '=' with NULL never matches
+                index.setdefault(key, []).append(row[n_keys:])
+            self._index = index
+        return self._index
+
+    def _probe(self, env: Env) -> list[tuple]:
+        buckets = self._buckets()
+        self._stats.subquery_cache_hits += 1
+        key = tuple(evaluator(env) for evaluator in self._outer_keys)
+        if any(part is None for part in key):
+            return []
+        return buckets.get(key, [])
+
+    def has_rows(self, env: Env) -> bool:
+        residual = self._residual
+        for local_row in self._probe(env):
+            if residual is None or residual((local_row,) + env):
+                return True
+        return False
+
+    def first_column_values(self, env: Env) -> list:
+        residual = self._residual
+        return [
+            self._value((local_row,) + env)
+            for local_row in self._probe(env)
+            if residual is None or residual((local_row,) + env)
+        ]
+
+
+def _walk_expressions(node: ast.Node):
+    """Yield every descendant node (including ``node``), skipping subqueries."""
+    yield node
+    for field_info in fields(node):  # type: ignore[arg-type]
+        value = getattr(node, field_info.name)
+        if isinstance(value, ast.Query):
+            continue
+        if isinstance(value, ast.Node):
+            yield from _walk_expressions(value)
+        elif isinstance(value, tuple):
+            for item in value:
+                if isinstance(item, ast.Node):
+                    yield from _walk_expressions(item)
+                elif isinstance(item, tuple):
+                    for sub in item:
+                        if isinstance(sub, ast.Node):
+                            yield from _walk_expressions(sub)
+
+
+def column_refs(expr: ast.Expression) -> list[ast.ColumnRef]:
+    """All column references in ``expr``, outside of nested subqueries."""
+    return [node for node in _walk_expressions(expr) if isinstance(node, ast.ColumnRef)]
+
+
+def contains_subquery(expr: ast.Expression) -> bool:
+    """Whether ``expr`` contains an EXISTS / IN-subquery node."""
+    return any(
+        isinstance(node, (ast.Exists, ast.InSubquery))
+        for node in _walk_expressions(expr)
+    )
+
+
+def find_aggregate_calls(expr: ast.Expression) -> list[ast.FunctionCall]:
+    """Aggregate function calls appearing in ``expr`` (outside subqueries)."""
+    return [
+        node
+        for node in _walk_expressions(expr)
+        if isinstance(node, ast.FunctionCall)
+        and (node.star or functions.is_aggregate_function(node.name))
+    ]
+
+
+def _resolvable(expr: ast.Expression, entries: list[tuple[Optional[str], str]]) -> bool:
+    """Whether every column ref of ``expr`` resolves within ``entries``."""
+    probe = Scope(list(entries))
+    for ref in column_refs(expr):
+        try:
+            probe.resolve(ref.table, ref.name)
+        except PlanError:
+            return False
+    return True
+
+
+class Planner:
+    """Plans queries against a catalog, producing physical plans."""
+
+    def __init__(self, catalog: Catalog, stats: ExecutionStats) -> None:
+        self.catalog = catalog
+        self.stats = stats
+        # Active capture collectors: (site_level, set of (level, index)).
+        self._collectors: list[tuple[int, set[tuple[int, int]]]] = []
+
+    # --------------------------------------------------------------- public
+
+    def plan_query(
+        self, query: ast.Query, outer_scope: Optional[Scope] = None
+    ) -> PlannedQuery:
+        """Plan a full query (body + ORDER BY + LIMIT)."""
+        node, entries, displays = self._plan_body(query.body, outer_scope)
+        level = outer_scope.level + 1 if outer_scope is not None else 0
+        output_scope = Scope(list(entries), outer_scope, level)
+        if query.order_by:
+            keys: list[tuple[Evaluator, bool]] = []
+            for item in query.order_by:
+                if isinstance(item.expr, ast.Literal) and isinstance(
+                    item.expr.value, int
+                ):
+                    position = item.expr.value
+                    if not 1 <= position <= node.width:
+                        raise PlanError(f"ORDER BY position {position} out of range")
+                    index = position - 1
+                    keys.append((lambda env, i=index: env[0][i], item.ascending))
+                else:
+                    compiler = self._compiler(output_scope)
+                    keys.append((compiler.compile(item.expr), item.ascending))
+            node = plan.Sort(node, keys)
+        if query.limit is not None or query.offset is not None:
+            node = plan.Limit(node, query.limit, query.offset)
+        return PlannedQuery(node, displays)
+
+    # ----------------------------------------------------------- query body
+
+    def _plan_body(
+        self,
+        body: Union[ast.SelectCore, ast.SetOperation],
+        outer_scope: Optional[Scope],
+    ) -> tuple[plan.PlanNode, list[tuple[Optional[str], str]], list[str]]:
+        if isinstance(body, ast.SelectCore):
+            return self._plan_select_core(body, outer_scope)
+        left_node, left_entries, left_displays = self._plan_body(body.left, outer_scope)
+        right_node, _right_entries, _right_displays = self._plan_body(
+            body.right, outer_scope
+        )
+        if left_node.width != right_node.width:
+            raise PlanError(
+                f"{body.op.upper()} requires equal column counts"
+                f" ({left_node.width} vs {right_node.width})"
+            )
+        if body.op == "union":
+            node: plan.PlanNode = plan.UnionAll([left_node, right_node])
+            if not body.all:
+                node = plan.Distinct(node)
+        elif body.op == "except":
+            node = plan.Except(left_node, right_node, all=body.all)
+        elif body.op == "intersect":
+            node = plan.Intersect(left_node, right_node, all=body.all)
+        else:  # pragma: no cover - parser never emits other ops
+            raise PlanError(f"unknown set operation {body.op!r}")
+        # Column names come from the left input; bindings are dropped since
+        # a set-operation result is not addressable through an alias.
+        entries = [(None, column) for _binding, column in left_entries]
+        return node, entries, left_displays
+
+    # ---------------------------------------------------------- SELECT core
+
+    def _plan_select_core(
+        self, core: ast.SelectCore, outer_scope: Optional[Scope]
+    ) -> tuple[plan.PlanNode, list[tuple[Optional[str], str]], list[str]]:
+        level = outer_scope.level + 1 if outer_scope is not None else 0
+
+        conjuncts = ast.split_conjuncts(core.where)
+        # Conjuncts containing subqueries are applied at the end, after the
+        # full row scope exists (they may be correlated with anything).
+        join_candidates = [c for c in conjuncts if not contains_subquery(c)]
+        late_conjuncts = [c for c in conjuncts if contains_subquery(c)]
+
+        if core.from_items:
+            source, leftovers = self._plan_from_list(
+                core.from_items, join_candidates, outer_scope, level
+            )
+        else:
+            source = _Source(plan.SingleRow(), [], [])
+            leftovers = join_candidates
+
+        from_scope = Scope(list(source.entries), outer_scope, level)
+        node = source.node
+        remaining = leftovers + late_conjuncts
+        if remaining:
+            compiler = self._compiler(from_scope)
+            predicate = compiler.compile_predicate(
+                ast.conjunction(remaining)  # type: ignore[arg-type]
+            )
+            node = plan.Filter(node, predicate)
+
+        select_items = self._expand_stars(core.items, source)
+
+        aggregate_calls: list[ast.FunctionCall] = []
+        for item in select_items:
+            aggregate_calls.extend(find_aggregate_calls(item.expr))
+        if core.having is not None:
+            aggregate_calls.extend(find_aggregate_calls(core.having))
+
+        if core.group_by or aggregate_calls:
+            node, entries, displays = self._plan_aggregate(
+                node, from_scope, core, select_items, aggregate_calls, level
+            )
+        else:
+            compiler = self._compiler(from_scope)
+            evaluators = [compiler.compile(item.expr) for item in select_items]
+            node = plan.Project(node, evaluators)
+            entries, displays = self._output_columns(select_items)
+
+        if core.distinct:
+            node = plan.Distinct(node)
+        return node, entries, displays
+
+    # ------------------------------------------------------------- FROM list
+
+    def _plan_from_list(
+        self,
+        from_items: Sequence[ast.FromItem],
+        candidates: list[ast.Expression],
+        outer_scope: Optional[Scope],
+        level: int,
+    ) -> tuple[_Source, list[ast.Expression]]:
+        """Combine comma-separated FROM items, consuming join conjuncts."""
+        unused = list(candidates)
+        combined: Optional[_Source] = None
+        for item in from_items:
+            source = self._plan_from_item(item, outer_scope, level)
+            if combined is None:
+                combined = source
+                # Apply single-source conjuncts immediately (pushdown).
+                unused = self._apply_local_filters(combined, unused, outer_scope, level)
+                continue
+            usable = [
+                c
+                for c in unused
+                if _resolvable(c, combined.entries + source.entries)
+            ]
+            combined = self._combine(
+                combined, source, usable, "inner", outer_scope, level
+            )
+            unused = [c for c in unused if c not in usable]
+            unused = self._apply_local_filters(combined, unused, outer_scope, level)
+        assert combined is not None
+        return combined, unused
+
+    def _apply_local_filters(
+        self,
+        source: _Source,
+        conjuncts: list[ast.Expression],
+        outer_scope: Optional[Scope],
+        level: int,
+    ) -> list[ast.Expression]:
+        """Filter ``source`` by the conjuncts it can already evaluate.
+
+        When the source is a bare table scan and constant-equality
+        conjuncts cover a secondary index, the scan is replaced by an
+        index lookup and those conjuncts are consumed.
+        """
+        local = [c for c in conjuncts if _resolvable(c, source.entries)]
+        local = self._try_index_scan(source, local)
+        if local:
+            scope = Scope(list(source.entries), outer_scope, level)
+            compiler = self._compiler(scope)
+            predicate = compiler.compile_predicate(
+                ast.conjunction(local)  # type: ignore[arg-type]
+            )
+            source.node = plan.Filter(source.node, predicate)
+        return [c for c in conjuncts if c not in local and c not in source.consumed]
+
+    @staticmethod
+    def _constant_equality(conjunct: ast.Expression):
+        """Match ``col = literal`` (either orientation); None otherwise."""
+        if not (isinstance(conjunct, ast.BinaryOp) and conjunct.op == "="):
+            return None
+        left, right = conjunct.left, conjunct.right
+        if isinstance(left, ast.ColumnRef) and isinstance(right, ast.Literal):
+            return left, right.value
+        if isinstance(right, ast.ColumnRef) and isinstance(left, ast.Literal):
+            return right, left.value
+        return None
+
+    def _try_index_scan(
+        self, source: _Source, local: list[ast.Expression]
+    ) -> list[ast.Expression]:
+        """Replace a plain scan with an index lookup when possible."""
+        node = source.node
+        if (
+            not isinstance(node, plan.Scan)
+            or node.include_tid
+            or node.keep_tids is not None
+        ):
+            return local
+        table = node.table
+        by_position: dict[int, tuple[ast.Expression, object]] = {}
+        for conjunct in local:
+            match = self._constant_equality(conjunct)
+            if match is None:
+                continue
+            ref, value = match
+            if not table.schema.has_column(ref.name):
+                continue
+            by_position.setdefault(
+                table.schema.index_of(ref.name), (conjunct, value)
+            )
+        best: Optional[tuple[int, ...]] = None
+        for positions in table.indexed_column_sets():
+            if all(p in by_position for p in positions):
+                if best is None or len(positions) > len(best):
+                    best = positions
+        if best is None:
+            return local
+        consumed = [by_position[p][0] for p in best]
+        values = [by_position[p][1] for p in best]
+        source.node = plan.IndexScan(table, self.stats, best, values)
+        source.consumed.extend(consumed)
+        return [c for c in local if c not in consumed]
+
+    def _plan_from_item(
+        self, item: ast.FromItem, outer_scope: Optional[Scope], level: int
+    ) -> _Source:
+        if isinstance(item, ast.TableRef):
+            table = self.catalog.table(item.name)
+            binding = item.binding
+            entries = [
+                (binding, column.lower()) for column in table.schema.column_names
+            ]
+            displays = list(table.schema.column_names)
+            return _Source(plan.Scan(table, self.stats), entries, displays)
+        if isinstance(item, ast.DerivedTable):
+            planned = self.plan_query(item.query, outer_scope)
+            entries = [(item.alias, name.lower()) for name in planned.columns]
+            return _Source(planned.plan, entries, list(planned.columns))
+        if isinstance(item, ast.Join):
+            left = self._plan_from_item(item.left, outer_scope, level)
+            right = self._plan_from_item(item.right, outer_scope, level)
+            conjuncts = ast.split_conjuncts(item.on)
+            unresolvable = [
+                c for c in conjuncts if not _resolvable(c, left.entries + right.entries)
+            ]
+            if unresolvable and item.kind != "cross":
+                raise PlanError(
+                    "JOIN ... ON condition references columns outside the join"
+                )
+            return self._combine(left, right, conjuncts, item.kind, outer_scope, level)
+        raise PlanError(f"cannot plan FROM item {type(item).__name__}")
+
+    def _combine(
+        self,
+        left: _Source,
+        right: _Source,
+        conjuncts: list[ast.Expression],
+        kind: str,
+        outer_scope: Optional[Scope],
+        level: int,
+    ) -> _Source:
+        """Join two sources, picking a hash join when equi-keys exist."""
+        entries = left.entries + right.entries
+        displays = left.displays + right.displays
+        scope = Scope(list(entries), outer_scope, level)
+
+        equi_pairs: list[tuple[ast.ColumnRef, ast.ColumnRef]] = []
+        residual: list[ast.Expression] = []
+        for conjunct in conjuncts:
+            pair = self._equi_pair(conjunct, left, right)
+            if pair is not None:
+                equi_pairs.append(pair)
+            else:
+                residual.append(conjunct)
+
+        residual_predicate = None
+        if residual:
+            compiler = self._compiler(scope)
+            residual_predicate = compiler.compile_predicate(
+                ast.conjunction(residual)  # type: ignore[arg-type]
+            )
+
+        if equi_pairs and kind in ("inner", "left"):
+            left_scope = Scope(list(left.entries), outer_scope, level)
+            right_scope = Scope(list(right.entries), outer_scope, level)
+            left_keys = [
+                self._compiler(left_scope).compile(lref) for lref, _r in equi_pairs
+            ]
+            right_keys = [
+                self._compiler(right_scope).compile(rref) for _l, rref in equi_pairs
+            ]
+            node: plan.PlanNode = plan.HashJoin(
+                left.node, right.node, left_keys, right_keys, residual_predicate, kind
+            )
+            return _Source(node, entries, displays)
+
+        join_kind = kind if kind != "inner" or residual_predicate else "cross"
+        node = plan.NestedLoopJoin(left.node, right.node, residual_predicate, join_kind)
+        return _Source(node, entries, displays)
+
+    def _equi_pair(
+        self, conjunct: ast.Expression, left: _Source, right: _Source
+    ) -> Optional[tuple[ast.ColumnRef, ast.ColumnRef]]:
+        """Detect ``left_col = right_col`` conjuncts linking the two sides."""
+        if not (
+            isinstance(conjunct, ast.BinaryOp)
+            and conjunct.op == "="
+            and isinstance(conjunct.left, ast.ColumnRef)
+            and isinstance(conjunct.right, ast.ColumnRef)
+        ):
+            return None
+        lhs, rhs = conjunct.left, conjunct.right
+        if _resolvable(lhs, left.entries) and _resolvable(rhs, right.entries):
+            if not _resolvable(lhs, right.entries) and not _resolvable(rhs, left.entries):
+                return (lhs, rhs)
+        if _resolvable(rhs, left.entries) and _resolvable(lhs, right.entries):
+            if not _resolvable(rhs, right.entries) and not _resolvable(lhs, left.entries):
+                return (rhs, lhs)
+        return None
+
+    # ------------------------------------------------------------ aggregates
+
+    def _plan_aggregate(
+        self,
+        node: plan.PlanNode,
+        from_scope: Scope,
+        core: ast.SelectCore,
+        select_items: list[ast.SelectItem],
+        aggregate_calls: list[ast.FunctionCall],
+        level: int,
+    ) -> tuple[plan.PlanNode, list[tuple[Optional[str], str]], list[str]]:
+        compiler = self._compiler(from_scope)
+
+        group_canon: list[ast.Expression] = []
+        group_evaluators: list[Evaluator] = []
+        for key_expr in core.group_by:
+            group_canon.append(self._canonicalize(key_expr, from_scope))
+            group_evaluators.append(compiler.compile(key_expr))
+
+        agg_canon: list[ast.Expression] = []
+        agg_specs: list[plan.AggregateSpec] = []
+        for call in aggregate_calls:
+            canon = self._canonicalize(call, from_scope)
+            if canon in agg_canon:
+                continue
+            agg_canon.append(canon)
+            if call.star:
+                agg_specs.append(("COUNT", False, None))
+            else:
+                if len(call.args) != 1:
+                    raise PlanError(
+                        f"aggregate {call.name} expects exactly one argument"
+                    )
+                agg_specs.append(
+                    (call.name, call.distinct, compiler.compile(call.args[0]))
+                )
+
+        node = plan.Aggregate(node, group_evaluators, agg_specs)
+
+        # Scope over the aggregate output: synthetic, unambiguous names.
+        post_entries: list[tuple[Optional[str], str]] = []
+        for index in range(len(group_canon)):
+            post_entries.append((None, f"#key{index}"))
+        for index in range(len(agg_canon)):
+            post_entries.append((None, f"#agg{index}"))
+        post_scope = Scope(post_entries, from_scope.parent, level)
+        post_compiler = self._compiler(post_scope)
+
+        rewritten_items = [
+            ast.SelectItem(
+                self._rewrite_post_aggregate(item.expr, from_scope, group_canon, agg_canon),
+                item.alias,
+            )
+            for item in select_items
+        ]
+        evaluators = [post_compiler.compile(item.expr) for item in rewritten_items]
+
+        if core.having is not None:
+            having_expr = self._rewrite_post_aggregate(
+                core.having, from_scope, group_canon, agg_canon
+            )
+            node = plan.Filter(node, post_compiler.compile_predicate(having_expr))
+
+        node = plan.Project(node, evaluators)
+        entries, displays = self._output_columns(select_items)
+        return node, entries, displays
+
+    def _canonicalize(self, expr: ast.Expression, scope: Scope) -> ast.Expression:
+        """Replace column refs with resolved positions for structural matching."""
+
+        def transform(node: ast.Expression) -> ast.Expression:
+            if isinstance(node, ast.ColumnRef):
+                depth, index = scope.resolve(node.table, node.name)
+                return ast.ColumnRef("#resolved", f"{scope.level - depth}:{index}")
+            return self._map_children(node, transform)
+
+        return transform(expr)
+
+    def _rewrite_post_aggregate(
+        self,
+        expr: ast.Expression,
+        from_scope: Scope,
+        group_canon: list[ast.Expression],
+        agg_canon: list[ast.Expression],
+    ) -> ast.Expression:
+        """Rewrite an expression to refer to aggregate-output slots."""
+
+        def transform(node: ast.Expression) -> ast.Expression:
+            if isinstance(node, (ast.Exists, ast.InSubquery)):
+                raise PlanError("subqueries are not supported in grouped SELECT lists")
+            canon = self._canonicalize(node, from_scope)
+            if canon in group_canon:
+                return ast.ColumnRef(None, f"#key{group_canon.index(canon)}")
+            if isinstance(node, ast.FunctionCall) and (
+                node.star or functions.is_aggregate_function(node.name)
+            ):
+                if canon in agg_canon:
+                    return ast.ColumnRef(None, f"#agg{agg_canon.index(canon)}")
+                raise PlanError(f"aggregate {node.name} not collected")  # pragma: no cover
+            if isinstance(node, ast.ColumnRef):
+                raise PlanError(
+                    f"column {node} must appear in GROUP BY or inside an aggregate"
+                )
+            return self._map_children(node, transform)
+
+        return transform(expr)
+
+    @staticmethod
+    def _map_children(node: ast.Expression, transform) -> ast.Expression:
+        """Rebuild a dataclass expression node with transformed children."""
+        updates = {}
+        for field_info in fields(node):  # type: ignore[arg-type]
+            value = getattr(node, field_info.name)
+            if isinstance(value, ast.Expression):
+                updates[field_info.name] = transform(value)
+            elif isinstance(value, tuple) and value and isinstance(value[0], ast.Expression):
+                updates[field_info.name] = tuple(transform(item) for item in value)
+            elif (
+                isinstance(value, tuple)
+                and value
+                and isinstance(value[0], tuple)
+            ):
+                updates[field_info.name] = tuple(
+                    tuple(transform(sub) for sub in item) for item in value
+                )
+        return replace(node, **updates) if updates else node
+
+    # --------------------------------------------------------------- helpers
+
+    def _expand_stars(
+        self,
+        items: Sequence[Union[ast.SelectItem, ast.Star]],
+        source: _Source,
+    ) -> list[ast.SelectItem]:
+        expanded: list[ast.SelectItem] = []
+        for item in items:
+            if isinstance(item, ast.SelectItem):
+                expanded.append(item)
+                continue
+            matched = False
+            for (binding, column), display in zip(source.entries, source.displays):
+                if item.table is None or (
+                    binding is not None and binding == item.table.lower()
+                ):
+                    matched = True
+                    expanded.append(
+                        ast.SelectItem(ast.ColumnRef(binding, column), display)
+                    )
+            if not matched:
+                raise PlanError(
+                    f"* expansion failed: no columns for {item.table or 'FROM'!r}"
+                )
+        return expanded
+
+    @staticmethod
+    def _output_columns(
+        select_items: Sequence[ast.SelectItem],
+    ) -> tuple[list[tuple[Optional[str], str]], list[str]]:
+        entries: list[tuple[Optional[str], str]] = []
+        displays: list[str] = []
+        for index, item in enumerate(select_items):
+            if item.alias:
+                name = item.alias
+                binding = None
+            elif isinstance(item.expr, ast.ColumnRef):
+                name = item.expr.name
+                binding = item.expr.table
+            else:
+                name = f"col{index}"
+                binding = None
+            entries.append((binding, name.lower()))
+            displays.append(name)
+        return entries, displays
+
+    # ------------------------------------------------------------ subqueries
+
+    def _compiler(self, scope: Scope) -> ExpressionCompiler:
+        def capture_hook(depth: int, index: int) -> None:
+            level = scope.level - depth
+            for site_level, collector in self._collectors:
+                if level <= site_level:
+                    collector.add((level, index))
+
+        return ExpressionCompiler(scope, self._plan_subquery, capture_hook)
+
+    def _plan_subquery(self, query: ast.Query, site_scope: Scope):
+        decorrelated = self._try_decorrelate(query, site_scope)
+        if decorrelated is not None:
+            return decorrelated
+        collector: set[tuple[int, int]] = set()
+        self._collectors.append((site_scope.level, collector))
+        try:
+            planned = self.plan_query(query, outer_scope=site_scope)
+        finally:
+            self._collectors.pop()
+        # Propagate captures that also escape enclosing subqueries.
+        for level, index in collector:
+            for outer_level, outer_collector in self._collectors:
+                if level <= outer_level:
+                    outer_collector.add((level, index))
+        return _Subplan(planned.plan, sorted(collector), site_scope.level, self.stats)
+
+    # -------------------------------------------------- EXISTS decorrelation
+
+    @staticmethod
+    def _static_entries(
+        from_items, catalog: Catalog
+    ) -> Optional[list[tuple[Optional[str], str]]]:
+        """Visible columns of a FROM clause, without planning it."""
+        entries: list[tuple[Optional[str], str]] = []
+
+        def visit(item) -> bool:
+            if isinstance(item, ast.TableRef):
+                if not catalog.has_table(item.name):
+                    return False
+                table = catalog.table(item.name)
+                binding = item.binding.lower()
+                entries.extend(
+                    (binding, column.lower())
+                    for column in table.schema.column_names
+                )
+                return True
+            if isinstance(item, ast.Join):
+                return visit(item.left) and visit(item.right)
+            return False  # derived tables: fall back to the generic path
+
+        for item in from_items:
+            if not visit(item):
+                return None
+        return entries
+
+    def _try_decorrelate(self, query: ast.Query, site_scope: Scope):
+        """Compile a correlated subquery into a hash semi-join, if possible.
+
+        Returns None (and lets the generic memoized path handle the query)
+        whenever the shape does not match: set operations, grouping,
+        ORDER BY / LIMIT, derived tables, or no equality conjunct linking
+        an inner expression to an outer column.
+        """
+        body = query.body
+        if not isinstance(body, ast.SelectCore):
+            return None
+        if body.group_by or body.having or query.order_by:
+            return None
+        if query.limit is not None or query.offset is not None:
+            return None
+        if not body.from_items:
+            return None
+        entries = self._static_entries(body.from_items, self.catalog)
+        if entries is None:
+            return None
+        probe = Scope(list(entries))
+
+        def resolves_locally(ref: ast.ColumnRef) -> bool:
+            try:
+                probe.resolve(ref.table, ref.name)
+                return True
+            except PlanError as exc:
+                # A locally-ambiguous reference is still "local": letting
+                # the normal compilation path report the ambiguity beats
+                # silently capturing an outer column of the same name.
+                return "ambiguous" in str(exc)
+
+        def is_local(expr: ast.Expression) -> bool:
+            return all(resolves_locally(ref) for ref in column_refs(expr))
+
+        inner_keys: list[ast.Expression] = []
+        outer_refs: list[ast.ColumnRef] = []
+        residual: list[ast.Expression] = []
+        join_conjuncts: list[ast.Expression] = []
+
+        def collect_on(item) -> None:
+            if isinstance(item, ast.Join):
+                collect_on(item.left)
+                collect_on(item.right)
+                if item.on is not None:
+                    if item.kind == "left":
+                        raise _AbortDecorrelation
+                    join_conjuncts.extend(ast.split_conjuncts(item.on))
+
+        try:
+            for item in body.from_items:
+                collect_on(item)
+        except _AbortDecorrelation:
+            return None
+
+        local_residual: list[ast.Expression] = []
+        correlated_residual: list[ast.Expression] = []
+        for conjunct in ast.split_conjuncts(body.where) + join_conjuncts:
+            matched = False
+            if (
+                isinstance(conjunct, ast.BinaryOp)
+                and conjunct.op == "="
+                and not contains_subquery(conjunct)
+            ):
+                for inner, outer in (
+                    (conjunct.left, conjunct.right),
+                    (conjunct.right, conjunct.left),
+                ):
+                    if (
+                        isinstance(outer, ast.ColumnRef)
+                        and not resolves_locally(outer)
+                        and is_local(inner)
+                    ):
+                        inner_keys.append(inner)
+                        outer_refs.append(outer)
+                        matched = True
+                        break
+            if matched:
+                continue
+            if is_local(conjunct) and not contains_subquery(conjunct):
+                local_residual.append(conjunct)
+            else:
+                correlated_residual.append(conjunct)
+        if not inner_keys:
+            return None
+
+        # The value column (for IN subqueries): the first select item.
+        first = body.items[0]
+        if isinstance(first, ast.Star):
+            binding, column = entries[0]
+            value_expr: ast.Expression = ast.ColumnRef(binding, column)
+        else:
+            value_expr = first.expr
+
+        # Inner rows carry the keys followed by *every* local column, so
+        # that correlated residual conjuncts and the value expression can
+        # be evaluated per probed row against the local scope layout.
+        items = tuple(
+            ast.SelectItem(key, f"k{index}") for index, key in enumerate(inner_keys)
+        ) + tuple(
+            ast.SelectItem(ast.ColumnRef(binding, column), f"c{index}")
+            for index, (binding, column) in enumerate(entries)
+        )
+        # Strip explicit JOIN ... ON conditions: they were folded into the
+        # conjunct analysis above, so re-planning uses plain cross sources
+        # plus the local residual WHERE.
+        flat_sources = _flatten_from(body.from_items)
+        modified = ast.Query(
+            ast.SelectCore(items, flat_sources, ast.conjunction(local_residual))
+        )
+        local_scope = Scope(list(entries), site_scope, site_scope.level + 1)
+        try:
+            planned = self.plan_query(modified, outer_scope=None)
+            site_compiler = self._compiler(site_scope)
+            outer_keys = [site_compiler.compile(ref) for ref in outer_refs]
+            local_compiler = self._compiler(local_scope)
+            residual_predicate = (
+                local_compiler.compile_predicate(
+                    ast.conjunction(correlated_residual)  # type: ignore[arg-type]
+                )
+                if correlated_residual
+                else None
+            )
+            value_evaluator = local_compiler.compile(value_expr)
+        except PlanError:
+            return None  # oddly-shaped subquery: the generic path handles it
+        return _DecorrelatedSubplan(
+            planned.plan,
+            len(inner_keys),
+            outer_keys,
+            residual_predicate,
+            value_evaluator,
+            self.stats,
+        )

@@ -1,0 +1,49 @@
+"""Execution statistics.
+
+The paper's optimizations are *about* avoiding work on the RDBMS side
+(membership queries, envelope re-evaluation), so the engine counts the
+operations the Hippo layer cares about.  Benchmarks report these counters
+alongside wall-clock time, the way the demonstration compares approaches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExecutionStats:
+    """Mutable counters shared by a :class:`~repro.engine.database.Database`.
+
+    Attributes:
+        rows_scanned: rows produced by base-table scans.
+        point_lookups: exact-row membership lookups (the Prover's
+            "membership queries" in the paper's base system).
+        statements: SQL statements executed.
+        subquery_evaluations: correlated-subquery executions.
+        subquery_cache_hits: correlated-subquery results served from cache.
+    """
+
+    rows_scanned: int = 0
+    point_lookups: int = 0
+    statements: int = 0
+    subquery_evaluations: int = 0
+    subquery_cache_hits: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.rows_scanned = 0
+        self.point_lookups = 0
+        self.statements = 0
+        self.subquery_evaluations = 0
+        self.subquery_cache_hits = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """Copy the counters into a plain dict (for reports)."""
+        return {
+            "rows_scanned": self.rows_scanned,
+            "point_lookups": self.point_lookups,
+            "statements": self.statements,
+            "subquery_evaluations": self.subquery_evaluations,
+            "subquery_cache_hits": self.subquery_cache_hits,
+        }

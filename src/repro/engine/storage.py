@@ -1,0 +1,213 @@
+"""Heap storage for tables.
+
+Every stored row is identified by a *tuple id* (tid), a small integer that
+is stable for the lifetime of the row.  Tids are the vertices of the
+conflict hypergraph, so the whole CQA stack depends on them:  conflict
+detection emits sets of tids, the Prover reasons about tids, and membership
+checks translate value tuples back to tids through the value index kept
+here.
+
+The value index (value tuple -> set of tids) also serves the engine's point
+membership lookups, which is how the paper's base system answers the
+Prover's membership checks "by simply executing the appropriate membership
+queries on the database".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Sequence, Set, Tuple
+
+from repro.engine.schema import TableSchema
+from repro.engine.types import SQLValue
+from repro.errors import ExecutionError
+
+Row = Tuple[SQLValue, ...]
+
+
+class Table:
+    """A stored table: schema + rows addressable by tid.
+
+    Duplicate rows are permitted in storage (SQL bag semantics); they get
+    distinct tids.  The CQA layer treats facts at the value level and
+    handles duplicates explicitly (see ``repro.core.facts``).
+    """
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._rows: Dict[int, Row] = {}
+        self._by_value: Dict[Row, Set[int]] = {}
+        # Secondary hash indexes: column positions -> (key values -> tids).
+        self._indexes: Dict[Tuple[int, ...], Dict[Tuple, Set[int]]] = {}
+        self._next_tid = 0
+
+    # -------------------------------------------------------------- indexes
+
+    def create_index(self, positions: Sequence[int]) -> None:
+        """Create (or keep) a hash index over the given column positions."""
+        key = tuple(positions)
+        if not key or any(not 0 <= p < self.schema.arity for p in key):
+            raise ExecutionError(
+                f"bad index column positions {key} for table"
+                f" {self.schema.name!r}"
+            )
+        if key in self._indexes:
+            return
+        index: Dict[Tuple, Set[int]] = {}
+        for tid, row in self._rows.items():
+            index.setdefault(tuple(row[p] for p in key), set()).add(tid)
+        self._indexes[key] = index
+
+    def has_index(self, positions: Sequence[int]) -> bool:
+        """Whether an index over exactly these positions exists."""
+        return tuple(positions) in self._indexes
+
+    def indexed_column_sets(self) -> list[Tuple[int, ...]]:
+        """The position tuples of all secondary indexes."""
+        return list(self._indexes.keys())
+
+    def index_lookup(
+        self, positions: Sequence[int], values: Sequence[SQLValue]
+    ) -> frozenset[int]:
+        """Tids matching ``values`` on an existing index.
+
+        Raises:
+            ExecutionError: when no such index exists.
+        """
+        index = self._indexes.get(tuple(positions))
+        if index is None:
+            raise ExecutionError(
+                f"table {self.schema.name!r} has no index on {tuple(positions)}"
+            )
+        return frozenset(index.get(tuple(values), frozenset()))
+
+    def _index_add(self, tid: int, row: Row) -> None:
+        for positions, index in self._indexes.items():
+            index.setdefault(tuple(row[p] for p in positions), set()).add(tid)
+
+    def _index_remove(self, tid: int, row: Row) -> None:
+        for positions, index in self._indexes.items():
+            key = tuple(row[p] for p in positions)
+            owners = index.get(key)
+            if owners is not None:
+                owners.discard(tid)
+                if not owners:
+                    del index[key]
+
+    # ------------------------------------------------------------------ DML
+
+    def insert(self, values: Sequence[SQLValue]) -> int:
+        """Insert a row (validated against the schema); returns its tid."""
+        row = self.schema.coerce_row(values)
+        tid = self._next_tid
+        self._next_tid += 1
+        self._rows[tid] = row
+        self._by_value.setdefault(row, set()).add(tid)
+        self._index_add(tid, row)
+        return tid
+
+    def insert_many(self, rows: Sequence[Sequence[SQLValue]]) -> list[int]:
+        """Insert several rows; returns their tids in order."""
+        return [self.insert(row) for row in rows]
+
+    def delete(self, tid: int) -> None:
+        """Delete a row by tid.
+
+        Raises:
+            ExecutionError: if the tid does not exist.
+        """
+        row = self._rows.pop(tid, None)
+        if row is None:
+            raise ExecutionError(
+                f"table {self.schema.name!r} has no tuple with tid {tid}"
+            )
+        owners = self._by_value[row]
+        owners.discard(tid)
+        if not owners:
+            del self._by_value[row]
+        self._index_remove(tid, row)
+
+    def update(self, tid: int, values: Sequence[SQLValue]) -> None:
+        """Replace the row stored under ``tid``, keeping the tid stable.
+
+        Raises:
+            ExecutionError: if the tid does not exist.
+        """
+        old_row = self._rows.get(tid)
+        if old_row is None:
+            raise ExecutionError(
+                f"table {self.schema.name!r} has no tuple with tid {tid}"
+            )
+        new_row = self.schema.coerce_row(values)
+        owners = self._by_value[old_row]
+        owners.discard(tid)
+        if not owners:
+            del self._by_value[old_row]
+        self._index_remove(tid, old_row)
+        self._rows[tid] = new_row
+        self._by_value.setdefault(new_row, set()).add(tid)
+        self._index_add(tid, new_row)
+
+    # --------------------------------------------------------------- access
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, row: Sequence[SQLValue]) -> bool:
+        return tuple(row) in self._by_value
+
+    def get(self, tid: int) -> Row:
+        """The row stored under ``tid``.
+
+        Raises:
+            ExecutionError: if the tid does not exist.
+        """
+        try:
+            return self._rows[tid]
+        except KeyError:
+            raise ExecutionError(
+                f"table {self.schema.name!r} has no tuple with tid {tid}"
+            ) from None
+
+    def has_tid(self, tid: int) -> bool:
+        """Whether a row with this tid is currently stored."""
+        return tid in self._rows
+
+    def tids(self) -> Iterator[int]:
+        """All current tids (insertion order)."""
+        return iter(self._rows.keys())
+
+    def rows(self) -> Iterator[Row]:
+        """All current rows (insertion order)."""
+        return iter(self._rows.values())
+
+    def items(self) -> Iterator[tuple[int, Row]]:
+        """All ``(tid, row)`` pairs (insertion order)."""
+        return iter(self._rows.items())
+
+    def lookup(self, row: Sequence[SQLValue]) -> frozenset[int]:
+        """Tids of rows exactly equal to ``row`` (empty set when absent).
+
+        This is the engine-level *membership query* primitive.
+        """
+        return frozenset(self._by_value.get(tuple(row), frozenset()))
+
+    def has_duplicates(self) -> bool:
+        """Whether any row value occurs more than once (bag, not set)."""
+        return any(len(owners) > 1 for owners in self._by_value.values())
+
+    def snapshot(self) -> Dict[int, Row]:
+        """A shallow copy of the tid -> row mapping (for repair checkers)."""
+        return dict(self._rows)
+
+    def restricted_rows(self, keep: Optional[frozenset[int]]) -> Iterator[tuple[int, Row]]:
+        """``(tid, row)`` pairs restricted to ``keep`` (or all when None).
+
+        Used to evaluate queries over a repair, or over the conflict-free
+        core of a table, without copying the data.
+        """
+        if keep is None:
+            yield from self._rows.items()
+            return
+        for tid, row in self._rows.items():
+            if tid in keep:
+                yield tid, row

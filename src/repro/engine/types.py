@@ -1,0 +1,217 @@
+"""SQL value model: types, NULL semantics and three-valued logic.
+
+The engine stores values as plain Python objects:
+
+* ``INTEGER``  -> :class:`int`
+* ``REAL``     -> :class:`float`
+* ``TEXT``     -> :class:`str`
+* ``BOOLEAN``  -> :class:`bool`
+* SQL ``NULL`` -> :data:`None`
+
+SQL comparisons involving NULL yield *unknown*, which is also represented by
+:data:`None`; the three-valued connectives below (:func:`logic_and`,
+:func:`logic_or`, :func:`logic_not`) propagate it the way SQL's WHERE clause
+requires.  A WHERE clause keeps a row only when its condition evaluates to
+``True`` (not to ``None``).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Optional
+
+from repro.errors import TypeError_
+
+#: The Python value used for SQL NULL (and for *unknown* in 3-valued logic).
+NULL = None
+
+SQLValue = Optional[object]
+
+
+class SQLType(enum.Enum):
+    """Column types supported by the engine."""
+
+    INTEGER = "INTEGER"
+    REAL = "REAL"
+    TEXT = "TEXT"
+    BOOLEAN = "BOOLEAN"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+_TYPE_SYNONYMS = {
+    "INT": SQLType.INTEGER,
+    "INTEGER": SQLType.INTEGER,
+    "BIGINT": SQLType.INTEGER,
+    "SMALLINT": SQLType.INTEGER,
+    "REAL": SQLType.REAL,
+    "FLOAT": SQLType.REAL,
+    "DOUBLE": SQLType.REAL,
+    "NUMERIC": SQLType.REAL,
+    "DECIMAL": SQLType.REAL,
+    "TEXT": SQLType.TEXT,
+    "VARCHAR": SQLType.TEXT,
+    "CHAR": SQLType.TEXT,
+    "STRING": SQLType.TEXT,
+    "BOOLEAN": SQLType.BOOLEAN,
+    "BOOL": SQLType.BOOLEAN,
+}
+
+
+def type_from_name(name: str) -> SQLType:
+    """Resolve a SQL type name (with common synonyms) to a :class:`SQLType`.
+
+    Raises:
+        TypeError_: if the name is not a known type.
+    """
+    try:
+        return _TYPE_SYNONYMS[name.upper()]
+    except KeyError:
+        raise TypeError_(f"unknown SQL type: {name!r}") from None
+
+
+def python_type_of(sql_type: SQLType) -> type:
+    """Return the Python class used to store values of ``sql_type``."""
+    return {
+        SQLType.INTEGER: int,
+        SQLType.REAL: float,
+        SQLType.TEXT: str,
+        SQLType.BOOLEAN: bool,
+    }[sql_type]
+
+
+def infer_type(value: SQLValue) -> Optional[SQLType]:
+    """Infer the :class:`SQLType` of a Python value (``None`` for NULL)."""
+    if value is None:
+        return None
+    if isinstance(value, bool):  # bool before int: bool is an int subclass
+        return SQLType.BOOLEAN
+    if isinstance(value, int):
+        return SQLType.INTEGER
+    if isinstance(value, float):
+        return SQLType.REAL
+    if isinstance(value, str):
+        return SQLType.TEXT
+    raise TypeError_(f"value {value!r} has no SQL type")
+
+
+def coerce_value(value: SQLValue, sql_type: SQLType) -> SQLValue:
+    """Coerce ``value`` for storage in a column of type ``sql_type``.
+
+    NULL is always accepted.  The only implicit conversions performed are
+    the numeric widenings SQL allows (INTEGER -> REAL) and exact
+    REAL -> INTEGER when the float is integral.  Anything else raises.
+    """
+    if value is None:
+        return None
+    actual = infer_type(value)
+    if actual is sql_type:
+        return value
+    if sql_type is SQLType.REAL and actual is SQLType.INTEGER:
+        return float(value)
+    if sql_type is SQLType.INTEGER and actual is SQLType.REAL:
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        raise TypeError_(f"cannot store non-integral REAL {value!r} in INTEGER column")
+    raise TypeError_(f"cannot store {actual} value {value!r} in {sql_type} column")
+
+
+def _comparable(left: Any, right: Any) -> bool:
+    """Whether two non-NULL values can be compared under SQL rules."""
+    lt, rt = infer_type(left), infer_type(right)
+    if lt is rt:
+        return True
+    numeric = {SQLType.INTEGER, SQLType.REAL}
+    return lt in numeric and rt in numeric
+
+
+def compare_values(left: SQLValue, right: SQLValue) -> Optional[int]:
+    """SQL comparison: -1 / 0 / +1, or ``None`` when either side is NULL.
+
+    Raises:
+        TypeError_: when the operands are non-NULL but of incomparable
+            types (e.g. TEXT vs INTEGER); SQL engines reject these too.
+    """
+    if left is None or right is None:
+        return None
+    if not _comparable(left, right):
+        raise TypeError_(
+            f"cannot compare {infer_type(left)} with {infer_type(right)}"
+            f" ({left!r} vs {right!r})"
+        )
+    if left == right:
+        return 0
+    return -1 if left < right else 1
+
+
+def values_equal(left: SQLValue, right: SQLValue) -> Optional[bool]:
+    """SQL ``=``: ``None`` when either side is NULL."""
+    cmp = compare_values(left, right)
+    return None if cmp is None else cmp == 0
+
+
+def logic_and(left: Optional[bool], right: Optional[bool]) -> Optional[bool]:
+    """Three-valued AND (Kleene logic, as used by SQL)."""
+    if left is False or right is False:
+        return False
+    if left is None or right is None:
+        return None
+    return True
+
+
+def logic_or(left: Optional[bool], right: Optional[bool]) -> Optional[bool]:
+    """Three-valued OR (Kleene logic, as used by SQL)."""
+    if left is True or right is True:
+        return True
+    if left is None or right is None:
+        return None
+    return False
+
+
+def logic_not(value: Optional[bool]) -> Optional[bool]:
+    """Three-valued NOT."""
+    return None if value is None else not value
+
+
+def is_true(value: Optional[bool]) -> bool:
+    """Whether a 3-valued condition result selects a row (TRUE only)."""
+    return value is True
+
+
+def sort_key(value: SQLValue) -> tuple:
+    """A total-order key for ORDER BY: NULLs first, then by type, then value.
+
+    SQL leaves NULL ordering implementation-defined; we pin NULLS FIRST so
+    results are deterministic and testable.
+    """
+    if value is None:
+        return (0, "", 0)
+    if isinstance(value, bool):
+        return (1, "", int(value))
+    if isinstance(value, (int, float)):
+        return (2, "", value)
+    return (3, value, 0)
+
+
+def format_value(value: SQLValue) -> str:
+    """Render a value the way the CLI / examples print it."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, str):
+        return value
+    return str(value)
+
+
+def literal_sql(value: SQLValue) -> str:
+    """Render a value as a SQL literal (used by the formatter/rewriting)."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    return repr(value)

@@ -1,0 +1,256 @@
+"""Classical relational algebra with named attributes.
+
+This module is deliberately independent of the SJUD machinery: it is the
+textbook algebra (relation, selection, projection, product, union,
+difference, rename) with set semantics and a direct, naive evaluator.  It
+serves two purposes:
+
+* a second, independently-written oracle for the property-based tests
+  (the SJUD compiler and this evaluator must agree), and
+* a plain API for users who want to build queries programmatically rather
+  than through SQL.
+
+Attributes are plain strings; :class:`Product` requires its inputs to have
+disjoint attribute names (use :class:`Rename` to disambiguate, as the
+textbook does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Union as TypingUnion
+
+from repro.engine.database import Database
+from repro.engine.expressions import ExpressionCompiler, Scope
+from repro.engine.types import SQLValue
+from repro.errors import AlgebraError
+from repro.sql import ast
+from repro.ra.sjud import (
+    Difference as SJUDDifference,
+    SJUDCore,
+    SJUDTree,
+    Union_ as SJUDUnion,
+)
+
+
+class RAExpr:
+    """Marker base class for algebra nodes."""
+
+
+@dataclass(frozen=True)
+class Relation(RAExpr):
+    """A base relation."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Selection(RAExpr):
+    """``sigma_condition(child)``; the condition references attributes by
+    name via ``ColumnRef(None, attr)`` nodes."""
+
+    child: RAExpr
+    condition: ast.Expression
+
+
+@dataclass(frozen=True)
+class Projection(RAExpr):
+    """``pi(child)``: output columns are attribute names or constants.
+
+    ``columns`` is a tuple of ``(output_name, source)`` where source is an
+    attribute name (str) or an :class:`~repro.sql.ast.Literal`.
+    """
+
+    child: RAExpr
+    columns: tuple[tuple[str, TypingUnion[str, ast.Literal]], ...]
+
+
+@dataclass(frozen=True)
+class Product(RAExpr):
+    """Cartesian product; attribute sets must be disjoint."""
+
+    left: RAExpr
+    right: RAExpr
+
+
+@dataclass(frozen=True)
+class Union(RAExpr):
+    """Set union of two union-compatible expressions."""
+
+    left: RAExpr
+    right: RAExpr
+
+
+@dataclass(frozen=True)
+class Difference(RAExpr):
+    """Set difference of two union-compatible expressions."""
+
+    left: RAExpr
+    right: RAExpr
+
+
+@dataclass(frozen=True)
+class Rename(RAExpr):
+    """Renames attributes via an old-name -> new-name mapping."""
+
+    child: RAExpr
+    mapping: tuple[tuple[str, str], ...]
+
+    @staticmethod
+    def prefix(child: RAExpr, prefix: str, attributes: tuple[str, ...]) -> "Rename":
+        """Rename every attribute to ``prefix.attribute``."""
+        return Rename(
+            child, tuple((attr, f"{prefix}.{attr}") for attr in attributes)
+        )
+
+
+def schema_of(expr: RAExpr, db: Database) -> tuple[str, ...]:
+    """Attribute names of an algebra expression.
+
+    Raises:
+        AlgebraError: for malformed expressions (duplicate attributes in a
+            product, arity mismatches, unknown renames, ...).
+    """
+    if isinstance(expr, Relation):
+        return tuple(
+            c.lower() for c in db.catalog.table(expr.name).schema.column_names
+        )
+    if isinstance(expr, Selection):
+        return schema_of(expr.child, db)
+    if isinstance(expr, Projection):
+        child = schema_of(expr.child, db)
+        for _name, source in expr.columns:
+            if isinstance(source, str) and source.lower() not in child:
+                raise AlgebraError(f"projection of unknown attribute {source!r}")
+        return tuple(name.lower() for name, _source in expr.columns)
+    if isinstance(expr, Product):
+        left = schema_of(expr.left, db)
+        right = schema_of(expr.right, db)
+        overlap = set(left) & set(right)
+        if overlap:
+            raise AlgebraError(
+                f"product inputs share attributes {sorted(overlap)}; use Rename"
+            )
+        return left + right
+    if isinstance(expr, (Union, Difference)):
+        left = schema_of(expr.left, db)
+        right = schema_of(expr.right, db)
+        if len(left) != len(right):
+            raise AlgebraError(
+                f"union/difference inputs have arities {len(left)} and {len(right)}"
+            )
+        return left
+    if isinstance(expr, Rename):
+        child = list(schema_of(expr.child, db))
+        mapping = {old.lower(): new.lower() for old, new in expr.mapping}
+        unknown = set(mapping) - set(child)
+        if unknown:
+            raise AlgebraError(f"rename of unknown attributes {sorted(unknown)}")
+        renamed = tuple(mapping.get(attr, attr) for attr in child)
+        if len(set(renamed)) != len(renamed):
+            raise AlgebraError("rename produces duplicate attribute names")
+        return renamed
+    raise AlgebraError(f"unknown algebra node {type(expr).__name__}")
+
+
+def evaluate(expr: RAExpr, db: Database) -> frozenset[tuple]:
+    """Naive set-semantics evaluation (the reference oracle)."""
+    if isinstance(expr, Relation):
+        return frozenset(db.catalog.table(expr.name).rows())
+    if isinstance(expr, Selection):
+        attributes = schema_of(expr.child, db)
+        scope = Scope([(None, attr) for attr in attributes])
+        predicate = ExpressionCompiler(scope).compile_predicate(expr.condition)
+        return frozenset(
+            row for row in evaluate(expr.child, db) if predicate((row,))
+        )
+    if isinstance(expr, Projection):
+        attributes = schema_of(expr.child, db)
+        indexes: list[TypingUnion[int, ast.Literal]] = []
+        for _name, source in expr.columns:
+            if isinstance(source, str):
+                indexes.append(attributes.index(source.lower()))
+            else:
+                indexes.append(source)
+        return frozenset(
+            tuple(
+                row[source] if isinstance(source, int) else source.value
+                for source in indexes
+            )
+            for row in evaluate(expr.child, db)
+        )
+    if isinstance(expr, Product):
+        schema_of(expr, db)  # validates disjointness
+        left = evaluate(expr.left, db)
+        right = evaluate(expr.right, db)
+        return frozenset(l + r for l in left for r in right)
+    if isinstance(expr, Union):
+        schema_of(expr, db)
+        return evaluate(expr.left, db) | evaluate(expr.right, db)
+    if isinstance(expr, Difference):
+        schema_of(expr, db)
+        return evaluate(expr.left, db) - evaluate(expr.right, db)
+    if isinstance(expr, Rename):
+        schema_of(expr, db)
+        return evaluate(expr.child, db)
+    raise AlgebraError(f"unknown algebra node {type(expr).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# SJUD -> algebra (used by tests as a cross-check)
+# ---------------------------------------------------------------------------
+
+
+def _qualify_condition(condition: ast.Expression) -> ast.Expression:
+    """Fold ``alias.col`` references into flat ``alias.col`` attribute names."""
+    from dataclasses import fields, replace
+
+    if isinstance(condition, ast.ColumnRef):
+        if condition.table is None:
+            return condition
+        return ast.ColumnRef(None, f"{condition.table.lower()}.{condition.name.lower()}")
+    updates = {}
+    for field_info in fields(condition):  # type: ignore[arg-type]
+        value = getattr(condition, field_info.name)
+        if isinstance(value, ast.Expression):
+            updates[field_info.name] = _qualify_condition(value)
+        elif isinstance(value, tuple) and value and isinstance(value[0], ast.Expression):
+            updates[field_info.name] = tuple(_qualify_condition(v) for v in value)
+        elif isinstance(value, tuple) and value and isinstance(value[0], tuple):
+            updates[field_info.name] = tuple(
+                tuple(_qualify_condition(sub) for sub in item) for item in value
+            )
+    return replace(condition, **updates) if updates else condition
+
+
+def sjud_to_algebra(tree: SJUDTree, db: Database) -> RAExpr:
+    """Translate a normalized SJUD tree into classical algebra nodes."""
+    if isinstance(tree, SJUDUnion):
+        return Union(sjud_to_algebra(tree.left, db), sjud_to_algebra(tree.right, db))
+    if isinstance(tree, SJUDDifference):
+        return Difference(
+            sjud_to_algebra(tree.left, db), sjud_to_algebra(tree.right, db)
+        )
+    core: SJUDCore = tree
+    expr: Optional[RAExpr] = None
+    for atom in core.atoms:
+        attributes = tuple(
+            c.lower() for c in db.catalog.table(atom.relation).schema.column_names
+        )
+        renamed: RAExpr = Rename.prefix(
+            Relation(atom.relation), atom.alias.lower(), attributes
+        )
+        expr = renamed if expr is None else Product(expr, renamed)
+    assert expr is not None
+    if core.condition is not None:
+        expr = Selection(expr, _qualify_condition(core.condition))
+    columns = []
+    for column in core.outputs:
+        if isinstance(column.source, ast.ColumnRef):
+            source: TypingUnion[str, ast.Literal] = (
+                f"{column.source.table.lower()}.{column.source.name.lower()}"
+            )
+        else:
+            source = column.source
+        columns.append((column.name, source))
+    return Projection(expr, tuple(columns))

@@ -1,0 +1,48 @@
+"""Conversion of SJUD trees back to SQL ASTs / text.
+
+Hippo's Enveloping step produces *"a query defining Candidates"* which is
+then evaluated by the RDBMS; these helpers render such queries so examples
+and logs can show exactly what is handed to the engine, and so the
+rewriting baseline can splice residues into real SQL.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.sql import ast
+from repro.sql.formatter import format_query
+from repro.ra.sjud import Difference, SJUDCore, SJUDTree, Union_
+
+
+def core_to_select(core: SJUDCore, distinct: bool = True) -> ast.SelectCore:
+    """Render one core as a SELECT block."""
+    items = tuple(
+        ast.SelectItem(column.source, column.name) for column in core.outputs
+    )
+    from_items = tuple(
+        ast.TableRef(atom.relation, atom.alias if atom.alias != atom.relation else None)
+        for atom in core.atoms
+    )
+    return ast.SelectCore(items, from_items, core.condition, (), None, distinct)
+
+
+def tree_to_body(tree: SJUDTree) -> Union[ast.SelectCore, ast.SetOperation]:
+    """Render a tree as a SELECT body (set operations preserved)."""
+    if isinstance(tree, SJUDCore):
+        return core_to_select(tree)
+    if isinstance(tree, Union_):
+        return ast.SetOperation("union", tree_to_body(tree.left), tree_to_body(tree.right))
+    if isinstance(tree, Difference):
+        return ast.SetOperation("except", tree_to_body(tree.left), tree_to_body(tree.right))
+    raise TypeError(f"cannot render {type(tree).__name__}")
+
+
+def tree_to_query(tree: SJUDTree) -> ast.Query:
+    """Render a tree as a full query AST."""
+    return ast.Query(tree_to_body(tree))
+
+
+def tree_to_sql(tree: SJUDTree) -> str:
+    """Render a tree as SQL text."""
+    return format_query(tree_to_query(tree))

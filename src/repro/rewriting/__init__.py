@@ -1,0 +1,5 @@
+"""The PODS'99 query-rewriting baseline."""
+
+from repro.rewriting.rewrite import RewritingEngine
+
+__all__ = ["RewritingEngine"]

@@ -1,0 +1,19 @@
+"""SQL frontend: lexer, parser, AST and formatter."""
+
+from repro.sql.formatter import format_expression, format_query, format_statement
+from repro.sql.parser import (
+    parse_expression,
+    parse_query,
+    parse_script,
+    parse_statement,
+)
+
+__all__ = [
+    "format_expression",
+    "format_query",
+    "format_statement",
+    "parse_expression",
+    "parse_query",
+    "parse_script",
+    "parse_statement",
+]

@@ -1,0 +1,224 @@
+"""Render SQL ASTs back to SQL text.
+
+Used to display the output of the query-rewriting baseline (which builds
+``NOT EXISTS`` residues as ASTs), to round-trip queries in tests, and to
+show envelope queries in the examples -- mirroring how Hippo hands the
+envelope to the RDBMS as SQL.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.engine.types import literal_sql
+from repro.sql import ast
+
+_IDENT_SAFE = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_")
+
+
+def format_identifier(name: str) -> str:
+    """Quote an identifier only when necessary."""
+    from repro.sql.lexer import KEYWORDS
+
+    if name and all(ch in _IDENT_SAFE for ch in name) and not name[0].isdigit():
+        if name.upper() not in KEYWORDS:
+            return name
+    escaped = name.replace('"', '""')
+    return f'"{escaped}"'
+
+
+def format_expression(expr: ast.Expression) -> str:
+    """Render an expression (fully parenthesized where precedence matters)."""
+    if isinstance(expr, ast.Literal):
+        return literal_sql(expr.value)
+    if isinstance(expr, ast.ColumnRef):
+        column = format_identifier(expr.name)
+        if expr.table:
+            return f"{format_identifier(expr.table)}.{column}"
+        return column
+    if isinstance(expr, ast.BinaryOp):
+        left = format_expression(expr.left)
+        right = format_expression(expr.right)
+        if expr.op in ("AND", "OR"):
+            return f"({left} {expr.op} {right})"
+        return f"({left} {expr.op} {right})"
+    if isinstance(expr, ast.UnaryOp):
+        operand = format_expression(expr.operand)
+        if expr.op == "NOT":
+            return f"(NOT {operand})"
+        return f"({expr.op}{operand})"
+    if isinstance(expr, ast.FunctionCall):
+        if expr.star:
+            return f"{expr.name}(*)"
+        args = ", ".join(format_expression(arg) for arg in expr.args)
+        distinct = "DISTINCT " if expr.distinct else ""
+        return f"{expr.name}({distinct}{args})"
+    if isinstance(expr, ast.IsNull):
+        not_part = " NOT" if expr.negated else ""
+        return f"({format_expression(expr.operand)} IS{not_part} NULL)"
+    if isinstance(expr, ast.InList):
+        items = ", ".join(format_expression(item) for item in expr.items)
+        not_part = "NOT " if expr.negated else ""
+        return f"({format_expression(expr.operand)} {not_part}IN ({items}))"
+    if isinstance(expr, ast.Between):
+        not_part = "NOT " if expr.negated else ""
+        return (
+            f"({format_expression(expr.operand)} {not_part}BETWEEN "
+            f"{format_expression(expr.low)} AND {format_expression(expr.high)})"
+        )
+    if isinstance(expr, ast.Like):
+        not_part = "NOT " if expr.negated else ""
+        return (
+            f"({format_expression(expr.operand)} {not_part}LIKE "
+            f"{format_expression(expr.pattern)})"
+        )
+    if isinstance(expr, ast.Exists):
+        not_part = "NOT " if expr.negated else ""
+        return f"({not_part}EXISTS ({format_query(expr.query)}))"
+    if isinstance(expr, ast.InSubquery):
+        not_part = "NOT " if expr.negated else ""
+        return (
+            f"({format_expression(expr.operand)} {not_part}IN "
+            f"({format_query(expr.query)}))"
+        )
+    if isinstance(expr, ast.Case):
+        parts = ["CASE"]
+        if expr.operand is not None:
+            parts.append(format_expression(expr.operand))
+        for condition, result in expr.whens:
+            parts.append(
+                f"WHEN {format_expression(condition)} THEN {format_expression(result)}"
+            )
+        if expr.else_ is not None:
+            parts.append(f"ELSE {format_expression(expr.else_)}")
+        parts.append("END")
+        return " ".join(parts)
+    raise TypeError(f"cannot format expression node {type(expr).__name__}")
+
+
+def _format_from_item(item: ast.FromItem) -> str:
+    if isinstance(item, ast.TableRef):
+        text = format_identifier(item.name)
+        if item.alias:
+            text += f" AS {format_identifier(item.alias)}"
+        return text
+    if isinstance(item, ast.DerivedTable):
+        return f"({format_query(item.query)}) AS {format_identifier(item.alias)}"
+    if isinstance(item, ast.Join):
+        left = _format_from_item(item.left)
+        right = _format_from_item(item.right)
+        if item.kind == "cross":
+            return f"{left} CROSS JOIN {right}"
+        keyword = {"inner": "JOIN", "left": "LEFT JOIN"}[item.kind]
+        on = f" ON {format_expression(item.on)}" if item.on is not None else ""
+        return f"{left} {keyword} {right}{on}"
+    raise TypeError(f"cannot format FROM item {type(item).__name__}")
+
+
+def _format_core(core: ast.SelectCore) -> str:
+    items = []
+    for item in core.items:
+        if isinstance(item, ast.Star):
+            items.append(f"{format_identifier(item.table)}.*" if item.table else "*")
+        else:
+            rendered = format_expression(item.expr)
+            if item.alias:
+                rendered += f" AS {format_identifier(item.alias)}"
+            items.append(rendered)
+    parts = ["SELECT"]
+    if core.distinct:
+        parts.append("DISTINCT")
+    parts.append(", ".join(items))
+    if core.from_items:
+        parts.append("FROM")
+        parts.append(", ".join(_format_from_item(item) for item in core.from_items))
+    if core.where is not None:
+        parts.append(f"WHERE {format_expression(core.where)}")
+    if core.group_by:
+        keys = ", ".join(format_expression(key) for key in core.group_by)
+        parts.append(f"GROUP BY {keys}")
+    if core.having is not None:
+        parts.append(f"HAVING {format_expression(core.having)}")
+    return " ".join(parts)
+
+
+def _format_body(body: Union[ast.SelectCore, ast.SetOperation]) -> str:
+    if isinstance(body, ast.SelectCore):
+        return _format_core(body)
+    op = body.op.upper() + (" ALL" if body.all else "")
+    return f"({_format_body(body.left)}) {op} ({_format_body(body.right)})"
+
+
+def format_query(query: ast.Query) -> str:
+    """Render a :class:`~repro.sql.ast.Query` as SQL text."""
+    parts = [_format_body(query.body)]
+    if query.order_by:
+        keys = ", ".join(
+            format_expression(item.expr) + ("" if item.ascending else " DESC")
+            for item in query.order_by
+        )
+        parts.append(f"ORDER BY {keys}")
+    if query.limit is not None:
+        parts.append(f"LIMIT {query.limit}")
+    if query.offset is not None:
+        parts.append(f"OFFSET {query.offset}")
+    return " ".join(parts)
+
+
+def format_statement(statement: ast.Statement) -> str:
+    """Render any supported statement as SQL text."""
+    if isinstance(statement, ast.SelectStatement):
+        return format_query(statement.query)
+    if isinstance(statement, ast.CreateTable):
+        column_parts = []
+        for column in statement.columns:
+            text = f"{format_identifier(column.name)} {column.type_name}"
+            if column.not_null:
+                text += " NOT NULL"
+            column_parts.append(text)
+        if statement.primary_key:
+            keys = ", ".join(format_identifier(k) for k in statement.primary_key)
+            column_parts.append(f"PRIMARY KEY ({keys})")
+        if_not_exists = "IF NOT EXISTS " if statement.if_not_exists else ""
+        return (
+            f"CREATE TABLE {if_not_exists}{format_identifier(statement.name)} "
+            f"({', '.join(column_parts)})"
+        )
+    if isinstance(statement, ast.DropTable):
+        if_exists = "IF EXISTS " if statement.if_exists else ""
+        return f"DROP TABLE {if_exists}{format_identifier(statement.name)}"
+    if isinstance(statement, ast.CreateIndex):
+        if_not_exists = "IF NOT EXISTS " if statement.if_not_exists else ""
+        columns = ", ".join(format_identifier(c) for c in statement.columns)
+        return (
+            f"CREATE INDEX {if_not_exists}{format_identifier(statement.name)}"
+            f" ON {format_identifier(statement.table)} ({columns})"
+        )
+    if isinstance(statement, ast.Insert):
+        columns = ""
+        if statement.columns:
+            columns = f" ({', '.join(format_identifier(c) for c in statement.columns)})"
+        rows = ", ".join(
+            "(" + ", ".join(format_expression(value) for value in row) + ")"
+            for row in statement.rows
+        )
+        return f"INSERT INTO {format_identifier(statement.table)}{columns} VALUES {rows}"
+    if isinstance(statement, ast.Delete):
+        where = (
+            f" WHERE {format_expression(statement.where)}"
+            if statement.where is not None
+            else ""
+        )
+        return f"DELETE FROM {format_identifier(statement.table)}{where}"
+    if isinstance(statement, ast.Update):
+        assignments = ", ".join(
+            f"{format_identifier(column)} = {format_expression(value)}"
+            for column, value in statement.assignments
+        )
+        where = (
+            f" WHERE {format_expression(statement.where)}"
+            if statement.where is not None
+            else ""
+        )
+        return f"UPDATE {format_identifier(statement.table)} SET {assignments}{where}"
+    raise TypeError(f"cannot format statement {type(statement).__name__}")

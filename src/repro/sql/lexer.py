@@ -1,0 +1,162 @@
+"""Hand-written lexer for the SQL dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.errors import LexerError
+
+#: Words the parser treats as keywords (upper-cased).  Identifiers that
+#: collide with these must be double-quoted.
+KEYWORDS = frozenset(
+    """
+    SELECT FROM WHERE GROUP BY HAVING ORDER LIMIT OFFSET AS ON
+    JOIN INNER LEFT OUTER CROSS UNION EXCEPT INTERSECT ALL DISTINCT
+    AND OR NOT IN IS NULL LIKE BETWEEN EXISTS CASE WHEN THEN ELSE END
+    CREATE DROP TABLE IF PRIMARY KEY INSERT INTO VALUES DELETE UPDATE SET
+    TRUE FALSE ASC DESC
+    """.split()
+)
+
+#: Multi-character operators, longest first so the scanner is greedy.
+_OPERATORS = ("<>", "!=", "<=", ">=", "||", "=", "<", ">", "+", "-", "*", "/", "%")
+
+_PUNCTUATION = ("(", ")", ",", ".", ";")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token.
+
+    ``kind`` is one of: ``keyword``, ``ident``, ``int``, ``float``,
+    ``string``, ``op``, ``punct``, ``eof``.  ``value`` holds the normalized
+    payload: upper-cased keyword, case-preserved identifier, Python
+    int/float, unescaped string, or the operator/punctuation text.
+    """
+
+    kind: str
+    value: object
+    position: int
+
+    def matches(self, kind: str, value: Optional[object] = None) -> bool:
+        """Whether this token has the given kind (and value, if supplied)."""
+        return self.kind == kind and (value is None or self.value == value)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text`` into a list ending with an ``eof`` token.
+
+    Raises:
+        LexerError: on an unterminated string or unknown character.
+    """
+    return list(_scan(text))
+
+
+def _scan(text: str) -> Iterator[Token]:
+    length = len(text)
+    position = 0
+    while position < length:
+        char = text[position]
+        if char.isspace():
+            position += 1
+            continue
+        if char == "-" and text.startswith("--", position):
+            newline = text.find("\n", position)
+            position = length if newline < 0 else newline + 1
+            continue
+        if char == "'":
+            token, position = _scan_string(text, position)
+            yield token
+            continue
+        if char == '"':
+            token, position = _scan_quoted_ident(text, position)
+            yield token
+            continue
+        if char.isdigit() or (
+            char == "." and position + 1 < length and text[position + 1].isdigit()
+        ):
+            token, position = _scan_number(text, position)
+            yield token
+            continue
+        if char.isalpha() or char == "_":
+            token, position = _scan_word(text, position)
+            yield token
+            continue
+        matched_op = next(
+            (op for op in _OPERATORS if text.startswith(op, position)), None
+        )
+        if matched_op is not None:
+            # Normalize != to the SQL-standard <>.
+            value = "<>" if matched_op == "!=" else matched_op
+            yield Token("op", value, position)
+            position += len(matched_op)
+            continue
+        if char in _PUNCTUATION:
+            yield Token("punct", char, position)
+            position += 1
+            continue
+        raise LexerError(f"unexpected character {char!r}", position)
+    yield Token("eof", None, length)
+
+
+def _scan_string(text: str, start: int) -> tuple[Token, int]:
+    """Scan a single-quoted string with ``''`` escaping."""
+    position = start + 1
+    pieces: list[str] = []
+    while position < len(text):
+        char = text[position]
+        if char == "'":
+            if text.startswith("''", position):
+                pieces.append("'")
+                position += 2
+                continue
+            return Token("string", "".join(pieces), start), position + 1
+        pieces.append(char)
+        position += 1
+    raise LexerError("unterminated string literal", start)
+
+
+def _scan_quoted_ident(text: str, start: int) -> tuple[Token, int]:
+    """Scan a double-quoted identifier (no escaping of inner quotes)."""
+    end = text.find('"', start + 1)
+    if end < 0:
+        raise LexerError("unterminated quoted identifier", start)
+    return Token("ident", text[start + 1 : end], start), end + 1
+
+
+def _scan_number(text: str, start: int) -> tuple[Token, int]:
+    position = start
+    seen_dot = False
+    seen_exp = False
+    while position < len(text):
+        char = text[position]
+        if char.isdigit():
+            position += 1
+        elif char == "." and not seen_dot and not seen_exp:
+            seen_dot = True
+            position += 1
+        elif char in "eE" and not seen_exp and position > start:
+            nxt = position + 1
+            if nxt < len(text) and (text[nxt].isdigit() or text[nxt] in "+-"):
+                seen_exp = True
+                position = nxt + 1 if text[nxt] in "+-" else nxt
+            else:
+                break
+        else:
+            break
+    literal = text[start:position]
+    if seen_dot or seen_exp:
+        return Token("float", float(literal), start), position
+    return Token("int", int(literal), start), position
+
+
+def _scan_word(text: str, start: int) -> tuple[Token, int]:
+    position = start
+    while position < len(text) and (text[position].isalnum() or text[position] == "_"):
+        position += 1
+    word = text[start:position]
+    upper = word.upper()
+    if upper in KEYWORDS:
+        return Token("keyword", upper, start), position
+    return Token("ident", word, start), position

@@ -1,0 +1,562 @@
+"""Recursive-descent parser for the SQL dialect.
+
+The entry points are :func:`parse_statement` (one statement),
+:func:`parse_script` (a ``;``-separated list) and :func:`parse_expression`
+(a bare scalar expression -- used by the constraint parser).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.errors import ParseError
+from repro.sql import ast
+from repro.sql.lexer import Token, tokenize
+
+
+def parse_statement(text: str) -> ast.Statement:
+    """Parse a single SQL statement (a trailing ``;`` is allowed)."""
+    parser = _Parser(tokenize(text))
+    statement = parser.statement()
+    parser.accept("punct", ";")
+    parser.expect_eof()
+    return statement
+
+
+def parse_script(text: str) -> list[ast.Statement]:
+    """Parse a ``;``-separated sequence of statements."""
+    parser = _Parser(tokenize(text))
+    statements: list[ast.Statement] = []
+    while not parser.at_eof():
+        statements.append(parser.statement())
+        if not parser.accept("punct", ";") and not parser.at_eof():
+            parser.fail("expected ';' between statements")
+    return statements
+
+
+def parse_query(text: str) -> ast.Query:
+    """Parse a query (SELECT / set operation), rejecting other statements."""
+    statement = parse_statement(text)
+    if not isinstance(statement, ast.SelectStatement):
+        raise ParseError("expected a SELECT query")
+    return statement.query
+
+
+def parse_expression(text: str) -> ast.Expression:
+    """Parse a bare scalar expression."""
+    parser = _Parser(tokenize(text))
+    expr = parser.expression()
+    parser.expect_eof()
+    return expr
+
+
+class _Parser:
+    """Token-stream wrapper with the usual recursive-descent helpers."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # ----------------------------------------------------------- utilities
+
+    def peek(self, ahead: int = 0) -> Token:
+        index = min(self._index + ahead, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.kind != "eof":
+            self._index += 1
+        return token
+
+    def accept(self, kind: str, value: Optional[object] = None) -> Optional[Token]:
+        if self.peek().matches(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value: Optional[object] = None) -> Token:
+        token = self.accept(kind, value)
+        if token is None:
+            self.fail(f"expected {value or kind}")
+        return token
+
+    def accept_keyword(self, *words: str) -> Optional[str]:
+        token = self.peek()
+        if token.kind == "keyword" and token.value in words:
+            self.advance()
+            return str(token.value)
+        return None
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            self.fail(f"expected {word}")
+
+    def at_eof(self) -> bool:
+        return self.peek().kind == "eof"
+
+    def expect_eof(self) -> None:
+        if not self.at_eof():
+            self.fail("unexpected trailing input")
+
+    def fail(self, message: str) -> None:
+        token = self.peek()
+        raise ParseError(f"{message}, found {token.value!r} at offset {token.position}")
+
+    def identifier(self, what: str = "identifier") -> str:
+        token = self.accept("ident")
+        if token is None:
+            self.fail(f"expected {what}")
+        return str(token.value)
+
+    # ---------------------------------------------------------- statements
+
+    def statement(self) -> ast.Statement:
+        token = self.peek()
+        if token.matches("punct", "("):
+            return ast.SelectStatement(self.query())
+        if token.kind != "keyword":
+            self.fail("expected a statement")
+        keyword = token.value
+        if keyword == "CREATE":
+            return self.create_statement()
+        if keyword == "DROP":
+            return self.drop_table()
+        if keyword == "INSERT":
+            return self.insert()
+        if keyword == "DELETE":
+            return self.delete()
+        if keyword == "UPDATE":
+            return self.update()
+        if keyword == "SELECT":
+            return ast.SelectStatement(self.query())
+        self.fail("expected a statement")
+        raise AssertionError("unreachable")
+
+    def create_statement(self) -> ast.Statement:
+        after_create = self.peek(1)
+        if after_create.kind == "ident" and str(after_create.value).upper() == "INDEX":
+            return self.create_index()
+        return self.create_table()
+
+    def create_index(self) -> ast.CreateIndex:
+        self.expect_keyword("CREATE")
+        index_word = self.identifier("INDEX")
+        if index_word.upper() != "INDEX":
+            self.fail("expected INDEX")
+        if_not_exists = False
+        if self.accept_keyword("IF"):
+            self.expect_keyword("NOT")
+            self.expect_keyword("EXISTS")
+            if_not_exists = True
+        name = self.identifier("index name")
+        self.expect_keyword("ON")
+        table = self.identifier("table name")
+        self.expect("punct", "(")
+        columns = [self.identifier("column name")]
+        while self.accept("punct", ","):
+            columns.append(self.identifier("column name"))
+        self.expect("punct", ")")
+        return ast.CreateIndex(name, table, tuple(columns), if_not_exists)
+
+    def create_table(self) -> ast.CreateTable:
+        self.expect_keyword("CREATE")
+        self.expect_keyword("TABLE")
+        if_not_exists = False
+        if self.accept_keyword("IF"):
+            self.expect_keyword("NOT")
+            self.expect_keyword("EXISTS")
+            if_not_exists = True
+        name = self.identifier("table name")
+        self.expect("punct", "(")
+        columns: list[ast.ColumnDef] = []
+        table_pk: tuple[str, ...] = ()
+        while True:
+            if self.accept_keyword("PRIMARY"):
+                self.expect_keyword("KEY")
+                self.expect("punct", "(")
+                names = [self.identifier("column name")]
+                while self.accept("punct", ","):
+                    names.append(self.identifier("column name"))
+                self.expect("punct", ")")
+                table_pk = tuple(names)
+            else:
+                columns.append(self.column_def())
+            if not self.accept("punct", ","):
+                break
+        self.expect("punct", ")")
+        inline_pk = tuple(col.name for col in columns if col.primary_key)
+        if table_pk and inline_pk:
+            raise ParseError("PRIMARY KEY declared both inline and at table level")
+        return ast.CreateTable(
+            name, tuple(columns), table_pk or inline_pk, if_not_exists
+        )
+
+    def column_def(self) -> ast.ColumnDef:
+        name = self.identifier("column name")
+        type_token = self.accept("ident") or self.accept("keyword")
+        if type_token is None:
+            self.fail("expected a column type")
+        not_null = False
+        primary_key = False
+        while True:
+            if self.accept_keyword("NOT"):
+                self.expect_keyword("NULL")
+                not_null = True
+            elif self.accept_keyword("PRIMARY"):
+                self.expect_keyword("KEY")
+                primary_key = True
+            else:
+                break
+        return ast.ColumnDef(name, str(type_token.value), not_null, primary_key)
+
+    def drop_table(self) -> ast.DropTable:
+        self.expect_keyword("DROP")
+        self.expect_keyword("TABLE")
+        if_exists = False
+        if self.accept_keyword("IF"):
+            self.expect_keyword("EXISTS")
+            if_exists = True
+        return ast.DropTable(self.identifier("table name"), if_exists)
+
+    def insert(self) -> ast.Insert:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self.identifier("table name")
+        columns: tuple[str, ...] = ()
+        if self.accept("punct", "("):
+            names = [self.identifier("column name")]
+            while self.accept("punct", ","):
+                names.append(self.identifier("column name"))
+            self.expect("punct", ")")
+            columns = tuple(names)
+        self.expect_keyword("VALUES")
+        rows: list[tuple[ast.Expression, ...]] = []
+        while True:
+            self.expect("punct", "(")
+            values = [self.expression()]
+            while self.accept("punct", ","):
+                values.append(self.expression())
+            self.expect("punct", ")")
+            rows.append(tuple(values))
+            if not self.accept("punct", ","):
+                break
+        return ast.Insert(table, columns, tuple(rows))
+
+    def delete(self) -> ast.Delete:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.identifier("table name")
+        where = self.expression() if self.accept_keyword("WHERE") else None
+        return ast.Delete(table, where)
+
+    def update(self) -> ast.Update:
+        self.expect_keyword("UPDATE")
+        table = self.identifier("table name")
+        self.expect_keyword("SET")
+        assignments: list[tuple[str, ast.Expression]] = []
+        while True:
+            column = self.identifier("column name")
+            self.expect("op", "=")
+            assignments.append((column, self.expression()))
+            if not self.accept("punct", ","):
+                break
+        where = self.expression() if self.accept_keyword("WHERE") else None
+        return ast.Update(table, tuple(assignments), where)
+
+    # -------------------------------------------------------------- queries
+
+    def query(self) -> ast.Query:
+        body = self.select_body()
+        order_by: list[ast.OrderItem] = []
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            while True:
+                expr = self.expression()
+                ascending = True
+                if self.accept_keyword("DESC"):
+                    ascending = False
+                else:
+                    self.accept_keyword("ASC")
+                order_by.append(ast.OrderItem(expr, ascending))
+                if not self.accept("punct", ","):
+                    break
+        limit = offset = None
+        if self.accept_keyword("LIMIT"):
+            limit = self._int_literal("LIMIT")
+            if self.accept_keyword("OFFSET"):
+                offset = self._int_literal("OFFSET")
+        return ast.Query(body, tuple(order_by), limit, offset)
+
+    def _int_literal(self, clause: str) -> int:
+        token = self.accept("int")
+        if token is None:
+            self.fail(f"expected an integer after {clause}")
+        return int(token.value)  # type: ignore[arg-type]
+
+    def select_body(self) -> Union[ast.SelectCore, ast.SetOperation]:
+        left = self._intersect_term()
+        while True:
+            op = self.accept_keyword("UNION", "EXCEPT")
+            if op is None:
+                return left
+            all_flag = bool(self.accept_keyword("ALL"))
+            right = self._intersect_term()
+            left = ast.SetOperation(op.lower(), left, right, all_flag)
+
+    def _intersect_term(self) -> Union[ast.SelectCore, ast.SetOperation]:
+        left = self._select_primary()
+        while self.accept_keyword("INTERSECT"):
+            all_flag = bool(self.accept_keyword("ALL"))
+            right = self._select_primary()
+            left = ast.SetOperation("intersect", left, right, all_flag)
+        return left
+
+    def _select_primary(self) -> Union[ast.SelectCore, ast.SetOperation]:
+        if self.accept("punct", "("):
+            body = self.select_body()
+            self.expect("punct", ")")
+            return body
+        return self.select_core()
+
+    def select_core(self) -> ast.SelectCore:
+        self.expect_keyword("SELECT")
+        distinct = bool(self.accept_keyword("DISTINCT"))
+        if not distinct:
+            self.accept_keyword("ALL")
+        items: list[Union[ast.SelectItem, ast.Star]] = [self.select_item()]
+        while self.accept("punct", ","):
+            items.append(self.select_item())
+        from_items: tuple[ast.FromItem, ...] = ()
+        if self.accept_keyword("FROM"):
+            parts = [self.from_item()]
+            while self.accept("punct", ","):
+                parts.append(self.from_item())
+            from_items = tuple(parts)
+        where = self.expression() if self.accept_keyword("WHERE") else None
+        group_by: tuple[ast.Expression, ...] = ()
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            keys = [self.expression()]
+            while self.accept("punct", ","):
+                keys.append(self.expression())
+            group_by = tuple(keys)
+        having = self.expression() if self.accept_keyword("HAVING") else None
+        return ast.SelectCore(tuple(items), from_items, where, group_by, having, distinct)
+
+    def select_item(self) -> Union[ast.SelectItem, ast.Star]:
+        if self.peek().matches("op", "*"):
+            self.advance()
+            return ast.Star(None)
+        if (
+            self.peek().kind == "ident"
+            and self.peek(1).matches("punct", ".")
+            and self.peek(2).matches("op", "*")
+        ):
+            table = self.identifier()
+            self.advance()  # '.'
+            self.advance()  # '*'
+            return ast.Star(table)
+        expr = self.expression()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.identifier("alias")
+        elif self.peek().kind == "ident":
+            alias = self.identifier()
+        return ast.SelectItem(expr, alias)
+
+    def from_item(self) -> ast.FromItem:
+        left = self._from_primary()
+        while True:
+            kind = None
+            if self.accept_keyword("CROSS"):
+                kind = "cross"
+            elif self.accept_keyword("INNER"):
+                kind = "inner"
+            elif self.accept_keyword("LEFT"):
+                self.accept_keyword("OUTER")
+                kind = "left"
+            elif self.peek().matches("keyword", "JOIN"):
+                kind = "inner"
+            if kind is None:
+                return left
+            self.expect_keyword("JOIN")
+            right = self._from_primary()
+            on = None
+            if kind != "cross":
+                self.expect_keyword("ON")
+                on = self.expression()
+            left = ast.Join(left, right, kind, on)
+
+    def _from_primary(self) -> ast.FromItem:
+        if self.accept("punct", "("):
+            query = self.query()
+            self.expect("punct", ")")
+            self.accept_keyword("AS")
+            alias = self.identifier("derived-table alias")
+            return ast.DerivedTable(query, alias)
+        name = self.identifier("table name")
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.identifier("alias")
+        elif self.peek().kind == "ident":
+            alias = self.identifier()
+        return ast.TableRef(name, alias)
+
+    # ---------------------------------------------------------- expressions
+
+    def expression(self) -> ast.Expression:
+        return self._or_expr()
+
+    def _or_expr(self) -> ast.Expression:
+        left = self._and_expr()
+        while self.accept_keyword("OR"):
+            left = ast.BinaryOp("OR", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> ast.Expression:
+        left = self._not_expr()
+        while self.accept_keyword("AND"):
+            left = ast.BinaryOp("AND", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> ast.Expression:
+        if self.accept_keyword("NOT"):
+            return ast.UnaryOp("NOT", self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> ast.Expression:
+        left = self._additive()
+        token = self.peek()
+        if token.kind == "op" and token.value in ("=", "<>", "<", "<=", ">", ">="):
+            self.advance()
+            return ast.BinaryOp(str(token.value), left, self._additive())
+        negated = bool(self.accept_keyword("NOT"))
+        if self.accept_keyword("IS"):
+            if negated:
+                self.fail("NOT before IS is not valid; use IS NOT NULL")
+            is_negated = bool(self.accept_keyword("NOT"))
+            self.expect_keyword("NULL")
+            return ast.IsNull(left, is_negated)
+        if self.accept_keyword("IN"):
+            return self._in_tail(left, negated)
+        if self.accept_keyword("LIKE"):
+            return ast.Like(left, self._additive(), negated)
+        if self.accept_keyword("BETWEEN"):
+            low = self._additive()
+            self.expect_keyword("AND")
+            high = self._additive()
+            return ast.Between(left, low, high, negated)
+        if negated:
+            self.fail("expected IN, LIKE or BETWEEN after NOT")
+        return left
+
+    def _in_tail(self, operand: ast.Expression, negated: bool) -> ast.Expression:
+        self.expect("punct", "(")
+        if self.peek().matches("keyword", "SELECT") or self.peek().matches("punct", "("):
+            query = self.query()
+            self.expect("punct", ")")
+            return ast.InSubquery(operand, query, negated)
+        items = [self.expression()]
+        while self.accept("punct", ","):
+            items.append(self.expression())
+        self.expect("punct", ")")
+        return ast.InList(operand, tuple(items), negated)
+
+    def _additive(self) -> ast.Expression:
+        left = self._multiplicative()
+        while True:
+            token = self.peek()
+            if token.kind == "op" and token.value in ("+", "-", "||"):
+                self.advance()
+                left = ast.BinaryOp(str(token.value), left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self) -> ast.Expression:
+        left = self._unary()
+        while True:
+            token = self.peek()
+            if token.kind == "op" and token.value in ("*", "/", "%"):
+                self.advance()
+                left = ast.BinaryOp(str(token.value), left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> ast.Expression:
+        token = self.peek()
+        if token.kind == "op" and token.value in ("-", "+"):
+            self.advance()
+            return ast.UnaryOp(str(token.value), self._unary())
+        return self._primary()
+
+    def _primary(self) -> ast.Expression:
+        token = self.peek()
+        if token.kind in ("int", "float", "string"):
+            self.advance()
+            return ast.Literal(token.value)
+        if token.matches("keyword", "NULL"):
+            self.advance()
+            return ast.Literal(None)
+        if token.matches("keyword", "TRUE"):
+            self.advance()
+            return ast.Literal(True)
+        if token.matches("keyword", "FALSE"):
+            self.advance()
+            return ast.Literal(False)
+        if token.matches("keyword", "EXISTS"):
+            self.advance()
+            self.expect("punct", "(")
+            query = self.query()
+            self.expect("punct", ")")
+            return ast.Exists(query)
+        if token.matches("keyword", "CASE"):
+            return self._case()
+        if token.matches("punct", "("):
+            self.advance()
+            expr = self.expression()
+            self.expect("punct", ")")
+            return expr
+        if token.kind == "ident":
+            return self._identifier_expr()
+        self.fail("expected an expression")
+        raise AssertionError("unreachable")
+
+    def _case(self) -> ast.Expression:
+        self.expect_keyword("CASE")
+        operand = None
+        if not self.peek().matches("keyword", "WHEN"):
+            operand = self.expression()
+        whens: list[tuple[ast.Expression, ast.Expression]] = []
+        while self.accept_keyword("WHEN"):
+            condition = self.expression()
+            self.expect_keyword("THEN")
+            whens.append((condition, self.expression()))
+        if not whens:
+            self.fail("CASE requires at least one WHEN")
+        else_ = self.expression() if self.accept_keyword("ELSE") else None
+        self.expect_keyword("END")
+        return ast.Case(operand, tuple(whens), else_)
+
+    def _identifier_expr(self) -> ast.Expression:
+        name = self.identifier()
+        if self.peek().matches("punct", "("):
+            return self._function_call(name)
+        if self.accept("punct", "."):
+            column = self.identifier("column name")
+            return ast.ColumnRef(name, column)
+        return ast.ColumnRef(None, name)
+
+    def _function_call(self, name: str) -> ast.Expression:
+        self.expect("punct", "(")
+        if self.peek().matches("op", "*"):
+            self.advance()
+            self.expect("punct", ")")
+            return ast.FunctionCall(name.upper(), (), False, star=True)
+        if self.accept("punct", ")"):
+            return ast.FunctionCall(name.upper(), ())
+        distinct = bool(self.accept_keyword("DISTINCT"))
+        args = [self.expression()]
+        while self.accept("punct", ","):
+            args.append(self.expression())
+        self.expect("punct", ")")
+        return ast.FunctionCall(name.upper(), tuple(args), distinct)

@@ -1,0 +1,41 @@
+"""Synthetic workloads and demo scenarios."""
+
+from repro.workloads.generator import (
+    GeneratedTable,
+    generate_join_pair,
+    generate_key_conflict_table,
+    generate_union_pair,
+    inject_exclusion_conflicts,
+)
+from repro.workloads.queries import (
+    WorkloadQuery,
+    difference_query,
+    full_scan_query,
+    join_query,
+    selection_query,
+    union_query,
+)
+from repro.workloads.scenarios import (
+    CITY_CERTAIN_QUERY,
+    GOLD_QUERY,
+    IntegrationScenario,
+    build_integration_scenario,
+)
+
+__all__ = [
+    "GeneratedTable",
+    "generate_join_pair",
+    "generate_key_conflict_table",
+    "generate_union_pair",
+    "inject_exclusion_conflicts",
+    "WorkloadQuery",
+    "difference_query",
+    "full_scan_query",
+    "join_query",
+    "selection_query",
+    "union_query",
+    "CITY_CERTAIN_QUERY",
+    "GOLD_QUERY",
+    "IntegrationScenario",
+    "build_integration_scenario",
+]

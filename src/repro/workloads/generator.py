@@ -1,0 +1,209 @@
+"""Synthetic inconsistent databases, in the shape of the Hippo experiments.
+
+The companion experiments (Chomicki, Marcinkowski & Staworko; the demo's
+part 3) use relations ``R(A, B, ...)`` with a key FD ``A -> rest``,
+``N`` tuples, and a controlled percentage of tuples involved in key
+conflicts.  :func:`generate_key_conflict_table` reproduces that design:
+
+* ``n_clean`` tuples get unique keys;
+* conflicts are injected as *clusters* of ``cluster_size`` tuples sharing
+  a key but differing in the dependent attributes, until the requested
+  fraction of all tuples participates in a conflict.
+
+All generators are deterministic in their ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.constraints.fd import FunctionalDependency
+from repro.engine.database import Database
+from repro.engine.types import SQLType
+
+
+@dataclass(frozen=True)
+class GeneratedTable:
+    """What a generator produced (for reporting and assertions).
+
+    Attributes:
+        name: table name.
+        total_tuples: number of inserted tuples.
+        conflicting_tuples: tuples that share a key with another tuple.
+        fd: the key FD the table is generated against.
+    """
+
+    name: str
+    total_tuples: int
+    conflicting_tuples: int
+    fd: FunctionalDependency
+
+
+def generate_key_conflict_table(
+    db: Database,
+    name: str,
+    n_tuples: int,
+    conflict_fraction: float,
+    seed: int = 0,
+    n_dependent_columns: int = 1,
+    cluster_size: int = 2,
+    key_domain: Optional[int] = None,
+    value_domain: int = 1_000_000,
+) -> GeneratedTable:
+    """Create and populate ``name(a, b0..bk)`` with a key FD ``a -> b*``.
+
+    Args:
+        n_tuples: total number of tuples to insert.
+        conflict_fraction: fraction of tuples participating in a key
+            conflict (0 <= f <= 1); e.g. 0.05 means 5% of tuples share
+            their key with at least one other tuple.
+        cluster_size: tuples per conflicting key (2 = pairwise conflicts,
+            matching the experiments; larger values stress the Prover's
+            witness search).
+        key_domain: key values are drawn 0..key_domain-1 (defaults to a
+            range comfortably larger than ``n_tuples``).
+
+    Returns:
+        A :class:`GeneratedTable` report (including the FD to enforce).
+
+    Raises:
+        ValueError: on nonsensical parameters.
+    """
+    if not 0.0 <= conflict_fraction <= 1.0:
+        raise ValueError("conflict_fraction must be within [0, 1]")
+    if cluster_size < 2:
+        raise ValueError("cluster_size must be at least 2")
+    if n_tuples < 0:
+        raise ValueError("n_tuples must be non-negative")
+
+    rng = random.Random(seed)
+    columns = [("a", SQLType.INTEGER)] + [
+        (f"b{i}", SQLType.INTEGER) for i in range(n_dependent_columns)
+    ]
+    db.create_table(name, columns, primary_key=["a"])
+
+    n_conflicting = int(round(n_tuples * conflict_fraction))
+    n_clusters = n_conflicting // cluster_size
+    n_conflicting = n_clusters * cluster_size
+    n_clean = n_tuples - n_conflicting
+
+    domain = key_domain if key_domain is not None else max(10 * n_tuples, 100)
+    # Unique keys: clean tuples and clusters must not collide.
+    needed_keys = n_clean + n_clusters
+    if needed_keys > domain:
+        raise ValueError("key_domain too small for the requested table")
+    keys = rng.sample(range(domain), needed_keys)
+    clean_keys = keys[:n_clean]
+    cluster_keys = keys[n_clean:]
+
+    rows: list[tuple] = []
+    for key in clean_keys:
+        rows.append(
+            (key, *(rng.randrange(value_domain) for _ in range(n_dependent_columns)))
+        )
+    for key in cluster_keys:
+        # Dependent values within a cluster must differ pairwise so every
+        # pair of the cluster is a genuine FD violation.
+        dependent_values = rng.sample(range(value_domain), cluster_size)
+        for value in dependent_values:
+            rows.append(
+                (key, value, *(rng.randrange(value_domain) for _ in range(n_dependent_columns - 1)))
+            )
+    rng.shuffle(rows)
+    db.insert_rows(name, rows)
+
+    fd = FunctionalDependency(
+        name, ["a"], [f"b{i}" for i in range(n_dependent_columns)]
+    )
+    return GeneratedTable(name, len(rows), n_conflicting, fd)
+
+
+def generate_join_pair(
+    db: Database,
+    left_name: str,
+    right_name: str,
+    n_tuples: int,
+    conflict_fraction: float,
+    seed: int = 0,
+    join_domain: Optional[int] = None,
+) -> tuple[GeneratedTable, GeneratedTable]:
+    """Two key-FD tables whose ``b0`` columns join against each other.
+
+    The right table's keys are drawn from the same domain as the left
+    table's dependent values, so ``left.b0 = right.a`` joins with
+    realistic selectivity.
+    """
+    domain = join_domain if join_domain is not None else max(n_tuples, 100)
+    left = generate_key_conflict_table(
+        db,
+        left_name,
+        n_tuples,
+        conflict_fraction,
+        seed=seed,
+        value_domain=domain,
+    )
+    right = generate_key_conflict_table(
+        db,
+        right_name,
+        n_tuples,
+        conflict_fraction,
+        seed=seed + 1,
+        key_domain=domain,
+    )
+    return left, right
+
+
+def generate_union_pair(
+    db: Database,
+    left_name: str,
+    right_name: str,
+    n_tuples: int,
+    conflict_fraction: float,
+    seed: int = 0,
+    overlap_fraction: float = 0.3,
+) -> tuple[GeneratedTable, GeneratedTable]:
+    """Two same-schema tables with overlapping keys (for UNION / EXCEPT).
+
+    ``overlap_fraction`` of the right table's keys are sampled from the
+    left table's key range so set operations have non-trivial overlap.
+    """
+    left = generate_key_conflict_table(
+        db, left_name, n_tuples, conflict_fraction, seed=seed
+    )
+    right = generate_key_conflict_table(
+        db, right_name, n_tuples, conflict_fraction, seed=seed + 1
+    )
+    # Copy a fraction of left rows into right (as exact duplicates of the
+    # (a, b0) values) so EXCEPT has work to do.  The copies get fresh tids
+    # and may create new key conflicts inside `right`, which is realistic
+    # for integrated sources; callers re-detect conflicts afterwards.
+    rng = random.Random(seed + 2)
+    left_rows = list(db.table(left_name).rows())
+    n_copy = int(len(left_rows) * overlap_fraction)
+    if n_copy:
+        copies = rng.sample(left_rows, n_copy)
+        db.insert_rows(right_name, copies)
+    return left, right
+
+
+def inject_exclusion_conflicts(
+    db: Database,
+    left_name: str,
+    right_name: str,
+    n_shared: int,
+    seed: int = 0,
+) -> int:
+    """Copy ``n_shared`` keys from ``left`` into ``right``.
+
+    Used with an :class:`~repro.constraints.ExclusionConstraint` on the
+    key columns: every copied key becomes an exclusion conflict.
+    """
+    rng = random.Random(seed)
+    left_rows = list(db.table(left_name).rows())
+    if n_shared > len(left_rows):
+        raise ValueError("n_shared exceeds the left table size")
+    shared = rng.sample(left_rows, n_shared)
+    db.insert_rows(right_name, shared)
+    return len(shared)

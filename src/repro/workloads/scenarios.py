@@ -1,0 +1,107 @@
+"""Hand-crafted demo scenarios.
+
+The integration scenario realizes the paper's opening motivation: *"in
+the case of integration of several data sources, even if the sources are
+separately consistent, the integrated data can violate the integrity
+constraints"* -- and its demonstration part 1: consistent query answers
+extract more information than evaluating over the database with the
+conflicting tuples removed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.constraints.fd import FunctionalDependency
+from repro.engine.database import Database
+
+
+@dataclass(frozen=True)
+class IntegrationScenario:
+    """Two customer databases merged into one inconsistent instance.
+
+    Attributes:
+        db: the integrated database, table ``customer(id, city, status)``.
+        fd: the key FD ``id -> city, status`` both sources satisfied.
+        n_agreeing: customers present with identical data in both sources.
+        n_disputed: customers whose sources disagree (key conflicts).
+        n_unique: customers present in exactly one source.
+    """
+
+    db: Database
+    fd: FunctionalDependency
+    n_agreeing: int
+    n_disputed: int
+    n_unique: int
+
+
+def build_integration_scenario(
+    n_customers: int = 300,
+    disputed_fraction: float = 0.2,
+    seed: int = 7,
+) -> IntegrationScenario:
+    """Merge two per-source-consistent customer tables.
+
+    Each customer has an id, a city and a status ('gold' / 'silver').
+    Sources agree on most customers; for a ``disputed_fraction`` they
+    disagree on the status (or city), producing key conflicts in the
+    integrated table.  Crucially, many disputes still agree on the *city*
+    -- so a union query can recover definite city information that the
+    remove-conflicts approach loses.
+    """
+    rng = random.Random(seed)
+    cities = ["athens", "buffalo", "cracow", "delft", "edinburgh"]
+
+    db = Database()
+    db.execute(
+        "CREATE TABLE customer (id INTEGER, city TEXT, status TEXT,"
+        " PRIMARY KEY (id))"
+    )
+
+    n_disputed = int(n_customers * disputed_fraction)
+    n_unique = max(n_customers // 10, 1)
+    n_agreeing = n_customers - n_disputed - n_unique
+
+    rows: list[tuple] = []
+    customer_id = 0
+    for _ in range(n_agreeing):
+        rows.append(
+            (customer_id, rng.choice(cities), rng.choice(["gold", "silver"]))
+        )
+        customer_id += 1
+    for index in range(n_disputed):
+        city = rng.choice(cities)
+        if index % 3 == 0:
+            # Sources disagree on the city as well.
+            other_city = rng.choice([c for c in cities if c != city])
+            rows.append((customer_id, city, "gold"))
+            rows.append((customer_id, other_city, "gold"))
+        else:
+            # Sources agree on the city but dispute the status.
+            rows.append((customer_id, city, "gold"))
+            rows.append((customer_id, city, "silver"))
+        customer_id += 1
+    for _ in range(n_unique):
+        rows.append(
+            (customer_id, rng.choice(cities), rng.choice(["gold", "silver"]))
+        )
+        customer_id += 1
+
+    rng.shuffle(rows)
+    db.insert_rows("customer", rows)
+    fd = FunctionalDependency("customer", ["id"], ["city", "status"])
+    return IntegrationScenario(db, fd, n_agreeing, n_disputed, n_unique)
+
+
+#: The union query of demonstration part 1: "which (id, city) pairs are
+#: certain?"  Disputed customers whose sources agree on the city are
+#: recovered through the union over both possible statuses.
+CITY_CERTAIN_QUERY = (
+    "SELECT id, city FROM customer WHERE status = 'gold'"
+    " UNION "
+    "SELECT id, city FROM customer WHERE status = 'silver'"
+)
+
+#: A selection query over the same scenario (gold customers, certain).
+GOLD_QUERY = "SELECT id, city, status FROM customer WHERE status = 'gold'"

@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Database
+
+
+@pytest.fixture
+def db() -> Database:
+    """An empty database."""
+    return Database()
+
+
+@pytest.fixture
+def emp_db() -> Database:
+    """The canonical small inconsistent employee instance.
+
+    ``emp(name, dept, salary)`` with key ``name``; ann's salary and
+    carol's department are disputed.
+    """
+    database = Database()
+    database.execute(
+        "CREATE TABLE emp (name TEXT, dept TEXT, salary INTEGER,"
+        " PRIMARY KEY (name))"
+    )
+    database.execute(
+        "INSERT INTO emp VALUES"
+        " ('ann', 'cs', 10),"
+        " ('ann', 'cs', 12),"
+        " ('bob', 'ee', 20),"
+        " ('carol', 'cs', 15),"
+        " ('carol', 'me', 15),"
+        " ('dave', 'ee', 18)"
+    )
+    return database
+
+
+@pytest.fixture
+def two_table_db() -> Database:
+    """Two integer tables ``r(a, b)`` / ``s(a, b)`` with overlapping rows."""
+    database = Database()
+    database.execute("CREATE TABLE r (a INTEGER, b INTEGER)")
+    database.execute("CREATE TABLE s (a INTEGER, b INTEGER)")
+    database.execute("INSERT INTO r VALUES (1,1), (1,2), (2,5), (3,7), (4,4)")
+    database.execute("INSERT INTO s VALUES (2,5), (4,4), (9,9)")
+    return database

@@ -1,0 +1,160 @@
+"""Tests for restricted foreign-key constraints (the paper's future work)."""
+
+import itertools
+
+import pytest
+
+from repro import Database, HippoEngine
+from repro.conflicts import detect_conflicts
+from repro.constraints import (
+    ForeignKeyConstraint,
+    FunctionalDependency,
+    parse_constraint,
+    topological_fk_order,
+)
+from repro.errors import ConstraintError
+from repro.repairs import all_repairs, is_repair, satisfies_constraints
+
+
+@pytest.fixture
+def order_db():
+    db = Database()
+    db.execute("CREATE TABLE customer (id INTEGER, city TEXT)")
+    db.execute("CREATE TABLE orders (oid INTEGER, customer_id INTEGER, total INTEGER)")
+    db.execute("INSERT INTO customer VALUES (1, 'buffalo'), (2, 'cracow')")
+    db.execute(
+        "INSERT INTO orders VALUES (10, 1, 100), (11, 2, 50), (12, 9, 75)"
+    )  # order 12 dangles
+    return db
+
+
+FK = ForeignKeyConstraint("orders", ["customer_id"], "customer", ["id"])
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ConstraintError, match="length"):
+            ForeignKeyConstraint("a", ["x", "y"], "b", ["z"])
+        with pytest.raises(ConstraintError, match="at least one"):
+            ForeignKeyConstraint("a", [], "b", [])
+        with pytest.raises(ConstraintError, match="self-referencing"):
+            ForeignKeyConstraint("a", ["x"], "A", ["y"])
+
+    def test_parser(self):
+        fk = parse_constraint("FK orders(customer_id) -> customer(id)")
+        assert isinstance(fk, ForeignKeyConstraint)
+        assert fk.columns == ("customer_id",)
+        fk2 = parse_constraint("FK orders(customer_id) REFERENCES customer(id)")
+        assert fk2.referenced == "customer"
+
+    def test_topological_order(self):
+        a_to_b = ForeignKeyConstraint("a", ["x"], "b", ["x"])
+        b_to_c = ForeignKeyConstraint("b", ["x"], "c", ["x"])
+        for permutation in itertools.permutations([a_to_b, b_to_c]):
+            ordered = topological_fk_order(list(permutation))
+            assert ordered == [b_to_c, a_to_b]  # parent chain first
+
+    def test_cycle_rejected(self):
+        a_to_b = ForeignKeyConstraint("a", ["x"], "b", ["x"])
+        b_to_a = ForeignKeyConstraint("b", ["x"], "a", ["x"])
+        with pytest.raises(ConstraintError, match="cyclic"):
+            topological_fk_order([a_to_b, b_to_a])
+
+
+class TestDetection:
+    def test_dangling_tuple_becomes_singleton_edge(self, order_db):
+        report = detect_conflicts(order_db, [FK])
+        graph = report.hypergraph
+        assert len(graph) == 1
+        assert graph.summary()["singleton_edges"] == 1
+        (edge,) = graph.edges
+        (v,) = edge
+        assert order_db.table("orders").get(v.tid) == (12, 9, 75)
+
+    def test_null_key_not_a_violation(self, order_db):
+        order_db.execute("INSERT INTO orders VALUES (13, NULL, 5)")
+        report = detect_conflicts(order_db, [FK])
+        assert len(report.hypergraph) == 1  # still only order 12
+
+    def test_cascade_through_chain(self):
+        db = Database()
+        db.execute("CREATE TABLE a (k INTEGER)")
+        db.execute("CREATE TABLE b (k INTEGER, ak INTEGER)")
+        db.execute("CREATE TABLE c (k INTEGER, bk INTEGER)")
+        db.execute("INSERT INTO a VALUES (1)")
+        db.execute("INSERT INTO b VALUES (5, 1), (6, 9)")  # b(6,.) dangles
+        db.execute("INSERT INTO c VALUES (100, 5), (200, 6)")  # c(200,.) cascades
+        constraints = [
+            ForeignKeyConstraint("c", ["bk"], "b", ["k"]),
+            ForeignKeyConstraint("b", ["ak"], "a", ["k"]),
+        ]
+        report = detect_conflicts(db, constraints)
+        assert report.hypergraph.summary()["singleton_edges"] == 2
+        relations = sorted(v.relation for e in report.hypergraph.edges for v in e)
+        assert relations == ["b", "c"]
+
+    def test_referenced_relation_with_choice_conflicts_rejected(self, order_db):
+        order_db.execute("INSERT INTO customer VALUES (1, 'athens')")  # key conflict
+        fd = FunctionalDependency("customer", ["id"], ["city"])
+        with pytest.raises(ConstraintError, match="restricted"):
+            detect_conflicts(order_db, [FK, fd])
+
+    def test_referenced_relation_with_deterministic_deletions_allowed(self, order_db):
+        # A singleton (unary denial) deletion on the parent is fine and
+        # cascades to its orders.
+        from repro.constraints import ConstraintAtom, DenialConstraint
+        from repro.sql.parser import parse_expression
+
+        no_cracow = DenialConstraint(
+            "no-cracow",
+            (ConstraintAtom("t", "customer"),),
+            parse_expression("t.city = 'cracow'"),
+        )
+        report = detect_conflicts(order_db, [FK, no_cracow])
+        # customer 2 deleted; orders 11 (ref 2) and 12 (ref 9) dangle.
+        assert report.hypergraph.summary()["singleton_edges"] == 3
+
+
+class TestRepairSemantics:
+    def test_repairs_exclude_dangling_tuples(self, order_db):
+        report = detect_conflicts(order_db, [FK])
+        repairs = all_repairs(order_db, report.hypergraph)
+        assert len(repairs) == 1
+        (repair,) = repairs
+        assert satisfies_constraints(order_db, [FK], repair)
+        assert is_repair(order_db, [FK], report.hypergraph, repair)
+        kept_orders = {
+            order_db.table("orders").get(tid) for tid in repair["orders"]
+        }
+        assert kept_orders == {(10, 1, 100), (11, 2, 50)}
+
+    def test_fk_plus_fd_on_child(self, order_db):
+        order_db.execute("INSERT INTO orders VALUES (10, 1, 999)")  # oid clash
+        fd = FunctionalDependency("orders", ["oid"], ["customer_id", "total"])
+        constraints = [FK, fd]
+        hippo = HippoEngine(order_db, constraints)
+        repairs = all_repairs(order_db, hippo.hypergraph)
+        assert len(repairs) == 2  # choose one version of order 10
+        for repair in repairs:
+            assert satisfies_constraints(order_db, constraints, repair)
+
+    def test_consistent_answers_with_fk(self, order_db):
+        hippo = HippoEngine(order_db, [FK])
+        answers = hippo.consistent_answers(
+            "SELECT o.oid, o.customer_id, o.total, c.city FROM orders o,"
+            " customer c WHERE o.customer_id = c.id"
+        )
+        assert answers.as_set() == {
+            (10, 1, 100, "buffalo"),
+            (11, 2, 50, "cracow"),
+        }
+        # The dangling order is not even a possible answer of the scan.
+        possible = hippo.possible_answers("SELECT * FROM orders")
+        assert (12, 9, 75) not in possible.as_set()
+
+    def test_checker_rejects_kept_dangling_tuple(self, order_db):
+        bad = {
+            "customer": frozenset(order_db.table("customer").tids()),
+            "orders": frozenset(order_db.table("orders").tids()),  # keeps 12
+        }
+        assert not satisfies_constraints(order_db, [FK], bad)

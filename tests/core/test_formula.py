@@ -1,0 +1,116 @@
+"""Tests for boolean membership formulas and DNF conversion."""
+
+import pytest
+
+from repro.core import formula as fm
+from repro.core.facts import Fact, fact
+
+
+A = fact("r", (1,))
+B = fact("r", (2,))
+C = fact("s", (3,))
+
+
+class TestConstructors:
+    def test_conj_simplifies(self):
+        assert fm.conj([]) == fm.TRUE
+        assert fm.conj([fm.AtomF(A)]) == fm.AtomF(A)
+        assert fm.conj([fm.TRUE, fm.AtomF(A)]) == fm.AtomF(A)
+        assert fm.conj([fm.FALSE, fm.AtomF(A)]) == fm.FALSE
+
+    def test_conj_flattens(self):
+        inner = fm.conj([fm.AtomF(A), fm.AtomF(B)])
+        outer = fm.conj([inner, fm.AtomF(C)])
+        assert isinstance(outer, fm.AndF) and len(outer.children) == 3
+
+    def test_disj_simplifies(self):
+        assert fm.disj([]) == fm.FALSE
+        assert fm.disj([fm.TRUE, fm.AtomF(A)]) == fm.TRUE
+        assert fm.disj([fm.FALSE, fm.AtomF(A)]) == fm.AtomF(A)
+
+    def test_negate_double(self):
+        phi = fm.AtomF(A)
+        assert fm.negate(fm.negate(phi)) == phi
+        assert fm.negate(fm.TRUE) == fm.FALSE
+
+
+class TestNNF:
+    def test_de_morgan(self):
+        phi = fm.NotF(fm.conj([fm.AtomF(A), fm.AtomF(B)]))
+        nnf = fm.to_nnf(phi)
+        assert isinstance(nnf, fm.OrF)
+        assert all(isinstance(child, fm.NotF) for child in nnf.children)
+
+    def test_nested_negations_cancel(self):
+        phi = fm.NotF(fm.NotF(fm.AtomF(A)))
+        assert fm.to_nnf(phi) == fm.AtomF(A)
+
+    def test_constants(self):
+        assert fm.to_nnf(fm.NotF(fm.TRUE)) == fm.FALSE
+
+
+class TestDNF:
+    def test_atom(self):
+        assert fm.to_dnf(fm.AtomF(A)) == [(frozenset([A]), frozenset())]
+
+    def test_negated_atom(self):
+        assert fm.to_dnf(fm.NotF(fm.AtomF(A))) == [(frozenset(), frozenset([A]))]
+
+    def test_conjunction(self):
+        (disjunct,) = fm.to_dnf(fm.conj([fm.AtomF(A), fm.NotF(fm.AtomF(B))]))
+        assert disjunct == (frozenset([A]), frozenset([B]))
+
+    def test_distribution(self):
+        phi = fm.conj(
+            [fm.disj([fm.AtomF(A), fm.AtomF(B)]), fm.AtomF(C)]
+        )
+        disjuncts = fm.to_dnf(phi)
+        assert len(disjuncts) == 2
+        assert (frozenset([A, C]), frozenset()) in disjuncts
+
+    def test_contradictory_disjunct_dropped(self):
+        phi = fm.conj([fm.AtomF(A), fm.NotF(fm.AtomF(A))])
+        assert fm.to_dnf(phi) == []
+
+    def test_unsatisfiable(self):
+        assert fm.to_dnf(fm.FALSE) == []
+
+    def test_valid(self):
+        assert fm.to_dnf(fm.TRUE) == [(frozenset(), frozenset())]
+
+    def test_deduplication(self):
+        phi = fm.disj([fm.AtomF(A), fm.AtomF(A)])
+        assert len(fm.to_dnf(phi)) == 1
+
+    def test_dnf_equivalent_to_original(self):
+        # Exhaustive model check over the three atoms.
+        phi = fm.disj(
+            [
+                fm.conj([fm.AtomF(A), fm.NotF(fm.AtomF(B))]),
+                fm.NotF(fm.conj([fm.AtomF(B), fm.AtomF(C)])),
+            ]
+        )
+        disjuncts = fm.to_dnf(phi)
+        atoms = [A, B, C]
+        for mask in range(8):
+            present = {atoms[i] for i in range(3) if mask >> i & 1}
+            expected = fm.evaluate(phi, present)
+            got = any(
+                pos <= present and not (neg & present) for pos, neg in disjuncts
+            )
+            assert got == expected, f"model {present}"
+
+
+class TestHelpers:
+    def test_atoms_of(self):
+        phi = fm.conj([fm.AtomF(A), fm.NotF(fm.disj([fm.AtomF(B), fm.AtomF(C)]))])
+        assert fm.atoms_of(phi) == frozenset([A, B, C])
+        assert fm.atoms_of(fm.TRUE) == frozenset()
+
+    def test_evaluate(self):
+        phi = fm.conj([fm.AtomF(A), fm.NotF(fm.AtomF(B))])
+        assert fm.evaluate(phi, {A})
+        assert not fm.evaluate(phi, {A, B})
+
+    def test_fact_str(self):
+        assert str(fact("Emp", ("ann", None))) == "emp(ann, NULL)"

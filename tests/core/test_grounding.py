@@ -1,0 +1,101 @@
+"""Tests for grounding candidate tuples into membership formulas."""
+
+import pytest
+
+from repro.core import formula as fm
+from repro.core.facts import fact
+from repro.core.grounding import GroundQuery
+from repro.ra import CatalogSchemaProvider, from_sql_query
+from repro.sql.parser import parse_query
+
+
+def grounder_for(db, text):
+    schema = CatalogSchemaProvider(db.catalog)
+    tree = from_sql_query(parse_query(text), schema)
+    return GroundQuery(tree, schema)
+
+
+class TestCoreGrounding:
+    def test_identity_query(self, two_table_db):
+        grounder = grounder_for(two_table_db, "SELECT * FROM r")
+        phi = grounder.formula_for((1, 1))
+        assert phi == fm.AtomF(fact("r", (1, 1)))
+
+    def test_condition_failure_grounds_to_false(self, two_table_db):
+        grounder = grounder_for(two_table_db, "SELECT * FROM r WHERE a > 2")
+        assert grounder.formula_for((1, 1)) == fm.FALSE
+        assert grounder.formula_for((3, 7)) == fm.AtomF(fact("r", (3, 7)))
+
+    def test_constant_reconstruction(self, two_table_db):
+        grounder = grounder_for(two_table_db, "SELECT a FROM r WHERE b = 5")
+        assert grounder.formula_for((2,)) == fm.AtomF(fact("r", (2, 5)))
+
+    def test_join_grounds_to_conjunction(self, two_table_db):
+        grounder = grounder_for(
+            two_table_db, "SELECT x.a, x.b, y.b FROM r x, s y WHERE x.a = y.a"
+        )
+        phi = grounder.formula_for((2, 5, 5))
+        assert isinstance(phi, fm.AndF)
+        assert fm.atoms_of(phi) == {fact("r", (2, 5)), fact("s", (2, 5))}
+
+    def test_join_condition_checked_on_reconstruction(self, two_table_db):
+        grounder = grounder_for(
+            two_table_db,
+            "SELECT x.a, x.b, y.a, y.b FROM r x, s y WHERE x.b < y.b",
+        )
+        assert grounder.formula_for((1, 1, 2, 5)) != fm.FALSE
+        assert grounder.formula_for((2, 5, 1, 1)) == fm.FALSE
+
+
+class TestSetOperations:
+    def test_union_grounds_to_disjunction(self, two_table_db):
+        grounder = grounder_for(
+            two_table_db, "SELECT * FROM r UNION SELECT * FROM s"
+        )
+        phi = grounder.formula_for((2, 5))
+        assert isinstance(phi, fm.OrF)
+        assert fm.atoms_of(phi) == {fact("r", (2, 5)), fact("s", (2, 5))}
+
+    def test_union_branch_condition_prunes(self, two_table_db):
+        grounder = grounder_for(
+            two_table_db,
+            "SELECT * FROM r WHERE a = 1 UNION SELECT * FROM s WHERE a = 9",
+        )
+        # (9,9) only satisfies the right branch: the OR collapses.
+        assert grounder.formula_for((9, 9)) == fm.AtomF(fact("s", (9, 9)))
+
+    def test_difference_grounds_to_and_not(self, two_table_db):
+        grounder = grounder_for(
+            two_table_db, "SELECT * FROM r EXCEPT SELECT * FROM s"
+        )
+        phi = grounder.formula_for((2, 5))
+        (disjunct,) = fm.to_dnf(phi)
+        assert disjunct == (
+            frozenset([fact("r", (2, 5))]),
+            frozenset([fact("s", (2, 5))]),
+        )
+
+    def test_difference_right_branch_false_simplifies(self, two_table_db):
+        grounder = grounder_for(
+            two_table_db, "SELECT * FROM r EXCEPT SELECT * FROM s WHERE a > 5"
+        )
+        # (2,5) cannot satisfy the right branch; NOT(FALSE) vanishes.
+        assert grounder.formula_for((2, 5)) == fm.AtomF(fact("r", (2, 5)))
+
+
+class TestWitnessFacts:
+    def test_witness_facts_cover_all_branches(self, two_table_db):
+        grounder = grounder_for(
+            two_table_db, "SELECT * FROM r UNION SELECT * FROM s"
+        )
+        facts = grounder.witness_facts((2, 5))
+        assert facts == {fact("r", (2, 5)), fact("s", (2, 5))}
+
+    def test_formula_size_independent_of_data(self, two_table_db):
+        """The polynomial-data-complexity linchpin: |Phi| ~ query size."""
+        grounder = grounder_for(two_table_db, "SELECT * FROM r")
+        before = grounder.formula_for((1, 1))
+        for i in range(100, 200):
+            two_table_db.execute(f"INSERT INTO r VALUES ({i}, {i})")
+        after = grounder.formula_for((1, 1))
+        assert before == after  # same single-atom formula

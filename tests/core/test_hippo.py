@@ -1,0 +1,205 @@
+"""Integration tests for the full HippoEngine pipeline."""
+
+import pytest
+
+from repro import Database, HippoEngine
+from repro.constraints import (
+    ConstraintAtom,
+    DenialConstraint,
+    ExclusionConstraint,
+    FunctionalDependency,
+)
+from repro.errors import UnsupportedQueryError
+from repro.repairs import ground_truth_consistent_answers
+from repro.sql.parser import parse_expression
+
+
+@pytest.fixture
+def hippo(emp_db):
+    fd = FunctionalDependency("emp", ["name"], ["dept", "salary"])
+    return HippoEngine(emp_db, [fd])
+
+
+class TestAnswers:
+    def test_selection(self, hippo):
+        answers = hippo.consistent_answers("SELECT * FROM emp WHERE salary >= 10")
+        assert answers.rows == [("bob", "ee", 20), ("dave", "ee", 18)]
+        assert answers.columns == ["name", "dept", "salary"]
+
+    def test_matches_ground_truth(self, hippo):
+        for text in [
+            "SELECT * FROM emp",
+            "SELECT * FROM emp WHERE dept = 'cs'",
+            "SELECT name, dept FROM emp WHERE salary = 15",
+            "SELECT name, dept FROM emp WHERE salary = 10"
+            " UNION SELECT name, dept FROM emp WHERE salary = 12",
+            "SELECT * FROM emp EXCEPT SELECT * FROM emp WHERE dept = 'ee'",
+        ]:
+            tree, _ = hippo.parse(text)
+            truth = ground_truth_consistent_answers(
+                hippo.db, hippo.hypergraph, tree
+            )
+            assert hippo.consistent_answers(text).as_set() == truth, text
+
+    def test_all_membership_strategies_agree(self, emp_db):
+        fd = FunctionalDependency("emp", ["name"], ["dept", "salary"])
+        text = (
+            "SELECT name, dept FROM emp WHERE salary = 10"
+            " UNION SELECT name, dept FROM emp WHERE salary = 12"
+        )
+        results = {
+            strategy: HippoEngine(emp_db, [fd], membership=strategy)
+            .consistent_answers(text)
+            .as_set()
+            for strategy in ("query", "cached", "provenance")
+        }
+        assert len(set(results.values())) == 1
+
+    def test_core_on_off_agree(self, emp_db):
+        fd = FunctionalDependency("emp", ["name"], ["dept", "salary"])
+        text = "SELECT * FROM emp WHERE salary > 9"
+        with_core = HippoEngine(emp_db, [fd], use_core=True)
+        without_core = HippoEngine(emp_db, [fd], use_core=False)
+        assert (
+            with_core.consistent_answers(text).as_set()
+            == without_core.consistent_answers(text).as_set()
+        )
+        assert with_core.consistent_answers(text).stats["skipped_by_core"] > 0
+        assert without_core.consistent_answers(text).stats["skipped_by_core"] == 0
+
+    def test_provenance_avoids_db_queries(self, emp_db):
+        fd = FunctionalDependency("emp", ["name"], ["dept", "salary"])
+        base = HippoEngine(emp_db, [fd], membership="query", use_core=False)
+        optimized = HippoEngine(emp_db, [fd], membership="provenance", use_core=False)
+        text = "SELECT * FROM emp"
+        base_stats = base.consistent_answers(text).stats["membership"]
+        optimized_stats = optimized.consistent_answers(text).stats["membership"]
+        assert base_stats.db_queries > 0
+        assert optimized_stats.db_queries == 0
+        assert optimized_stats.free_answers > 0
+
+    def test_order_by_applied_to_answers(self, hippo):
+        answers = hippo.consistent_answers(
+            "SELECT * FROM emp WHERE salary >= 10 ORDER BY salary DESC"
+        )
+        assert answers.rows == [("bob", "ee", 20), ("dave", "ee", 18)]
+
+    def test_order_by_position(self, hippo):
+        answers = hippo.consistent_answers("SELECT * FROM emp ORDER BY 3")
+        assert [row[2] for row in answers.rows] == sorted(
+            row[2] for row in answers.rows
+        )
+
+    def test_order_by_non_output_rejected(self, hippo):
+        with pytest.raises(UnsupportedQueryError):
+            hippo.consistent_answers(
+                "SELECT name, dept FROM emp WHERE salary = 10 ORDER BY salary"
+            )
+
+    def test_stats_shape(self, hippo):
+        stats = hippo.consistent_answers("SELECT * FROM emp").stats
+        assert stats["candidates"] == 6
+        assert stats["answers"] == 2
+        assert stats["total_seconds"] > 0
+        assert stats["hypergraph"]["edges"] == 2
+
+
+class TestBaselines:
+    def test_raw_answers(self, hippo):
+        assert len(hippo.raw_answers("SELECT * FROM emp").rows) == 6
+
+    def test_cleaned_is_subset_for_monotone(self, hippo):
+        text = "SELECT * FROM emp WHERE salary >= 10"
+        cleaned = hippo.cleaned_answers(text).as_set()
+        consistent = hippo.consistent_answers(text).as_set()
+        raw = hippo.raw_answers(text).as_set()
+        assert cleaned <= consistent <= raw
+
+    def test_cleaning_can_be_wrong_for_difference(self):
+        """Cleaning is not merely incomplete: with difference it returns
+        answers that are NOT consistent (the introduction's point that
+        removing conflicting data "is not a good option")."""
+        db = Database()
+        db.execute("CREATE TABLE p (a INTEGER, b INTEGER)")
+        db.execute("CREATE TABLE q (a INTEGER, b INTEGER)")
+        db.execute("INSERT INTO p VALUES (1, 5)")
+        db.execute("INSERT INTO q VALUES (1, 5), (1, 6)")  # q's key 1 disputed
+        fd = FunctionalDependency("q", ["a"], ["b"])
+        hippo = HippoEngine(db, [fd])
+        text = "SELECT * FROM p EXCEPT SELECT * FROM q"
+        truth = ground_truth_consistent_answers(
+            db, hippo.hypergraph, hippo.parse(text)[0]
+        )
+        # The repair keeping q(1,5) excludes p(1,5) from the difference.
+        assert truth == frozenset()
+        assert hippo.consistent_answers(text).as_set() == truth
+        # Cleaning deleted both q tuples and wrongly reports p(1,5).
+        assert hippo.cleaned_answers(text).as_set() == {(1, 5)}
+
+    def test_cleaning_loses_union_information(self, hippo):
+        text = (
+            "SELECT name, dept FROM emp WHERE salary = 10"
+            " UNION SELECT name, dept FROM emp WHERE salary = 12"
+        )
+        assert hippo.consistent_answers(text).rows == [("ann", "cs")]
+        assert hippo.cleaned_answers(text).rows == []
+
+
+class TestConstraintVariety:
+    def test_exclusion_constraint(self, two_table_db):
+        excl = ExclusionConstraint("r", "s", [("a", "a"), ("b", "b")])
+        hippo = HippoEngine(two_table_db, [excl])
+        answers = hippo.consistent_answers("SELECT * FROM r")
+        # r(2,5) and r(4,4) clash with s; r(1,*), r(3,7) survive everywhere.
+        assert answers.as_set() == {(1, 1), (1, 2), (3, 7)}
+
+    def test_ternary_constraint(self, two_table_db):
+        denial = DenialConstraint(
+            "t",
+            (
+                ConstraintAtom("x", "r"),
+                ConstraintAtom("y", "r"),
+                ConstraintAtom("z", "s"),
+            ),
+            parse_expression("x.a = y.a AND x.b < y.b AND z.a = x.a"),
+        )
+        two_table_db.execute("INSERT INTO s VALUES (1, 0)")
+        hippo = HippoEngine(two_table_db, [denial])
+        tree, _ = hippo.parse("SELECT * FROM r")
+        truth = ground_truth_consistent_answers(
+            two_table_db, hippo.hypergraph, tree
+        )
+        assert hippo.consistent_answers("SELECT * FROM r").as_set() == truth
+
+    def test_multiple_constraints(self, emp_db):
+        emp_db.execute("CREATE TABLE retired (name TEXT)")
+        emp_db.execute("INSERT INTO retired VALUES ('dave')")
+        constraints = [
+            FunctionalDependency("emp", ["name"], ["dept", "salary"]),
+            ExclusionConstraint("emp", "retired", [("name", "name")]),
+        ]
+        hippo = HippoEngine(emp_db, constraints)
+        answers = hippo.consistent_answers("SELECT * FROM emp")
+        # dave now conflicts with his retirement record.
+        assert answers.as_set() == {("bob", "ee", 20)}
+
+
+class TestRefresh:
+    def test_refresh_after_data_change(self, hippo):
+        before = hippo.consistent_answers("SELECT * FROM emp").as_set()
+        hippo.db.execute("INSERT INTO emp VALUES ('bob', 'ee', 99)")
+        hippo.refresh()
+        after = hippo.consistent_answers("SELECT * FROM emp").as_set()
+        assert ("bob", "ee", 20) in before
+        assert ("bob", "ee", 20) not in after
+
+    def test_consistent_database_passthrough(self, two_table_db):
+        fd = FunctionalDependency("s", ["a"], ["b"])
+        hippo = HippoEngine(two_table_db, [fd])
+        text = "SELECT * FROM s"
+        assert (
+            hippo.consistent_answers(text).as_set()
+            == hippo.raw_answers(text).as_set()
+        )
+        stats = hippo.consistent_answers(text).stats
+        assert stats["skipped_by_core"] == stats["candidates"]

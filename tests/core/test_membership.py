@@ -1,0 +1,97 @@
+"""Tests for the membership-check strategies."""
+
+import pytest
+
+from repro.conflicts import vertex
+from repro.core.facts import fact
+from repro.core.membership import (
+    CachedMembership,
+    ProvenanceMembership,
+    QueryMembership,
+    make_membership,
+)
+from repro.engine import Database
+from repro.engine.types import SQLType
+
+
+@pytest.fixture
+def small_db():
+    db = Database()
+    db.create_table("r", [("a", SQLType.INTEGER)])
+    db.insert_rows("r", [(1,), (2,)])
+    return db
+
+
+class TestQueryMembership:
+    def test_every_check_hits_the_database(self, small_db):
+        resolver = QueryMembership(small_db)
+        resolver.some_vertex(fact("r", (1,)))
+        resolver.some_vertex(fact("r", (1,)))  # repeated: queried again
+        assert resolver.stats.db_queries == 2
+        assert small_db.stats.point_lookups == 2
+
+    def test_absent_fact(self, small_db):
+        resolver = QueryMembership(small_db)
+        assert resolver.some_vertex(fact("r", (9,))) is None
+        assert resolver.all_vertices(fact("r", (9,))) == frozenset()
+
+    def test_present_fact(self, small_db):
+        resolver = QueryMembership(small_db)
+        assert resolver.some_vertex(fact("r", (1,))) == vertex("r", 0)
+        assert resolver.all_vertices(fact("r", (2,))) == frozenset({vertex("r", 1)})
+
+
+class TestCachedMembership:
+    def test_second_check_is_free(self, small_db):
+        resolver = CachedMembership(small_db)
+        resolver.all_vertices(fact("r", (1,)))
+        resolver.all_vertices(fact("r", (1,)))
+        assert resolver.stats.db_queries == 1
+        assert resolver.stats.free_answers == 1
+
+    def test_negative_results_cached_too(self, small_db):
+        resolver = CachedMembership(small_db)
+        resolver.some_vertex(fact("r", (9,)))
+        resolver.some_vertex(fact("r", (9,)))
+        assert resolver.stats.db_queries == 1
+
+
+class TestProvenanceMembership:
+    def test_hint_answers_without_database(self, small_db):
+        resolver = ProvenanceMembership(small_db, duplicate_free=True)
+        resolver.prime({fact("r", (1,)): vertex("r", 0)})
+        assert resolver.some_vertex(fact("r", (1,))) == vertex("r", 0)
+        assert resolver.all_vertices(fact("r", (1,))) == frozenset({vertex("r", 0)})
+        assert resolver.stats.db_queries == 0
+        assert resolver.stats.free_answers == 2
+        assert small_db.stats.point_lookups == 0
+
+    def test_unhinted_fact_falls_back(self, small_db):
+        resolver = ProvenanceMembership(small_db, duplicate_free=True)
+        resolver.prime({})
+        assert resolver.some_vertex(fact("r", (2,))) == vertex("r", 1)
+        assert resolver.stats.db_queries == 1
+
+    def test_duplicates_force_lookup_for_exclusion(self, small_db):
+        small_db.insert_rows("r", [(1,)])  # duplicate of value 1
+        resolver = ProvenanceMembership(small_db, duplicate_free=False)
+        resolver.prime({fact("r", (1,)): vertex("r", 0)})
+        # some_vertex may use the hint...
+        assert resolver.some_vertex(fact("r", (1,))) == vertex("r", 0)
+        # ...but all_vertices must see BOTH copies.
+        vertices = resolver.all_vertices(fact("r", (1,)))
+        assert vertices == frozenset({vertex("r", 0), vertex("r", 2)})
+        assert resolver.stats.db_queries == 1
+
+
+class TestFactory:
+    def test_known_strategies(self, small_db):
+        assert isinstance(make_membership("query", small_db), QueryMembership)
+        assert isinstance(make_membership("cached", small_db), CachedMembership)
+        assert isinstance(
+            make_membership("provenance", small_db), ProvenanceMembership
+        )
+
+    def test_unknown_strategy(self, small_db):
+        with pytest.raises(ValueError, match="unknown membership strategy"):
+            make_membership("psychic", small_db)

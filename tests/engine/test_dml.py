@@ -1,0 +1,131 @@
+"""Tests for DDL / DML execution through the Database facade."""
+
+import pytest
+
+from repro.engine import Database
+from repro.errors import CatalogError, ExecutionError, SchemaError
+
+
+class TestCreateDrop:
+    def test_create_and_describe(self, db):
+        db.execute("CREATE TABLE t (a INTEGER, b TEXT NOT NULL, PRIMARY KEY (a))")
+        schema = db.table("t").schema
+        assert schema.column_names == ("a", "b")
+        assert schema.primary_key == ("a",)
+        assert not schema.column("b").nullable
+
+    def test_create_duplicate_rejected(self, db):
+        db.execute("CREATE TABLE t (a INTEGER)")
+        with pytest.raises(CatalogError):
+            db.execute("CREATE TABLE t (a INTEGER)")
+
+    def test_if_not_exists(self, db):
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.execute("CREATE TABLE IF NOT EXISTS t (a INTEGER)")  # no error
+
+    def test_drop(self, db):
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.execute("DROP TABLE t")
+        with pytest.raises(CatalogError):
+            db.query("SELECT * FROM t")
+
+
+class TestInsert:
+    def test_insert_rowcount(self, db):
+        db.execute("CREATE TABLE t (a INTEGER, b TEXT)")
+        result = db.execute("INSERT INTO t VALUES (1,'x'), (2,'y')")
+        assert result.rowcount == 2
+
+    def test_insert_with_columns_fills_nulls(self, db):
+        db.execute("CREATE TABLE t (a INTEGER, b TEXT, c REAL)")
+        db.execute("INSERT INTO t (c, a) VALUES (1.5, 7)")
+        assert db.query("SELECT * FROM t").rows == [(7, None, 1.5)]
+
+    def test_insert_arity_mismatch(self, db):
+        db.execute("CREATE TABLE t (a INTEGER, b TEXT)")
+        with pytest.raises(SchemaError):
+            db.execute("INSERT INTO t VALUES (1)")
+        with pytest.raises(ExecutionError):
+            db.execute("INSERT INTO t (a) VALUES (1, 'x')")
+
+    def test_insert_not_null_violation(self, db):
+        db.execute("CREATE TABLE t (a INTEGER NOT NULL)")
+        with pytest.raises(SchemaError):
+            db.execute("INSERT INTO t VALUES (NULL)")
+
+    def test_insert_expression_values(self, db):
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.execute("INSERT INTO t VALUES (1 + 2 * 3)")
+        assert db.query("SELECT a FROM t").scalar() == 7
+
+    def test_key_uniqueness_not_enforced(self, db):
+        # Deliberate: Hippo queries databases that VIOLATE their keys.
+        db.execute("CREATE TABLE t (a INTEGER PRIMARY KEY, b TEXT)")
+        db.execute("INSERT INTO t VALUES (1,'x'), (1,'y')")
+        assert len(db.query("SELECT * FROM t").rows) == 2
+
+
+class TestDeleteUpdate:
+    def test_delete_where(self, db):
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.execute("INSERT INTO t VALUES (1), (2), (3)")
+        result = db.execute("DELETE FROM t WHERE a >= 2")
+        assert result.rowcount == 2
+        assert db.query("SELECT a FROM t").rows == [(1,)]
+
+    def test_delete_all(self, db):
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.execute("INSERT INTO t VALUES (1), (2)")
+        assert db.execute("DELETE FROM t").rowcount == 2
+
+    def test_update(self, db):
+        db.execute("CREATE TABLE t (a INTEGER, b TEXT)")
+        db.execute("INSERT INTO t VALUES (1,'x'), (2,'y')")
+        result = db.execute("UPDATE t SET a = a * 10 WHERE b = 'y'")
+        assert result.rowcount == 1
+        assert sorted(db.query("SELECT a FROM t").rows) == [(1,), (20,)]
+
+    def test_update_swaps_columns_simultaneously(self, db):
+        db.execute("CREATE TABLE t (a INTEGER, b INTEGER)")
+        db.execute("INSERT INTO t VALUES (1, 2)")
+        db.execute("UPDATE t SET a = b, b = a")
+        assert db.query("SELECT a, b FROM t").rows == [(2, 1)]
+
+    def test_update_preserves_tid(self, db):
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.execute("INSERT INTO t VALUES (1)")
+        tid = next(db.table("t").tids())
+        db.execute("UPDATE t SET a = 5")
+        assert db.table("t").get(tid) == (5,)
+
+
+class TestFacade:
+    def test_execute_script(self, db):
+        results = db.execute_script(
+            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT a FROM t"
+        )
+        assert results[-1].rows == [(1,)]
+
+    def test_query_rejects_dml(self, db):
+        with pytest.raises(ExecutionError):
+            db.query("CREATE TABLE t (a INT)")
+
+    def test_scalar_shape_check(self, db):
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("INSERT INTO t VALUES (1), (2)")
+        with pytest.raises(ExecutionError):
+            db.query("SELECT a FROM t").scalar()
+
+    def test_lookup_counts_stats(self, db):
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("INSERT INTO t VALUES (1)")
+        db.stats.reset()
+        assert db.lookup("t", (1,)) == frozenset({0})
+        assert db.lookup("t", (9,)) == frozenset()
+        assert db.stats.point_lookups == 2
+
+    def test_statements_counted(self, db):
+        db.stats.reset()
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("INSERT INTO t VALUES (1)")
+        assert db.stats.statements == 2

@@ -1,0 +1,188 @@
+"""Unit tests for the expression compiler / evaluator."""
+
+import pytest
+
+from repro.engine.expressions import ExpressionCompiler, Scope, like_to_regex
+from repro.errors import ExecutionError, PlanError, TypeError_
+from repro.sql.parser import parse_expression
+
+
+def evaluate(text, row=(), entries=(), outer=()):
+    """Compile ``text`` against ``entries`` and evaluate on ``row``."""
+    scope = Scope(list(entries))
+    compiler = ExpressionCompiler(scope)
+    evaluator = compiler.compile(parse_expression(text))
+    return evaluator((tuple(row),) + tuple(outer))
+
+
+R_AB = [(None, "a"), (None, "b")]
+
+
+class TestArithmetic:
+    def test_basic(self):
+        assert evaluate("1 + 2 * 3") == 7
+        assert evaluate("-(2 - 5)") == 3
+
+    def test_integer_division_truncates_toward_zero(self):
+        assert evaluate("7 / 2") == 3
+        assert evaluate("-7 / 2") == -3
+        assert evaluate("7.0 / 2") == 3.5
+
+    def test_modulo(self):
+        assert evaluate("7 % 3") == 1
+        assert evaluate("-7 % 3") == -1
+
+    def test_division_by_zero(self):
+        with pytest.raises(ExecutionError):
+            evaluate("1 / 0")
+        with pytest.raises(ExecutionError):
+            evaluate("1 % 0")
+
+    def test_null_propagation(self):
+        assert evaluate("1 + NULL") is None
+        assert evaluate("-a", row=(None,), entries=[(None, "a")]) is None
+
+    def test_type_errors(self):
+        with pytest.raises(TypeError_):
+            evaluate("'x' + 1")
+
+
+class TestComparisonsAndLogic:
+    def test_comparisons(self):
+        assert evaluate("1 < 2") is True
+        assert evaluate("2 <> 2") is False
+        assert evaluate("'a' <= 'b'") is True
+
+    def test_null_comparison_unknown(self):
+        assert evaluate("NULL = NULL") is None
+        assert evaluate("1 > NULL") is None
+
+    def test_three_valued_where_semantics(self):
+        # FALSE AND unknown is FALSE; TRUE OR unknown is TRUE.
+        assert evaluate("1 = 2 AND NULL = 1") is False
+        assert evaluate("1 = 1 OR NULL = 1") is True
+        assert evaluate("1 = 1 AND NULL = 1") is None
+
+    def test_not(self):
+        assert evaluate("NOT 1 = 2") is True
+        assert evaluate("NOT NULL = 1") is None
+
+    def test_boolean_type_enforced(self):
+        with pytest.raises(TypeError_):
+            evaluate("1 AND 2")
+
+
+class TestPredicates:
+    def test_in_list(self):
+        assert evaluate("2 IN (1, 2, 3)") is True
+        assert evaluate("5 NOT IN (1, 2)") is True
+
+    def test_in_list_null_semantics(self):
+        assert evaluate("NULL IN (1)") is None
+        assert evaluate("2 IN (1, NULL)") is None  # not found, NULL present
+        assert evaluate("1 IN (1, NULL)") is True
+        assert evaluate("2 NOT IN (1, NULL)") is None
+
+    def test_between(self):
+        assert evaluate("2 BETWEEN 1 AND 3") is True
+        assert evaluate("0 NOT BETWEEN 1 AND 3") is True
+        assert evaluate("NULL BETWEEN 1 AND 3") is None
+
+    def test_is_null(self):
+        assert evaluate("NULL IS NULL") is True
+        assert evaluate("1 IS NOT NULL") is True
+
+    def test_like(self):
+        assert evaluate("'hello' LIKE 'h%'") is True
+        assert evaluate("'hello' LIKE 'h_llo'") is True
+        assert evaluate("'hello' NOT LIKE '%z%'") is True
+        assert evaluate("NULL LIKE 'x'") is None
+
+    def test_like_escapes_regex_chars(self):
+        assert evaluate("'a.c' LIKE 'a.c'") is True
+        assert evaluate("'abc' LIKE 'a.c'") is False
+
+    def test_like_to_regex(self):
+        assert like_to_regex("a%b_").match("aXYbZ")
+        assert not like_to_regex("a%").match("ba")
+
+
+class TestCase:
+    def test_searched(self):
+        assert evaluate("CASE WHEN 1 = 2 THEN 'x' WHEN 1 = 1 THEN 'y' END") == "y"
+        assert evaluate("CASE WHEN 1 = 2 THEN 'x' END") is None
+
+    def test_simple(self):
+        text = "CASE a WHEN 1 THEN 'one' WHEN 2 THEN 'two' ELSE 'many' END"
+        assert evaluate(text, row=(2, 0), entries=R_AB) == "two"
+        assert evaluate(text, row=(9, 0), entries=R_AB) == "many"
+
+
+class TestFunctions:
+    def test_scalar_functions(self):
+        assert evaluate("ABS(-3)") == 3
+        assert evaluate("LOWER('AbC')") == "abc"
+        assert evaluate("UPPER('x')") == "X"
+        assert evaluate("LENGTH('abcd')") == 4
+        assert evaluate("SUBSTR('hello', 2, 3)") == "ell"
+        assert evaluate("ROUND(3.456, 1)") == 3.5
+
+    def test_null_propagation(self):
+        assert evaluate("ABS(NULL)") is None
+
+    def test_coalesce_and_nullif(self):
+        assert evaluate("COALESCE(NULL, NULL, 3)") == 3
+        assert evaluate("COALESCE(NULL)") is None
+        assert evaluate("NULLIF(1, 1)") is None
+        assert evaluate("NULLIF(1, 2)") == 1
+        assert evaluate("IFNULL(NULL, 9)") == 9
+
+    def test_unknown_function(self):
+        with pytest.raises(ExecutionError):
+            evaluate("FROBNICATE(1)")
+
+    def test_aggregate_outside_grouping_rejected(self):
+        with pytest.raises(PlanError):
+            evaluate("SUM(a)", row=(1,), entries=[(None, "a")])
+
+    def test_concat(self):
+        assert evaluate("'a' || 'b'") == "ab"
+        assert evaluate("'a' || NULL") is None
+        with pytest.raises(TypeError_):
+            evaluate("'a' || 1")
+
+
+class TestScopeResolution:
+    def test_column_lookup(self):
+        assert evaluate("a + b", row=(2, 3), entries=R_AB) == 5
+
+    def test_qualified_lookup(self):
+        entries = [("r", "a"), ("s", "a")]
+        assert evaluate("r.a - s.a", row=(5, 2), entries=entries) == 3
+
+    def test_ambiguous_unqualified(self):
+        entries = [("r", "a"), ("s", "a")]
+        with pytest.raises(PlanError, match="ambiguous"):
+            evaluate("a", row=(1, 2), entries=entries)
+
+    def test_unknown_column(self):
+        with pytest.raises(PlanError, match="unknown column"):
+            evaluate("zzz", row=(), entries=R_AB)
+
+    def test_outer_scope_reference(self):
+        outer_scope = Scope([(None, "x")], None, 0)
+        inner_scope = Scope([(None, "a")], outer_scope, 1)
+        compiler = ExpressionCompiler(inner_scope)
+        evaluator = compiler.compile(parse_expression("a + x"))
+        assert evaluator(((1,), (10,))) == 11
+        assert compiler.outer_captures == {(1, 0)}
+
+    def test_capture_hook_invoked(self):
+        captured = []
+        outer_scope = Scope([(None, "x")], None, 0)
+        inner_scope = Scope([(None, "a")], outer_scope, 1)
+        compiler = ExpressionCompiler(
+            inner_scope, capture_hook=lambda d, i: captured.append((d, i))
+        )
+        compiler.compile(parse_expression("x"))
+        assert captured == [(1, 0)]

@@ -1,0 +1,142 @@
+"""Tests for SQL dump / restore and CSV import / export."""
+
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import Database
+from repro.engine.io import dump_csv, dump_sql, load_csv, restore_sql
+from repro.errors import SchemaError
+
+
+class TestDumpRestore:
+    def test_round_trip(self, emp_db):
+        script = dump_sql(emp_db)
+        restored = restore_sql(script)
+        assert restored.catalog.table_names() == emp_db.catalog.table_names()
+        assert sorted(restored.table("emp").rows()) == sorted(
+            emp_db.table("emp").rows()
+        )
+        assert restored.table("emp").schema.primary_key == ("name",)
+
+    def test_dump_escapes_strings(self, db):
+        db.execute("CREATE TABLE t (s TEXT)")
+        db.execute("INSERT INTO t VALUES ('o''brien')")
+        restored = restore_sql(dump_sql(db))
+        assert list(restored.table("t").rows()) == [("o'brien",)]
+
+    def test_dump_nulls_and_booleans(self, db):
+        db.execute("CREATE TABLE t (a INTEGER, b BOOLEAN)")
+        db.execute("INSERT INTO t VALUES (NULL, TRUE), (2, NULL)")
+        restored = restore_sql(dump_sql(db))
+        assert sorted(restored.table("t").rows(), key=repr) == sorted(
+            [(None, True), (2, None)], key=repr
+        )
+
+    def test_not_null_preserved(self, db):
+        db.execute("CREATE TABLE t (a INTEGER NOT NULL)")
+        restored = restore_sql(dump_sql(db))
+        assert not restored.table("t").schema.columns[0].nullable
+
+    def test_empty_database(self, db):
+        assert dump_sql(db) == ""
+
+    def test_subset_of_tables(self, two_table_db):
+        script = dump_sql(two_table_db, ["s"])
+        restored = restore_sql(script)
+        assert restored.catalog.table_names() == ["s"]
+
+    def test_large_table_chunks(self, db):
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.insert_rows("t", [(i,) for i in range(1203)])
+        restored = restore_sql(dump_sql(db))
+        assert len(restored.table("t")) == 1203
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.one_of(st.none(), st.integers(-5, 5)),
+                st.one_of(st.none(), st.text(alphabet="ab'\"x ", max_size=5)),
+            ),
+            max_size=8,
+        )
+    )
+    def test_round_trip_property(self, rows):
+        db = Database()
+        db.execute("CREATE TABLE t (a INTEGER, b TEXT)")
+        db.insert_rows("t", rows)
+        restored = restore_sql(dump_sql(db))
+        assert sorted(restored.table("t").rows(), key=repr) == sorted(
+            db.table("t").rows(), key=repr
+        )
+
+
+class TestCSV:
+    def test_load_with_header_any_order(self, db):
+        db.execute("CREATE TABLE t (a INTEGER, name TEXT, ok BOOLEAN)")
+        source = io.StringIO("name,ok,a\nann,true,1\nbob,false,2\n")
+        assert load_csv(db, "t", source) == 2
+        assert sorted(db.table("t").rows()) == [
+            (1, "ann", True),
+            (2, "bob", False),
+        ]
+
+    def test_load_positional(self, db):
+        db.execute("CREATE TABLE t (a INTEGER, s REAL)")
+        source = io.StringIO("1,2.5\n3,4.5\n")
+        assert load_csv(db, "t", source, has_header=False) == 2
+        assert list(db.table("t").rows()) == [(1, 2.5), (3, 4.5)]
+
+    def test_empty_field_is_null(self, db):
+        db.execute("CREATE TABLE t (a INTEGER, s TEXT)")
+        load_csv(db, "t", io.StringIO("a,s\n,x\n2,\n"))
+        assert list(db.table("t").rows()) == [(None, "x"), (2, None)]
+
+    def test_unknown_header_column(self, db):
+        db.execute("CREATE TABLE t (a INTEGER)")
+        with pytest.raises(SchemaError):
+            load_csv(db, "t", io.StringIO("zz\n1\n"))
+
+    def test_arity_mismatch(self, db):
+        db.execute("CREATE TABLE t (a INTEGER, b INTEGER)")
+        with pytest.raises(SchemaError):
+            load_csv(db, "t", io.StringIO("a,b\n1\n"))
+        with pytest.raises(SchemaError):
+            load_csv(db, "t", io.StringIO("1,2,3\n"), has_header=False)
+
+    def test_bad_boolean(self, db):
+        db.execute("CREATE TABLE t (ok BOOLEAN)")
+        with pytest.raises(SchemaError):
+            load_csv(db, "t", io.StringIO("ok\nmaybe\n"))
+
+    def test_empty_file_with_header_flag(self, db):
+        db.execute("CREATE TABLE t (a INTEGER)")
+        assert load_csv(db, "t", io.StringIO("")) == 0
+
+    def test_dump_then_load_round_trip(self, emp_db):
+        target = io.StringIO()
+        count = dump_csv(emp_db, "emp", target)
+        assert count == 6
+        fresh = Database()
+        fresh.execute(
+            "CREATE TABLE emp (name TEXT, dept TEXT, salary INTEGER)"
+        )
+        target.seek(0)
+        assert load_csv(fresh, "emp", target) == 6
+        assert sorted(fresh.table("emp").rows()) == sorted(
+            emp_db.table("emp").rows()
+        )
+
+    def test_integration_through_cqa(self, db):
+        """Two CSV sources -> one table -> consistent answers."""
+        from repro import HippoEngine
+        from repro.constraints import FunctionalDependency
+
+        db.execute("CREATE TABLE c (id INTEGER, city TEXT)")
+        load_csv(db, "c", io.StringIO("id,city\n1,buffalo\n2,cracow\n"))
+        load_csv(db, "c", io.StringIO("id,city\n2,delft\n3,athens\n"))
+        hippo = HippoEngine(db, [FunctionalDependency("c", ["id"], ["city"])])
+        answers = hippo.consistent_answers("SELECT * FROM c")
+        assert answers.as_set() == {(1, "buffalo"), (3, "athens")}

@@ -1,0 +1,138 @@
+"""Unit tests for table schemas, heap storage and the catalog."""
+
+import pytest
+
+from repro.engine.catalog import Catalog
+from repro.engine.schema import Column, TableSchema, make_schema
+from repro.engine.storage import Table
+from repro.engine.types import SQLType
+from repro.errors import CatalogError, ExecutionError, SchemaError
+
+
+def r_schema(**kwargs):
+    return make_schema(
+        "r", [("a", SQLType.INTEGER), ("b", SQLType.TEXT)], **kwargs
+    )
+
+
+class TestSchema:
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SchemaError):
+            make_schema("r", [("a", SQLType.INTEGER), ("A", SQLType.TEXT)])
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(SchemaError):
+            make_schema("r", [("a", SQLType.INTEGER)], primary_key=["z"])
+
+    def test_index_of_case_insensitive(self):
+        schema = r_schema()
+        assert schema.index_of("A") == 0
+        assert schema.index_of("b") == 1
+        with pytest.raises(SchemaError):
+            schema.index_of("c")
+
+    def test_coerce_row_arity(self):
+        schema = r_schema()
+        with pytest.raises(SchemaError):
+            schema.coerce_row((1,))
+
+    def test_coerce_row_not_null(self):
+        schema = make_schema("r", [Column("a", SQLType.INTEGER, nullable=False)])
+        with pytest.raises(SchemaError):
+            schema.coerce_row((None,))
+
+    def test_key_indexes(self):
+        schema = r_schema(primary_key=["b"])
+        assert schema.key_indexes() == (1,)
+
+
+class TestTable:
+    def test_insert_assigns_increasing_tids(self):
+        table = Table(r_schema())
+        t0 = table.insert((1, "x"))
+        t1 = table.insert((2, "y"))
+        assert (t0, t1) == (0, 1)
+        assert table.get(t1) == (2, "y")
+
+    def test_lookup_by_value(self):
+        table = Table(r_schema())
+        table.insert((1, "x"))
+        table.insert((1, "x"))  # duplicate gets its own tid
+        table.insert((2, "y"))
+        assert len(table.lookup((1, "x"))) == 2
+        assert table.lookup((9, "z")) == frozenset()
+        assert table.has_duplicates()
+
+    def test_delete_updates_value_index(self):
+        table = Table(r_schema())
+        tid = table.insert((1, "x"))
+        table.delete(tid)
+        assert table.lookup((1, "x")) == frozenset()
+        assert len(table) == 0
+        with pytest.raises(ExecutionError):
+            table.delete(tid)
+
+    def test_update_keeps_tid(self):
+        table = Table(r_schema())
+        tid = table.insert((1, "x"))
+        table.update(tid, (5, "z"))
+        assert table.get(tid) == (5, "z")
+        assert table.lookup((1, "x")) == frozenset()
+        assert tid in table.lookup((5, "z"))
+
+    def test_update_missing_tid(self):
+        table = Table(r_schema())
+        with pytest.raises(ExecutionError):
+            table.update(3, (1, "x"))
+
+    def test_contains_by_value(self):
+        table = Table(r_schema())
+        table.insert((1, "x"))
+        assert (1, "x") in table
+        assert (2, "x") not in table
+
+    def test_restricted_rows(self):
+        table = Table(r_schema())
+        tids = [table.insert((i, "v")) for i in range(4)]
+        kept = frozenset(tids[:2])
+        rows = list(table.restricted_rows(kept))
+        assert [tid for tid, _row in rows] == tids[:2]
+        assert len(list(table.restricted_rows(None))) == 4
+
+    def test_coercion_on_insert(self):
+        table = Table(make_schema("r", [("a", SQLType.REAL)]))
+        table.insert((1,))
+        assert table.get(0) == (1.0,)
+
+
+class TestCatalog:
+    def test_create_and_lookup(self):
+        catalog = Catalog()
+        catalog.create_table(r_schema())
+        assert catalog.has_table("R")
+        assert catalog.table("r").schema.name == "r"
+
+    def test_duplicate_table_rejected(self):
+        catalog = Catalog()
+        catalog.create_table(r_schema())
+        with pytest.raises(CatalogError):
+            catalog.create_table(r_schema())
+
+    def test_drop(self):
+        catalog = Catalog()
+        catalog.create_table(r_schema())
+        catalog.drop_table("R")
+        assert not catalog.has_table("r")
+        with pytest.raises(CatalogError):
+            catalog.drop_table("r")
+        catalog.drop_table("r", if_exists=True)  # no error
+
+    def test_unknown_table(self):
+        with pytest.raises(CatalogError):
+            Catalog().table("nope")
+
+    def test_table_names_order(self):
+        catalog = Catalog()
+        catalog.create_table(make_schema("x", [("a", SQLType.INTEGER)]))
+        catalog.create_table(make_schema("y", [("a", SQLType.INTEGER)]))
+        assert catalog.table_names() == ["x", "y"]

@@ -1,0 +1,97 @@
+"""Tests for GROUP BY / HAVING / aggregate SQL."""
+
+import pytest
+
+from repro.engine import Database
+from repro.errors import PlanError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE sale (dept TEXT, amount INTEGER, region TEXT)")
+    database.execute(
+        "INSERT INTO sale VALUES"
+        " ('cs', 10, 'east'), ('cs', 20, 'west'), ('ee', 5, 'east'),"
+        " ('ee', NULL, 'west'), ('me', 7, 'east')"
+    )
+    return database
+
+
+class TestGroupBy:
+    def test_count_sum_min_max_avg(self, db):
+        rows = db.query(
+            "SELECT dept, COUNT(*), SUM(amount), MIN(amount), MAX(amount),"
+            " AVG(amount) FROM sale GROUP BY dept"
+        ).rows
+        assert sorted(rows) == [
+            ("cs", 2, 30, 10, 20, 15.0),
+            ("ee", 2, 5, 5, 5, 5.0),  # NULL ignored by SUM/MIN/MAX/AVG
+            ("me", 1, 7, 7, 7, 7.0),
+        ]
+
+    def test_count_column_ignores_nulls(self, db):
+        rows = db.query("SELECT dept, COUNT(amount) FROM sale GROUP BY dept").rows
+        assert ("ee", 1) in rows
+
+    def test_group_by_expression(self, db):
+        rows = db.query(
+            "SELECT amount % 2, COUNT(*) FROM sale WHERE amount IS NOT NULL"
+            " GROUP BY amount % 2"
+        ).rows
+        assert sorted(rows) == [(0, 2), (1, 2)]
+
+    def test_having(self, db):
+        rows = db.query(
+            "SELECT dept FROM sale GROUP BY dept HAVING COUNT(*) > 1"
+        ).rows
+        assert sorted(rows) == [("cs",), ("ee",)]
+
+    def test_having_with_arithmetic_over_aggregates(self, db):
+        rows = db.query(
+            "SELECT dept, SUM(amount) + 1 FROM sale GROUP BY dept"
+            " HAVING SUM(amount) + 1 > 7"
+        ).rows
+        assert sorted(rows) == [("cs", 31), ("me", 8)]
+
+    def test_global_aggregate(self, db):
+        assert db.query("SELECT COUNT(*) FROM sale").scalar() == 5
+        assert db.query("SELECT SUM(amount) FROM sale").scalar() == 42
+
+    def test_global_aggregate_on_empty_table(self, db):
+        db.execute("DELETE FROM sale")
+        assert db.query("SELECT COUNT(*) FROM sale").scalar() == 0
+        assert db.query("SELECT SUM(amount) FROM sale").scalar() is None
+
+    def test_having_without_group_by(self, db):
+        rows = db.query("SELECT COUNT(*) FROM sale HAVING COUNT(*) > 99").rows
+        assert rows == []
+
+    def test_distinct_aggregate(self, db):
+        db.execute("INSERT INTO sale VALUES ('cs', 10, 'north')")
+        assert (
+            db.query("SELECT COUNT(DISTINCT amount) FROM sale WHERE dept='cs'").scalar()
+            == 2
+        )
+
+    def test_group_key_required_in_select(self, db):
+        with pytest.raises(PlanError, match="GROUP BY"):
+            db.query("SELECT region, COUNT(*) FROM sale GROUP BY dept")
+
+    def test_aggregate_of_expression(self, db):
+        assert (
+            db.query("SELECT SUM(amount * 2) FROM sale WHERE dept = 'cs'").scalar()
+            == 60
+        )
+
+    def test_group_by_with_where(self, db):
+        rows = db.query(
+            "SELECT dept, COUNT(*) FROM sale WHERE region = 'east' GROUP BY dept"
+        ).rows
+        assert sorted(rows) == [("cs", 1), ("ee", 1), ("me", 1)]
+
+    def test_order_by_after_group(self, db):
+        rows = db.query(
+            "SELECT dept, COUNT(*) AS n FROM sale GROUP BY dept ORDER BY n DESC, dept"
+        ).rows
+        assert rows[0][1] == 2 and rows[-1] == ("me", 1)

@@ -1,0 +1,157 @@
+"""Engine corner cases exercised end-to-end through SQL."""
+
+import pytest
+
+from repro.engine import Database
+from repro.errors import ExecutionError, TypeError_
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE t (a INTEGER, name TEXT, score REAL, active BOOLEAN)"
+    )
+    database.execute(
+        "INSERT INTO t VALUES"
+        " (1, 'ann', 1.5, TRUE),"
+        " (2, 'bob', NULL, FALSE),"
+        " (3, NULL, 2.5, NULL),"
+        " (4, 'o''brien', 0.5, TRUE)"
+    )
+    return database
+
+
+class TestNullHandling:
+    def test_where_null_filters_row(self, db):
+        rows = db.query("SELECT a FROM t WHERE score > 1").rows
+        assert sorted(rows) == [(1,), (3,)]  # NULL score row filtered
+
+    def test_is_null(self, db):
+        assert db.query("SELECT a FROM t WHERE name IS NULL").rows == [(3,)]
+        assert len(db.query("SELECT a FROM t WHERE name IS NOT NULL").rows) == 3
+
+    def test_null_ordering_first(self, db):
+        rows = db.query("SELECT name FROM t ORDER BY name").rows
+        assert rows[0] == (None,)
+
+    def test_coalesce_in_projection(self, db):
+        rows = db.query("SELECT COALESCE(name, 'unknown') FROM t WHERE a = 3").rows
+        assert rows == [("unknown",)]
+
+
+class TestTextAndCase:
+    def test_like_end_to_end(self, db):
+        rows = db.query("SELECT a FROM t WHERE name LIKE '%n%'").rows
+        assert sorted(rows) == [(1,), (4,)]
+
+    def test_escaped_quote_round_trip(self, db):
+        rows = db.query("SELECT a FROM t WHERE name = 'o''brien'").rows
+        assert rows == [(4,)]
+
+    def test_case_expression(self, db):
+        rows = db.query(
+            "SELECT a, CASE WHEN score >= 1.5 THEN 'high' WHEN score IS NULL"
+            " THEN 'unknown' ELSE 'low' END FROM t ORDER BY a"
+        ).rows
+        assert rows == [
+            (1, "high"),
+            (2, "unknown"),
+            (3, "high"),
+            (4, "low"),
+        ]
+
+    def test_concat_and_functions(self, db):
+        rows = db.query(
+            "SELECT UPPER(name) || '!' FROM t WHERE a = 1"
+        ).rows
+        assert rows == [("ANN!",)]
+
+
+class TestBooleans:
+    def test_boolean_column_as_condition(self, db):
+        rows = db.query("SELECT a FROM t WHERE active").rows
+        assert sorted(rows) == [(1,), (4,)]
+
+    def test_not_boolean_column(self, db):
+        assert db.query("SELECT a FROM t WHERE NOT active").rows == [(2,)]
+        # NULL active is neither.
+
+    def test_boolean_literals_in_comparison(self, db):
+        rows = db.query("SELECT a FROM t WHERE active = FALSE").rows
+        assert rows == [(2,)]
+
+
+class TestTypeErrors:
+    def test_text_compared_to_int_raises(self, db):
+        with pytest.raises(TypeError_):
+            db.query("SELECT * FROM t WHERE name > 1")
+
+    def test_arithmetic_on_text_raises(self, db):
+        with pytest.raises(TypeError_):
+            db.query("SELECT name + 1 FROM t")
+
+    def test_division_by_zero(self, db):
+        with pytest.raises(ExecutionError):
+            db.query("SELECT a / 0 FROM t")
+
+
+class TestNesting:
+    def test_nested_derived_tables(self, db):
+        rows = db.query(
+            "SELECT z.a FROM (SELECT y.a FROM (SELECT a FROM t WHERE a > 1)"
+            " AS y WHERE y.a < 4) AS z"
+        ).rows
+        assert sorted(rows) == [(2,), (3,)]
+
+    def test_set_op_inside_derived_table(self, db):
+        rows = db.query(
+            "SELECT d.a FROM ((SELECT a FROM t WHERE a <= 2) UNION"
+            " (SELECT a FROM t WHERE a >= 3)) AS d ORDER BY d.a"
+        ).rows
+        assert rows == [(1,), (2,), (3,), (4,)]
+
+    def test_in_list_with_expressions(self, db):
+        rows = db.query("SELECT a FROM t WHERE a IN (1 + 1, 8 / 2)").rows
+        assert sorted(rows) == [(2,), (4,)]
+
+
+class TestBagSemantics:
+    def test_union_all_vs_union(self, db):
+        all_rows = db.query(
+            "SELECT active FROM t UNION ALL SELECT active FROM t"
+        ).rows
+        distinct_rows = db.query(
+            "SELECT active FROM t UNION SELECT active FROM t"
+        ).rows
+        assert len(all_rows) == 8
+        assert sorted(distinct_rows, key=repr) == sorted(
+            {(True,), (False,), (None,)}, key=repr
+        )
+
+    def test_except_all_through_sql(self, db):
+        db.execute("CREATE TABLE u (x INTEGER)")
+        db.execute("INSERT INTO u VALUES (1), (1), (1), (2)")
+        rows = db.query(
+            "SELECT x FROM u EXCEPT ALL SELECT 1"
+        ).rows
+        assert sorted(rows) == [(1,), (1,), (2,)]
+
+    def test_intersect_all_through_sql(self, db):
+        db.execute("CREATE TABLE u (x INTEGER)")
+        db.execute("INSERT INTO u VALUES (1), (1), (2)")
+        rows = db.query(
+            "SELECT x FROM u INTERSECT ALL (SELECT 1 UNION ALL SELECT 1)"
+        ).rows
+        assert rows == [(1,), (1,)]
+
+
+class TestRealCoercion:
+    def test_integer_stored_as_real(self, db):
+        db.execute("INSERT INTO t VALUES (5, 'eve', 3, TRUE)")
+        rows = db.query("SELECT score FROM t WHERE a = 5").rows
+        assert rows == [(3.0,)] and isinstance(rows[0][0], float)
+
+    def test_mixed_numeric_comparison(self, db):
+        rows = db.query("SELECT a FROM t WHERE score = 1.5").rows
+        assert rows == [(1,)]

@@ -1,0 +1,142 @@
+"""Unit tests for the SQL value model and three-valued logic."""
+
+import pytest
+
+from repro.engine.types import (
+    SQLType,
+    coerce_value,
+    compare_values,
+    format_value,
+    infer_type,
+    is_true,
+    literal_sql,
+    logic_and,
+    logic_not,
+    logic_or,
+    python_type_of,
+    sort_key,
+    type_from_name,
+    values_equal,
+)
+from repro.errors import TypeError_
+
+
+class TestTypeNames:
+    def test_synonyms_resolve(self):
+        assert type_from_name("int") is SQLType.INTEGER
+        assert type_from_name("VARCHAR") is SQLType.TEXT
+        assert type_from_name("double") is SQLType.REAL
+        assert type_from_name("Bool") is SQLType.BOOLEAN
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeError_):
+            type_from_name("blob")
+
+    def test_python_types(self):
+        assert python_type_of(SQLType.INTEGER) is int
+        assert python_type_of(SQLType.TEXT) is str
+
+
+class TestInferType:
+    def test_null_has_no_type(self):
+        assert infer_type(None) is None
+
+    def test_bool_before_int(self):
+        # bool is an int subclass; it must classify as BOOLEAN.
+        assert infer_type(True) is SQLType.BOOLEAN
+        assert infer_type(1) is SQLType.INTEGER
+
+    def test_unknown_value_raises(self):
+        with pytest.raises(TypeError_):
+            infer_type([1, 2])
+
+
+class TestCoercion:
+    def test_null_always_accepted(self):
+        assert coerce_value(None, SQLType.INTEGER) is None
+
+    def test_int_widens_to_real(self):
+        assert coerce_value(3, SQLType.REAL) == 3.0
+        assert isinstance(coerce_value(3, SQLType.REAL), float)
+
+    def test_integral_real_narrows(self):
+        assert coerce_value(3.0, SQLType.INTEGER) == 3
+
+    def test_fractional_real_rejected_for_integer(self):
+        with pytest.raises(TypeError_):
+            coerce_value(3.5, SQLType.INTEGER)
+
+    def test_text_rejected_for_integer(self):
+        with pytest.raises(TypeError_):
+            coerce_value("3", SQLType.INTEGER)
+
+    def test_bool_not_coerced_to_int(self):
+        with pytest.raises(TypeError_):
+            coerce_value(True, SQLType.INTEGER)
+
+
+class TestComparison:
+    def test_null_comparisons_unknown(self):
+        assert compare_values(None, 1) is None
+        assert compare_values("x", None) is None
+        assert values_equal(None, None) is None
+
+    def test_numeric_cross_type(self):
+        assert compare_values(1, 1.0) == 0
+        assert compare_values(1, 1.5) == -1
+
+    def test_text_ordering(self):
+        assert compare_values("abc", "abd") == -1
+        assert compare_values("b", "b") == 0
+
+    def test_incomparable_types_raise(self):
+        with pytest.raises(TypeError_):
+            compare_values(1, "1")
+        with pytest.raises(TypeError_):
+            compare_values(True, 1)
+
+
+class TestThreeValuedLogic:
+    def test_and_truth_table(self):
+        assert logic_and(True, True) is True
+        assert logic_and(True, False) is False
+        assert logic_and(False, None) is False  # false dominates unknown
+        assert logic_and(True, None) is None
+        assert logic_and(None, None) is None
+
+    def test_or_truth_table(self):
+        assert logic_or(False, False) is False
+        assert logic_or(True, None) is True  # true dominates unknown
+        assert logic_or(False, None) is None
+        assert logic_or(None, None) is None
+
+    def test_not(self):
+        assert logic_not(True) is False
+        assert logic_not(False) is True
+        assert logic_not(None) is None
+
+    def test_is_true_selects_only_true(self):
+        assert is_true(True)
+        assert not is_true(None)
+        assert not is_true(False)
+
+
+class TestRendering:
+    def test_sort_key_total_order(self):
+        values = ["b", None, 2, True, 1.5, "a", False]
+        ordered = sorted(values, key=sort_key)
+        assert ordered[0] is None  # NULLs first
+        assert ordered[1:3] == [False, True]
+        assert ordered[3:5] == [1.5, 2]
+        assert ordered[5:] == ["a", "b"]
+
+    def test_format_value(self):
+        assert format_value(None) == "NULL"
+        assert format_value(True) == "TRUE"
+        assert format_value("hi") == "hi"
+        assert format_value(3) == "3"
+
+    def test_literal_sql_escapes_quotes(self):
+        assert literal_sql("o'brien") == "'o''brien'"
+        assert literal_sql(None) == "NULL"
+        assert literal_sql(False) == "FALSE"

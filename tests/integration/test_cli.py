@@ -1,0 +1,161 @@
+"""Tests for the interactive CLI frontend."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import HippoShell, _parse_cli_value, main
+
+
+def run_shell(script: str) -> str:
+    out = io.StringIO()
+    shell = HippoShell(out=out)
+    shell.run(script.splitlines())
+    return out.getvalue()
+
+
+SETUP = """
+CREATE TABLE emp (name TEXT, salary INTEGER);
+INSERT INTO emp VALUES ('ann', 10), ('ann', 20), ('bob', 5);
+.constraint FD emp: name -> salary
+"""
+
+
+class TestShellCommands:
+    def test_sql_and_consistent(self):
+        output = run_shell(SETUP + ".consistent SELECT * FROM emp;")
+        assert "(bob, 5)" in output
+        assert "1 consistent answer" in output
+
+    def test_possible(self):
+        output = run_shell(SETUP + ".possible SELECT * FROM emp;")
+        assert "3 possible answers" in output
+
+    def test_cleaned_and_raw(self):
+        output = run_shell(
+            SETUP + ".cleaned SELECT * FROM emp;\n.raw SELECT * FROM emp;"
+        )
+        assert "1 row" in output and "3 rows" in output
+
+    def test_detect_summary(self):
+        output = run_shell(SETUP + ".detect")
+        assert "1 edges" in output and "2 conflicting tuples" in output
+
+    def test_constraints_listing(self):
+        output = run_shell(SETUP + ".constraints")
+        assert "FD emp: name -> salary" in output
+
+    def test_rewrite_shows_sql(self):
+        output = run_shell(SETUP + ".rewrite SELECT * FROM emp;")
+        assert "NOT EXISTS" in output
+
+    def test_explain_shows_envelope(self):
+        output = run_shell(SETUP + ".explain SELECT * FROM emp WHERE salary > 1;")
+        assert "envelope: SELECT DISTINCT" in output
+
+    def test_why_consistent(self):
+        output = run_shell(SETUP + ".why SELECT * FROM emp ; 'bob', 5")
+        assert "consistent" in output
+
+    def test_why_inconsistent_names_counterexample(self):
+        output = run_shell(SETUP + ".why SELECT * FROM emp ; 'ann', 10")
+        assert "possible but not consistent" in output
+        assert "excluding" in output
+
+    def test_repair_count(self):
+        output = run_shell(SETUP + ".repairs")
+        assert "2 repairs" in output
+
+    def test_select_through_sql_path(self):
+        output = run_shell(
+            "CREATE TABLE t (a INTEGER);\nINSERT INTO t VALUES (1), (2);\n"
+            "SELECT a FROM t ORDER BY a;"
+        )
+        assert "(2 rows)" in output
+
+    def test_error_reported_not_raised(self):
+        output = run_shell("SELECT * FROM missing;")
+        assert "error:" in output
+
+    def test_blank_lines_and_comments_skipped(self):
+        output = run_shell("\n-- nothing\n  \n")
+        assert output == ""
+
+    def test_unknown_meta_command(self):
+        output = run_shell(".frobnicate")
+        assert "unknown command" in output
+
+    def test_quit_stops_processing(self):
+        output = run_shell(".quit\nSELECT * FROM missing;")
+        assert "error" not in output
+
+    def test_help(self):
+        output = run_shell(".help")
+        assert ".consistent" in output
+
+    def test_query_refresh_after_dml(self):
+        # The engine must re-detect conflicts after data changes.
+        script = SETUP + (
+            ".consistent SELECT * FROM emp;\n"
+            "DELETE FROM emp WHERE salary = 20;\n"
+            ".consistent SELECT * FROM emp;"
+        )
+        output = run_shell(script)
+        assert "2 consistent answers" in output  # ann(10) recovered
+
+
+class TestMultiLineStatements:
+    def test_insert_spanning_lines(self):
+        output = run_shell(
+            "CREATE TABLE t (a INTEGER);\n"
+            "INSERT INTO t VALUES\n  (1),\n  (2);\n"
+            "SELECT a FROM t;"
+        )
+        assert "(2 rows)" in output
+
+    def test_trailing_statement_without_semicolon_flushed(self):
+        output = run_shell("CREATE TABLE t (a INTEGER);\nSELECT 1 + 1")
+        assert "(1 rows)" in output
+
+    def test_meta_not_interpreted_mid_statement(self):
+        # A line starting with '.' inside a pending statement is SQL text
+        # (and will fail to parse) rather than a silent meta-command.
+        output = run_shell("SELECT\n.help\n;")
+        assert "error:" in output
+
+
+class TestScriptedDemo:
+    def test_edbt_demo_session(self):
+        from pathlib import Path
+
+        demo = (
+            Path(__file__).resolve().parents[2] / "demos" / "edbt_demo.hippo"
+        )
+        output = run_shell(demo.read_text())
+        assert "4 repairs" in output
+        assert "(ann, cs)" in output  # part 1: recovered certain fact
+        assert "NOT EXISTS" in output  # part 2: rewriting shown
+        assert "envelope: SELECT DISTINCT" in output  # part 3
+        assert "error" not in output
+
+
+class TestValueParsing:
+    def test_parse_values(self):
+        assert _parse_cli_value(" 3 ") == 3
+        assert _parse_cli_value("3.5") == 3.5
+        assert _parse_cli_value("NULL") is None
+        assert _parse_cli_value("'ann'") == "ann"
+        assert _parse_cli_value("bare") == "bare"
+
+
+class TestMainEntry:
+    def test_main_reads_files(self, tmp_path, capsys, monkeypatch):
+        script = tmp_path / "session.hippo"
+        script.write_text(SETUP + ".consistent SELECT * FROM emp;")
+        monkeypatch.setattr("sys.stdout", io.StringIO())
+        import sys
+
+        assert main([str(script)]) == 0
+        assert "(bob, 5)" in sys.stdout.getvalue()

@@ -1,0 +1,119 @@
+"""Property-based tests for the engine's algebraic invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import Database
+
+value = st.integers(min_value=0, max_value=4)
+rows = st.lists(st.tuples(value, value), max_size=10)
+
+
+def build_db(r_rows, s_rows) -> Database:
+    db = Database()
+    db.execute("CREATE TABLE r (a INTEGER, b INTEGER)")
+    db.execute("CREATE TABLE s (a INTEGER, b INTEGER)")
+    db.insert_rows("r", r_rows)
+    db.insert_rows("s", s_rows)
+    return db
+
+
+@settings(max_examples=100, deadline=None)
+@given(rows, rows)
+def test_hash_join_equals_nested_loop(r_rows, s_rows):
+    """The planner's equi-join fast path must not change results."""
+    db = build_db(r_rows, s_rows)
+    # Equality written as r=s triggers the hash join...
+    fast = db.query(
+        "SELECT r.a, r.b, s.a, s.b FROM r, s WHERE r.a = s.a"
+    ).rows
+    # ...an opaque equivalent (arithmetic) forces a nested loop.
+    slow = db.query(
+        "SELECT r.a, r.b, s.a, s.b FROM r, s WHERE r.a - s.a = 0"
+    ).rows
+    assert sorted(fast) == sorted(slow)
+
+
+@settings(max_examples=100, deadline=None)
+@given(rows, rows)
+def test_set_operation_laws(r_rows, s_rows):
+    db = build_db(r_rows, s_rows)
+    r_set = set(db.query("SELECT DISTINCT * FROM r").rows)
+    s_set = set(db.query("SELECT DISTINCT * FROM s").rows)
+    union = set(db.query("SELECT * FROM r UNION SELECT * FROM s").rows)
+    except_ = set(db.query("SELECT * FROM r EXCEPT SELECT * FROM s").rows)
+    intersect = set(db.query("SELECT * FROM r INTERSECT SELECT * FROM s").rows)
+    assert union == r_set | s_set
+    assert except_ == r_set - s_set
+    assert intersect == r_set & s_set
+
+
+@settings(max_examples=100, deadline=None)
+@given(rows)
+def test_exists_equals_in_for_key_membership(r_rows):
+    db = build_db(r_rows, r_rows[:3])
+    via_exists = db.query(
+        "SELECT DISTINCT r.a, r.b FROM r WHERE EXISTS"
+        " (SELECT * FROM s WHERE s.a = r.a)"
+    ).rows
+    via_in = db.query(
+        "SELECT DISTINCT r.a, r.b FROM r WHERE r.a IN (SELECT a FROM s)"
+    ).rows
+    assert sorted(via_exists) == sorted(via_in)
+
+
+@settings(max_examples=100, deadline=None)
+@given(rows)
+def test_not_exists_is_complement(r_rows):
+    db = build_db(r_rows, r_rows[1:4])
+    positive = db.query(
+        "SELECT r.a, r.b FROM r WHERE EXISTS (SELECT * FROM s WHERE s.b = r.b)"
+    ).rows
+    negative = db.query(
+        "SELECT r.a, r.b FROM r WHERE NOT EXISTS (SELECT * FROM s WHERE s.b = r.b)"
+    ).rows
+    everything = db.query("SELECT a, b FROM r").rows
+    assert sorted(positive + negative) == sorted(everything)
+
+
+@settings(max_examples=100, deadline=None)
+@given(rows)
+def test_group_by_count_partitions_table(r_rows):
+    db = build_db(r_rows, [])
+    counts = db.query("SELECT a, COUNT(*) FROM r GROUP BY a").rows
+    assert sum(count for _a, count in counts) == len(r_rows)
+    assert len(counts) == len({a for a, _b in r_rows})
+
+
+@settings(max_examples=100, deadline=None)
+@given(rows)
+def test_order_by_sorts(r_rows):
+    db = build_db(r_rows, [])
+    ordered = db.query("SELECT a, b FROM r ORDER BY a, b DESC").rows
+    assert len(ordered) == len(r_rows)
+    for previous, current in zip(ordered, ordered[1:]):
+        assert previous[0] <= current[0]
+        if previous[0] == current[0]:
+            assert previous[1] >= current[1]
+
+
+@settings(max_examples=100, deadline=None)
+@given(rows, st.integers(0, 5), st.integers(0, 5))
+def test_limit_offset_window(r_rows, limit, offset):
+    db = build_db(r_rows, [])
+    full = db.query("SELECT a, b FROM r ORDER BY a, b").rows
+    window = db.query(
+        f"SELECT a, b FROM r ORDER BY a, b LIMIT {limit} OFFSET {offset}"
+    ).rows
+    assert window == full[offset : offset + limit]
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows)
+def test_delete_then_count(r_rows):
+    db = build_db(r_rows, [])
+    removed = db.execute("DELETE FROM r WHERE a = 0").rowcount
+    remaining = db.query("SELECT COUNT(*) FROM r").scalar()
+    assert removed + remaining == len(r_rows)
+    assert db.query("SELECT COUNT(*) FROM r WHERE a = 0").scalar() == 0

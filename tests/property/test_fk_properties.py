@@ -1,0 +1,90 @@
+"""Property-based validation of restricted foreign-key repairs.
+
+The oracle here is even more basic than repair enumeration: for tiny
+instances, enumerate *every subset* of the child relation, keep the
+maximal ones satisfying FD + FK, and compare with the hypergraph-derived
+repairs (parents are conflict-free under the restriction, so only child
+subsets vary).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Database, HippoEngine
+from repro.constraints import ForeignKeyConstraint, FunctionalDependency
+from repro.repairs import all_repairs
+
+parent_keys = st.sets(st.integers(0, 3), max_size=3)
+child_rows = st.lists(
+    st.tuples(st.integers(0, 2), st.integers(0, 4), st.integers(0, 1)),
+    max_size=6,
+)
+
+FK = ForeignKeyConstraint("orders", ["cid"], "customer", ["id"])
+FD = FunctionalDependency("orders", ["oid"], ["cid", "b"])
+
+
+def build(parents, children):
+    db = Database()
+    db.execute("CREATE TABLE customer (id INTEGER)")
+    db.execute("CREATE TABLE orders (oid INTEGER, cid INTEGER, b INTEGER)")
+    db.insert_rows("customer", [(key,) for key in sorted(parents)])
+    db.insert_rows("orders", children)
+    return db
+
+
+def brute_force_child_repairs(parents, children):
+    """Maximal subsets of the child tids satisfying FD + FK (oracle)."""
+    tids = list(range(len(children)))
+
+    def consistent(subset):
+        rows = [children[tid] for tid in subset]
+        for left, right in itertools.combinations(rows, 2):
+            if left[0] == right[0] and (left[1], left[2]) != (right[1], right[2]):
+                return False  # FD oid -> cid, b violated
+        return all(row[1] in parents for row in rows)  # FK
+
+    consistent_sets = [
+        frozenset(subset)
+        for size in range(len(tids) + 1)
+        for subset in itertools.combinations(tids, size)
+        if consistent(subset)
+    ]
+    return {
+        candidate
+        for candidate in consistent_sets
+        if not any(candidate < other for other in consistent_sets)
+    }
+
+
+@settings(max_examples=100, deadline=None)
+@given(parent_keys, child_rows)
+def test_fk_repairs_match_subset_enumeration(parents, children):
+    db = build(parents, children)
+    hippo = HippoEngine(db, [FD, FK])
+    repairs = all_repairs(db, hippo.hypergraph)
+    got = {repair["orders"] for repair in repairs}
+    expected = brute_force_child_repairs(parents, children)
+    assert got == expected
+    # Parents are never deleted under the restriction.
+    full_parent = frozenset(db.table("customer").tids())
+    assert all(repair["customer"] == full_parent for repair in repairs)
+
+
+@settings(max_examples=60, deadline=None)
+@given(parent_keys, child_rows)
+def test_fk_consistent_answers_match_definition(parents, children):
+    db = build(parents, children)
+    hippo = HippoEngine(db, [FD, FK])
+    repairs = all_repairs(db, hippo.hypergraph)
+    definition = None
+    for repair in repairs:
+        rows = frozenset(
+            db.table("orders").get(tid) for tid in repair["orders"]
+        )
+        definition = rows if definition is None else definition & rows
+    answers = hippo.consistent_answers("SELECT * FROM orders").as_set()
+    assert answers == (definition or frozenset())

@@ -1,0 +1,93 @@
+"""Unit tests for the SQL formatter (including parse round-trips)."""
+
+import pytest
+
+from repro.sql import ast
+from repro.sql.formatter import (
+    format_expression,
+    format_identifier,
+    format_query,
+    format_statement,
+)
+from repro.sql.parser import parse_expression, parse_query, parse_statement
+
+
+class TestIdentifiers:
+    def test_safe_identifier_unquoted(self):
+        assert format_identifier("emp_2") == "emp_2"
+
+    def test_keyword_quoted(self):
+        assert format_identifier("select") == '"select"'
+
+    def test_space_quoted(self):
+        assert format_identifier("two words") == '"two words"'
+
+    def test_leading_digit_quoted(self):
+        assert format_identifier("1a") == '"1a"'
+
+    def test_inner_quote_escaped(self):
+        assert format_identifier('a"b') == '"a""b"'
+
+
+ROUND_TRIP_EXPRESSIONS = [
+    "((a + 1) * 2)",
+    "(r.a = s.b)",
+    "(a AND (NOT b))",
+    "(name LIKE 'a%')",
+    "(a NOT IN (1, 2))",
+    "(a BETWEEN 1 AND 2)",
+    "(a IS NOT NULL)",
+    "CASE WHEN (a = 1) THEN 'x' ELSE 'y' END",
+    "COALESCE(a, 0)",
+    "COUNT(*)",
+    "(x || 'suffix')",
+]
+
+
+class TestExpressionRoundTrip:
+    @pytest.mark.parametrize("text", ROUND_TRIP_EXPRESSIONS)
+    def test_parse_format_parse_fixpoint(self, text):
+        expr = parse_expression(text)
+        rendered = format_expression(expr)
+        assert parse_expression(rendered) == expr
+
+
+ROUND_TRIP_QUERIES = [
+    "SELECT a, b AS c FROM r WHERE (a > 1)",
+    "SELECT DISTINCT * FROM r AS t1, s AS t2",
+    "SELECT * FROM r JOIN s ON (r.a = s.a)",
+    "SELECT * FROM r LEFT JOIN s ON (r.a = s.a)",
+    "SELECT * FROM r CROSS JOIN s",
+    "(SELECT a FROM r) UNION (SELECT a FROM s)",
+    "(SELECT a FROM r) EXCEPT ((SELECT a FROM s) INTERSECT (SELECT a FROM t))",
+    "SELECT a FROM r ORDER BY a, b DESC LIMIT 3 OFFSET 1",
+    "SELECT a FROM r WHERE (EXISTS (SELECT * FROM s WHERE (s.a = r.a)))",
+    "SELECT a, COUNT(*) FROM r GROUP BY a HAVING (COUNT(*) > 1)",
+    "SELECT * FROM (SELECT a FROM r) AS d",
+]
+
+
+class TestQueryRoundTrip:
+    @pytest.mark.parametrize("text", ROUND_TRIP_QUERIES)
+    def test_parse_format_parse_fixpoint(self, text):
+        query = parse_query(text)
+        rendered = format_query(query)
+        assert parse_query(rendered) == query
+
+
+ROUND_TRIP_STATEMENTS = [
+    "CREATE TABLE r (a INTEGER NOT NULL, b TEXT, PRIMARY KEY (a))",
+    "CREATE TABLE IF NOT EXISTS r (a INTEGER)",
+    "DROP TABLE IF EXISTS r",
+    "INSERT INTO r (a, b) VALUES (1, 'x''y'), (2, NULL)",
+    "DELETE FROM r WHERE (a = 1)",
+    "UPDATE r SET a = (a + 1) WHERE (b = 'x')",
+]
+
+
+class TestStatementRoundTrip:
+    @pytest.mark.parametrize("text", ROUND_TRIP_STATEMENTS)
+    def test_parse_format_parse_fixpoint(self, text):
+        statement = parse_statement(text)
+        rendered = format_statement(statement)
+        assert parse_statement(rendered) == statement

@@ -1,0 +1,90 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.sql.lexer import Token, tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text)[:-1]]  # drop eof
+
+
+class TestBasics:
+    def test_keywords_uppercase(self):
+        assert kinds("select From") == [("keyword", "SELECT"), ("keyword", "FROM")]
+
+    def test_identifiers_preserve_case(self):
+        assert kinds("Emp") == [("ident", "Emp")]
+
+    def test_numbers(self):
+        assert kinds("42") == [("int", 42)]
+        assert kinds("3.5") == [("float", 3.5)]
+        assert kinds(".5") == [("float", 0.5)]
+        assert kinds("1e3") == [("float", 1000.0)]
+        assert kinds("2E-2") == [("float", 0.02)]
+
+    def test_number_then_dot_access_not_confused(self):
+        # '1e' without exponent digits stays int + ident.
+        assert kinds("1e") == [("int", 1), ("ident", "e")]
+
+    def test_strings_with_escaped_quote(self):
+        assert kinds("'o''brien'") == [("string", "o'brien")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexerError):
+            tokenize("'oops")
+
+    def test_quoted_identifier(self):
+        assert kinds('"select"') == [("ident", "select")]
+
+    def test_unterminated_quoted_identifier(self):
+        with pytest.raises(LexerError):
+            tokenize('"oops')
+
+
+class TestOperators:
+    def test_multi_char_operators(self):
+        assert kinds("<= >= <> ||") == [
+            ("op", "<="),
+            ("op", ">="),
+            ("op", "<>"),
+            ("op", "||"),
+        ]
+
+    def test_bang_equals_normalized(self):
+        assert kinds("a != b") == [("ident", "a"), ("op", "<>"), ("ident", "b")]
+
+    def test_punctuation(self):
+        assert kinds("(a, b);") == [
+            ("punct", "("),
+            ("ident", "a"),
+            ("punct", ","),
+            ("ident", "b"),
+            ("punct", ")"),
+            ("punct", ";"),
+        ]
+
+    def test_unknown_character(self):
+        with pytest.raises(LexerError) as excinfo:
+            tokenize("a @ b")
+        assert excinfo.value.position == 2
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comment_skipped(self):
+        assert kinds("a -- comment\n b") == [("ident", "a"), ("ident", "b")]
+
+    def test_comment_at_end(self):
+        assert kinds("a -- trailing") == [("ident", "a")]
+
+    def test_minus_not_comment(self):
+        assert kinds("1-2") == [("int", 1), ("op", "-"), ("int", 2)]
+
+    def test_positions_recorded(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+    def test_eof_token(self):
+        assert tokenize("")[-1] == Token("eof", None, 0)

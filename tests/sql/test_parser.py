@@ -1,0 +1,232 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import ast
+from repro.sql.parser import (
+    parse_expression,
+    parse_query,
+    parse_script,
+    parse_statement,
+)
+
+
+class TestExpressions:
+    def test_precedence_or_and(self):
+        expr = parse_expression("a OR b AND c")
+        assert isinstance(expr, ast.BinaryOp) and expr.op == "OR"
+        assert isinstance(expr.right, ast.BinaryOp) and expr.right.op == "AND"
+
+    def test_precedence_arithmetic(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr == ast.BinaryOp(
+            "+", ast.Literal(1), ast.BinaryOp("*", ast.Literal(2), ast.Literal(3))
+        )
+
+    def test_comparison_binds_tighter_than_not(self):
+        expr = parse_expression("NOT a = b")
+        assert isinstance(expr, ast.UnaryOp) and expr.op == "NOT"
+        assert isinstance(expr.operand, ast.BinaryOp)
+
+    def test_qualified_column(self):
+        assert parse_expression("r.a") == ast.ColumnRef("r", "a")
+
+    def test_unary_minus(self):
+        expr = parse_expression("-a + 3")
+        assert isinstance(expr, ast.BinaryOp) and expr.op == "+"
+        assert isinstance(expr.left, ast.UnaryOp)
+
+    def test_is_null_and_is_not_null(self):
+        assert parse_expression("a IS NULL") == ast.IsNull(
+            ast.ColumnRef(None, "a"), False
+        )
+        assert parse_expression("a IS NOT NULL") == ast.IsNull(
+            ast.ColumnRef(None, "a"), True
+        )
+
+    def test_in_list(self):
+        expr = parse_expression("a NOT IN (1, 2)")
+        assert expr == ast.InList(
+            ast.ColumnRef(None, "a"), (ast.Literal(1), ast.Literal(2)), True
+        )
+
+    def test_between(self):
+        expr = parse_expression("a BETWEEN 1 AND 3")
+        assert isinstance(expr, ast.Between) and not expr.negated
+
+    def test_between_binds_and_correctly(self):
+        # The AND inside BETWEEN must not terminate the conjunct.
+        expr = parse_expression("a BETWEEN 1 AND 3 AND b = 2")
+        assert isinstance(expr, ast.BinaryOp) and expr.op == "AND"
+        assert isinstance(expr.left, ast.Between)
+
+    def test_like(self):
+        expr = parse_expression("name LIKE 'a%'")
+        assert isinstance(expr, ast.Like)
+
+    def test_case_searched(self):
+        expr = parse_expression("CASE WHEN a = 1 THEN 'x' ELSE 'y' END")
+        assert isinstance(expr, ast.Case) and expr.operand is None
+
+    def test_case_simple(self):
+        expr = parse_expression("CASE a WHEN 1 THEN 'x' END")
+        assert isinstance(expr, ast.Case) and expr.operand is not None
+
+    def test_function_call(self):
+        expr = parse_expression("coalesce(a, 0)")
+        assert expr == ast.FunctionCall(
+            "COALESCE", (ast.ColumnRef(None, "a"), ast.Literal(0))
+        )
+
+    def test_count_star(self):
+        assert parse_expression("COUNT(*)") == ast.FunctionCall(
+            "COUNT", (), False, star=True
+        )
+
+    def test_literals(self):
+        assert parse_expression("NULL") == ast.Literal(None)
+        assert parse_expression("TRUE") == ast.Literal(True)
+        assert parse_expression("'s'") == ast.Literal("s")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("a = 1 garbage garbage")
+
+
+class TestSelect:
+    def test_simple_select(self):
+        query = parse_query("SELECT a, b FROM r WHERE a > 1")
+        core = query.body
+        assert isinstance(core, ast.SelectCore)
+        assert len(core.items) == 2
+        assert core.from_items == (ast.TableRef("r", None),)
+        assert core.where is not None
+
+    def test_star_and_qualified_star(self):
+        core = parse_query("SELECT *, r.* FROM r").body
+        assert core.items == (ast.Star(None), ast.Star("r"))
+
+    def test_aliases(self):
+        core = parse_query("SELECT a AS x, b y FROM r AS t1, s t2").body
+        assert core.items[0].alias == "x"
+        assert core.items[1].alias == "y"
+        assert core.from_items[0].alias == "t1"
+        assert core.from_items[1].alias == "t2"
+
+    def test_explicit_join(self):
+        core = parse_query("SELECT * FROM r JOIN s ON r.a = s.a").body
+        join = core.from_items[0]
+        assert isinstance(join, ast.Join) and join.kind == "inner"
+
+    def test_left_and_cross_join(self):
+        core = parse_query(
+            "SELECT * FROM r LEFT OUTER JOIN s ON r.a = s.a CROSS JOIN t"
+        ).body
+        outer = core.from_items[0]
+        assert isinstance(outer, ast.Join) and outer.kind == "cross"
+        assert isinstance(outer.left, ast.Join) and outer.left.kind == "left"
+
+    def test_derived_table(self):
+        core = parse_query("SELECT * FROM (SELECT a FROM r) AS d").body
+        assert isinstance(core.from_items[0], ast.DerivedTable)
+
+    def test_group_by_having(self):
+        core = parse_query(
+            "SELECT a, COUNT(*) FROM r GROUP BY a HAVING COUNT(*) > 1"
+        ).body
+        assert len(core.group_by) == 1
+        assert core.having is not None
+
+    def test_distinct(self):
+        assert parse_query("SELECT DISTINCT a FROM r").body.distinct
+
+    def test_order_limit_offset(self):
+        query = parse_query("SELECT a FROM r ORDER BY a DESC, b LIMIT 5 OFFSET 2")
+        assert query.order_by[0].ascending is False
+        assert query.order_by[1].ascending is True
+        assert (query.limit, query.offset) == (5, 2)
+
+    def test_set_operations_precedence(self):
+        query = parse_query("SELECT a FROM r UNION SELECT a FROM s INTERSECT SELECT a FROM t")
+        body = query.body
+        assert isinstance(body, ast.SetOperation) and body.op == "union"
+        assert isinstance(body.right, ast.SetOperation)
+        assert body.right.op == "intersect"
+
+    def test_union_all(self):
+        body = parse_query("SELECT a FROM r UNION ALL SELECT a FROM s").body
+        assert body.all is True
+
+    def test_parenthesized_set_operand(self):
+        body = parse_query("(SELECT a FROM r EXCEPT SELECT a FROM s) UNION SELECT a FROM t").body
+        assert body.op == "union"
+        assert isinstance(body.left, ast.SetOperation) and body.left.op == "except"
+
+    def test_exists_subquery(self):
+        core = parse_query(
+            "SELECT * FROM r WHERE NOT EXISTS (SELECT * FROM s WHERE s.a = r.a)"
+        ).body
+        condition = core.where
+        assert isinstance(condition, ast.UnaryOp) and condition.op == "NOT"
+        assert isinstance(condition.operand, ast.Exists)
+
+    def test_in_subquery(self):
+        core = parse_query("SELECT * FROM r WHERE a IN (SELECT a FROM s)").body
+        assert isinstance(core.where, ast.InSubquery)
+
+
+class TestStatements:
+    def test_create_table(self):
+        statement = parse_statement(
+            "CREATE TABLE r (a INTEGER PRIMARY KEY, b TEXT NOT NULL)"
+        )
+        assert isinstance(statement, ast.CreateTable)
+        assert statement.primary_key == ("a",)
+        assert statement.columns[1].not_null
+
+    def test_create_table_composite_key(self):
+        statement = parse_statement(
+            "CREATE TABLE r (a INT, b INT, PRIMARY KEY (a, b))"
+        )
+        assert statement.primary_key == ("a", "b")
+
+    def test_double_primary_key_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement(
+                "CREATE TABLE r (a INT PRIMARY KEY, b INT, PRIMARY KEY (b))"
+            )
+
+    def test_insert_multi_row(self):
+        statement = parse_statement("INSERT INTO r (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(statement, ast.Insert)
+        assert statement.columns == ("a", "b")
+        assert len(statement.rows) == 2
+
+    def test_delete_update(self):
+        delete = parse_statement("DELETE FROM r WHERE a = 1")
+        assert isinstance(delete, ast.Delete) and delete.where is not None
+        update = parse_statement("UPDATE r SET b = b + 1, a = 0 WHERE a > 2")
+        assert isinstance(update, ast.Update) and len(update.assignments) == 2
+
+    def test_drop(self):
+        statement = parse_statement("DROP TABLE IF EXISTS r")
+        assert isinstance(statement, ast.DropTable) and statement.if_exists
+
+    def test_script(self):
+        statements = parse_script(
+            "CREATE TABLE r (a INT); INSERT INTO r VALUES (1); SELECT * FROM r;"
+        )
+        assert len(statements) == 3
+
+    def test_script_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_script("SELECT 1 SELECT 2")
+
+    def test_not_a_statement(self):
+        with pytest.raises(ParseError):
+            parse_statement("EXPLAIN SELECT 1")
+
+    def test_parse_query_rejects_ddl(self):
+        with pytest.raises(ParseError):
+            parse_query("DROP TABLE r")

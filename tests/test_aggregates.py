@@ -1,0 +1,143 @@
+"""Tests for range-consistent scalar aggregation (the TCS-2003 extension)."""
+
+import pytest
+
+from repro.aggregates import AggregateRange, aggregate_range, brute_force_range
+from repro.constraints import FunctionalDependency
+from repro.engine import Database
+from repro.engine.types import SQLType
+from repro.errors import ConstraintError, UnsupportedQueryError
+
+
+@pytest.fixture
+def salary_db():
+    db = Database()
+    db.create_table("pay", [("name", SQLType.TEXT), ("salary", SQLType.INTEGER)])
+    db.insert_rows(
+        "pay",
+        [
+            ("ann", 10),
+            ("ann", 20),   # disputed
+            ("bob", 30),
+            ("carol", 5),
+            ("carol", 8),  # disputed
+            ("carol", 6),  # three-way dispute
+        ],
+    )
+    return db
+
+
+@pytest.fixture
+def pay_fd():
+    return FunctionalDependency("pay", ["name"], ["salary"])
+
+
+class TestRanges:
+    def test_count_star_definite(self, salary_db, pay_fd):
+        result = aggregate_range(salary_db, pay_fd, "COUNT")
+        assert result == AggregateRange(3.0, 3.0)
+        assert result.definite
+
+    def test_sum(self, salary_db, pay_fd):
+        result = aggregate_range(salary_db, pay_fd, "SUM", "salary")
+        assert result == AggregateRange(10 + 30 + 5, 20 + 30 + 8)
+
+    def test_min(self, salary_db, pay_fd):
+        result = aggregate_range(salary_db, pay_fd, "MIN", "salary")
+        # glb: global minimum 5; lub: per-group maxima are 20/30/8 -> min 8.
+        assert result == AggregateRange(5.0, 8.0)
+
+    def test_max(self, salary_db, pay_fd):
+        result = aggregate_range(salary_db, pay_fd, "MAX", "salary")
+        # lub: global maximum 30; glb: per-group minima 10/30/5 -> max 30.
+        assert result == AggregateRange(30.0, 30.0)
+        assert result.definite
+
+    def test_avg(self, salary_db, pay_fd):
+        result = aggregate_range(salary_db, pay_fd, "AVG", "salary")
+        assert result == AggregateRange(45 / 3, 58 / 3)
+
+    @pytest.mark.parametrize(
+        "function,column",
+        [
+            ("COUNT", None),
+            ("SUM", "salary"),
+            ("MIN", "salary"),
+            ("MAX", "salary"),
+            ("AVG", "salary"),
+        ],
+    )
+    def test_matches_brute_force(self, salary_db, pay_fd, function, column):
+        fast = aggregate_range(salary_db, pay_fd, function, column)
+        slow = brute_force_range(salary_db, pay_fd, function, column)
+        assert fast == slow
+
+    def test_consistent_relation_definite(self, pay_fd):
+        db = Database()
+        db.create_table("pay", [("name", SQLType.TEXT), ("salary", SQLType.INTEGER)])
+        db.insert_rows("pay", [("ann", 1), ("bob", 2)])
+        for function, column in [("SUM", "salary"), ("MIN", "salary")]:
+            assert aggregate_range(db, pay_fd, function, column).definite
+
+
+class TestValidation:
+    def test_unknown_aggregate(self, salary_db, pay_fd):
+        with pytest.raises(UnsupportedQueryError, match="unsupported aggregate"):
+            aggregate_range(salary_db, pay_fd, "MEDIAN", "salary")
+
+    def test_non_key_fd_rejected(self, salary_db):
+        db = Database()
+        db.create_table(
+            "t",
+            [
+                ("a", SQLType.INTEGER),
+                ("b", SQLType.INTEGER),
+                ("c", SQLType.INTEGER),
+            ],
+        )
+        fd = FunctionalDependency("t", ["a"], ["b"])  # c not covered
+        with pytest.raises(ConstraintError, match="key"):
+            aggregate_range(db, fd, "SUM", "b")
+
+    def test_sum_requires_column(self, salary_db, pay_fd):
+        with pytest.raises(UnsupportedQueryError, match="column"):
+            aggregate_range(salary_db, pay_fd, "SUM")
+
+    def test_null_column_rejected(self, pay_fd):
+        db = Database()
+        db.create_table("pay", [("name", SQLType.TEXT), ("salary", SQLType.INTEGER)])
+        db.insert_rows("pay", [("ann", None)])
+        with pytest.raises(UnsupportedQueryError, match="NULL"):
+            aggregate_range(db, pay_fd, "SUM", "salary")
+
+    def test_text_column_rejected(self, pay_fd):
+        db = Database()
+        db.create_table("pay", [("name", SQLType.TEXT), ("salary", SQLType.TEXT)])
+        db.insert_rows("pay", [("ann", "lots")])
+        with pytest.raises(UnsupportedQueryError, match="numeric"):
+            aggregate_range(db, pay_fd, "MAX", "salary")
+
+    def test_empty_relation(self, pay_fd):
+        db = Database()
+        db.create_table("pay", [("name", SQLType.TEXT), ("salary", SQLType.INTEGER)])
+        assert aggregate_range(db, pay_fd, "COUNT").glb == 0.0
+        with pytest.raises(UnsupportedQueryError, match="empty"):
+            aggregate_range(db, pay_fd, "MIN", "salary")
+
+
+class TestCompositeKey:
+    def test_two_column_key(self):
+        db = Database()
+        db.create_table(
+            "t",
+            [
+                ("k1", SQLType.INTEGER),
+                ("k2", SQLType.INTEGER),
+                ("v", SQLType.INTEGER),
+            ],
+        )
+        db.insert_rows("t", [(1, 1, 10), (1, 1, 20), (1, 2, 5)])
+        fd = FunctionalDependency("t", ["k1", "k2"], ["v"])
+        fast = aggregate_range(db, fd, "SUM", "v")
+        slow = brute_force_range(db, fd, "SUM", "v")
+        assert fast == slow == AggregateRange(15.0, 25.0)

@@ -1,0 +1,80 @@
+"""Sanity tests for the error hierarchy and package metadata."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestHierarchy:
+    ALL_ERRORS = [
+        errors.SQLError,
+        errors.ParseError,
+        errors.CatalogError,
+        errors.SchemaError,
+        errors.TypeError_,
+        errors.ExecutionError,
+        errors.PlanError,
+        errors.AlgebraError,
+        errors.UnsupportedQueryError,
+        errors.ConstraintError,
+        errors.RewritingError,
+    ]
+
+    @pytest.mark.parametrize("error_type", ALL_ERRORS)
+    def test_all_derive_from_repro_error(self, error_type):
+        assert issubclass(error_type, errors.ReproError)
+
+    def test_one_except_clause_catches_everything(self):
+        from repro import Database
+
+        db = Database()
+        with pytest.raises(errors.ReproError):
+            db.query("SELECT * FROM nope")
+        with pytest.raises(errors.ReproError):
+            db.execute("THIS IS NOT SQL")
+
+    def test_lexer_error_carries_position(self):
+        from repro.sql.lexer import tokenize
+
+        with pytest.raises(errors.LexerError) as excinfo:
+            tokenize("a ¤ b")
+        assert excinfo.value.position == 2
+
+    def test_parse_errors_name_offset(self):
+        from repro.sql.parser import parse_statement
+
+        with pytest.raises(errors.ParseError, match="offset"):
+            parse_statement("SELECT FROM")
+
+
+class TestPackage:
+    def test_version_matches_pyproject(self):
+        import pathlib
+
+        pyproject = (
+            pathlib.Path(repro.__file__).resolve().parents[2] / "pyproject.toml"
+        )
+        assert f'version = "{repro.__version__}"' in pyproject.read_text()
+
+    def test_lazy_hippo_export(self):
+        assert repro.HippoEngine.__name__ == "HippoEngine"
+        with pytest.raises(AttributeError):
+            repro.NoSuchThing
+
+    def test_module_docstring_example_is_accurate(self):
+        """The README/docstring quickstart must actually work."""
+        from repro import Database, HippoEngine
+        from repro.constraints import FunctionalDependency
+
+        db = Database()
+        db.execute("CREATE TABLE emp (name TEXT, salary INTEGER)")
+        db.execute(
+            "INSERT INTO emp VALUES ('ann', 10), ('ann', 20), ('bob', 30)"
+        )
+        hippo = HippoEngine(
+            db, [FunctionalDependency("emp", ["name"], ["salary"])]
+        )
+        assert sorted(hippo.consistent_answers("SELECT * FROM emp").rows) == [
+            ("bob", 30)
+        ]

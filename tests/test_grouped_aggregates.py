@@ -1,0 +1,111 @@
+"""Tests for per-group aggregate ranges, with a brute-force oracle."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aggregates import AggregateRange, grouped_count_range, grouped_sum_range
+from repro.conflicts import detect_conflicts
+from repro.constraints import FunctionalDependency
+from repro.engine import Database
+from repro.engine.types import SQLType
+from repro.errors import UnsupportedQueryError
+from repro.repairs import all_repairs
+
+
+def build(rows):
+    """r(k, g, v) with key FD k -> g, v."""
+    db = Database()
+    db.create_table(
+        "r",
+        [("k", SQLType.INTEGER), ("g", SQLType.INTEGER), ("v", SQLType.INTEGER)],
+    )
+    db.insert_rows("r", rows)
+    return db, FunctionalDependency("r", ["k"], ["g", "v"])
+
+
+def brute_force(db, fd, aggregate):
+    """group -> (min, max) of the aggregate over every repair (set rows)."""
+    graph = detect_conflicts(db, [fd]).hypergraph
+    table = db.catalog.table("r")
+    groups = {row[1] for row in table.rows()}
+    observed: dict = {group: [] for group in groups}
+    for repair in all_repairs(db, graph):
+        rows = {row for tid, row in table.items() if tid in repair["r"]}
+        for group in groups:
+            members = [row for row in rows if row[1] == group]
+            if aggregate == "count":
+                observed[group].append(len(members))
+            else:
+                observed[group].append(sum(row[2] for row in members))
+    return {
+        group: AggregateRange(float(min(values)), float(max(values)))
+        for group, values in observed.items()
+    }
+
+
+class TestGroupedCount:
+    def test_simple_dispute_shifts_between_groups(self):
+        db, fd = build([(1, 10, 5), (1, 20, 6), (2, 10, 7)])
+        ranges = grouped_count_range(db, fd, "g")
+        # Key 1 can land in group 10 or 20; key 2 is pinned to group 10.
+        assert ranges[10] == AggregateRange(1.0, 2.0)
+        assert ranges[20] == AggregateRange(0.0, 1.0)
+
+    def test_consistent_table_definite(self):
+        db, fd = build([(1, 10, 5), (2, 10, 7), (3, 20, 1)])
+        ranges = grouped_count_range(db, fd, "g")
+        assert all(r.definite for r in ranges.values())
+        assert ranges[10] == AggregateRange(2.0, 2.0)
+
+    def test_matches_brute_force(self):
+        db, fd = build(
+            [(1, 10, 5), (1, 20, 6), (2, 10, 7), (2, 10, 9), (3, 20, -2)]
+        )
+        assert grouped_count_range(db, fd, "g") == brute_force(db, fd, "count")
+
+
+class TestGroupedSum:
+    def test_negative_values_handled(self):
+        db, fd = build([(1, 10, -5), (1, 20, 3)])
+        ranges = grouped_sum_range(db, fd, "g", "v")
+        # Key 1 contributes -5 to group 10 or escapes (0).
+        assert ranges[10] == AggregateRange(-5.0, 0.0)
+        assert ranges[20] == AggregateRange(0.0, 3.0)
+
+    def test_same_column_rejected(self):
+        db, fd = build([(1, 10, 5)])
+        with pytest.raises(UnsupportedQueryError):
+            grouped_sum_range(db, fd, "g", "g")
+
+    def test_null_rejected(self):
+        db, fd = build([])
+        db.insert_rows("r", [(1, 2, None)])
+        with pytest.raises(UnsupportedQueryError, match="NULL"):
+            grouped_sum_range(db, fd, "g", "v")
+
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 2),            # key: few keys -> real conflicts
+        st.integers(0, 2),            # group
+        st.integers(-3, 3),           # value (negatives stress the 0-floor)
+    ),
+    min_size=1,
+    max_size=7,
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(rows_strategy)
+def test_grouped_count_matches_brute_force(rows):
+    db, fd = build(rows)
+    assert grouped_count_range(db, fd, "g") == brute_force(db, fd, "count")
+
+
+@settings(max_examples=120, deadline=None)
+@given(rows_strategy)
+def test_grouped_sum_matches_brute_force(rows):
+    db, fd = build(rows)
+    assert grouped_sum_range(db, fd, "g", "v") == brute_force(db, fd, "sum")

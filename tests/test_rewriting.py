@@ -1,0 +1,149 @@
+"""Tests for the PODS'99 query-rewriting baseline."""
+
+import pytest
+
+from repro import Database, HippoEngine
+from repro.constraints import (
+    ConstraintAtom,
+    DenialConstraint,
+    ExclusionConstraint,
+    FunctionalDependency,
+)
+from repro.errors import RewritingError
+from repro.repairs import ground_truth_consistent_answers
+from repro.rewriting import RewritingEngine
+from repro.sql.parser import parse_expression
+
+
+@pytest.fixture
+def emp_fd():
+    return FunctionalDependency("emp", ["name"], ["dept", "salary"])
+
+
+class TestRewrittenSQL:
+    def test_residue_shape(self, emp_db, emp_fd):
+        engine = RewritingEngine(emp_db, [emp_fd])
+        sql = engine.rewrite_sql("SELECT * FROM emp WHERE salary > 10")
+        assert "NOT EXISTS" in sql
+        assert sql.count("NOT EXISTS") >= 2  # one per dependent attribute
+
+    def test_unary_constraint_residue_is_negated_condition(self, two_table_db):
+        denial = DenialConstraint(
+            "pos", (ConstraintAtom("t", "r"),), parse_expression("t.a < 0")
+        )
+        engine = RewritingEngine(two_table_db, [denial])
+        sql = engine.rewrite_sql("SELECT * FROM r")
+        assert "NOT" in sql and "EXISTS" not in sql
+
+    def test_rewritten_query_is_valid_sql(self, emp_db, emp_fd):
+        engine = RewritingEngine(emp_db, [emp_fd])
+        sql = engine.rewrite_sql("SELECT * FROM emp")
+        emp_db.query(sql)  # must parse and execute
+
+
+class TestCorrectness:
+    def test_selection_matches_ground_truth(self, emp_db, emp_fd):
+        engine = RewritingEngine(emp_db, [emp_fd])
+        hippo = HippoEngine(emp_db, [emp_fd])
+        for text in [
+            "SELECT * FROM emp",
+            "SELECT * FROM emp WHERE salary > 10",
+            "SELECT * FROM emp WHERE dept = 'cs'",
+        ]:
+            truth = ground_truth_consistent_answers(
+                emp_db, hippo.hypergraph, hippo.parse(text)[0]
+            )
+            assert engine.consistent_answers(text).as_set() == truth, text
+
+    def test_join_matches_ground_truth(self, emp_db, emp_fd):
+        emp_db.execute("CREATE TABLE mgr (name TEXT, dept TEXT)")
+        emp_db.execute("INSERT INTO mgr VALUES ('bob','ee'), ('frank','cs')")
+        engine = RewritingEngine(emp_db, [emp_fd])
+        hippo = HippoEngine(emp_db, [emp_fd])
+        text = (
+            "SELECT e.name, e.dept, e.salary, m.name FROM emp e, mgr m"
+            " WHERE e.dept = m.dept"
+        )
+        truth = ground_truth_consistent_answers(
+            emp_db, hippo.hypergraph, hippo.parse(text)[0]
+        )
+        assert engine.consistent_answers(text).as_set() == truth
+
+    def test_difference_single_atom_right(self, emp_db, emp_fd):
+        emp_db.execute("CREATE TABLE former (name TEXT, dept TEXT, salary INTEGER)")
+        emp_db.execute("INSERT INTO former VALUES ('bob','ee',20), ('zed','cs',1)")
+        engine = RewritingEngine(emp_db, [emp_fd])
+        hippo = HippoEngine(emp_db, [emp_fd])
+        text = "SELECT * FROM emp EXCEPT SELECT * FROM former"
+        truth = ground_truth_consistent_answers(
+            emp_db, hippo.hypergraph, hippo.parse(text)[0]
+        )
+        assert engine.consistent_answers(text).as_set() == truth
+
+    def test_exclusion_constraint(self, two_table_db):
+        excl = ExclusionConstraint("r", "s", [("a", "a"), ("b", "b")])
+        engine = RewritingEngine(two_table_db, [excl])
+        hippo = HippoEngine(two_table_db, [excl])
+        text = "SELECT * FROM r"
+        truth = ground_truth_consistent_answers(
+            two_table_db, hippo.hypergraph, hippo.parse(text)[0]
+        )
+        assert engine.consistent_answers(text).as_set() == truth
+
+    def test_consistent_database_identity(self, two_table_db):
+        fd = FunctionalDependency("s", ["a"], ["b"])
+        engine = RewritingEngine(two_table_db, [fd])
+        rows = engine.consistent_answers("SELECT * FROM s").as_set()
+        assert rows == frozenset(two_table_db.query("SELECT * FROM s").rows)
+
+
+class TestScopeLimits:
+    def test_union_rejected(self, emp_db, emp_fd):
+        engine = RewritingEngine(emp_db, [emp_fd])
+        with pytest.raises(RewritingError, match="union"):
+            engine.rewrite(
+                "SELECT name, dept FROM emp WHERE salary = 10"
+                " UNION SELECT name, dept FROM emp WHERE salary = 12"
+            )
+
+    def test_ternary_constraint_rejected(self, two_table_db):
+        denial = DenialConstraint(
+            "t3",
+            (
+                ConstraintAtom("x", "r"),
+                ConstraintAtom("y", "r"),
+                ConstraintAtom("z", "s"),
+            ),
+            parse_expression("x.a = y.a AND y.a = z.a"),
+        )
+        engine = RewritingEngine(two_table_db, [denial])
+        with pytest.raises(RewritingError, match="binary"):
+            engine.rewrite("SELECT * FROM r")
+
+    def test_ternary_constraint_on_other_relation_tolerated(self, two_table_db):
+        two_table_db.execute("CREATE TABLE t (a INTEGER, b INTEGER)")
+        denial = DenialConstraint(
+            "t3",
+            (
+                ConstraintAtom("x", "t"),
+                ConstraintAtom("y", "t"),
+                ConstraintAtom("z", "t"),
+            ),
+            parse_expression("x.a = y.a AND y.a = z.a"),
+        )
+        engine = RewritingEngine(two_table_db, [denial])
+        engine.rewrite("SELECT * FROM r")  # r untouched by the constraint
+
+    def test_multi_atom_difference_right_rejected(self, two_table_db):
+        fd = FunctionalDependency("r", ["a"], ["b"])
+        engine = RewritingEngine(two_table_db, [fd])
+        with pytest.raises(RewritingError, match="single"):
+            engine.rewrite(
+                "SELECT * FROM r EXCEPT"
+                " SELECT s.a, s.b FROM s, r t WHERE t.a = s.a AND t.b = s.b"
+            )
+
+    def test_stats_include_rewritten_sql(self, emp_db, emp_fd):
+        engine = RewritingEngine(emp_db, [emp_fd])
+        answers = engine.consistent_answers("SELECT * FROM emp")
+        assert "NOT EXISTS" in answers.stats["rewritten_sql"]

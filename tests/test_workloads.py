@@ -1,0 +1,132 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.conflicts import detect_conflicts
+from repro.engine import Database
+from repro.workloads import (
+    build_integration_scenario,
+    difference_query,
+    generate_join_pair,
+    generate_key_conflict_table,
+    generate_union_pair,
+    inject_exclusion_conflicts,
+    join_query,
+    selection_query,
+    union_query,
+)
+
+
+class TestKeyConflictTable:
+    def test_tuple_count_exact(self, db):
+        report = generate_key_conflict_table(db, "r", 200, 0.1, seed=1)
+        assert report.total_tuples == 200
+        assert len(db.table("r")) == 200
+
+    def test_conflict_fraction_realized(self, db):
+        report = generate_key_conflict_table(db, "r", 400, 0.1, seed=2)
+        detection = detect_conflicts(db, [report.fd])
+        assert detection.hypergraph.vertex_count == report.conflicting_tuples
+        assert abs(report.conflicting_tuples - 40) <= 1
+
+    def test_zero_conflicts(self, db):
+        report = generate_key_conflict_table(db, "r", 100, 0.0, seed=3)
+        detection = detect_conflicts(db, [report.fd])
+        assert len(detection.hypergraph) == 0
+        assert report.conflicting_tuples == 0
+
+    def test_deterministic_in_seed(self):
+        rows = []
+        for _ in range(2):
+            db = Database()
+            generate_key_conflict_table(db, "r", 50, 0.2, seed=7)
+            rows.append(sorted(db.table("r").rows()))
+        assert rows[0] == rows[1]
+
+    def test_cluster_size(self, db):
+        report = generate_key_conflict_table(
+            db, "r", 300, 0.1, seed=4, cluster_size=3
+        )
+        detection = detect_conflicts(db, [report.fd])
+        # A 3-cluster yields C(3,2)=3 pairwise edges per cluster.
+        clusters = report.conflicting_tuples // 3
+        assert len(detection.hypergraph) == 3 * clusters
+
+    def test_multi_dependent_columns(self, db):
+        report = generate_key_conflict_table(
+            db, "r", 100, 0.1, seed=5, n_dependent_columns=2
+        )
+        assert db.table("r").schema.column_names == ("a", "b0", "b1")
+        detection = detect_conflicts(db, [report.fd])
+        assert detection.hypergraph.vertex_count == report.conflicting_tuples
+
+    def test_parameter_validation(self, db):
+        with pytest.raises(ValueError):
+            generate_key_conflict_table(db, "r", 10, 1.5)
+        with pytest.raises(ValueError):
+            generate_key_conflict_table(db, "x", -1, 0.1)
+        with pytest.raises(ValueError):
+            generate_key_conflict_table(db, "y", 10, 0.1, cluster_size=1)
+
+
+class TestPairGenerators:
+    def test_join_pair_joins(self, db):
+        generate_join_pair(db, "l", "r", 300, 0.05, seed=1)
+        rows = db.query(
+            "SELECT COUNT(*) FROM l, r WHERE l.b0 = r.a"
+        ).scalar()
+        assert rows > 0
+
+    def test_union_pair_overlaps(self, db):
+        generate_union_pair(db, "l", "r", 200, 0.05, seed=1, overlap_fraction=0.3)
+        overlap = db.query(
+            "SELECT COUNT(*) FROM l WHERE EXISTS"
+            " (SELECT * FROM r WHERE r.a = l.a AND r.b0 = l.b0)"
+        ).scalar()
+        assert overlap >= 50
+
+    def test_exclusion_injection(self, db):
+        generate_key_conflict_table(db, "l", 100, 0.0, seed=1)
+        generate_key_conflict_table(db, "r", 100, 0.0, seed=2)
+        injected = inject_exclusion_conflicts(db, "l", "r", 10, seed=3)
+        assert injected == 10
+        shared = db.query(
+            "SELECT COUNT(*) FROM l WHERE EXISTS"
+            " (SELECT * FROM r WHERE r.a = l.a)"
+        ).scalar()
+        assert shared >= 10
+
+
+class TestQuerySuite:
+    def test_queries_run_on_generated_tables(self, db):
+        generate_join_pair(db, "l", "r", 100, 0.05, seed=1)
+        for workload in [
+            selection_query("l"),
+            join_query("l", "r"),
+            union_query("l", "r"),
+            difference_query("l", "r"),
+        ]:
+            db.query(workload.sql)  # must parse and execute
+
+    def test_rewriting_support_flags(self):
+        assert selection_query("l").rewriting_supported
+        assert not union_query("l", "r").rewriting_supported
+
+
+class TestIntegrationScenario:
+    def test_population_counts(self):
+        scenario = build_integration_scenario(n_customers=100, disputed_fraction=0.2)
+        total = scenario.n_agreeing + scenario.n_unique
+        assert len(scenario.db.table("customer")) == total + 2 * scenario.n_disputed
+
+    def test_disputes_are_conflicts(self):
+        scenario = build_integration_scenario(n_customers=100, disputed_fraction=0.2)
+        detection = detect_conflicts(scenario.db, [scenario.fd])
+        assert detection.hypergraph.vertex_count == 2 * scenario.n_disputed
+
+    def test_deterministic(self):
+        first = build_integration_scenario(n_customers=50, seed=9)
+        second = build_integration_scenario(n_customers=50, seed=9)
+        assert sorted(first.db.table("customer").rows()) == sorted(
+            second.db.table("customer").rows()
+        )

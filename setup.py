@@ -1,4 +1,9 @@
-"""Setup shim: enables legacy editable installs (no `wheel` available offline)."""
+"""Setup shim: enables legacy editable installs (no `wheel` available offline).
+
+All project metadata lives in ``pyproject.toml``; this file only keeps
+``pip install -e . --no-build-isolation`` working on offline setups
+whose setuptools cannot build PEP 660 editable wheels.
+"""
 
 from setuptools import setup
 

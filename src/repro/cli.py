@@ -17,7 +17,8 @@ Meta-commands (everything else is executed as SQL):
 =====================  ====================================================
 ``.constraint SPEC``   add a constraint (KEY / FD / EXCLUSION / DENIAL)
 ``.constraints``       list the active constraints
-``.detect``            (re)run conflict detection, print hypergraph stats
+``.detect``            apply pending deltas (or detect), print hypergraph stats
+``.conflicts``         per-constraint stored / subsumed counts + detection mode
 ``.consistent SQL``    consistent answers to a query
 ``.possible SQL``      possible answers (true in some repair)
 ``.cleaned SQL``       evaluate over the conflict-free sub-database
@@ -63,12 +64,19 @@ class HippoShell:
         self._out.write(text + "\n")
 
     def _hippo(self) -> HippoEngine:
-        """The engine, (re)building conflict detection when stale."""
+        """The engine, (re)building conflict detection when stale.
+
+        Plain DML does **not** invalidate the engine: it consumes the
+        database change log and maintains its conflict hypergraph
+        incrementally.  Only DDL and constraint changes rebuild it.
+        """
         if self._engine is None:
             self._engine = HippoEngine(self.db, self.constraints)
         return self._engine
 
     def _invalidate(self) -> None:
+        if self._engine is not None:
+            self._engine.detach()
         self._engine = None
 
     def _print_answers(self, answers: AnswerSet, label: str) -> None:
@@ -116,9 +124,14 @@ class HippoShell:
         self._sql(text)
 
     def _sql(self, text: str) -> None:
+        from repro.sql import ast as sql_ast
         from repro.sql.parser import parse_script
 
+        ddl = False
         for statement in parse_script(text):
+            ddl = ddl or isinstance(
+                statement, (sql_ast.CreateTable, sql_ast.DropTable)
+            )
             result = self.db.execute_statement(statement)
             if result.columns:
                 self._print("  ".join(result.columns))
@@ -127,7 +140,10 @@ class HippoShell:
                 self._print(f"({result.rowcount} rows)")
             else:
                 self._print(f"ok ({result.rowcount} rows affected)")
-        self._invalidate()
+        if ddl:
+            # Schema changes rebuild the engine; plain DML flows through
+            # the change log into incremental hypergraph maintenance.
+            self._invalidate()
 
     def _meta(self, line: str) -> bool:
         command, _, argument = line.partition(" ")
@@ -151,12 +167,42 @@ class HippoShell:
             return True
         if command == ".detect":
             engine = self._hippo()
+            engine.refresh()
+            report = engine.detection
             summary = engine.hypergraph.summary()
+            extra = ""
+            if report.mode == "incremental":
+                extra = (
+                    f"; {report.deltas} deltas,"
+                    f" +{report.edges_added}/-{report.edges_retracted} edges"
+                )
             self._print(
                 f"conflict hypergraph: {summary['edges']} edges,"
                 f" {summary['conflicting_tuples']} conflicting tuples"
-                f" (detection {engine.detection.seconds * 1e3:.1f} ms)"
+                f" (detection {report.seconds * 1e3:.1f} ms,"
+                f" mode {report.mode}{extra})"
             )
+            return True
+        if command == ".conflicts":
+            engine = self._hippo()
+            engine.refresh()
+            report = engine.detection
+            line = f"detection mode: {report.mode}"
+            if report.mode == "incremental":
+                line += (
+                    f" ({report.deltas} deltas applied;"
+                    f" +{report.edges_added} edges,"
+                    f" -{report.edges_retracted} retracted)"
+                )
+            self._print(line)
+            if not report.per_constraint:
+                self._print("(no constraints)")
+            for name in report.per_constraint:
+                subsumed = report.subsumed.get(name, 0)
+                note = f" ({subsumed} subsumed)" if subsumed else ""
+                self._print(
+                    f"  {name}: {report.per_constraint[name]} stored{note}"
+                )
             return True
         if command == ".consistent":
             self._print_answers(
@@ -210,7 +256,9 @@ class HippoShell:
                 )
             return True
         if command == ".repairs":
-            count = count_repairs_exact(self._hippo().hypergraph)
+            engine = self._hippo()
+            engine.refresh()
+            count = count_repairs_exact(engine.hypergraph)
             self._print(
                 f"{count.total} repairs"
                 f" ({count.components} conflict components;"

@@ -1,4 +1,4 @@
-"""Conflict detection and the conflict hypergraph."""
+"""Conflict detection (full and incremental) and the conflict hypergraph."""
 
 from repro.conflicts.detection import DetectionReport, detect_conflicts, violations_of
 from repro.conflicts.hypergraph import (
@@ -7,6 +7,7 @@ from repro.conflicts.hypergraph import (
     minimal_edges,
     vertex,
 )
+from repro.conflicts.incremental import DeltaStats, IncrementalDetector
 
 __all__ = [
     "DetectionReport",
@@ -16,4 +17,6 @@ __all__ = [
     "Vertex",
     "minimal_edges",
     "vertex",
+    "DeltaStats",
+    "IncrementalDetector",
 ]

@@ -36,14 +36,40 @@ class DetectionReport:
 
     Attributes:
         hypergraph: the resulting conflict hypergraph.
-        per_constraint: constraint name -> number of (minimal) violations
-            found for it.
+        per_constraint: constraint name -> number of violations *stored*
+            for it (after minimization).
         seconds: wall-clock detection time.
+        subsumed: constraint name -> violations found for it that are
+            **not** stored under its name, because minimization absorbed
+            them into a smaller edge or into an identical edge of another
+            constraint.  Without this, a constraint whose every violation
+            was absorbed silently reports 0 and benchmarks misread
+            minimization as "no violations".
+        mode: ``"full"`` (complete re-detection) or ``"incremental"``
+            (delta maintenance applied to the existing hypergraph).
+        deltas: number of change-log entries applied (incremental mode).
+        edges_added / edges_retracted: hyperedge churn of the last
+            incremental application.
+        raw_edges / raw_labels: the pre-minimization violation stream,
+            kept only when detection is asked to (``keep_raw``) so the
+            incremental maintainer can bootstrap its shadow store.
     """
 
     hypergraph: ConflictHypergraph
     per_constraint: dict[str, int] = field(default_factory=dict)
     seconds: float = 0.0
+    subsumed: dict[str, int] = field(default_factory=dict)
+    mode: str = "full"
+    deltas: int = 0
+    edges_added: int = 0
+    edges_retracted: int = 0
+    raw_edges: list[frozenset[Vertex]] | None = None
+    raw_labels: list[str] | None = None
+
+    @property
+    def subsumed_total(self) -> int:
+        """Total violations absorbed by minimization."""
+        return sum(self.subsumed.values())
 
 
 def violations_of(db: Database, constraint: DenialConstraint) -> list[frozenset[Vertex]]:
@@ -68,7 +94,7 @@ def violations_of(db: Database, constraint: DenialConstraint) -> list[frozenset[
 
 
 def detect_conflicts(
-    db: Database, constraints: Iterable[object]
+    db: Database, constraints: Iterable[object], keep_raw: bool = False
 ) -> DetectionReport:
     """Run Conflict Detection for a set of constraints.
 
@@ -77,6 +103,10 @@ def detect_conflicts(
     *restricted* foreign keys (see
     :mod:`repro.constraints.foreign_key`), whose dangling tuples become
     singleton hyperedges.
+
+    Args:
+        keep_raw: also return the pre-minimization violation stream on
+            the report (used to bootstrap incremental maintenance).
 
     Raises:
         ConstraintError: when a foreign key falls outside the restricted
@@ -105,14 +135,85 @@ def detect_conflicts(
         per_constraint.update(fk_counts)
     kept, kept_labels = minimal_edges(edges, labels)
     hypergraph = ConflictHypergraph(kept, kept_labels)
-    # Re-count after minimization so the report reflects stored edges.
+    # Re-count after minimization so the report reflects stored edges;
+    # the difference per constraint is what minimization absorbed.
+    found = dict(per_constraint)
     stored: dict[str, int] = {}
     for label in hypergraph.edge_labels:
         stored[label] = stored.get(label, 0) + 1
+    subsumed: dict[str, int] = {}
     for name in per_constraint:
         per_constraint[name] = stored.get(name, 0)
+        subsumed[name] = found[name] - per_constraint[name]
     elapsed = time.perf_counter() - started
-    return DetectionReport(hypergraph, per_constraint, elapsed)
+    return DetectionReport(
+        hypergraph,
+        per_constraint,
+        elapsed,
+        subsumed=subsumed,
+        raw_edges=edges if keep_raw else None,
+        raw_labels=labels if keep_raw else None,
+    )
+
+
+def ensure_edge_in_restricted_class(
+    edge: frozenset[Vertex], referenced: frozenset[str] | set[str]
+) -> None:
+    """Reject a multi-tuple conflict touching an FK-referenced relation.
+
+    A referenced relation may only lose tuples deterministically --
+    through singleton denial edges or upstream FK dangling -- never
+    through a choice conflict (an edge of size >= 2).  Shared by full
+    detection and incremental maintenance so both reject identically.
+
+    Raises:
+        ConstraintError: when the edge violates the restriction.
+    """
+    if len(edge) < 2:
+        return
+    for v in edge:
+        if v.relation in referenced:
+            raise ConstraintError(
+                f"relation {v.relation!r} is referenced by a foreign key"
+                " but participates in a multi-tuple conflict: outside"
+                " the restricted foreign-key class (repairing such"
+                " databases by deletions is not hypergraph-expressible)"
+            )
+
+
+def dangling_child_tids(
+    db: Database, fk: ForeignKeyConstraint, deleted: dict[str, set[int]]
+) -> list[int]:
+    """Tids of ``fk.referencing`` rows whose key dangles, given ``deleted``.
+
+    ``deleted`` maps relation -> certainly-deleted tids (singleton denial
+    edges plus upstream danglings); the returned tids are appended to it,
+    so chained FKs processed in topological order cascade.  This is the
+    single implementation of the dangling semantics (MATCH SIMPLE NULLs,
+    surviving-key set) used by full detection and incremental
+    maintenance alike.
+    """
+    child = db.catalog.table(fk.referencing)
+    parent = db.catalog.table(fk.referenced)
+    child_indexes = [child.schema.index_of(c) for c in fk.columns]
+    parent_indexes = [parent.schema.index_of(c) for c in fk.ref_columns]
+    parent_deleted = deleted.get(fk.referenced.lower(), set())
+    surviving_keys = {
+        tuple(row[i] for i in parent_indexes)
+        for tid, row in parent.items()
+        if tid not in parent_deleted
+    }
+    child_key = fk.referencing.lower()
+    dangling: list[int] = []
+    for tid, row in child.items():
+        key = tuple(row[i] for i in child_indexes)
+        if not fk.match_nulls and any(part is None for part in key):
+            continue  # MATCH SIMPLE: NULL keys reference nothing
+        if key in surviving_keys:
+            continue
+        dangling.append(tid)
+        deleted.setdefault(child_key, set()).add(tid)
+    return dangling
 
 
 def _foreign_key_violations(
@@ -120,24 +221,10 @@ def _foreign_key_violations(
     foreign_keys: list[ForeignKeyConstraint],
     denial_edges: list[frozenset[Vertex]],
 ) -> tuple[list[frozenset[Vertex]], list[str], dict[str, int]]:
-    """Dangling tuples of restricted foreign keys, as singleton edges.
-
-    Restriction check: a referenced relation may only lose tuples
-    deterministically -- through singleton denial edges or upstream FK
-    dangling -- never through a choice conflict (an edge of size >= 2).
-    """
+    """Dangling tuples of restricted foreign keys, as singleton edges."""
     referenced = {fk.referenced.lower() for fk in foreign_keys}
     for edge in denial_edges:
-        if len(edge) < 2:
-            continue
-        for v in edge:
-            if v.relation in referenced:
-                raise ConstraintError(
-                    f"relation {v.relation!r} is referenced by a foreign key"
-                    " but participates in a multi-tuple conflict: outside"
-                    " the restricted foreign-key class (repairing such"
-                    " databases by deletions is not hypergraph-expressible)"
-                )
+        ensure_edge_in_restricted_class(edge, referenced)
 
     # Deterministic deletions seen so far: singleton denial edges.
     deleted: dict[str, set[int]] = {}
@@ -150,27 +237,11 @@ def _foreign_key_violations(
     labels: list[str] = []
     counts: dict[str, int] = {}
     for fk in topological_fk_order(foreign_keys):
-        child = db.catalog.table(fk.referencing)
-        parent = db.catalog.table(fk.referenced)
-        child_indexes = [child.schema.index_of(c) for c in fk.columns]
-        parent_indexes = [parent.schema.index_of(c) for c in fk.ref_columns]
-        parent_deleted = deleted.get(fk.referenced.lower(), set())
-        surviving_keys = {
-            tuple(row[i] for i in parent_indexes)
-            for tid, row in parent.items()
-            if tid not in parent_deleted
-        }
         label = str(fk)
-        counts[label] = 0
         child_key = fk.referencing.lower()
-        for tid, row in child.items():
-            key = tuple(row[i] for i in child_indexes)
-            if not fk.match_nulls and any(part is None for part in key):
-                continue  # MATCH SIMPLE: NULL keys reference nothing
-            if key in surviving_keys:
-                continue
+        dangling = dangling_child_tids(db, fk, deleted)
+        counts[label] = len(dangling)
+        for tid in dangling:
             edges.append(frozenset({vertex(child_key, tid)}))
             labels.append(label)
-            counts[label] += 1
-            deleted.setdefault(child_key, set()).add(tid)
     return edges, labels, counts

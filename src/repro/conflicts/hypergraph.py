@@ -32,33 +32,81 @@ def vertex(relation: str, tid: int) -> Vertex:
 
 
 class ConflictHypergraph:
-    """An immutable conflict hypergraph.
+    """The conflict hypergraph (mutable since incremental maintenance).
+
+    Conflict Detection builds it once; incremental maintenance then edits
+    it in place through :meth:`add_edge` / :meth:`remove_edge`, which keep
+    the per-vertex adjacency (``_incidence``) and ``edge_labels``
+    consistent with ``edges``.
 
     Attributes:
         edges: the hyperedges (minimal violation sets), deduplicated.
+        edge_labels: the constraint name each edge was derived from,
+            positionally aligned with ``edges``.
     """
 
     def __init__(
         self,
-        edges: Iterable[frozenset[Vertex]],
+        edges: Iterable[frozenset[Vertex]] = (),
         edge_labels: Optional[Sequence[str]] = None,
     ) -> None:
         self.edges: list[frozenset[Vertex]] = []
         self.edge_labels: list[str] = []
-        seen: dict[frozenset[Vertex], int] = {}
+        self._position: dict[frozenset[Vertex], int] = {}
+        self._incidence: dict[Vertex, list[int]] = {}
         labels = list(edge_labels) if edge_labels is not None else None
         for position, edge in enumerate(edges):
-            if not edge:
-                raise ValueError("hyperedges must be non-empty")
-            if edge in seen:
-                continue
-            seen[edge] = len(self.edges)
-            self.edges.append(edge)
-            self.edge_labels.append(labels[position] if labels else "")
-        self._incidence: dict[Vertex, list[int]] = {}
-        for index, edge in enumerate(self.edges):
-            for v in edge:
-                self._incidence.setdefault(v, []).append(index)
+            self.add_edge(edge, labels[position] if labels else "")
+
+    # ----------------------------------------------------------- mutation
+
+    def add_edge(self, edge: Iterable[Vertex], label: str = "") -> bool:
+        """Store a hyperedge (no-op for duplicates); returns whether added.
+
+        Raises:
+            ValueError: for an empty edge.
+        """
+        edge = frozenset(edge)
+        if not edge:
+            raise ValueError("hyperedges must be non-empty")
+        if edge in self._position:
+            return False
+        index = len(self.edges)
+        self._position[edge] = index
+        self.edges.append(edge)
+        self.edge_labels.append(label)
+        for v in edge:
+            self._incidence.setdefault(v, []).append(index)
+        return True
+
+    def remove_edge(self, edge: Iterable[Vertex]) -> bool:
+        """Retract a hyperedge; returns whether it was stored.
+
+        The last edge is swapped into the vacated slot, so edge order is
+        not stable across removals (no consumer relies on it -- equality
+        of hypergraphs is by edge *set*, see :meth:`as_dict`).
+        """
+        edge = frozenset(edge)
+        index = self._position.pop(edge, None)
+        if index is None:
+            return False
+        for v in edge:
+            incident = self._incidence[v]
+            incident.remove(index)
+            if not incident:
+                del self._incidence[v]
+        last = len(self.edges) - 1
+        if index != last:
+            moved = self.edges[last]
+            self.edges[index] = moved
+            self.edge_labels[index] = self.edge_labels[last]
+            self._position[moved] = index
+            for v in moved:
+                incident = self._incidence[v]
+                incident[incident.index(last)] = index
+        self.edges.pop()
+        self.edge_labels.pop()
+        return True
 
     # ------------------------------------------------------------- queries
 
@@ -81,6 +129,51 @@ class ConflictHypergraph:
     def edges_of(self, v: Vertex) -> list[frozenset[Vertex]]:
         """The hyperedges containing ``v`` (empty when conflict-free)."""
         return [self.edges[index] for index in self._incidence.get(v, ())]
+
+    def contains_edge(self, edge: Iterable[Vertex]) -> bool:
+        """Whether this exact hyperedge is stored."""
+        return frozenset(edge) in self._position
+
+    def label_of(self, edge: Iterable[Vertex]) -> str:
+        """The label of a stored edge.
+
+        Raises:
+            KeyError: when the edge is not stored.
+        """
+        return self.edge_labels[self._position[frozenset(edge)]]
+
+    def subset_edges(self, vertices: Iterable[Vertex]) -> list[frozenset[Vertex]]:
+        """Stored edges that are subsets of ``vertices`` (inclusive)."""
+        vertex_set = frozenset(vertices)
+        found: list[frozenset[Vertex]] = []
+        checked: set[int] = set()
+        for v in vertex_set:
+            for index in self._incidence.get(v, ()):
+                if index in checked:
+                    continue
+                checked.add(index)
+                if self.edges[index] <= vertex_set:
+                    found.append(self.edges[index])
+        return found
+
+    def superset_edges(self, vertices: Iterable[Vertex]) -> list[frozenset[Vertex]]:
+        """Stored edges strictly containing ``vertices``."""
+        vertex_set = frozenset(vertices)
+        if not vertex_set:
+            return []
+        # A superset is incident to every vertex; scan the shortest list.
+        probe = min(
+            vertex_set, key=lambda u: len(self._incidence.get(u, ()))
+        )
+        return [
+            self.edges[index]
+            for index in self._incidence.get(probe, ())
+            if vertex_set < self.edges[index]
+        ]
+
+    def as_dict(self) -> dict[frozenset[Vertex], str]:
+        """``edge -> label`` (the canonical, order-free representation)."""
+        return dict(zip(self.edges, self.edge_labels))
 
     def degree(self, v: Vertex) -> int:
         """Number of hyperedges containing ``v``."""

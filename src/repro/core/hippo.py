@@ -23,11 +23,13 @@ constructor flags:
 from __future__ import annotations
 
 import time
+import weakref
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence, Union
 
 from repro.conflicts.detection import DetectionReport, detect_conflicts
 from repro.conflicts.hypergraph import ConflictHypergraph
+from repro.conflicts.incremental import IncrementalDetector
 from repro.core.envelope import Enveloper, provenance_hints
 from repro.core.grounding import GroundQuery
 from repro.core.membership import make_membership
@@ -82,8 +84,14 @@ class HippoEngine:
         membership: Prover membership strategy (``"provenance"`` default).
         use_core: skip the Prover for candidates in the certain core.
 
-    The conflict hypergraph is built eagerly; call :meth:`refresh` after
-    modifying the data.
+    The conflict hypergraph is built eagerly and then maintained
+    *incrementally*: the engine subscribes to the database change log,
+    and row deltas only touch the hyperedges around changed tuples (see
+    :mod:`repro.conflicts.incremental`).  Queries fold pending deltas in
+    automatically; :meth:`refresh` does it explicitly, and
+    ``refresh(full=True)`` is the escape hatch forcing complete
+    re-detection.  DDL, constraint-list changes and change-log overflow
+    all fall back to full detection on their own.
     """
 
     def __init__(
@@ -98,7 +106,19 @@ class HippoEngine:
         self.membership_strategy = membership
         self.use_core = use_core
         self._schema = CatalogSchemaProvider(db.catalog)
-        self.detection: DetectionReport = detect_conflicts(db, self.constraints)
+        self._cursor = db.changes.open_cursor()
+        # An engine dropped without detach() must not pin the change log
+        # forever (dbs commonly outlive engines, e.g. in tests and the
+        # CLI); closing is idempotent, so detach() and GC can both run.
+        self._cursor_finalizer = weakref.finalize(self, self._cursor.close)
+        self._schema_version = db.changes.schema_version
+        self._constraints_snapshot = tuple(self.constraints)
+        self._incremental: Optional[IncrementalDetector] = None
+        try:
+            self.detection: DetectionReport = self._full_detection()
+        except Exception:
+            self._cursor.close()
+            raise
         self._enveloper = Enveloper(db, self.hypergraph)
 
     # ------------------------------------------------------------ plumbing
@@ -108,10 +128,92 @@ class HippoEngine:
         """The conflict hypergraph built by Conflict Detection."""
         return self.detection.hypergraph
 
-    def refresh(self) -> None:
-        """Re-run Conflict Detection (after data changes)."""
-        self.detection = detect_conflicts(self.db, self.constraints)
+    def _full_detection(self) -> DetectionReport:
+        """Complete re-detection, re-seeding the incremental maintainer."""
+        if self._cursor is None:
+            # Detached engine: no deltas will ever arrive, so don't
+            # build (and keep) a shadow store nobody can consume.
+            return detect_conflicts(self.db, self.constraints)
+        report = detect_conflicts(self.db, self.constraints, keep_raw=True)
+        self._incremental = IncrementalDetector(self.db, self.constraints)
+        self._incremental.bootstrap(report)
+        report.raw_edges = None  # the shadow store owns the raw stream now
+        report.raw_labels = None
+        return report
+
+    def refresh(self, full: bool = False) -> None:
+        """Fold pending data changes into the conflict hypergraph.
+
+        Incremental maintenance applies the change-log deltas in place;
+        ``full=True`` forces complete re-detection (the always-correct
+        escape hatch).  Full detection also happens automatically when
+        the change log overflowed, DDL ran, or the constraint list was
+        modified since the last detection.
+        """
+        changes, lost = (
+            self._cursor.read() if self._cursor is not None else ([], True)
+        )
+        if (
+            full
+            or lost
+            or self._incremental is None
+            or self.db.changes.schema_version != self._schema_version
+            or tuple(self.constraints) != self._constraints_snapshot
+        ):
+            # Forget the old maintainer first: if detection raises (e.g.
+            # a constraint now references a dropped table), the next
+            # refresh must retry full detection -- not resume applying
+            # deltas with a detector built for the old schema.
+            self._incremental = None
+            self.detection = self._full_detection()
+            self._schema_version = self.db.changes.schema_version
+            self._constraints_snapshot = tuple(self.constraints)
+        elif changes:
+            try:
+                stats = self._incremental.apply(changes)
+            except Exception:
+                # A failed application (e.g. the data left the restricted
+                # FK class mid-batch) may leave the maintained graph
+                # partial: force full re-detection on the next refresh.
+                self._incremental = None
+                raise
+            self.detection = DetectionReport(
+                hypergraph=self._incremental.graph,
+                per_constraint=stats.per_constraint,
+                seconds=stats.seconds,
+                subsumed=stats.per_constraint_subsumed,
+                mode="incremental",
+                deltas=stats.deltas,
+                edges_added=stats.added + stats.resurrected,
+                edges_retracted=stats.retracted,
+            )
+        else:
+            return  # nothing pending; current state is already exact
         self._enveloper = Enveloper(self.db, self.hypergraph)
+
+    def _sync(self) -> None:
+        """Bring the hypergraph up to date before answering a query."""
+        if self._cursor is None:
+            return  # detached: the engine is deliberately static
+        if (
+            self._cursor.pending
+            or self._cursor.lost
+            or self._incremental is None
+            or self.db.changes.schema_version != self._schema_version
+            or tuple(self.constraints) != self._constraints_snapshot
+        ):
+            self.refresh()
+
+    def detach(self) -> None:
+        """Stop consuming the change log (the engine becomes static).
+
+        Queries stop auto-syncing; an explicit :meth:`refresh` still
+        re-runs full detection.
+        """
+        if self._cursor is not None:
+            self._cursor.close()
+            self._cursor = None
+        self._incremental = None
 
     def parse(self, query: QueryLike) -> tuple[SJUDTree, tuple[ast.OrderItem, ...]]:
         """Normalize any supported query form to an SJUD tree.
@@ -140,6 +242,7 @@ class HippoEngine:
         ``prover_checked``, ``prover_rejected``, membership-check counts,
         and per-stage wall-clock times.
         """
+        self._sync()
         started = time.perf_counter()
         tree, order_by = self.parse(query)
         columns = list(output_names_of(tree))
@@ -193,6 +296,7 @@ class HippoEngine:
         Together the two sets bracket the inconsistent database's
         information: ``consistent <= any-resolution <= possible``.
         """
+        self._sync()
         started = time.perf_counter()
         tree, order_by = self.parse(query)
         columns = list(output_names_of(tree))
@@ -237,6 +341,7 @@ class HippoEngine:
         from repro.core import formula as fm
         from repro.sql.formatter import format_expression  # noqa: F401
 
+        self._sync()
         tree, _ = self.parse(query)
         grounder = GroundQuery(tree, self._schema)
         membership = make_membership("cached", self.db)
@@ -289,6 +394,7 @@ class HippoEngine:
         subset of the consistent answers for monotone queries and can be
         plain wrong for queries with difference.
         """
+        self._sync()
         started = time.perf_counter()
         tree, order_by = self.parse(query)
         columns = list(output_names_of(tree))

@@ -5,6 +5,7 @@ the equivalent substrate, providing SQL execution, point membership
 lookups and execution statistics.
 """
 
+from repro.engine.changelog import Change, ChangeCursor, ChangeLog
 from repro.engine.database import Database, Result
 from repro.engine.io import dump_csv, dump_sql, load_csv, restore_sql
 from repro.engine.schema import Column, TableSchema, make_schema
@@ -13,6 +14,9 @@ from repro.engine.storage import Table
 from repro.engine.types import NULL, SQLType, SQLValue
 
 __all__ = [
+    "Change",
+    "ChangeCursor",
+    "ChangeLog",
     "Database",
     "Result",
     "dump_csv",

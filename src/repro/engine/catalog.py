@@ -2,18 +2,25 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterator
+from typing import Dict, Iterator, Optional
 
+from repro.engine.changelog import ChangeLog
 from repro.engine.schema import TableSchema
 from repro.engine.storage import Table
 from repro.errors import CatalogError
 
 
 class Catalog:
-    """Case-insensitive registry of tables."""
+    """Case-insensitive registry of tables.
 
-    def __init__(self) -> None:
+    When constructed with a :class:`~repro.engine.changelog.ChangeLog`,
+    every table it creates publishes its row mutations there, and DDL
+    (create/drop) bumps the log's schema version.
+    """
+
+    def __init__(self, changelog: Optional[ChangeLog] = None) -> None:
         self._tables: Dict[str, Table] = {}
+        self._changelog = changelog
 
     def create_table(self, schema: TableSchema) -> Table:
         """Create and register an empty table.
@@ -24,8 +31,10 @@ class Catalog:
         key = schema.name.lower()
         if key in self._tables:
             raise CatalogError(f"table {schema.name!r} already exists")
-        table = Table(schema)
+        table = Table(schema, changelog=self._changelog)
         self._tables[key] = table
+        if self._changelog is not None:
+            self._changelog.bump_schema_version()
         return table
 
     def drop_table(self, name: str, if_exists: bool = False) -> None:
@@ -40,6 +49,8 @@ class Catalog:
                 return
             raise CatalogError(f"no such table: {name!r}")
         del self._tables[key]
+        if self._changelog is not None:
+            self._changelog.bump_schema_version()
 
     def table(self, name: str) -> Table:
         """Look a table up by name.

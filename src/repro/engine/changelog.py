@@ -1,0 +1,170 @@
+"""The database change log: the feed incremental conflict detection reads.
+
+Hippo's Figure-1 data flow runs Conflict Detection once, up front; every
+later consistent-answer computation reuses the conflict hypergraph.  For
+that to survive update traffic, the storage layer publishes every row
+mutation as a :class:`Change` -- ``(relation, tid, row, op)`` -- and the
+Hippo engine consumes the stream through a :class:`ChangeCursor`,
+re-deriving only the hyperedges that touch changed tuples.
+
+Design notes:
+
+* **Zero cost when unused.**  Nothing is buffered until at least one
+  cursor is open, so a plain :class:`~repro.engine.database.Database`
+  never accumulates history.
+* **Updates are delete + insert.**  An UPDATE keeps its tid but changes
+  the row, so it is published as a ``delete`` of the old row followed by
+  an ``insert`` of the new one under the same tid; consumers treat the
+  pair as "retract everything incident to the tuple, then re-derive".
+* **Bounded memory, verified fallback.**  The buffer is capped; on
+  overflow it is dropped wholesale and lagging cursors report
+  ``lost=True``, telling the consumer to fall back to full re-detection
+  (the escape hatch is always correct, just slower).
+* **DDL is out of band.**  CREATE/DROP TABLE bump ``schema_version``
+  instead of emitting per-row changes; consumers compare versions and
+  fall back to full detection across DDL.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, NamedTuple, Optional, Tuple
+
+#: Ops a change can carry.  UPDATE is published as DELETE + INSERT.
+OP_INSERT = "insert"
+OP_DELETE = "delete"
+
+
+class Change(NamedTuple):
+    """One row mutation: ``(relation, tid, row, op)``.
+
+    ``relation`` is lower-cased; ``row`` is the inserted row for
+    ``insert`` and the row as it was stored for ``delete``.
+    """
+
+    relation: str
+    tid: int
+    row: Tuple
+    op: str
+
+
+class ChangeLog:
+    """An append-only, multi-reader buffer of row mutations.
+
+    Writers call :meth:`record`; readers open a :class:`ChangeCursor` and
+    drain it with :meth:`ChangeCursor.read`.  Entries consumed by every
+    open cursor are compacted away; when the buffer exceeds
+    ``max_pending`` it is dropped and lagging cursors become *lost*.
+    """
+
+    def __init__(self, max_pending: int = 100_000) -> None:
+        self._entries: list[Change] = []
+        self._base = 0  # sequence number of _entries[0]
+        self._cursors: dict[int, int] = {}  # cursor id -> next unread seq
+        self._next_cursor_id = 0
+        self._max_pending = max_pending
+        #: bumped by DDL (CREATE/DROP TABLE); consumers that cached
+        #: schema-derived state must rebuild when it moves.
+        self.schema_version = 0
+
+    # ------------------------------------------------------------- writing
+
+    @property
+    def end(self) -> int:
+        """The sequence number one past the newest entry."""
+        return self._base + len(self._entries)
+
+    def record(self, change: Change) -> None:
+        """Publish one mutation (dropped when nobody is listening)."""
+        if not self._cursors:
+            return
+        self._entries.append(change)
+        if len(self._entries) > self._max_pending:
+            # Overflow: drop the whole buffer.  Every cursor that had not
+            # caught up observes ``lost`` and falls back to full
+            # re-detection.
+            self._base += len(self._entries)
+            self._entries.clear()
+
+    def bump_schema_version(self) -> None:
+        """Note a DDL change (no per-row history is kept for DDL)."""
+        self.schema_version += 1
+
+    # ------------------------------------------------------------- reading
+
+    def open_cursor(self) -> "ChangeCursor":
+        """Open a cursor positioned at the current end of the log."""
+        cursor_id = self._next_cursor_id
+        self._next_cursor_id += 1
+        self._cursors[cursor_id] = self.end
+        return ChangeCursor(self, cursor_id)
+
+    def _close(self, cursor_id: int) -> None:
+        self._cursors.pop(cursor_id, None)
+        self._compact()
+
+    def _read(self, cursor_id: int) -> tuple[list[Change], bool]:
+        position = self._cursors[cursor_id]
+        lost = position < self._base
+        start = max(position - self._base, 0)
+        changes = self._entries[start:] if not lost else []
+        self._cursors[cursor_id] = self.end
+        self._compact()
+        return changes, lost
+
+    def _pending(self, cursor_id: int) -> int:
+        return self.end - self._cursors[cursor_id]
+
+    def _lost(self, cursor_id: int) -> bool:
+        return self._cursors[cursor_id] < self._base
+
+    def _compact(self) -> None:
+        """Drop entries already consumed by every open cursor."""
+        if not self._cursors:
+            self._base += len(self._entries)
+            self._entries.clear()
+            return
+        low = min(self._cursors.values())
+        if low > self._base:
+            drop = min(low - self._base, len(self._entries))
+            del self._entries[:drop]
+            self._base += drop
+
+
+class ChangeCursor:
+    """One consumer's position in a :class:`ChangeLog`."""
+
+    def __init__(self, log: ChangeLog, cursor_id: int) -> None:
+        self._log = log
+        self._id = cursor_id
+        self._closed = False
+
+    @property
+    def pending(self) -> int:
+        """Number of unread changes (an overflow also makes this > 0)."""
+        if self._closed:
+            return 0
+        return self._log._pending(self._id)
+
+    @property
+    def lost(self) -> bool:
+        """Whether the log overflowed past this cursor (history gone)."""
+        if self._closed:
+            return False
+        return self._log._lost(self._id)
+
+    def read(self) -> tuple[list[Change], bool]:
+        """Drain unread changes; returns ``(changes, lost)``.
+
+        When ``lost`` is True the returned list is empty and the consumer
+        must rebuild its derived state from scratch; either way the
+        cursor is repositioned at the current end of the log.
+        """
+        if self._closed:
+            return [], False
+        return self._log._read(self._id)
+
+    def close(self) -> None:
+        """Release the cursor (its unread entries may be compacted)."""
+        if not self._closed:
+            self._closed = True
+            self._log._close(self._id)

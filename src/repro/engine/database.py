@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional, Sequence
 
 from repro.engine.catalog import Catalog
+from repro.engine.changelog import ChangeLog
 from repro.engine.expressions import ExpressionCompiler, Scope
 from repro.engine.plan import Filter, Scan, run_plan
 from repro.engine.planner import Planner
@@ -64,7 +65,10 @@ class Database:
     """An in-memory SQL database instance."""
 
     def __init__(self) -> None:
-        self.catalog = Catalog()
+        #: row-mutation feed consumed by incremental conflict detection;
+        #: it buffers nothing until a cursor is opened.
+        self.changes = ChangeLog()
+        self.catalog = Catalog(self.changes)
         self.stats = ExecutionStats()
         # index name (lower) -> (table name, column names) for diagnostics.
         self._indexes: dict[str, tuple[str, tuple[str, ...]]] = {}

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, Optional, Sequence, Set, Tuple
 
+from repro.engine.changelog import OP_DELETE, OP_INSERT, Change, ChangeLog
 from repro.engine.schema import TableSchema
 from repro.engine.types import SQLValue
 from repro.errors import ExecutionError
@@ -30,15 +31,24 @@ class Table:
     Duplicate rows are permitted in storage (SQL bag semantics); they get
     distinct tids.  The CQA layer treats facts at the value level and
     handles duplicates explicitly (see ``repro.core.facts``).
+
+    When a :class:`~repro.engine.changelog.ChangeLog` is attached, every
+    mutation is published to it (an UPDATE as delete + insert under the
+    same tid), which is what keeps the conflict hypergraph incrementally
+    maintainable.
     """
 
-    def __init__(self, schema: TableSchema) -> None:
+    def __init__(
+        self, schema: TableSchema, changelog: Optional[ChangeLog] = None
+    ) -> None:
         self.schema = schema
         self._rows: Dict[int, Row] = {}
         self._by_value: Dict[Row, Set[int]] = {}
         # Secondary hash indexes: column positions -> (key values -> tids).
         self._indexes: Dict[Tuple[int, ...], Dict[Tuple, Set[int]]] = {}
         self._next_tid = 0
+        self._changelog = changelog
+        self._key = schema.name.lower()
 
     # -------------------------------------------------------------- indexes
 
@@ -103,6 +113,8 @@ class Table:
         self._rows[tid] = row
         self._by_value.setdefault(row, set()).add(tid)
         self._index_add(tid, row)
+        if self._changelog is not None:
+            self._changelog.record(Change(self._key, tid, row, OP_INSERT))
         return tid
 
     def insert_many(self, rows: Sequence[Sequence[SQLValue]]) -> list[int]:
@@ -125,6 +137,8 @@ class Table:
         if not owners:
             del self._by_value[row]
         self._index_remove(tid, row)
+        if self._changelog is not None:
+            self._changelog.record(Change(self._key, tid, row, OP_DELETE))
 
     def update(self, tid: int, values: Sequence[SQLValue]) -> None:
         """Replace the row stored under ``tid``, keeping the tid stable.
@@ -146,6 +160,9 @@ class Table:
         self._rows[tid] = new_row
         self._by_value.setdefault(new_row, set()).add(tid)
         self._index_add(tid, new_row)
+        if self._changelog is not None:
+            self._changelog.record(Change(self._key, tid, old_row, OP_DELETE))
+            self._changelog.record(Change(self._key, tid, new_row, OP_INSERT))
 
     # --------------------------------------------------------------- access
 

@@ -1,0 +1,76 @@
+"""Smoke entry point: quick test run + incremental-maintenance check.
+
+Registered as the ``hippo-smoke`` console script in ``pyproject.toml``
+(and runnable as ``python -m repro.smoke``).  It runs the unit test
+suite quietly, then a self-contained miniature of
+``benchmarks/bench_incremental_updates.py``: a generated key-conflict
+table takes a handful of single-statement updates, timing incremental
+hypergraph maintenance against full re-detection and asserting they
+agree -- a fast end-to-end health check for CI.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Optional
+
+
+def _bench_smoke(n_tuples: int = 4000, updates: int = 5) -> int:
+    """Single-statement updates: incremental vs. full, with equivalence."""
+    from repro.conflicts import detect_conflicts
+    from repro.core.hippo import HippoEngine
+    from repro.engine.database import Database
+    from repro.workloads import generate_key_conflict_table
+
+    db = Database()
+    table = generate_key_conflict_table(db, "r", n_tuples, 0.05, seed=23)
+    engine = HippoEngine(db, [table.fd])
+    engine.refresh(full=True)  # warm (also builds the matcher indexes)
+
+    incremental = full = 0.0
+    next_key = 10 * n_tuples + 1  # outside the generator's key domain
+    for step in range(updates):
+        db.execute(f"INSERT INTO r VALUES ({next_key + step}, {step})")
+        started = time.perf_counter()
+        engine.refresh()
+        incremental += time.perf_counter() - started
+        assert engine.detection.mode == "incremental", engine.detection.mode
+
+        started = time.perf_counter()
+        report = detect_conflicts(db, [table.fd])
+        full += time.perf_counter() - started
+        if engine.hypergraph.as_dict() != report.hypergraph.as_dict():
+            print("smoke: FAIL (incremental != full re-detection)")
+            return 1
+
+    speedup = full / incremental if incremental else float("inf")
+    print(
+        f"smoke: {updates} single-statement updates over {n_tuples} tuples:"
+        f" incremental {incremental * 1e3:.1f} ms,"
+        f" full {full * 1e3:.1f} ms ({speedup:.0f}x)"
+    )
+    return 0
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Run ``pytest -q`` (when a tests/ directory is around) + the bench."""
+    arguments = list(argv if argv is not None else sys.argv[1:])
+    skip_tests = "--no-tests" in arguments
+    if not skip_tests:
+        tests = Path.cwd() / "tests"
+        if tests.is_dir():
+            status = subprocess.call(
+                [sys.executable, "-m", "pytest", "-q", str(tests)]
+            )
+            if status != 0:
+                return status
+        else:
+            print("smoke: no tests/ directory here, skipping pytest")
+    return _bench_smoke()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,480 @@
+"""Unit tests for incremental conflict-hypergraph maintenance.
+
+The equivalence property suite (``tests/property``) checks the global
+invariant -- incremental == full re-detection after arbitrary update
+sequences; the tests here pin down the moving parts one by one: the
+change log, hypergraph edge add/remove, edge retraction, FK cascade
+re-derivation, subsumption bookkeeping and the engine-level fallbacks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, HippoEngine
+from repro.conflicts import ConflictHypergraph, Vertex, detect_conflicts, vertex
+from repro.conflicts.incremental import IncrementalDetector
+from repro.constraints import (
+    ConstraintAtom,
+    DenialConstraint,
+    ExclusionConstraint,
+    FunctionalDependency,
+)
+from repro.constraints.foreign_key import ForeignKeyConstraint
+from repro.engine.changelog import Change, ChangeLog
+from repro.errors import ConstraintError
+from repro.sql.parser import parse_expression
+
+
+def assert_equivalent(engine: HippoEngine, db: Database, constraints) -> None:
+    """The maintained hypergraph equals full re-detection, field by field."""
+    full = detect_conflicts(db, constraints)
+    maintained = engine.hypergraph
+    assert maintained.as_dict() == full.hypergraph.as_dict()
+    assert engine.detection.per_constraint == full.per_constraint
+    assert engine.detection.subsumed == full.subsumed
+    # Adjacency agrees vertex by vertex.
+    assert set(maintained.conflicting_vertices()) == set(
+        full.hypergraph.conflicting_vertices()
+    )
+    for v in full.hypergraph.conflicting_vertices():
+        assert set(maintained.edges_of(v)) == set(full.hypergraph.edges_of(v))
+        assert maintained.degree(v) == full.hypergraph.degree(v)
+
+
+class TestChangeLog:
+    def test_nothing_buffered_without_cursor(self):
+        log = ChangeLog()
+        log.record(Change("r", 0, (1,), "insert"))
+        assert log.end == 0
+
+    def test_cursor_sees_changes_once(self):
+        log = ChangeLog()
+        cursor = log.open_cursor()
+        log.record(Change("r", 0, (1,), "insert"))
+        assert cursor.pending == 1
+        changes, lost = cursor.read()
+        assert not lost and [c.tid for c in changes] == [0]
+        assert cursor.read() == ([], False)
+
+    def test_two_cursors_compact_at_slowest(self):
+        log = ChangeLog()
+        fast, slow = log.open_cursor(), log.open_cursor()
+        log.record(Change("r", 0, (1,), "insert"))
+        fast.read()
+        assert slow.pending == 1
+        changes, lost = slow.read()
+        assert [c.tid for c in changes] == [0] and not lost
+
+    def test_overflow_marks_cursor_lost(self):
+        log = ChangeLog(max_pending=2)
+        cursor = log.open_cursor()
+        for tid in range(4):
+            log.record(Change("r", tid, (tid,), "insert"))
+        assert cursor.lost
+        changes, lost = cursor.read()
+        assert lost and changes == []
+        assert not cursor.lost  # repositioned at the end
+
+    def test_update_emits_delete_then_insert(self):
+        db = Database()
+        db.execute("CREATE TABLE r (a INTEGER)")
+        cursor = db.changes.open_cursor()
+        tid = db.insert_rows("r", [(1,)])[0]
+        db.execute("UPDATE r SET a = 2")
+        ops = [(c.op, c.tid, c.row) for c in cursor.read()[0]]
+        assert ops == [
+            ("insert", tid, (1,)),
+            ("delete", tid, (1,)),
+            ("insert", tid, (2,)),
+        ]
+
+    def test_collected_engine_releases_its_cursor(self):
+        import gc
+
+        db = Database()
+        db.execute("CREATE TABLE r (a INTEGER, b INTEGER)")
+        fd = FunctionalDependency("r", ["a"], ["b"])
+        engine = HippoEngine(db, [fd])
+        del engine  # dropped without detach()
+        gc.collect()
+        db.execute("INSERT INTO r VALUES (1, 2)")
+        assert db.changes.end == 0  # nobody listening, nothing buffered
+
+    def test_ddl_bumps_schema_version(self):
+        db = Database()
+        before = db.changes.schema_version
+        db.execute("CREATE TABLE r (a INTEGER)")
+        db.execute("DROP TABLE r")
+        assert db.changes.schema_version == before + 2
+
+
+class TestMutableHypergraph:
+    def edge(self, *tids: int) -> frozenset[Vertex]:
+        return frozenset(vertex("r", tid) for tid in tids)
+
+    def test_add_and_remove_keep_adjacency(self):
+        graph = ConflictHypergraph()
+        assert graph.add_edge(self.edge(1, 2), "c1")
+        assert graph.add_edge(self.edge(2, 3), "c2")
+        assert not graph.add_edge(self.edge(1, 2), "dup")
+        assert graph.degree(vertex("r", 2)) == 2
+        assert graph.label_of(self.edge(2, 3)) == "c2"
+        assert graph.remove_edge(self.edge(1, 2))
+        assert not graph.remove_edge(self.edge(1, 2))
+        assert not graph.is_conflicting(vertex("r", 1))
+        assert graph.edges_of(vertex("r", 2)) == [self.edge(2, 3)]
+        assert graph.edge_labels == ["c2"]
+
+    def test_swap_remove_remaps_positions(self):
+        graph = ConflictHypergraph()
+        for tids, label in [((1, 2), "a"), ((3, 4), "b"), ((4, 5), "c")]:
+            graph.add_edge(self.edge(*tids), label)
+        graph.remove_edge(self.edge(1, 2))  # last edge swaps into slot 0
+        assert graph.as_dict() == {
+            self.edge(3, 4): "b",
+            self.edge(4, 5): "c",
+        }
+        assert graph.label_of(self.edge(4, 5)) == "c"
+        assert graph.remove_edge(self.edge(4, 5))
+        assert graph.as_dict() == {self.edge(3, 4): "b"}
+
+    def test_subset_and_superset_queries(self):
+        graph = ConflictHypergraph()
+        graph.add_edge(self.edge(1), "s")
+        graph.add_edge(self.edge(2, 3), "p")
+        assert graph.subset_edges(self.edge(1, 2, 3)) == [
+            self.edge(1)
+        ] or set(graph.subset_edges(self.edge(1, 2, 3))) == {
+            self.edge(1),
+            self.edge(2, 3),
+        }
+        assert graph.superset_edges(self.edge(2)) == [self.edge(2, 3)]
+        assert graph.superset_edges(self.edge(2, 3)) == []
+
+
+class TestIncrementalDenials:
+    def fd_engine(self):
+        db = Database()
+        db.execute("CREATE TABLE emp (name TEXT, salary INTEGER)")
+        db.execute("INSERT INTO emp VALUES ('ann', 10), ('ann', 20), ('bob', 5)")
+        fd = FunctionalDependency("emp", ["name"], ["salary"])
+        return db, HippoEngine(db, [fd]), [fd]
+
+    def test_insert_derives_new_edges(self):
+        db, engine, constraints = self.fd_engine()
+        db.execute("INSERT INTO emp VALUES ('bob', 6), ('bob', 7)")
+        engine.refresh()
+        assert engine.detection.mode == "incremental"
+        assert engine.detection.edges_added == 3  # (5,6), (5,7), (6,7)
+        assert_equivalent(engine, db, constraints)
+
+    def test_delete_retracts_incident_edges(self):
+        db, engine, constraints = self.fd_engine()
+        db.execute("DELETE FROM emp WHERE salary = 20")
+        engine.refresh()
+        assert engine.detection.mode == "incremental"
+        assert engine.detection.edges_retracted == 1
+        assert len(engine.hypergraph) == 0
+        assert_equivalent(engine, db, constraints)
+
+    def test_update_retracts_and_rederives(self):
+        db, engine, constraints = self.fd_engine()
+        db.execute("UPDATE emp SET name = 'bob' WHERE salary = 20")
+        engine.refresh()
+        # ann's pair dissolves; ('bob', 20) now conflicts with ('bob', 5).
+        assert engine.detection.mode == "incremental"
+        assert_equivalent(engine, db, constraints)
+        assert len(engine.hypergraph) == 1
+
+    def test_noop_refresh_keeps_report(self):
+        db, engine, constraints = self.fd_engine()
+        engine.refresh()
+        assert engine.detection.mode == "full"
+        db.execute("DELETE FROM emp WHERE salary = 999")
+        engine.refresh()
+        assert engine.detection.mode == "full"  # nothing was pending
+        assert_equivalent(engine, db, constraints)
+
+    def test_queries_sync_automatically(self):
+        db, engine, _ = self.fd_engine()
+        db.execute("DELETE FROM emp WHERE salary = 20")
+        answers = engine.consistent_answers("SELECT * FROM emp")
+        assert ("ann", 10) in answers.rows  # recovered without refresh()
+        assert engine.detection.mode == "incremental"
+
+    def test_full_refresh_escape_hatch(self):
+        db, engine, constraints = self.fd_engine()
+        db.execute("INSERT INTO emp VALUES ('bob', 6)")
+        engine.refresh(full=True)
+        assert engine.detection.mode == "full"
+        assert_equivalent(engine, db, constraints)
+
+    def test_overflow_falls_back_to_full(self):
+        db, engine, constraints = self.fd_engine()
+        db.changes._max_pending = 3
+        for salary in range(100, 110):
+            db.execute(f"INSERT INTO emp VALUES ('x{salary}', {salary})")
+        engine.refresh()
+        assert engine.detection.mode == "full"
+        assert_equivalent(engine, db, constraints)
+
+    def test_constraint_change_falls_back_to_full(self):
+        db, engine, _ = self.fd_engine()
+        fd2 = FunctionalDependency("emp", ["salary"], ["name"])
+        engine.constraints.append(fd2)
+        db.execute("INSERT INTO emp VALUES ('carol', 5)")
+        engine.refresh()
+        assert engine.detection.mode == "full"
+        assert_equivalent(engine, db, engine.constraints)
+
+    def test_ddl_falls_back_to_full(self):
+        db, engine, constraints = self.fd_engine()
+        db.execute("CREATE TABLE other (a INTEGER)")
+        db.execute("INSERT INTO emp VALUES ('bob', 6)")
+        engine.refresh()
+        assert engine.detection.mode == "full"
+        assert_equivalent(engine, db, constraints)
+
+    def test_exclusion_constraint_incremental(self):
+        db = Database()
+        db.execute("CREATE TABLE staff (ssn INTEGER)")
+        db.execute("CREATE TABLE contractor (ssn INTEGER)")
+        db.execute("INSERT INTO staff VALUES (1), (2)")
+        db.execute("INSERT INTO contractor VALUES (3)")
+        excl = ExclusionConstraint("staff", "contractor", [("ssn", "ssn")])
+        engine = HippoEngine(db, [excl])
+        assert len(engine.hypergraph) == 0
+        db.execute("INSERT INTO contractor VALUES (2)")
+        engine.refresh()
+        assert engine.detection.mode == "incremental"
+        assert engine.detection.edges_added == 1
+        assert_equivalent(engine, db, [excl])
+
+    def test_unlinked_condition_scan_fallback(self):
+        # No equality conjunct links the atoms: the matcher must fall
+        # back to scanning the second relation.
+        db = Database()
+        db.execute("CREATE TABLE r (a INTEGER)")
+        db.execute("INSERT INTO r VALUES (1), (5)")
+        denial = DenialConstraint(
+            "lt",
+            (ConstraintAtom("t1", "r"), ConstraintAtom("t2", "r")),
+            parse_expression("t1.a + 10 < t2.a"),
+        )
+        engine = HippoEngine(db, [denial])
+        db.execute("INSERT INTO r VALUES (20)")
+        engine.refresh()
+        assert engine.detection.mode == "incremental"
+        assert_equivalent(engine, db, [denial])
+        assert len(engine.hypergraph) == 2  # (1,20), (5,20)
+
+
+class TestSubsumption:
+    def test_singleton_absorbs_pair_and_reports_subsumed(self):
+        db = Database()
+        db.execute("CREATE TABLE r (a INTEGER, b INTEGER)")
+        db.execute("INSERT INTO r VALUES (1, 7), (1, 8)")
+        fd = FunctionalDependency("r", ["a"], ["b"])
+        negative = DenialConstraint(
+            "neg", (ConstraintAtom("t", "r"),), parse_expression("t.b < 0")
+        )
+        engine = HippoEngine(db, [fd, negative])
+        assert engine.detection.subsumed == {"fd:r:a->b": 0, "neg": 0}
+        # A negative row conflicts with (1, 7) via the FD *and* is a
+        # singleton violation on its own: the pair is minimized away.
+        db.execute("INSERT INTO r VALUES (1, -1)")
+        engine.refresh()
+        assert engine.detection.mode == "incremental"
+        assert_equivalent(engine, db, [fd, negative])
+        assert engine.detection.subsumed["fd:r:a->b"] == 2
+        assert engine.detection.subsumed_total == 2
+
+    def test_full_detection_reports_subsumed(self):
+        db = Database()
+        db.execute("CREATE TABLE r (a INTEGER, b INTEGER)")
+        db.execute("INSERT INTO r VALUES (1, 7), (1, -1)")
+        fd = FunctionalDependency("r", ["a"], ["b"])
+        negative = DenialConstraint(
+            "neg", (ConstraintAtom("t", "r"),), parse_expression("t.b < 0")
+        )
+        report = detect_conflicts(db, [fd, negative])
+        # The FD pair {(1,7),(1,-1)} is absorbed by the singleton.
+        assert report.per_constraint == {"fd:r:a->b": 0, "neg": 1}
+        assert report.subsumed == {"fd:r:a->b": 1, "neg": 0}
+
+
+class TestForeignKeyCascades:
+    def chain(self):
+        """parent <- child <- grandchild with a unary denial on parent."""
+        db = Database()
+        db.execute("CREATE TABLE parent (id INTEGER, ok INTEGER)")
+        db.execute("CREATE TABLE child (id INTEGER, pid INTEGER)")
+        db.execute("CREATE TABLE gc (id INTEGER, cid INTEGER)")
+        db.execute("INSERT INTO parent VALUES (1, 1), (2, 1)")
+        db.execute("INSERT INTO child VALUES (10, 1), (11, 2)")
+        db.execute("INSERT INTO gc VALUES (100, 10), (101, 11)")
+        constraints = [
+            DenialConstraint(
+                "bad-parent",
+                (ConstraintAtom("t", "parent"),),
+                parse_expression("t.ok = 0"),
+            ),
+            ForeignKeyConstraint("child", ["pid"], "parent", ["id"]),
+            ForeignKeyConstraint("gc", ["cid"], "child", ["id"]),
+        ]
+        return db, HippoEngine(db, constraints), constraints
+
+    def test_parent_delete_cascades(self):
+        db, engine, constraints = self.chain()
+        db.execute("DELETE FROM parent WHERE id = 1")
+        engine.refresh()
+        assert engine.detection.mode == "incremental"
+        assert_equivalent(engine, db, constraints)
+        dangling = {next(iter(e)) for e in engine.hypergraph.edges}
+        assert dangling == {vertex("child", 0), vertex("gc", 0)}
+
+    def test_parent_insert_cures_chain(self):
+        db, engine, constraints = self.chain()
+        db.execute("DELETE FROM parent WHERE id = 1")
+        engine.refresh()
+        db.execute("INSERT INTO parent VALUES (1, 1)")
+        engine.refresh()
+        assert engine.detection.mode == "incremental"
+        assert len(engine.hypergraph) == 0
+        assert_equivalent(engine, db, constraints)
+
+    def test_denial_singleton_feeds_chain(self):
+        db, engine, constraints = self.chain()
+        # Marking a parent bad deletes it in every repair, so its child
+        # (and the grandchild) dangle -- without any FK-relation delta.
+        db.execute("UPDATE parent SET ok = 0 WHERE id = 2")
+        engine.refresh()
+        assert engine.detection.mode == "incremental"
+        assert_equivalent(engine, db, constraints)
+        assert len(engine.hypergraph) == 3  # bad parent + child + gc
+
+    def test_resurrection_after_fk_cure(self):
+        # An FD pair subsumed by an FK dangling singleton must resurface
+        # when the dangling is cured by a parent insertion.
+        db = Database()
+        db.execute("CREATE TABLE p (id INTEGER)")
+        db.execute("CREATE TABLE c (id INTEGER, pid INTEGER, v INTEGER)")
+        db.execute("INSERT INTO p VALUES (1)")
+        db.execute("INSERT INTO c VALUES (5, 2, 7), (5, 1, 8)")
+        constraints = [
+            FunctionalDependency("c", ["id"], ["v"]),
+            ForeignKeyConstraint("c", ["pid"], "p", ["id"]),
+        ]
+        engine = HippoEngine(db, constraints)
+        assert [len(e) for e in engine.hypergraph.edges] == [1]
+        assert engine.detection.subsumed["fd:c:id->v"] == 1
+        db.execute("INSERT INTO p VALUES (2)")
+        engine.refresh()
+        assert engine.detection.mode == "incremental"
+        assert [len(e) for e in engine.hypergraph.edges] == [2]
+        assert_equivalent(engine, db, constraints)
+
+    def test_restricted_class_violation_raises(self):
+        db, engine, constraints = self.chain()
+        engine.constraints.append(
+            FunctionalDependency("parent", ["id"], ["ok"])
+        )
+        db.execute("INSERT INTO parent VALUES (1, 0)")
+        with pytest.raises(ConstraintError, match="restricted"):
+            engine.refresh()
+
+    def test_failed_apply_recovers_with_full_detection(self):
+        db, _stale_engine, constraints = self.chain()
+        constraints = constraints + [
+            FunctionalDependency("parent", ["id"], ["ok"])
+        ]
+        engine = HippoEngine(db, constraints)
+        # Push a referenced relation into a choice conflict: the apply
+        # fails mid-batch...
+        db.execute("INSERT INTO parent VALUES (1, 0)")
+        with pytest.raises(ConstraintError):
+            engine.refresh()
+        # ...and after the offending row is removed, the engine falls
+        # back to full detection and is exact again.
+        db.execute("DELETE FROM parent WHERE ok = 0 AND id = 1")
+        engine.refresh()
+        assert engine.detection.mode == "full"
+        assert_equivalent(engine, db, constraints)
+
+    def test_failed_full_detection_keeps_failing_not_stale(self):
+        from repro.errors import CatalogError
+
+        db = Database()
+        db.execute("CREATE TABLE r (a INTEGER, b INTEGER)")
+        db.execute("INSERT INTO r VALUES (1, 7), (1, 8)")
+        fd = FunctionalDependency("r", ["a"], ["b"])
+        engine = HippoEngine(db, [fd])
+        db.execute("DROP TABLE r")
+        with pytest.raises(CatalogError):
+            engine.refresh()
+        # The failure must not be swallowed on retry (stale hypergraph
+        # silently served) -- every refresh keeps raising until fixed.
+        with pytest.raises(CatalogError):
+            engine.refresh()
+        db.execute("CREATE TABLE r (a INTEGER, b INTEGER)")
+        db.execute("INSERT INTO r VALUES (2, 1)")
+        engine.refresh()
+        assert engine.detection.mode == "full"
+        assert len(engine.hypergraph) == 0
+
+    def test_detached_engine_is_static_but_refreshable(self):
+        db = Database()
+        db.execute("CREATE TABLE r (a INTEGER, b INTEGER)")
+        db.execute("INSERT INTO r VALUES (1, 7), (1, 8)")
+        fd = FunctionalDependency("r", ["a"], ["b"])
+        engine = HippoEngine(db, [fd])
+        engine.detach()
+        db.execute("DELETE FROM r WHERE b = 8")
+        answers = engine.consistent_answers("SELECT * FROM r")
+        assert answers.rows == []  # stale on purpose: no auto-sync
+        engine.refresh()
+        assert engine.detection.mode == "full"
+        assert len(engine.hypergraph) == 0
+
+    def test_incremental_restricted_check_matches_full(self):
+        db = Database()
+        db.execute("CREATE TABLE p (id INTEGER, v INTEGER)")
+        db.execute("CREATE TABLE c (id INTEGER, pid INTEGER)")
+        db.execute("INSERT INTO p VALUES (1, 5)")
+        db.execute("INSERT INTO c VALUES (10, 1)")
+        constraints = [
+            FunctionalDependency("p", ["id"], ["v"]),
+            ForeignKeyConstraint("c", ["pid"], "p", ["id"]),
+        ]
+        engine = HippoEngine(db, constraints)
+        # A second p row with the same key creates a *choice* conflict on
+        # a referenced relation: outside the restricted class, and the
+        # incremental path must say so exactly like full detection.
+        db.execute("INSERT INTO p VALUES (1, 6)")
+        with pytest.raises(ConstraintError, match="referenced by a foreign key"):
+            engine.refresh()
+        with pytest.raises(ConstraintError, match="referenced by a foreign key"):
+            detect_conflicts(db, constraints)
+
+
+class TestDetectorInternals:
+    def test_bootstrap_requires_raw(self):
+        db = Database()
+        db.execute("CREATE TABLE r (a INTEGER)")
+        detector = IncrementalDetector(db, [])
+        report = detect_conflicts(db, [])
+        with pytest.raises(ValueError, match="keep_raw"):
+            detector.bootstrap(report)
+
+    def test_matcher_creates_and_reuses_index(self):
+        db = Database()
+        db.execute("CREATE TABLE r (a INTEGER, b INTEGER)")
+        db.execute("INSERT INTO r VALUES (1, 7), (1, 8)")
+        fd = FunctionalDependency("r", ["a"], ["b"])
+        engine = HippoEngine(db, [fd])
+        table = db.table("r")
+        assert not table.has_index((0,))
+        db.execute("INSERT INTO r VALUES (2, 1)")
+        engine.refresh()
+        assert table.has_index((0,))  # created on first delta, then kept

@@ -95,6 +95,14 @@ class TestShellCommands:
         output = run_shell(".help")
         assert ".consistent" in output
 
+    def test_repairs_fresh_after_dml(self):
+        script = SETUP + (
+            ".repairs\nINSERT INTO emp VALUES ('bob', 6);\n.repairs"
+        )
+        output = run_shell(script)
+        assert "2 repairs" in output  # ann's pair only
+        assert "4 repairs" in output  # bob's new pair folded in
+
     def test_query_refresh_after_dml(self):
         # The engine must re-detect conflicts after data changes.
         script = SETUP + (

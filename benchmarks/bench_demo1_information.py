@@ -17,7 +17,9 @@ import pytest
 from repro import HippoEngine
 from repro.workloads import CITY_CERTAIN_QUERY, build_integration_scenario
 
-N_CUSTOMERS = 2000
+from benchmarks.common import scaled
+
+N_CUSTOMERS = scaled(2000, 200)
 DISPUTED = 0.2
 
 

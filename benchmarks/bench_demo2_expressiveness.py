@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.common import join_tables, union_tables
+from benchmarks.common import scaled, join_tables, union_tables
 from repro.errors import RewritingError
 from repro.workloads import (
     difference_query,
@@ -22,7 +22,7 @@ from repro.workloads import (
     union_query,
 )
 
-N_TUPLES = 1000
+N_TUPLES = scaled(1000, 150)
 CONFLICTS = 0.05
 
 

@@ -13,10 +13,10 @@ import time
 
 import pytest
 
-from benchmarks.common import single_table
+from benchmarks.common import scaled, single_table
 from repro.workloads import full_scan_query, selection_query
 
-N_TUPLES = 4000
+N_TUPLES = scaled(4000, 250)
 CONFLICTS = 0.05
 #: Generous ceiling: the paper claims "acceptable" overhead; we observe
 #: ~2-3x on this substrate and fail the benchmark past 10x to catch

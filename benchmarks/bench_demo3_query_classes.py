@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.common import TwoTableSetup, join_tables, union_tables
+from benchmarks.common import scaled, TwoTableSetup, join_tables, union_tables
 from repro.workloads import (
     difference_query,
     join_query,
@@ -18,7 +18,7 @@ from repro.workloads import (
     union_query,
 )
 
-N_TUPLES = 1500
+N_TUPLES = scaled(1500, 200)
 CONFLICTS = 0.05
 
 

@@ -11,11 +11,11 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.common import single_table
+from benchmarks.common import scaled, single_table
 from repro.workloads import selection_query
 
-N_TUPLES = 4000
-RATES = [0.0, 0.05, 0.15, 0.30]
+N_TUPLES = scaled(4000, 250)
+RATES = scaled([0.0, 0.05, 0.15, 0.30], [0.0, 0.15])
 
 
 @pytest.fixture(scope="module", params=RATES)

@@ -9,10 +9,10 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.common import single_table
+from benchmarks.common import scaled, single_table
 from repro.workloads import selection_query
 
-SIZES = [500, 1000, 2000, 4000, 8000]
+SIZES = scaled([500, 1000, 2000, 4000, 8000], [200, 400])
 CONFLICTS = 0.05
 
 

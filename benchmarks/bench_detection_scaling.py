@@ -15,7 +15,9 @@ from repro.conflicts import detect_conflicts
 from repro.engine import Database
 from repro.workloads import generate_key_conflict_table
 
-SIZES = [1000, 4000, 16000]
+from benchmarks.common import scaled
+
+SIZES = scaled([1000, 4000, 16000], [300, 600])
 
 
 @pytest.fixture(scope="module", params=SIZES)

@@ -13,7 +13,9 @@ from repro.aggregates import aggregate_range
 from repro.engine import Database
 from repro.workloads import generate_key_conflict_table
 
-SIZES = [1000, 4000]
+from benchmarks.common import scaled
+
+SIZES = scaled([1000, 4000], [250])
 FUNCTIONS = ["COUNT", "SUM", "MIN", "MAX", "AVG"]
 
 

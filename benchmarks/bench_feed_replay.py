@@ -1,0 +1,236 @@
+"""Feed replay throughput: replica rebuild vs. direct in-memory apply.
+
+The durable change feed exists so conflict state can be rebuilt *away*
+from the writer (replicas, restarts, future shards).  This benchmark
+prices that capability:
+
+* ``publish``: loading a workload into a database that appends every
+  mutation to durable JSONL segments (the write-side overhead);
+* ``replay``: a :class:`~repro.conflicts.replica.ReplicaHypergraph`
+  attaching to the segments cold and replaying to a full conflict
+  hypergraph -- reported as tuples/second, with replica lag asserted to
+  drain to zero;
+* ``direct``: the same workload folded into a
+  :class:`~repro.core.hippo.HippoEngine` hypergraph in-process (the
+  PR 1 path the replica is measured against).
+
+Replayed state is verified equal to full re-detection on every run.
+
+Run: ``python -m pytest benchmarks/bench_feed_replay.py -q``
+or standalone: ``python benchmarks/bench_feed_replay.py``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import Database, HippoEngine
+from repro.conflicts import ReplicaHypergraph, detect_conflicts
+from repro.engine.feed import ChangeFeed
+from repro.workloads import generate_key_conflict_table
+
+try:
+    from benchmarks.common import scaled
+except ImportError:  # standalone: python benchmarks/bench_feed_replay.py
+    from common import scaled
+
+SIZES = scaled([4000, 16000], [400])
+UPDATES = scaled(300, 30)
+CONFLICTS = 0.05
+
+_group_ids = itertools.count()
+
+
+def build_feed(directory: Path, n_tuples: int):
+    """Populate a durable database: bulk load + an update stream."""
+    feed = ChangeFeed(directory)
+    db = Database(feed=feed)
+    table = generate_key_conflict_table(db, "r", n_tuples, CONFLICTS, seed=47)
+    rng = random.Random(53)
+    for _ in range(UPDATES):
+        kind = rng.randrange(3)
+        key = rng.randrange(10 * n_tuples)
+        if kind == 0:
+            db.execute(f"INSERT INTO r VALUES ({key}, {rng.randrange(1000)})")
+        elif kind == 1:
+            db.execute(f"DELETE FROM r WHERE a = {key}")
+        else:
+            db.execute(f"UPDATE r SET b0 = {rng.randrange(1000)} WHERE a = {key}")
+    feed.flush()
+    return feed, db, table.fd
+
+
+def replay(directory: Path, fd) -> tuple[ReplicaHypergraph, int, float]:
+    """Cold-attach a replica and drain the feed; returns records/seconds."""
+    feed = ChangeFeed(directory)
+    replica = ReplicaHypergraph(feed, [fd], group=f"bench-{next(_group_ids)}")
+    started = time.perf_counter()
+    records = 0
+    while replica.lag:
+        records += replica.sync().records
+    seconds = time.perf_counter() - started
+    assert replica.lag == 0
+    feed.close()
+    return replica, records, seconds
+
+
+@pytest.fixture(scope="module", params=SIZES)
+def recorded(request, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("feed") / f"n{request.param}"
+    feed, db, fd = build_feed(directory, request.param)
+    feed.close()
+    yield directory, db, fd, request.param
+
+
+@pytest.mark.benchmark(group="feed-replay")
+def test_replay_throughput(benchmark, recorded):
+    directory, db, fd, n_tuples = recorded
+
+    def run():
+        return replay(directory, fd)
+
+    replica, records, _seconds = benchmark(run)
+    benchmark.extra_info["n_tuples"] = n_tuples
+    benchmark.extra_info["records"] = records
+    # The replayed hypergraph equals full re-detection on the primary.
+    assert (
+        replica.graph.as_dict()
+        == detect_conflicts(db, [fd]).hypergraph.as_dict()
+    )
+
+
+@pytest.mark.benchmark(group="feed-replay")
+def test_direct_apply_baseline(benchmark, recorded):
+    _directory, _db, _fd, n_tuples = recorded
+
+    def run():
+        db = Database()
+        table = generate_key_conflict_table(db, "r", n_tuples, CONFLICTS, seed=47)
+        engine = HippoEngine(db, [table.fd])
+        rng = random.Random(53)
+        for _ in range(UPDATES):
+            kind = rng.randrange(3)
+            key = rng.randrange(10 * n_tuples)
+            if kind == 0:
+                db.execute(
+                    f"INSERT INTO r VALUES ({key}, {rng.randrange(1000)})"
+                )
+            elif kind == 1:
+                db.execute(f"DELETE FROM r WHERE a = {key}")
+            else:
+                db.execute(
+                    f"UPDATE r SET b0 = {rng.randrange(1000)} WHERE a = {key}"
+                )
+            engine.refresh()
+        return engine
+
+    engine = benchmark(run)
+    benchmark.extra_info["n_tuples"] = n_tuples
+    assert len(engine.hypergraph) >= 0
+
+
+def test_replica_lag_drains_and_matches(recorded):
+    """Lag is visible while behind and zero once caught up."""
+    directory, db, fd, _n_tuples = recorded
+    feed = ChangeFeed(directory)
+    replica = ReplicaHypergraph(feed, [fd], group=f"bench-{next(_group_ids)}")
+    assert replica.lag > 0  # cold attach: the whole history is pending
+    replica.sync(limit=5)
+    assert replica.lag > 0  # bounded sync leaves a measurable backlog
+    while replica.lag:
+        replica.sync()
+    assert replica.lag == 0
+    assert (
+        replica.graph.as_dict()
+        == detect_conflicts(db, [fd]).hypergraph.as_dict()
+    )
+    feed.close()
+
+
+def main() -> int:  # pragma: no cover - convenience entry
+    """Standalone run: durable-publish overhead, replay rate, direct apply.
+
+    ``load`` is the workload into a plain in-memory database; ``+feed``
+    the extra cost of appending it all to durable segments; ``replay``
+    a replica's cold rebuild (with tuples/sec); ``direct`` an engine
+    maintaining the hypergraph in-process across the update stream.
+    """
+    print(
+        f"{'N':>8} {'records':>8} {'load':>10} {'+feed':>9} {'replay':>10}"
+        f" {'tuples/s':>10} {'direct':>10}"
+    )
+    for n_tuples in SIZES:
+        with tempfile.TemporaryDirectory() as tmp:
+            directory = Path(tmp) / "feed"
+            started = time.perf_counter()
+            feed, db, fd = build_feed(directory, n_tuples)
+            durable_seconds = time.perf_counter() - started
+            feed.close()
+
+            started = time.perf_counter()
+            plain = Database()
+            generate_key_conflict_table(plain, "r", n_tuples, CONFLICTS, seed=47)
+            rng = random.Random(53)
+            for _ in range(UPDATES):
+                kind = rng.randrange(3)
+                key = rng.randrange(10 * n_tuples)
+                if kind == 0:
+                    plain.execute(
+                        f"INSERT INTO r VALUES ({key}, {rng.randrange(1000)})"
+                    )
+                elif kind == 1:
+                    plain.execute(f"DELETE FROM r WHERE a = {key}")
+                else:
+                    plain.execute(
+                        f"UPDATE r SET b0 = {rng.randrange(1000)} WHERE a = {key}"
+                    )
+            load_seconds = time.perf_counter() - started
+
+            replica, records, replay_seconds = replay(directory, fd)
+            assert (
+                replica.graph.as_dict()
+                == detect_conflicts(db, [fd]).hypergraph.as_dict()
+            )
+
+            started = time.perf_counter()
+            direct_db = Database()
+            table = generate_key_conflict_table(
+                direct_db, "r", n_tuples, CONFLICTS, seed=47
+            )
+            engine = HippoEngine(direct_db, [table.fd])
+            rng = random.Random(53)
+            for _ in range(UPDATES):
+                kind = rng.randrange(3)
+                key = rng.randrange(10 * n_tuples)
+                if kind == 0:
+                    direct_db.execute(
+                        f"INSERT INTO r VALUES ({key}, {rng.randrange(1000)})"
+                    )
+                elif kind == 1:
+                    direct_db.execute(f"DELETE FROM r WHERE a = {key}")
+                else:
+                    direct_db.execute(
+                        f"UPDATE r SET b0 = {rng.randrange(1000)} WHERE a = {key}"
+                    )
+                engine.refresh()
+            direct_seconds = time.perf_counter() - started
+
+            rate = records / replay_seconds if replay_seconds else float("inf")
+            overhead = durable_seconds - load_seconds
+            print(
+                f"{n_tuples:>8} {records:>8} {load_seconds * 1e3:>8.1f}ms"
+                f" {overhead * 1e3:>7.1f}ms"
+                f" {replay_seconds * 1e3:>8.1f}ms {rate:>10.0f}"
+                f" {direct_seconds * 1e3:>8.1f}ms"
+            )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

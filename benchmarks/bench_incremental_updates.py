@@ -30,8 +30,13 @@ from repro import Database, HippoEngine
 from repro.conflicts import detect_conflicts
 from repro.workloads import generate_key_conflict_table
 
-SIZES = [2000, 8000, 32000]
-BATCH_SIZES = [1, 10, 100]
+try:
+    from benchmarks.common import scaled
+except ImportError:  # standalone: python benchmarks/bench_*.py
+    from common import scaled
+
+SIZES = scaled([2000, 8000, 32000], [400, 1600])
+BATCH_SIZES = scaled([1, 10, 100], [1, 10])
 CONFLICTS = 0.05
 
 

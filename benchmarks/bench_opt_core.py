@@ -10,10 +10,10 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.common import single_table
+from benchmarks.common import scaled, single_table
 from repro.workloads import full_scan_query
 
-N_TUPLES = 3000
+N_TUPLES = scaled(3000, 250)
 CONFLICTS = 0.05
 
 

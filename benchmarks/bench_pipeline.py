@@ -13,7 +13,9 @@ from repro import Database, HippoEngine
 from repro.conflicts import detect_conflicts
 from repro.workloads import generate_key_conflict_table
 
-N_TUPLES = 4000
+from benchmarks.common import scaled
+
+N_TUPLES = scaled(4000, 300)
 CONFLICTS = 0.05
 
 

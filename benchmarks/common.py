@@ -1,23 +1,50 @@
-"""Shared setup helpers for the benchmark suite.
+"""Shared setup helpers for the benchmark suite -- and its smoke runner.
 
 Every benchmark mirrors an artifact of the paper's demonstration (see
 DESIGN.md's experiment index).  Engines are built once per parameter set
 -- Conflict Detection runs before query processing in Hippo's data flow,
 so detection cost is *not* part of per-query times (it is measured by its
 own benchmark in bench_pipeline.py).
+
+**Smoke mode.**  ``python benchmarks/common.py --smoke`` runs every
+``bench_*.py`` at tiny sizes (each module routes its size constants
+through :func:`scaled`, which picks the small value when
+``REPRO_BENCH_SMOKE=1``) with timing disabled, and fails on any crash,
+on the incremental-vs-full speedup bar being missed, or on blowing the
+wall-clock budget.  This is the CI gate that keeps every benchmark
+runnable without paying full benchmark time.
 """
 
 from __future__ import annotations
 
+import os
+import sys
 from dataclasses import dataclass
+from pathlib import Path
 
-from repro import Database, HippoEngine
-from repro.rewriting import RewritingEngine
-from repro.workloads import (
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # script execution without PYTHONPATH=src
+    sys.path.insert(0, str(_SRC))
+
+from repro import Database, HippoEngine  # noqa: E402
+from repro.rewriting import RewritingEngine  # noqa: E402
+from repro.workloads import (  # noqa: E402
     generate_join_pair,
     generate_key_conflict_table,
     generate_union_pair,
 )
+
+#: Whether the suite is running under the CI smoke gate.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+
+def scaled(full, smoke):
+    """``full`` normally; ``smoke`` under ``REPRO_BENCH_SMOKE=1``.
+
+    Benchmarks route their size constants through this so the smoke gate
+    exercises every scenario at tiny N without a parallel config.
+    """
+    return smoke if SMOKE else full
 
 
 @dataclass
@@ -57,19 +84,92 @@ class TwoTableSetup:
     rewriting: RewritingEngine
 
 
-def join_tables(n_tuples: int, conflict_fraction: float, seed: int = 13) -> TwoTableSetup:
+def join_tables(
+    n_tuples: int, conflict_fraction: float, seed: int = 13
+) -> TwoTableSetup:
     db = Database()
-    left, right = generate_join_pair(db, "l", "r", n_tuples, conflict_fraction, seed=seed)
+    left, right = generate_join_pair(
+        db, "l", "r", n_tuples, conflict_fraction, seed=seed
+    )
     constraints = [left.fd, right.fd]
     return TwoTableSetup(
         db, HippoEngine(db, constraints), RewritingEngine(db, constraints)
     )
 
 
-def union_tables(n_tuples: int, conflict_fraction: float, seed: int = 17) -> TwoTableSetup:
+def union_tables(
+    n_tuples: int, conflict_fraction: float, seed: int = 17
+) -> TwoTableSetup:
     db = Database()
-    left, right = generate_union_pair(db, "l", "r", n_tuples, conflict_fraction, seed=seed)
+    left, right = generate_union_pair(
+        db, "l", "r", n_tuples, conflict_fraction, seed=seed
+    )
     constraints = [left.fd, right.fd]
     return TwoTableSetup(
         db, HippoEngine(db, constraints), RewritingEngine(db, constraints)
     )
+
+
+def main(argv=None) -> int:
+    """The benchmark smoke gate (see module docstring)."""
+    import argparse
+    import subprocess
+    import sys
+    import time
+    from pathlib import Path
+
+    parser = argparse.ArgumentParser(description="benchmark suite runner")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run every bench_*.py at tiny N with timing disabled",
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=60.0,
+        help="wall-clock budget in seconds for --smoke (default 60)",
+    )
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.error("pass --smoke (full runs go through pytest-benchmark)")
+
+    bench_dir = Path(__file__).resolve().parent
+    repo_root = bench_dir.parent
+    env = dict(os.environ)
+    env["REPRO_BENCH_SMOKE"] = "1"
+    env["PYTHONPATH"] = str(repo_root / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    benches = sorted(bench_dir.glob("bench_*.py"))
+    started = time.perf_counter()
+    status = subprocess.call(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            *[str(path) for path in benches],
+            "-q",
+            "-p",
+            "no:cacheprovider",
+            "--benchmark-disable",
+        ],
+        cwd=repo_root,
+        env=env,
+    )
+    elapsed = time.perf_counter() - started
+    if status != 0:
+        print(f"bench smoke: FAIL (pytest exit {status})")
+        return status
+    if elapsed > args.budget:
+        print(
+            f"bench smoke: FAIL ({elapsed:.1f}s exceeded the"
+            f" {args.budget:.0f}s budget)"
+        )
+        return 1
+    print(f"bench smoke: OK ({elapsed:.1f}s, budget {args.budget:.0f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,6 +19,7 @@ Meta-commands (everything else is executed as SQL):
 ``.constraints``       list the active constraints
 ``.detect``            apply pending deltas (or detect), print hypergraph stats
 ``.conflicts``         per-constraint stored / subsumed counts + detection mode
+``.feed``              change-feed topics, offsets and per-consumer lag
 ``.consistent SQL``    consistent answers to a query
 ``.possible SQL``      possible answers (true in some repair)
 ``.cleaned SQL``       evaluate over the conflict-free sub-database
@@ -71,7 +72,9 @@ class HippoShell:
         incrementally.  Only DDL and constraint changes rebuild it.
         """
         if self._engine is None:
-            self._engine = HippoEngine(self.db, self.constraints)
+            self._engine = HippoEngine(
+                self.db, self.constraints, group="hippo-cli"
+            )
         return self._engine
 
     def _invalidate(self) -> None:
@@ -202,6 +205,41 @@ class HippoShell:
                 note = f" ({subsumed} subsumed)" if subsumed else ""
                 self._print(
                     f"  {name}: {report.per_constraint[name]} stored{note}"
+                )
+            return True
+        if command == ".feed":
+            feed = self.db.changes.feed
+            where = (
+                f"durable at {feed.directory}" if feed.durable else "in-memory"
+            )
+            self._print(
+                f"change feed: {where}"
+                f" ({self.db.changes.end} records,"
+                f" schema version {feed.schema_version})"
+            )
+            topics = feed.topics()
+            if not topics:
+                self._print("  (no topics)")
+            for topic in topics:
+                segments = (
+                    f", {topic.segments} segments" if feed.durable else ""
+                )
+                self._print(
+                    f"  topic {topic.name}: offsets"
+                    f" [{topic.start}..{topic.end}){segments}"
+                )
+            for group_name, committed in sorted(feed.groups().items()):
+                lag = sum(
+                    max(topic.end - committed.get(topic.name, 0), 0)
+                    for topic in topics
+                )
+                positions = ", ".join(
+                    f"{name}={offset}"
+                    for name, offset in sorted(committed.items())
+                )
+                self._print(
+                    f"  consumer {group_name}: lag {lag}"
+                    + (f" (committed {positions})" if positions else "")
                 )
             return True
         if command == ".consistent":

@@ -8,6 +8,7 @@ from repro.conflicts.hypergraph import (
     vertex,
 )
 from repro.conflicts.incremental import DeltaStats, IncrementalDetector
+from repro.conflicts.replica import ReplicaHypergraph, ReplicaSync
 
 __all__ = [
     "DetectionReport",
@@ -19,4 +20,6 @@ __all__ = [
     "vertex",
     "DeltaStats",
     "IncrementalDetector",
+    "ReplicaHypergraph",
+    "ReplicaSync",
 ]

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from repro.constraints.denial import DenialConstraint, to_denial_constraints
 from repro.constraints.foreign_key import ForeignKeyConstraint, topological_fk_order
@@ -72,7 +72,9 @@ class DetectionReport:
         return sum(self.subsumed.values())
 
 
-def violations_of(db: Database, constraint: DenialConstraint) -> list[frozenset[Vertex]]:
+def violations_of(
+    db: Database, constraint: DenialConstraint
+) -> list[frozenset[Vertex]]:
     """All violation sets of one denial constraint (not yet minimized)."""
     core = SJUDCore(
         atoms=tuple(Atom(a.alias, a.relation) for a in constraint.atoms),

@@ -1,0 +1,243 @@
+"""Replica conflict-hypergraph maintenance over the change feed.
+
+The road to sharded consistent query answering runs through one
+capability: rebuilding conflict state *away* from the process that owns
+the writes.  A :class:`ReplicaHypergraph` attaches to a
+:class:`~repro.engine.feed.ChangeFeed` under a consumer group and keeps
+three things in lock-step:
+
+1. **A replica database.**  The feed carries serialized schemas (DDL
+   records) and full rows under their original tids, so the replica
+   rebuilds an exact copy of the primary's state -- tids included, which
+   matters because tids are the hypergraph's vertices.
+2. **A committed offset per topic.**  The group's committed offsets mark
+   the *cut* the replica has durably reached; on re-attach (e.g. after a
+   process restart) the replica replays the committed prefix of the feed
+   to rebuild its database, runs full conflict detection on it, and
+   resumes consuming from the cut.
+3. **The conflict hypergraph.**  Past bootstrap, records are folded in
+   through :class:`~repro.conflicts.incremental.IncrementalDetector`, so
+   a replica tracks the primary at delta cost.  The maintained invariant
+   -- asserted by the property suite -- is that after every committed
+   sync the graph equals full re-detection over the replica database.
+
+Apply-then-commit ordering makes the pipeline exactly-once: records are
+applied to the replica database, the offsets commit, and only then does
+the hypergraph advance.  A crash anywhere in between re-attaches from
+the last commit, where full detection reconstructs whatever the
+incremental layer had not persisted (the hypergraph itself is derived
+state and is never written to disk).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.conflicts.detection import detect_conflicts
+from repro.conflicts.hypergraph import ConflictHypergraph
+from repro.conflicts.incremental import DeltaStats, IncrementalDetector
+from repro.engine.database import Database, apply_feed_record
+from repro.engine.feed import (
+    RECORD_CHANGE,
+    ChangeFeed,
+    FeedRecord,
+)
+from repro.errors import CatalogError, FeedError
+
+
+@dataclass
+class ReplicaSync:
+    """What one :meth:`ReplicaHypergraph.sync` call did.
+
+    Attributes:
+        records: feed records consumed (data + DDL).
+        mode: ``"noop"`` (nothing pending), ``"incremental"`` (delta
+            maintenance), ``"full"`` (re-detection; DDL or recovery) or
+            ``"deferred"`` (constraint tables still missing at the cut).
+        lag: records still pending past this sync's commit.
+        seconds: wall-clock time of the sync.
+        delta: incremental-apply statistics (incremental mode only).
+    """
+
+    records: int = 0
+    mode: str = "noop"
+    lag: int = 0
+    seconds: float = 0.0
+    delta: Optional[DeltaStats] = None
+
+
+class ReplicaHypergraph:
+    """A conflict hypergraph maintained from a change feed.
+
+    Args:
+        feed: the feed to consume (typically a durable
+            :class:`~repro.engine.feed.ChangeFeed` opened on the
+            primary's directory).
+        constraints: the constraint set (must match the primary's for
+            the replica to mean anything).
+        group: consumer-group name; committed offsets are stored under
+            it, so re-attaching with the same name resumes the replica.
+
+    Raises:
+        FeedError: when the committed prefix is no longer retained (an
+            in-memory feed overflowed past this group).
+    """
+
+    def __init__(
+        self,
+        feed: ChangeFeed,
+        constraints: Iterable[object],
+        group: str = "replica",
+    ) -> None:
+        self.feed = feed
+        self.group = group
+        self.constraints = list(constraints)
+        if not feed.durable and feed.dropped:
+            raise FeedError(
+                "cannot attach a replica to an in-memory feed that already"
+                f" dropped {feed.dropped} unconsumed records -- attach the"
+                " replica before the primary takes writes, or use a"
+                " durable feed"
+            )
+        self._consumer = feed.consumer(group, start="beginning")
+        #: the replica's own database, rebuilt purely from the feed.
+        self.db = Database()
+        self._detector: Optional[IncrementalDetector] = None
+        self._needs_full = False
+        self._bootstrap()
+
+    # ------------------------------------------------------------ bootstrap
+
+    def _bootstrap(self) -> None:
+        """Replay the committed prefix, then full-detect on it."""
+        prefix = self.feed.records_upto(self._consumer.committed)
+        with self.db.changes.feed.suspended():
+            for record in prefix:
+                apply_feed_record(self.db, record)
+        try:
+            self._full_detect()
+        except CatalogError:
+            # A fresh replica attaches before the CREATE TABLE records
+            # its constraints need have replicated; the first sync (which
+            # carries that DDL) runs the deferred full detection.
+            self._detector = None
+            self._needs_full = True
+
+    def _full_detect(self) -> None:
+        report = detect_conflicts(self.db, self.constraints, keep_raw=True)
+        self._detector = IncrementalDetector(self.db, self.constraints)
+        self._detector.bootstrap(report)
+        self._needs_full = False
+
+    # ----------------------------------------------------------- consuming
+
+    @property
+    def graph(self) -> ConflictHypergraph:
+        """The maintained conflict hypergraph.
+
+        Unavailable only between a deferred bootstrap (constraints whose
+        tables have not replicated yet) and the first :meth:`sync`.
+        """
+        assert self._detector is not None and self._detector.graph is not None
+        return self._detector.graph
+
+    @property
+    def ready(self) -> bool:
+        """Whether a hypergraph is maintained (False while detection is
+        deferred because constraint tables have not replicated yet)."""
+        return self._detector is not None
+
+    @property
+    def lag(self) -> int:
+        """Feed records past this replica's committed cut."""
+        return self._consumer.lag
+
+    def sync(self, limit: Optional[int] = None) -> ReplicaSync:
+        """Consume pending feed records and advance the hypergraph.
+
+        ``limit`` bounds the records consumed (e.g. to stop at an
+        intermediate cut); the commit happens at the batch boundary, so
+        every return is a valid restart point.
+
+        Raises:
+            FeedError: when the feed dropped history this replica never
+                consumed (in-memory overflow) -- the replica can no
+                longer converge and must be rebuilt from a fresh feed.
+            ConstraintError: when the new state leaves the restricted
+                foreign-key class (full re-detection would raise too).
+        """
+        started = time.perf_counter()
+        records, lost = self._consumer.poll(limit)
+        if lost:
+            raise FeedError(
+                f"replica group {self.group!r}: feed history was dropped"
+                " before it was consumed; the replica cannot converge"
+            )
+        if not records:
+            if self._needs_full:  # recover from an earlier failed apply
+                try:
+                    self._full_detect()
+                    mode = "full"
+                except CatalogError:
+                    mode = "deferred"  # constraint tables still missing
+                return ReplicaSync(
+                    mode=mode,
+                    lag=self._consumer.lag,
+                    seconds=time.perf_counter() - started,
+                )
+            return ReplicaSync(
+                mode="noop",
+                lag=self._consumer.lag,
+                seconds=time.perf_counter() - started,
+            )
+        # 1) Advance the replica database (the durable part of the cut).
+        ddl = False
+        with self.db.changes.feed.suspended():
+            for record in records:
+                ddl = ddl or record.kind != RECORD_CHANGE
+                apply_feed_record(self.db, record)
+        # 2) Commit the cut: a crash from here on re-attaches *after*
+        #    these records, and full detection rebuilds the graph.
+        self._consumer.commit()
+        # 3) Advance the hypergraph: incrementally when possible, by
+        #    full re-detection across DDL or after a failed apply.
+        sync = ReplicaSync(records=len(records))
+        if ddl or self._needs_full:
+            # Drop the pre-DDL detector before re-detecting: if full
+            # detection raises (e.g. the new state is outside the
+            # restricted FK class) the stale graph must not keep taking
+            # incremental deltas on later syncs.
+            self._detector = None
+            self._needs_full = True
+            try:
+                self._full_detect()  # clears _needs_full on success
+                sync.mode = "full"
+            except CatalogError:
+                # A cut can fall between DDL records, leaving constraint
+                # tables missing *at this cut*; stay deferred until the
+                # rest of the schema replicates.
+                sync.mode = "deferred"
+        else:
+            try:
+                sync.delta = self._apply_incremental(records)
+            except Exception:
+                # The database already advanced; make the next sync (or
+                # the caller's retry) rebuild the graph from it.
+                self._needs_full = True
+                raise
+            sync.mode = "incremental"
+        sync.lag = self._consumer.lag
+        sync.seconds = time.perf_counter() - started
+        return sync
+
+    def _apply_incremental(self, records: Sequence[FeedRecord]) -> DeltaStats:
+        assert self._detector is not None
+        return self._detector.apply_records(
+            [record for record in records if record.kind == RECORD_CHANGE]
+        )
+
+    def close(self) -> None:
+        """Detach from the feed (durable committed offsets survive)."""
+        self._consumer.close()

@@ -15,7 +15,7 @@ become the hyperedges of the conflict hypergraph.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional
 
 from repro.errors import ConstraintError
 from repro.sql import ast

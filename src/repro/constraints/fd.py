@@ -12,7 +12,7 @@ and Chomicki & Marcinkowski (2005).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.constraints.denial import ConstraintAtom, DenialConstraint
@@ -83,7 +83,9 @@ class FunctionalDependency:
         return f"FD {self.relation}: {', '.join(self.lhs)} -> {', '.join(self.rhs)}"
 
 
-def key_constraint(relation: str, key: Sequence[str], columns: Sequence[str]) -> FunctionalDependency:
+def key_constraint(
+    relation: str, key: Sequence[str], columns: Sequence[str]
+) -> FunctionalDependency:
     """A key constraint: the key determines every non-key column.
 
     Args:

@@ -74,7 +74,7 @@ class ForeignKeyConstraint:
             raise ConstraintError("foreign key needs at least one column")
         if len(self.columns) != len(self.ref_columns):
             raise ConstraintError(
-                f"foreign key column lists differ in length:"
+                "foreign key column lists differ in length:"
                 f" {self.columns} vs {self.ref_columns}"
             )
         if self.referencing.lower() == self.referenced.lower():

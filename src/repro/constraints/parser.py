@@ -15,7 +15,7 @@ One constraint per line; blank lines and ``--`` comments are skipped.
 
 from __future__ import annotations
 
-from typing import Iterable, Union
+from typing import Union
 
 from repro.constraints.denial import ConstraintAtom, DenialConstraint
 from repro.constraints.exclusion import ExclusionConstraint

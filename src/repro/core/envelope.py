@@ -35,7 +35,7 @@ them to answer the Prover's membership checks without database queries.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.conflicts.hypergraph import ConflictHypergraph, Vertex

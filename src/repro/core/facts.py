@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import NamedTuple
 
-from repro.engine.types import SQLValue, format_value
+from repro.engine.types import format_value
 
 
 class Fact(NamedTuple):

@@ -103,9 +103,17 @@ class GroundQuery:
         if isinstance(tree, SJUDCore):
             return _GroundCore(tree, schema)
         if isinstance(tree, Union_):
-            return ("union", self._prepare(tree.left, schema), self._prepare(tree.right, schema))
+            return (
+                "union",
+                self._prepare(tree.left, schema),
+                self._prepare(tree.right, schema),
+            )
         if isinstance(tree, Difference):
-            return ("difference", self._prepare(tree.left, schema), self._prepare(tree.right, schema))
+            return (
+                "difference",
+                self._prepare(tree.left, schema),
+                self._prepare(tree.right, schema),
+            )
         raise TypeError(f"cannot ground {type(tree).__name__}")
 
     def formula_for(self, candidate: tuple) -> fm.Formula:

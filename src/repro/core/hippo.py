@@ -33,8 +33,9 @@ from repro.conflicts.incremental import IncrementalDetector
 from repro.core.envelope import Enveloper, provenance_hints
 from repro.core.grounding import GroundQuery
 from repro.core.membership import make_membership
-from repro.core.prover import Prover, ProverStats
+from repro.core.prover import Prover
 from repro.engine.database import Database
+from repro.engine.feed import ChangeFeed, FeedConsumer
 from repro.engine.types import sort_key
 from repro.errors import UnsupportedQueryError
 from repro.ra.compile import evaluate_tree
@@ -83,15 +84,23 @@ class HippoEngine:
         constraints: denial constraints / FDs / keys / exclusions.
         membership: Prover membership strategy (``"provenance"`` default).
         use_core: skip the Prover for candidates in the certain core.
+        feed: the change feed to consume (defaults to the database's
+            own; pass explicitly when the database publishes to a shared
+            or durable feed the engine should subscribe to).
+        group: consumer-group name for the engine's subscription.  With
+            a named group the engine's position is visible (and, on a
+            durable feed, persistent) under that name -- the CLI's
+            ``.feed`` command shows per-group lag; anonymous engines get
+            an ephemeral ``cursor-<n>`` group.
 
     The conflict hypergraph is built eagerly and then maintained
-    *incrementally*: the engine subscribes to the database change log,
-    and row deltas only touch the hyperedges around changed tuples (see
-    :mod:`repro.conflicts.incremental`).  Queries fold pending deltas in
-    automatically; :meth:`refresh` does it explicitly, and
-    ``refresh(full=True)`` is the escape hatch forcing complete
-    re-detection.  DDL, constraint-list changes and change-log overflow
-    all fall back to full detection on their own.
+    *incrementally*: the engine is a consumer group of the database's
+    change feed, and row deltas only touch the hyperedges around changed
+    tuples (see :mod:`repro.conflicts.incremental`).  Queries fold
+    pending deltas in automatically; :meth:`refresh` does it explicitly,
+    and ``refresh(full=True)`` is the escape hatch forcing complete
+    re-detection.  DDL, constraint-list changes and feed overflow all
+    fall back to full detection on their own.
     """
 
     def __init__(
@@ -100,24 +109,33 @@ class HippoEngine:
         constraints: Iterable[object],
         membership: str = "provenance",
         use_core: bool = True,
+        feed: Optional[ChangeFeed] = None,
+        group: Optional[str] = None,
     ) -> None:
         self.db = db
         self.constraints = list(constraints)
         self.membership_strategy = membership
         self.use_core = use_core
         self._schema = CatalogSchemaProvider(db.catalog)
-        self._cursor = db.changes.open_cursor()
-        # An engine dropped without detach() must not pin the change log
+        source = feed if feed is not None else db.changes.feed
+        self._consumer: Optional[FeedConsumer] = source.consumer(group)
+        # The engine is about to run full detection on the *current*
+        # state: history before that (e.g. a resumed named group's
+        # backlog) must not be re-applied on top of it.
+        self._consumer.seek_to_end()
+        # An engine dropped without detach() must not pin the change feed
         # forever (dbs commonly outlive engines, e.g. in tests and the
         # CLI); closing is idempotent, so detach() and GC can both run.
-        self._cursor_finalizer = weakref.finalize(self, self._cursor.close)
+        self._consumer_finalizer = weakref.finalize(
+            self, self._consumer.close
+        )
         self._schema_version = db.changes.schema_version
         self._constraints_snapshot = tuple(self.constraints)
         self._incremental: Optional[IncrementalDetector] = None
         try:
             self.detection: DetectionReport = self._full_detection()
         except Exception:
-            self._cursor.close()
+            self._consumer.close()
             raise
         self._enveloper = Enveloper(db, self.hypergraph)
 
@@ -130,7 +148,7 @@ class HippoEngine:
 
     def _full_detection(self) -> DetectionReport:
         """Complete re-detection, re-seeding the incremental maintainer."""
-        if self._cursor is None:
+        if self._consumer is None:
             # Detached engine: no deltas will ever arrive, so don't
             # build (and keep) a shadow store nobody can consume.
             return detect_conflicts(self.db, self.constraints)
@@ -150,8 +168,8 @@ class HippoEngine:
         the change log overflowed, DDL ran, or the constraint list was
         modified since the last detection.
         """
-        changes, lost = (
-            self._cursor.read() if self._cursor is not None else ([], True)
+        records, lost = (
+            self._consumer.poll() if self._consumer is not None else ([], True)
         )
         if (
             full
@@ -168,15 +186,20 @@ class HippoEngine:
             self.detection = self._full_detection()
             self._schema_version = self.db.changes.schema_version
             self._constraints_snapshot = tuple(self.constraints)
-        elif changes:
+            if self._consumer is not None:
+                self._consumer.commit()
+        elif records:
             try:
-                stats = self._incremental.apply(changes)
+                stats = self._incremental.apply_records(records)
             except Exception:
                 # A failed application (e.g. the data left the restricted
                 # FK class mid-batch) may leave the maintained graph
                 # partial: force full re-detection on the next refresh.
+                # The poll stays uncommitted -- the fallback recomputes
+                # from the database, not from the records.
                 self._incremental = None
                 raise
+            self._consumer.commit()
             self.detection = DetectionReport(
                 hypergraph=self._incremental.graph,
                 per_constraint=stats.per_constraint,
@@ -193,11 +216,11 @@ class HippoEngine:
 
     def _sync(self) -> None:
         """Bring the hypergraph up to date before answering a query."""
-        if self._cursor is None:
+        if self._consumer is None:
             return  # detached: the engine is deliberately static
         if (
-            self._cursor.pending
-            or self._cursor.lost
+            self._consumer.pending
+            or self._consumer.lost
             or self._incremental is None
             or self.db.changes.schema_version != self._schema_version
             or tuple(self.constraints) != self._constraints_snapshot
@@ -205,14 +228,14 @@ class HippoEngine:
             self.refresh()
 
     def detach(self) -> None:
-        """Stop consuming the change log (the engine becomes static).
+        """Stop consuming the change feed (the engine becomes static).
 
         Queries stop auto-syncing; an explicit :meth:`refresh` still
         re-runs full detection.
         """
-        if self._cursor is not None:
-            self._cursor.close()
-            self._cursor = None
+        if self._consumer is not None:
+            self._consumer.close()
+            self._consumer = None
         self._incremental = None
 
     def parse(self, query: QueryLike) -> tuple[SJUDTree, tuple[ast.OrderItem, ...]]:

@@ -25,7 +25,7 @@ Three strategies reproduce that spectrum:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Protocol
 
 from repro.conflicts.hypergraph import Vertex

@@ -6,7 +6,8 @@ lookups and execution statistics.
 """
 
 from repro.engine.changelog import Change, ChangeCursor, ChangeLog
-from repro.engine.database import Database, Result
+from repro.engine.database import Database, Result, apply_feed_record
+from repro.engine.feed import ChangeFeed, FeedConsumer, FeedRecord, TopicInfo
 from repro.engine.io import dump_csv, dump_sql, load_csv, restore_sql
 from repro.engine.schema import Column, TableSchema, make_schema
 from repro.engine.stats import ExecutionStats
@@ -16,8 +17,13 @@ from repro.engine.types import NULL, SQLType, SQLValue
 __all__ = [
     "Change",
     "ChangeCursor",
+    "ChangeFeed",
     "ChangeLog",
     "Database",
+    "FeedConsumer",
+    "FeedRecord",
+    "TopicInfo",
+    "apply_feed_record",
     "Result",
     "dump_csv",
     "dump_sql",

@@ -15,7 +15,9 @@ class Catalog:
 
     When constructed with a :class:`~repro.engine.changelog.ChangeLog`,
     every table it creates publishes its row mutations there, and DDL
-    (create/drop) bumps the log's schema version.
+    (create/drop) bumps the log's schema version and -- when anyone is
+    listening -- publishes the serialized schema on the feed's
+    ``_schema`` topic so replicas can rebuild the catalog.
     """
 
     def __init__(self, changelog: Optional[ChangeLog] = None) -> None:
@@ -34,7 +36,7 @@ class Catalog:
         table = Table(schema, changelog=self._changelog)
         self._tables[key] = table
         if self._changelog is not None:
-            self._changelog.bump_schema_version()
+            self._changelog.schema_created(schema)
         return table
 
     def drop_table(self, name: str, if_exists: bool = False) -> None:
@@ -50,7 +52,7 @@ class Catalog:
             raise CatalogError(f"no such table: {name!r}")
         del self._tables[key]
         if self._changelog is not None:
-            self._changelog.bump_schema_version()
+            self._changelog.schema_dropped(key)
 
     def table(self, name: str) -> Table:
         """Look a table up by name.

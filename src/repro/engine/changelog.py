@@ -7,27 +7,42 @@ mutation as a :class:`Change` -- ``(relation, tid, row, op)`` -- and the
 Hippo engine consumes the stream through a :class:`ChangeCursor`,
 re-deriving only the hyperedges that touch changed tuples.
 
-Design notes:
+Since PR 2 the log is a facade over the partitioned
+:class:`~repro.engine.feed.ChangeFeed`: every relation is its own topic
+with monotonic offsets, cursors are consumer groups, and attaching a
+durable feed (:class:`~repro.engine.feed.ChangeFeed` with a directory)
+makes the whole stream crash-safe and replayable by other processes
+(see :mod:`repro.conflicts.replica`).  The original semantics survive:
 
-* **Zero cost when unused.**  Nothing is buffered until at least one
-  cursor is open, so a plain :class:`~repro.engine.database.Database`
-  never accumulates history.
+* **Zero cost when unused.**  An in-memory feed buffers nothing until at
+  least one cursor/consumer group is open, so a plain
+  :class:`~repro.engine.database.Database` never accumulates history.
 * **Updates are delete + insert.**  An UPDATE keeps its tid but changes
   the row, so it is published as a ``delete`` of the old row followed by
   an ``insert`` of the new one under the same tid; consumers treat the
   pair as "retract everything incident to the tuple, then re-derive".
-* **Bounded memory, verified fallback.**  The buffer is capped; on
-  overflow it is dropped wholesale and lagging cursors report
+* **Bounded memory, verified fallback.**  In-memory retention is capped;
+  on overflow it is dropped wholesale and lagging cursors report
   ``lost=True``, telling the consumer to fall back to full re-detection
-  (the escape hatch is always correct, just slower).
-* **DDL is out of band.**  CREATE/DROP TABLE bump ``schema_version``
-  instead of emitting per-row changes; consumers compare versions and
-  fall back to full detection across DDL.
+  (the escape hatch is always correct, just slower).  Durable feeds
+  never overflow -- segments are the retention.
+* **DDL rides the feed.**  CREATE/DROP TABLE bump ``schema_version``
+  and (when anyone is listening) publish serialized schemas on the
+  ``_schema`` topic, which is what lets a replica rebuild the database
+  without sharing memory.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, NamedTuple, Optional, Tuple
+from typing import NamedTuple, Optional, Tuple
+
+from repro.engine.feed import (
+    RECORD_CHANGE,
+    RECORD_CREATE_TABLE,
+    RECORD_DROP_TABLE,
+    ChangeFeed,
+    serialize_schema,
+)
 
 #: Ops a change can carry.  UPDATE is published as DELETE + INSERT.
 OP_INSERT = "insert"
@@ -48,123 +63,113 @@ class Change(NamedTuple):
 
 
 class ChangeLog:
-    """An append-only, multi-reader buffer of row mutations.
+    """The mutation stream of one database, backed by a change feed.
 
-    Writers call :meth:`record`; readers open a :class:`ChangeCursor` and
-    drain it with :meth:`ChangeCursor.read`.  Entries consumed by every
-    open cursor are compacted away; when the buffer exceeds
-    ``max_pending`` it is dropped and lagging cursors become *lost*.
+    Writers call :meth:`record`; readers open a :class:`ChangeCursor`
+    and drain it with :meth:`ChangeCursor.read`.  Entries consumed by
+    every open cursor are compacted away (in-memory feeds); when
+    retention exceeds ``max_pending`` the buffer is dropped and lagging
+    cursors become *lost*.
     """
 
-    def __init__(self, max_pending: int = 100_000) -> None:
-        self._entries: list[Change] = []
-        self._base = 0  # sequence number of _entries[0]
-        self._cursors: dict[int, int] = {}  # cursor id -> next unread seq
-        self._next_cursor_id = 0
-        self._max_pending = max_pending
-        #: bumped by DDL (CREATE/DROP TABLE); consumers that cached
-        #: schema-derived state must rebuild when it moves.
-        self.schema_version = 0
+    def __init__(
+        self, max_pending: int = 100_000, feed: Optional[ChangeFeed] = None
+    ) -> None:
+        self.feed = (
+            feed if feed is not None else ChangeFeed(max_retained=max_pending)
+        )
 
     # ------------------------------------------------------------- writing
 
     @property
+    def schema_version(self) -> int:
+        """Bumped by DDL; consumers with schema-derived state rebuild."""
+        return self.feed.schema_version
+
+    @property
     def end(self) -> int:
-        """The sequence number one past the newest entry."""
-        return self._base + len(self._entries)
+        """The global sequence number one past the newest record."""
+        return self.feed.next_seq
+
+    @property
+    def _max_pending(self) -> int:
+        return self.feed.max_retained
+
+    @_max_pending.setter
+    def _max_pending(self, value: int) -> None:
+        self.feed.max_retained = value
 
     def record(self, change: Change) -> None:
-        """Publish one mutation (dropped when nobody is listening)."""
-        if not self._cursors:
-            return
-        self._entries.append(change)
-        if len(self._entries) > self._max_pending:
-            # Overflow: drop the whole buffer.  Every cursor that had not
-            # caught up observes ``lost`` and falls back to full
-            # re-detection.
-            self._base += len(self._entries)
-            self._entries.clear()
+        """Publish one mutation (dropped when nobody is listening and
+        the feed is not durable)."""
+        self.feed.publish_change(
+            change.relation, change.tid, change.row, change.op
+        )
 
-    def bump_schema_version(self) -> None:
-        """Note a DDL change (no per-row history is kept for DDL)."""
-        self.schema_version += 1
+    def schema_created(self, schema: object) -> None:
+        """Publish a CREATE TABLE (serialized schema rides the feed)."""
+        self.feed.publish_schema(
+            RECORD_CREATE_TABLE,
+            schema.name.lower(),  # type: ignore[attr-defined]
+            serialize_schema(schema),
+        )
+
+    def schema_dropped(self, name: str) -> None:
+        """Publish a DROP TABLE."""
+        self.feed.publish_schema(RECORD_DROP_TABLE, name.lower())
 
     # ------------------------------------------------------------- reading
 
-    def open_cursor(self) -> "ChangeCursor":
-        """Open a cursor positioned at the current end of the log."""
-        cursor_id = self._next_cursor_id
-        self._next_cursor_id += 1
-        self._cursors[cursor_id] = self.end
-        return ChangeCursor(self, cursor_id)
+    def open_cursor(self, group: Optional[str] = None) -> "ChangeCursor":
+        """Open a cursor positioned at the current end of the log.
 
-    def _close(self, cursor_id: int) -> None:
-        self._cursors.pop(cursor_id, None)
-        self._compact()
-
-    def _read(self, cursor_id: int) -> tuple[list[Change], bool]:
-        position = self._cursors[cursor_id]
-        lost = position < self._base
-        start = max(position - self._base, 0)
-        changes = self._entries[start:] if not lost else []
-        self._cursors[cursor_id] = self.end
-        self._compact()
-        return changes, lost
-
-    def _pending(self, cursor_id: int) -> int:
-        return self.end - self._cursors[cursor_id]
-
-    def _lost(self, cursor_id: int) -> bool:
-        return self._cursors[cursor_id] < self._base
-
-    def _compact(self) -> None:
-        """Drop entries already consumed by every open cursor."""
-        if not self._cursors:
-            self._base += len(self._entries)
-            self._entries.clear()
-            return
-        low = min(self._cursors.values())
-        if low > self._base:
-            drop = min(low - self._base, len(self._entries))
-            del self._entries[:drop]
-            self._base += drop
+        With a ``group`` name the cursor is a named consumer group whose
+        committed offsets are durable when the feed is; it then resumes
+        from where that group last committed instead of the end.
+        """
+        return ChangeCursor(self.feed, group)
 
 
 class ChangeCursor:
-    """One consumer's position in a :class:`ChangeLog`."""
+    """One consumer's position in the change stream (auto-committing).
 
-    def __init__(self, log: ChangeLog, cursor_id: int) -> None:
-        self._log = log
-        self._id = cursor_id
-        self._closed = False
+    A thin adapter over :class:`~repro.engine.feed.FeedConsumer`:
+    :meth:`read` polls, converts change records to :class:`Change` and
+    commits in one step -- the contract the in-process engine wants.
+    """
+
+    def __init__(
+        self, feed: ChangeFeed, group: Optional[str] = None
+    ) -> None:
+        self._consumer = feed.consumer(group)
 
     @property
     def pending(self) -> int:
-        """Number of unread changes (an overflow also makes this > 0)."""
-        if self._closed:
-            return 0
-        return self._log._pending(self._id)
+        """Number of unread records (an overflow also makes this > 0)."""
+        return self._consumer.pending
 
     @property
     def lost(self) -> bool:
-        """Whether the log overflowed past this cursor (history gone)."""
-        if self._closed:
-            return False
-        return self._log._lost(self._id)
+        """Whether the feed dropped records past this cursor (history gone)."""
+        return self._consumer.lost
 
     def read(self) -> tuple[list[Change], bool]:
         """Drain unread changes; returns ``(changes, lost)``.
 
         When ``lost`` is True the returned list is empty and the consumer
         must rebuild its derived state from scratch; either way the
-        cursor is repositioned at the current end of the log.
+        cursor is repositioned at the current end of the log.  Schema
+        records are skipped (the engine watches ``schema_version``).
         """
-        if self._closed:
-            return [], False
-        return self._log._read(self._id)
+        records, lost = self._consumer.poll()
+        self._consumer.commit()
+        changes = [
+            Change(record.topic, record.tid, record.row, record.op)
+            for record in records
+            if record.kind == RECORD_CHANGE
+        ]
+        return changes, lost
 
     def close(self) -> None:
         """Release the cursor (its unread entries may be compacted)."""
-        if not self._closed:
-            self._closed = True
-            self._log._close(self._id)
+        self._consumer.close()

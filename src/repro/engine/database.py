@@ -12,6 +12,14 @@ from typing import Iterable, Iterator, Optional, Sequence
 
 from repro.engine.catalog import Catalog
 from repro.engine.changelog import ChangeLog
+from repro.engine.feed import (
+    RECORD_CHANGE,
+    RECORD_CREATE_TABLE,
+    RECORD_DROP_TABLE,
+    ChangeFeed,
+    FeedRecord,
+    deserialize_schema,
+)
 from repro.engine.expressions import ExpressionCompiler, Scope
 from repro.engine.plan import Filter, Scan, run_plan
 from repro.engine.planner import Planner
@@ -19,7 +27,7 @@ from repro.engine.schema import Column, TableSchema
 from repro.engine.stats import ExecutionStats
 from repro.engine.storage import Table
 from repro.engine.types import SQLType, SQLValue, type_from_name
-from repro.errors import CatalogError, ExecutionError, PlanError
+from repro.errors import CatalogError, ExecutionError
 from repro.sql import ast
 from repro.sql.parser import parse_script, parse_statement
 
@@ -62,16 +70,50 @@ class Result:
 
 
 class Database:
-    """An in-memory SQL database instance."""
+    """An in-memory SQL database instance.
 
-    def __init__(self) -> None:
+    Args:
+        durable: a directory path; when given, every mutation (DDL and
+            DML) is appended to a crash-safe partitioned change feed
+            there, and opening the same directory again **restores** the
+            database by replaying the feed.
+        feed: an explicit :class:`~repro.engine.feed.ChangeFeed` to
+            publish to (mutually exclusive with ``durable``); if it
+            already holds history, the database is restored from it.
+    """
+
+    def __init__(
+        self,
+        durable: Optional[str] = None,
+        feed: Optional[ChangeFeed] = None,
+    ) -> None:
+        if durable is not None and feed is not None:
+            raise ExecutionError("pass either durable= or feed=, not both")
+        if feed is None and durable is not None:
+            feed = ChangeFeed(directory=durable)
         #: row-mutation feed consumed by incremental conflict detection;
-        #: it buffers nothing until a cursor is opened.
-        self.changes = ChangeLog()
+        #: an in-memory feed buffers nothing until a cursor is opened.
+        self.changes = ChangeLog(feed=feed) if feed is not None else ChangeLog()
         self.catalog = Catalog(self.changes)
         self.stats = ExecutionStats()
         # index name (lower) -> (table name, column names) for diagnostics.
         self._indexes: dict[str, tuple[str, tuple[str, ...]]] = {}
+        if self.changes.feed.has_history:
+            self._restore_from_feed()
+
+    # ------------------------------------------------------------ durability
+
+    def _restore_from_feed(self) -> None:
+        """Rebuild catalog + tables by replaying the feed's history.
+
+        Publishing is suspended during replay: recovery must not append
+        its own history back onto the feed.
+        """
+        feed = self.changes.feed
+        records = feed.records_upto(feed.end_offsets())
+        with feed.suspended():
+            for record in records:
+                apply_feed_record(self, record)
 
     # ------------------------------------------------------------- execution
 
@@ -142,7 +184,9 @@ class Database:
         schema = TableSchema(name, built, tuple(primary_key or ()))
         return self.catalog.create_table(schema)
 
-    def insert_rows(self, table_name: str, rows: Iterable[Sequence[SQLValue]]) -> list[int]:
+    def insert_rows(
+        self, table_name: str, rows: Iterable[Sequence[SQLValue]]
+    ) -> list[int]:
         """Bulk-insert rows; returns the assigned tids."""
         table = self.catalog.table(table_name)
         return [table.insert(row) for row in rows]
@@ -276,3 +320,32 @@ class Database:
                 new_row[index] = evaluator((row,))
             table.update(tid, new_row)
         return Result([], [], len(matches))
+
+
+def apply_feed_record(db: Database, record: FeedRecord) -> None:
+    """Apply one change-feed record to a database (replay primitive).
+
+    Used by durable-database recovery and by replicas rebuilding their
+    own copy of the state: DDL records create/drop tables, change
+    records restore/delete rows under their original tids (an UPDATE
+    arrives as its delete + insert pair).
+
+    Raises:
+        FeedError: for an unknown record kind.
+    """
+    from repro.errors import FeedError
+
+    if record.kind == RECORD_CHANGE:
+        table = db.catalog.table(record.topic)
+        if record.op == "insert":
+            table.restore(record.tid, record.row)
+        else:
+            table.delete(record.tid)
+        return
+    if record.kind == RECORD_CREATE_TABLE:
+        db.catalog.create_table(deserialize_schema(record.schema))
+        return
+    if record.kind == RECORD_DROP_TABLE:
+        db.catalog.drop_table(record.table, if_exists=True)
+        return
+    raise FeedError(f"unknown feed record kind {record.kind!r}")

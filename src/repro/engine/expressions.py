@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Protocol, Sequence
+from typing import Callable, Optional, Protocol
 
 from repro.engine import functions
 from repro.engine.types import (
@@ -81,7 +81,9 @@ class Scope:
             if len(matches) == 1:
                 return depth, matches[0]
             if len(matches) > 1:
-                raise PlanError(f"ambiguous column reference: {ast.ColumnRef(table, name)}")
+                raise PlanError(
+                    f"ambiguous column reference: {ast.ColumnRef(table, name)}"
+                )
             scope = scope.parent
             depth += 1
         raise PlanError(f"unknown column: {ast.ColumnRef(table, name)}")
@@ -359,14 +361,20 @@ class ExpressionCompiler:
 
     def _compile_Case(self, expr: ast.Case) -> Evaluator:
         operand = self.compile(expr.operand) if expr.operand is not None else None
-        whens = [(self.compile(cond), self.compile(result)) for cond, result in expr.whens]
+        whens = [
+            (self.compile(cond), self.compile(result))
+            for cond, result in expr.whens
+        ]
         else_ = self.compile(expr.else_) if expr.else_ is not None else None
 
         def case(env: Env) -> SQLValue:
             if operand is not None:
                 subject = operand(env)
                 for condition, result in whens:
-                    if subject is not None and compare_values(subject, condition(env)) == 0:
+                    if (
+                        subject is not None
+                        and compare_values(subject, condition(env)) == 0
+                    ):
                         return result(env)
             else:
                 for condition, result in whens:

@@ -1,0 +1,743 @@
+"""The durable, partitioned change feed.
+
+PR 1 made conflict detection incremental by publishing row mutations to
+an in-memory change log.  That log was a single-process ring: one
+overflow and the history was gone, and no other process could ever see
+it.  This module promotes the log into a small **feed** subsystem in the
+style of a partitioned commit log:
+
+* **Topics.**  Every relation is its own topic; records carry a
+  per-topic *offset* (monotonic from 0) plus a global *seq* that totally
+  orders records across topics (replay applies records in seq order, so
+  cross-relation effects -- e.g. DDL before the rows it enables -- come
+  back deterministically).  DDL itself is a topic (:data:`SCHEMA_TOPIC`)
+  whose records carry serialized table schemas, which is what lets a
+  replica in another process rebuild the database without sharing memory.
+
+* **Durability.**  With a ``directory``, every record is appended to a
+  JSONL *segment* file per topic.  Segments rotate at
+  ``segment_records`` records: the active segment is fsync'd, sealed
+  into the manifest (written atomically: temp file + fsync +
+  ``os.replace``), and a fresh segment becomes active.  On open, the
+  manifest names the segments to replay; a torn final line (crash mid
+  append) is detected and truncated away, so replay converges on the
+  longest durable prefix.
+
+* **Consumer groups.**  A consumer attaches to the feed under a group
+  name and gets its own *committed offset* per topic.  ``poll()``
+  returns records past the committed position without committing;
+  ``commit()`` makes the new position durable (crash between the two
+  re-delivers, which is what lets a replica apply-then-commit and stay
+  exactly-once over restarts).  Anonymous groups (``group=None``) are
+  ephemeral and auto-named -- the in-process engine cursor uses one.
+
+* **Retention.**  In-memory feeds keep records until every group has
+  consumed them, capped at ``max_retained``; past the cap the buffer is
+  dropped wholesale and lagging groups observe ``lost=True`` (the
+  consumer's cue to fall back to full re-detection).  Durable feeds
+  never drop: segments are the retention.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Optional
+
+from repro.errors import FeedError
+
+#: Record kinds.
+RECORD_CHANGE = "change"
+RECORD_CREATE_TABLE = "create_table"
+RECORD_DROP_TABLE = "drop_table"
+
+#: The topic DDL records are published to.
+SCHEMA_TOPIC = "_schema"
+
+#: Manifest file name inside a feed directory.
+MANIFEST = "manifest.json"
+
+
+@dataclass(frozen=True)
+class FeedRecord:
+    """One record of the feed.
+
+    Attributes:
+        seq: global sequence number (total order across topics).
+        topic: the partition (relation name, or :data:`SCHEMA_TOPIC`).
+        offset: position within the topic (monotonic from 0).
+        kind: :data:`RECORD_CHANGE` or one of the DDL kinds.
+        tid: tuple id (change records).
+        row: the row as stored (change records).
+        op: ``"insert"`` / ``"delete"`` (change records).
+        table: table name (DDL records).
+        schema: serialized table schema (``create_table`` records).
+    """
+
+    seq: int
+    topic: str
+    offset: int
+    kind: str
+    tid: Optional[int] = None
+    row: Optional[tuple] = None
+    op: Optional[str] = None
+    table: Optional[str] = None
+    schema: Optional[dict] = None
+
+    def to_json(self) -> str:
+        """One JSONL line (compact, stable key order)."""
+        payload: dict[str, object] = {
+            "seq": self.seq,
+            "topic": self.topic,
+            "offset": self.offset,
+            "kind": self.kind,
+        }
+        if self.kind == RECORD_CHANGE:
+            payload["tid"] = self.tid
+            payload["row"] = list(self.row or ())
+            payload["op"] = self.op
+        else:
+            payload["table"] = self.table
+            if self.schema is not None:
+                payload["schema"] = self.schema
+        return json.dumps(payload, separators=(",", ":"))
+
+    @staticmethod
+    def from_json(line: str) -> "FeedRecord":
+        """Parse one JSONL line.
+
+        Raises:
+            FeedError: when the line is not a valid record.
+        """
+        try:
+            payload = json.loads(line)
+            return FeedRecord(
+                seq=payload["seq"],
+                topic=payload["topic"],
+                offset=payload["offset"],
+                kind=payload["kind"],
+                tid=payload.get("tid"),
+                row=(
+                    tuple(payload["row"])
+                    if payload.get("row") is not None
+                    else None
+                ),
+                op=payload.get("op"),
+                table=payload.get("table"),
+                schema=payload.get("schema"),
+            )
+        except (ValueError, KeyError, TypeError) as exc:
+            raise FeedError(f"bad feed record: {line!r}") from exc
+
+
+@dataclass
+class TopicInfo:
+    """Public per-topic statistics (the CLI's ``.feed`` view)."""
+
+    name: str
+    start: int  # oldest retained offset
+    end: int  # one past the newest offset
+    segments: int  # durable segment files (0 for in-memory feeds)
+
+
+class _Topic:
+    """One partition: retained records + the durable segment chain."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.records: list[FeedRecord] = []
+        self.base = 0  # offset of records[0]
+        self.segments: list[str] = []  # durable file names, oldest first
+
+    @property
+    def end(self) -> int:
+        return self.base + len(self.records)
+
+    def read(self, start: int, limit: Optional[int] = None) -> list[FeedRecord]:
+        index = max(start - self.base, 0)
+        chunk = self.records[index:]
+        return chunk if limit is None else chunk[:limit]
+
+    def drop_retained(self) -> None:
+        self.base = self.end
+        self.records.clear()
+
+
+class ChangeFeed:
+    """A partitioned change feed, optionally durable.
+
+    Args:
+        directory: when given, records are persisted as JSONL segments
+            under it and consumer commits under ``consumers/``; an
+            existing directory is *replayed* on open (crash-safe).
+        max_retained: in-memory retention cap (ignored when durable).
+        segment_records: records per segment before rotation.
+        fsync: ``"rotate"`` (default; appends are buffered and made
+            durable at segment rotation, :meth:`flush` and
+            :meth:`close`) or ``"always"`` (flush + fsync every append).
+    """
+
+    def __init__(
+        self,
+        directory: Optional[str | os.PathLike] = None,
+        *,
+        max_retained: int = 100_000,
+        segment_records: int = 4096,
+        fsync: str = "rotate",
+    ) -> None:
+        if fsync not in ("rotate", "always"):
+            raise FeedError(f"unknown fsync policy {fsync!r}")
+        self.directory = Path(directory) if directory is not None else None
+        self.max_retained = max_retained
+        self.segment_records = segment_records
+        self.fsync = fsync
+        self.next_seq = 0
+        #: bumped by every DDL record (consumers that cached
+        #: schema-derived state rebuild when it moves).
+        self.schema_version = 0
+        self._topics: dict[str, _Topic] = {}
+        self._groups: dict[str, dict[str, int]] = {}  # group -> committed
+        self._ephemeral: set[str] = set()  # anonymous groups (no disk state)
+        self._next_anonymous = 0
+        self._suspended = 0
+        #: records dropped because nobody was listening (in-memory feeds
+        #: only) -- a replica attaching later checks this to refuse an
+        #: unrebuildable history.
+        self.dropped = 0
+        self._writers: dict[str, io.TextIOWrapper] = {}  # topic -> active file
+        self._active_counts: dict[str, int] = {}  # records in active segment
+        if self.directory is not None:
+            self._open_durable()
+
+    # ------------------------------------------------------------ publishing
+
+    @contextlib.contextmanager
+    def suspended(self) -> Iterator[None]:
+        """Suppress publishing (used while replaying the feed back into
+        storage, so recovery does not re-append its own history)."""
+        self._suspended += 1
+        try:
+            yield
+        finally:
+            self._suspended -= 1
+
+    @property
+    def is_suspended(self) -> bool:
+        return self._suspended > 0
+
+    @property
+    def durable(self) -> bool:
+        return self.directory is not None
+
+    @property
+    def has_history(self) -> bool:
+        """Whether any records exist (retained or durable)."""
+        return self.next_seq > 0
+
+    def publish_change(self, relation: str, tid: int, row: tuple, op: str) -> None:
+        """Append one row mutation to the relation's topic.
+
+        In-memory feeds drop the record when no consumer group exists
+        (zero cost when unused); durable feeds always append.
+        """
+        if self.is_suspended:
+            return
+        if not self.durable and not self._groups:
+            self.dropped += 1
+            return
+        topic = self._topic(relation)
+        record = FeedRecord(
+            seq=self.next_seq,
+            topic=topic.name,
+            offset=topic.end,
+            kind=RECORD_CHANGE,
+            tid=tid,
+            row=tuple(row),
+            op=op,
+        )
+        self._append(topic, record)
+
+    def publish_schema(
+        self, kind: str, table: str, schema: Optional[dict] = None
+    ) -> None:
+        """Append a DDL record and bump :attr:`schema_version`."""
+        if self.is_suspended:
+            return
+        self.schema_version += 1
+        if not self.durable and not self._groups:
+            self.dropped += 1
+            return
+        topic = self._topic(SCHEMA_TOPIC)
+        record = FeedRecord(
+            seq=self.next_seq,
+            topic=SCHEMA_TOPIC,
+            offset=topic.end,
+            kind=kind,
+            table=table,
+            schema=schema,
+        )
+        self._append(topic, record)
+
+    def _append(self, topic: _Topic, record: FeedRecord) -> None:
+        self.next_seq = record.seq + 1
+        topic.records.append(record)
+        if self.durable:
+            self._write_durable(topic, record)
+            return
+        retained = sum(len(t.records) for t in self._topics.values())
+        if retained > self.max_retained:
+            # Overflow: drop everything; lagging groups observe ``lost``
+            # and fall back to full re-detection.
+            for t in self._topics.values():
+                t.drop_retained()
+
+    # ------------------------------------------------------------- consuming
+
+    def consumer(
+        self, group: Optional[str] = None, start: str = "end"
+    ) -> "FeedConsumer":
+        """Attach a consumer under ``group``.
+
+        A new group starts at the feed's current ``end`` (or at offset 0
+        everywhere with ``start="beginning"`` -- what a replica wants).
+        An existing group resumes from its committed offsets, which for
+        durable feeds survive process restarts.
+        """
+        ephemeral = group is None
+        if group is None:
+            group = f"cursor-{self._next_anonymous}"
+            self._next_anonymous += 1
+        if group not in self._groups:
+            # Ephemeral groups never touch consumers/ on disk: their
+            # position is meaningless to any other process, and a stale
+            # file under a recycled cursor-<n> name must not be resumed.
+            committed = None if ephemeral else self._load_committed(group)
+            if committed is None:
+                committed = (
+                    {}
+                    if start == "beginning"
+                    else {name: t.end for name, t in self._topics.items()}
+                )
+            self._groups[group] = committed
+            if ephemeral:
+                self._ephemeral.add(group)
+        return FeedConsumer(self, group)
+
+    def close_group(self, group: str) -> None:
+        """Drop a group's in-memory registration (durable commits stay)."""
+        self._groups.pop(group, None)
+        self._ephemeral.discard(group)
+        self._compact()
+
+    def groups(self) -> dict[str, dict[str, int]]:
+        """Registered groups -> committed offsets per topic (a copy)."""
+        return {group: dict(c) for group, c in self._groups.items()}
+
+    def topics(self) -> list[TopicInfo]:
+        """Per-topic statistics, creation order."""
+        return [
+            TopicInfo(
+                name=t.name,
+                start=t.base,
+                end=t.end,
+                segments=len(t.segments) + (1 if t.name in self._writers else 0),
+            )
+            for t in self._topics.values()
+        ]
+
+    def end_offsets(self) -> dict[str, int]:
+        """Topic -> one past the newest offset."""
+        return {name: t.end for name, t in self._topics.items()}
+
+    def records_upto(
+        self, committed: dict[str, int]
+    ) -> list[FeedRecord]:
+        """All retained records strictly below ``committed``, seq order.
+
+        This is the *committed prefix* a re-attaching replica rebuilds
+        its state from.
+
+        Raises:
+            FeedError: when part of the prefix is no longer retained
+                (possible only on in-memory feeds after an overflow).
+        """
+        prefix: list[FeedRecord] = []
+        for name, upto in committed.items():
+            if upto <= 0:
+                continue
+            topic = self._topics.get(name)
+            if topic is None or topic.base > 0:
+                raise FeedError(
+                    f"topic {name!r}: committed prefix up to offset"
+                    f" {upto} is no longer retained"
+                )
+            if upto > topic.end:
+                # A commit that outlived its records (e.g. a crash that
+                # tore away more history than the offsets acknowledge).
+                raise FeedError(
+                    f"topic {name!r}: committed offset {upto} is past the"
+                    f" end of the durable history ({topic.end})"
+                )
+            prefix.extend(topic.read(0, upto))
+        prefix.sort(key=lambda record: record.seq)
+        return prefix
+
+    # ------------------------------------------- group plumbing (consumers)
+
+    def _topic(self, name: str) -> _Topic:
+        topic = self._topics.get(name)
+        if topic is None:
+            topic = _Topic(name)
+            self._topics[name] = topic
+        return topic
+
+    def _poll(
+        self, positions: dict[str, int], limit: Optional[int]
+    ) -> list[FeedRecord]:
+        batch: list[FeedRecord] = []
+        for name, topic in self._topics.items():
+            batch.extend(topic.read(positions.get(name, 0)))
+        batch.sort(key=lambda record: record.seq)
+        return batch if limit is None else batch[:limit]
+
+    def _lost(self, positions: dict[str, int]) -> bool:
+        return any(
+            positions.get(name, 0) < topic.base
+            for name, topic in self._topics.items()
+        )
+
+    def _lag(self, positions: dict[str, int]) -> int:
+        return sum(
+            max(topic.end - positions.get(name, 0), 0)
+            for name, topic in self._topics.items()
+        )
+
+    def _commit(self, group: str, committed: dict[str, int]) -> None:
+        self._groups[group] = dict(committed)
+        if self.durable and group not in self._ephemeral:
+            # The acknowledged records must hit disk before the offsets
+            # that acknowledge them: a commit that survives a crash its
+            # records did not would strand the group past data that
+            # replays at lower offsets.
+            self.flush()
+            self._store_committed(group, committed)
+        self._compact()
+
+    def _compact(self) -> None:
+        """In-memory mode: drop records every group has consumed."""
+        if self.durable:
+            return  # segments are the retention; memory mirrors them
+        for name, topic in self._topics.items():
+            if not self._groups:
+                topic.drop_retained()
+                continue
+            low = min(c.get(name, 0) for c in self._groups.values())
+            if low > topic.base:
+                del topic.records[: low - topic.base]
+                topic.base = low
+
+    # ------------------------------------------------------------ durability
+
+    def _segment_dir(self, topic: str) -> Path:
+        assert self.directory is not None
+        return self.directory / "topics" / topic
+
+    def _consumers_dir(self) -> Path:
+        assert self.directory is not None
+        return self.directory / "consumers"
+
+    @staticmethod
+    def _segment_name(start_offset: int) -> str:
+        return f"{start_offset:012d}.jsonl"
+
+    def _write_durable(self, topic: _Topic, record: FeedRecord) -> None:
+        writer = self._writers.get(topic.name)
+        if writer is None:
+            writer = self._open_segment(topic, record.offset)
+        writer.write(record.to_json() + "\n")
+        if self.fsync == "always":
+            writer.flush()
+            os.fsync(writer.fileno())
+        # Under the "rotate" policy appends stay in the userspace buffer
+        # until rotation / flush() / close(): a crash can cost the tail
+        # of the active segment, never a sealed one -- and replay
+        # truncates any torn line it left behind.
+        self._active_counts[topic.name] += 1
+        if self._active_counts[topic.name] >= self.segment_records:
+            self._rotate(topic)
+
+    def _open_segment(self, topic: _Topic, next_offset: int) -> io.TextIOWrapper:
+        directory = self._segment_dir(topic.name)
+        directory.mkdir(parents=True, exist_ok=True)
+        name = self._segment_name(next_offset)
+        held = 0
+        if topic.segments:
+            # Resume the newest segment (e.g. after a reopen) while it
+            # still has room; segments are contiguous, so its record
+            # count is just the offset distance from its start.
+            last_start = int(topic.segments[-1].split(".", 1)[0])
+            held = next_offset - last_start
+            if 0 <= held < self.segment_records:
+                name = topic.segments[-1]
+            else:
+                held = 0
+        writer = open(directory / name, "a", encoding="utf-8")
+        self._writers[topic.name] = writer
+        self._active_counts[topic.name] = held
+        if not topic.segments or topic.segments[-1] != name:
+            topic.segments.append(name)
+            self._store_manifest()
+        return writer
+
+    def _rotate(self, topic: _Topic) -> None:
+        """Seal the active segment: fsync it, then cut a new one."""
+        writer = self._writers.pop(topic.name)
+        writer.flush()
+        os.fsync(writer.fileno())
+        writer.close()
+        self._active_counts.pop(topic.name, None)
+        # The next append opens the successor segment (named by the
+        # first offset it will hold) and records it in the manifest.
+
+    def _store_manifest(self) -> None:
+        assert self.directory is not None
+        payload = {
+            "version": 1,
+            "segment_records": self.segment_records,
+            "topics": {
+                name: {"segments": list(topic.segments)}
+                for name, topic in self._topics.items()
+            },
+        }
+        self._atomic_json(self.directory / MANIFEST, payload)
+
+    def _store_committed(self, group: str, committed: dict[str, int]) -> None:
+        directory = self._consumers_dir()
+        directory.mkdir(parents=True, exist_ok=True)
+        self._atomic_json(
+            directory / f"{group}.json",
+            {"group": group, "committed": dict(committed)},
+        )
+
+    def _load_committed(self, group: str) -> Optional[dict[str, int]]:
+        if not self.durable:
+            return None
+        path = self._consumers_dir() / f"{group}.json"
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            return {str(k): int(v) for k, v in payload["committed"].items()}
+        except (ValueError, KeyError) as exc:
+            raise FeedError(f"corrupt consumer state {path}") from exc
+
+    @staticmethod
+    def _atomic_json(path: Path, payload: dict) -> None:
+        temp = path.with_suffix(path.suffix + ".tmp")
+        with open(temp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, separators=(",", ":"))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, path)
+
+    def _open_durable(self) -> None:
+        """Open (or create) the feed directory, replaying its history."""
+        assert self.directory is not None
+        self.directory.mkdir(parents=True, exist_ok=True)
+        manifest_path = self.directory / MANIFEST
+        if not manifest_path.exists():
+            self._store_manifest()
+            return
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+            topics = manifest["topics"]
+        except (ValueError, KeyError) as exc:
+            raise FeedError(f"corrupt manifest {manifest_path}") from exc
+        records: list[FeedRecord] = []
+        for name, entry in topics.items():
+            topic = self._topic(name)
+            topic.segments = [str(s) for s in entry.get("segments", [])]
+            for index, segment in enumerate(topic.segments):
+                last = index == len(topic.segments) - 1
+                records.extend(self._replay_segment(name, segment, repair=last))
+        records.sort(key=lambda record: record.seq)
+        for record in records:
+            topic = self._topic(record.topic)
+            if record.offset != topic.end:
+                raise FeedError(
+                    f"topic {record.topic!r}: offset {record.offset}"
+                    f" out of order (expected {topic.end})"
+                )
+            topic.records.append(record)
+            if record.kind != RECORD_CHANGE:
+                self.schema_version += 1
+        self.next_seq = max((r.seq for r in records), default=-1) + 1
+
+    def _replay_segment(
+        self, topic: str, segment: str, repair: bool
+    ) -> list[FeedRecord]:
+        """Read one segment; on a torn tail, truncate it away (``repair``)."""
+        path = self._segment_dir(topic) / segment
+        if not path.exists():
+            return []  # rotation crashed before the first append
+        records: list[FeedRecord] = []
+        good_bytes = 0
+        with open(path, "rb") as handle:
+            data = handle.read()
+        for line in data.splitlines(keepends=True):
+            if not line.endswith(b"\n"):
+                break  # torn tail: the crash cut this append short
+            try:
+                records.append(FeedRecord.from_json(line.decode("utf-8")))
+            except FeedError:
+                break  # garbage tail (e.g. partial line + later append)
+            good_bytes += len(line)
+        if good_bytes < len(data):
+            if not repair:
+                raise FeedError(
+                    f"corrupt record inside sealed segment {path}"
+                )
+            with open(path, "r+b") as handle:
+                handle.truncate(good_bytes)
+        return records
+
+    def flush(self) -> None:
+        """Flush + fsync every active segment writer."""
+        for writer in self._writers.values():
+            writer.flush()
+            os.fsync(writer.fileno())
+
+    def close(self) -> None:
+        """Flush and close the durable writers (idempotent)."""
+        for name in list(self._writers):
+            writer = self._writers.pop(name)
+            writer.flush()
+            os.fsync(writer.fileno())
+            writer.close()
+        self._active_counts.clear()
+
+    def __enter__(self) -> "ChangeFeed":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class FeedConsumer:
+    """One consumer group member: poll / commit with explicit offsets.
+
+    ``poll()`` advances an *uncommitted* read position; ``commit()``
+    publishes it as the group's committed offsets (durably, when the
+    feed is).  A consumer that crashes between the two is re-delivered
+    the uncommitted records on re-attach -- apply-then-commit therefore
+    gives exactly-once effects for idempotent appliers.
+    """
+
+    def __init__(self, feed: ChangeFeed, group: str) -> None:
+        self.feed = feed
+        self.group = group
+        self._positions = dict(feed._groups[group])
+        self._closed = False
+
+    @property
+    def committed(self) -> dict[str, int]:
+        """The group's committed offset per topic (a copy)."""
+        return dict(self.feed._groups.get(self.group, {}))
+
+    @property
+    def lag(self) -> int:
+        """Records past the *committed* position (includes unpolled)."""
+        if self._closed:
+            return 0
+        return self.feed._lag(self.feed._groups[self.group])
+
+    @property
+    def pending(self) -> int:
+        """Records past the current *read* position."""
+        if self._closed:
+            return 0
+        return self.feed._lag(self._positions)
+
+    @property
+    def lost(self) -> bool:
+        """Whether retention dropped records this consumer never read."""
+        if self._closed:
+            return False
+        return self.feed._lost(self._positions)
+
+    def poll(
+        self, limit: Optional[int] = None
+    ) -> tuple[list[FeedRecord], bool]:
+        """Read records past the current position; returns ``(records, lost)``.
+
+        On ``lost`` the list is empty and the position jumps to the feed
+        end (the history cannot be recovered; the consumer must rebuild
+        derived state from scratch).
+        """
+        if self._closed:
+            return [], False
+        if self.feed._lost(self._positions):
+            self._positions = self.feed.end_offsets()
+            return [], True
+        records = self.feed._poll(self._positions, limit)
+        for record in records:
+            self._positions[record.topic] = record.offset + 1
+        return records, False
+
+    def commit(self) -> None:
+        """Make the current read position the group's committed offsets."""
+        if self._closed:
+            return
+        self.feed._commit(self.group, self._positions)
+
+    def seek_to_end(self) -> None:
+        """Jump past all retained records and commit there."""
+        self._positions = self.feed.end_offsets()
+        self.commit()
+
+    def close(self) -> None:
+        """Deregister the group (in-memory registration only)."""
+        if not self._closed:
+            self._closed = True
+            self.feed.close_group(self.group)
+
+
+def serialize_schema(schema: object) -> dict:
+    """Serialize a :class:`~repro.engine.schema.TableSchema` to JSON-safe
+    form (the payload of ``create_table`` records)."""
+    return {
+        "name": schema.name,  # type: ignore[attr-defined]
+        "columns": [
+            {
+                "name": column.name,
+                "type": column.sql_type.value,
+                "nullable": column.nullable,
+            }
+            for column in schema.columns  # type: ignore[attr-defined]
+        ],
+        "primary_key": list(schema.primary_key),  # type: ignore[attr-defined]
+    }
+
+
+def deserialize_schema(payload: dict) -> "object":
+    """Rebuild a :class:`~repro.engine.schema.TableSchema` from
+    :func:`serialize_schema` output."""
+    from repro.engine.schema import Column, TableSchema
+    from repro.engine.types import type_from_name
+
+    return TableSchema(
+        payload["name"],
+        tuple(
+            Column(
+                column["name"],
+                type_from_name(column["type"]),
+                nullable=column.get("nullable", True),
+            )
+            for column in payload["columns"]
+        ),
+        tuple(payload.get("primary_key", ())),
+    )

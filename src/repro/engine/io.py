@@ -9,10 +9,9 @@ integrated and queried consistently.
 from __future__ import annotations
 
 import csv
-from typing import IO, Iterable, Optional, Sequence
+from typing import IO, Optional, Sequence
 
 from repro.engine.database import Database
-from repro.engine.schema import TableSchema
 from repro.engine.types import SQLType, SQLValue, literal_sql
 from repro.errors import SchemaError
 

@@ -564,10 +564,14 @@ class Planner:
             return None
         lhs, rhs = conjunct.left, conjunct.right
         if _resolvable(lhs, left.entries) and _resolvable(rhs, right.entries):
-            if not _resolvable(lhs, right.entries) and not _resolvable(rhs, left.entries):
+            if not _resolvable(lhs, right.entries) and not _resolvable(
+                rhs, left.entries
+            ):
                 return (lhs, rhs)
         if _resolvable(rhs, left.entries) and _resolvable(lhs, right.entries):
-            if not _resolvable(rhs, right.entries) and not _resolvable(lhs, left.entries):
+            if not _resolvable(rhs, right.entries) and not _resolvable(
+                lhs, left.entries
+            ):
                 return (rhs, lhs)
         return None
 
@@ -621,7 +625,9 @@ class Planner:
 
         rewritten_items = [
             ast.SelectItem(
-                self._rewrite_post_aggregate(item.expr, from_scope, group_canon, agg_canon),
+                self._rewrite_post_aggregate(
+                    item.expr, from_scope, group_canon, agg_canon
+                ),
                 item.alias,
             )
             for item in select_items
@@ -669,7 +675,9 @@ class Planner:
             ):
                 if canon in agg_canon:
                     return ast.ColumnRef(None, f"#agg{agg_canon.index(canon)}")
-                raise PlanError(f"aggregate {node.name} not collected")  # pragma: no cover
+                raise PlanError(  # pragma: no cover
+                    f"aggregate {node.name} not collected"
+                )
             if isinstance(node, ast.ColumnRef):
                 raise PlanError(
                     f"column {node} must appear in GROUP BY or inside an aggregate"
@@ -686,7 +694,11 @@ class Planner:
             value = getattr(node, field_info.name)
             if isinstance(value, ast.Expression):
                 updates[field_info.name] = transform(value)
-            elif isinstance(value, tuple) and value and isinstance(value[0], ast.Expression):
+            elif (
+                isinstance(value, tuple)
+                and value
+                and isinstance(value[0], ast.Expression)
+            ):
                 updates[field_info.name] = tuple(transform(item) for item in value)
             elif (
                 isinstance(value, tuple)

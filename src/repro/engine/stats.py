@@ -8,7 +8,7 @@ alongside wall-clock time, the way the demonstration compares approaches.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

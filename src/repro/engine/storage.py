@@ -121,6 +121,26 @@ class Table:
         """Insert several rows; returns their tids in order."""
         return [self.insert(row) for row in rows]
 
+    def restore(self, tid: int, values: Sequence[SQLValue]) -> None:
+        """Re-insert a row under an explicit tid (change-feed replay).
+
+        Tids are hypergraph vertices, so a replica rebuilding state from
+        the feed must reproduce them exactly.  Nothing is published to
+        the change log -- replay is history, not new history.
+
+        Raises:
+            ExecutionError: if the tid is already occupied.
+        """
+        if tid in self._rows:
+            raise ExecutionError(
+                f"table {self.schema.name!r} already stores tid {tid}"
+            )
+        row = self.schema.coerce_row(values)
+        self._next_tid = max(self._next_tid, tid + 1)
+        self._rows[tid] = row
+        self._by_value.setdefault(row, set()).add(tid)
+        self._index_add(tid, row)
+
     def delete(self, tid: int) -> None:
         """Delete a row by tid.
 
@@ -216,7 +236,9 @@ class Table:
         """A shallow copy of the tid -> row mapping (for repair checkers)."""
         return dict(self._rows)
 
-    def restricted_rows(self, keep: Optional[frozenset[int]]) -> Iterator[tuple[int, Row]]:
+    def restricted_rows(
+        self, keep: Optional[frozenset[int]]
+    ) -> Iterator[tuple[int, Row]]:
         """``(tid, row)`` pairs restricted to ``keep`` (or all when None).
 
         Used to evaluate queries over a repair, or over the conflict-free

@@ -57,6 +57,11 @@ class PlanError(ReproError):
     """Raised when the planner cannot produce a plan for an AST."""
 
 
+class FeedError(ReproError):
+    """Raised for change-feed failures: corrupt segments or manifests,
+    unretained history, or invalid consumer state."""
+
+
 class AlgebraError(ReproError):
     """Raised for malformed relational-algebra expressions."""
 

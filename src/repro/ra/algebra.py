@@ -18,11 +18,10 @@ textbook does).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Optional, Union as TypingUnion
+from typing import Optional, Union as TypingUnion
 
 from repro.engine.database import Database
 from repro.engine.expressions import ExpressionCompiler, Scope
-from repro.engine.types import SQLValue
 from repro.errors import AlgebraError
 from repro.sql import ast
 from repro.ra.sjud import (
@@ -208,13 +207,19 @@ def _qualify_condition(condition: ast.Expression) -> ast.Expression:
     if isinstance(condition, ast.ColumnRef):
         if condition.table is None:
             return condition
-        return ast.ColumnRef(None, f"{condition.table.lower()}.{condition.name.lower()}")
+        return ast.ColumnRef(
+            None, f"{condition.table.lower()}.{condition.name.lower()}"
+        )
     updates = {}
     for field_info in fields(condition):  # type: ignore[arg-type]
         value = getattr(condition, field_info.name)
         if isinstance(value, ast.Expression):
             updates[field_info.name] = _qualify_condition(value)
-        elif isinstance(value, tuple) and value and isinstance(value[0], ast.Expression):
+        elif (
+            isinstance(value, tuple)
+            and value
+            and isinstance(value[0], ast.Expression)
+        ):
             updates[field_info.name] = tuple(_qualify_condition(v) for v in value)
         elif isinstance(value, tuple) and value and isinstance(value[0], tuple):
             updates[field_info.name] = tuple(

@@ -20,7 +20,7 @@ from repro.engine.database import Database
 from repro.engine.expressions import ExpressionCompiler, Scope
 from repro.errors import AlgebraError
 from repro.sql import ast
-from repro.ra.sjud import Atom, Difference, SJUDCore, SJUDTree, Union_
+from repro.ra.sjud import Difference, SJUDCore, SJUDTree, Union_
 
 #: Maps a relation name to the tids allowed in a scan (None = all rows).
 Restriction = Callable[[str], Optional[frozenset[int]]]

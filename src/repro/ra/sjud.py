@@ -28,7 +28,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Protocol, Sequence, Union
 
-from repro.engine.types import SQLValue
 from repro.errors import AlgebraError, UnsupportedQueryError
 from repro.sql import ast
 
@@ -424,7 +423,11 @@ def _resolve_refs(
         value = getattr(expr, field_info.name)
         if isinstance(value, ast.Expression):
             updates[field_info.name] = _resolve_refs(value, atoms, schema)
-        elif isinstance(value, tuple) and value and isinstance(value[0], ast.Expression):
+        elif (
+            isinstance(value, tuple)
+            and value
+            and isinstance(value[0], ast.Expression)
+        ):
             updates[field_info.name] = tuple(
                 _resolve_refs(item, atoms, schema) for item in value
             )

@@ -32,9 +32,13 @@ def tree_to_body(tree: SJUDTree) -> Union[ast.SelectCore, ast.SetOperation]:
     if isinstance(tree, SJUDCore):
         return core_to_select(tree)
     if isinstance(tree, Union_):
-        return ast.SetOperation("union", tree_to_body(tree.left), tree_to_body(tree.right))
+        return ast.SetOperation(
+            "union", tree_to_body(tree.left), tree_to_body(tree.right)
+        )
     if isinstance(tree, Difference):
-        return ast.SetOperation("except", tree_to_body(tree.left), tree_to_body(tree.right))
+        return ast.SetOperation(
+            "except", tree_to_body(tree.left), tree_to_body(tree.right)
+        )
     raise TypeError(f"cannot render {type(tree).__name__}")
 
 

@@ -6,7 +6,7 @@ from typing import Iterable, Optional
 
 from repro.conflicts.detection import violations_of
 from repro.conflicts.hypergraph import ConflictHypergraph, Vertex
-from repro.constraints.denial import DenialConstraint, to_denial_constraints
+from repro.constraints.denial import to_denial_constraints
 from repro.constraints.foreign_key import ForeignKeyConstraint
 from repro.engine.database import Database
 from repro.ra.compile import evaluate_tree

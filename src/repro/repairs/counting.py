@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.conflicts.hypergraph import ConflictHypergraph, Vertex
-from repro.repairs.enumerate import TooManyRepairsError, maximal_independent_sets
+from repro.repairs.enumerate import maximal_independent_sets
 
 
 @dataclass(frozen=True)

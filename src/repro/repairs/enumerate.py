@@ -13,7 +13,7 @@ that every Hippo answer is tested against.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional
+from typing import Optional
 
 from repro.conflicts.hypergraph import ConflictHypergraph, Vertex
 from repro.engine.database import Database

@@ -27,7 +27,7 @@ from __future__ import annotations
 import itertools
 import time
 from dataclasses import dataclass, fields, replace
-from typing import Iterable, Optional, Union
+from typing import Iterable, Union
 
 from repro.constraints.denial import DenialConstraint, to_denial_constraints
 from repro.core.hippo import AnswerSet
@@ -64,7 +64,11 @@ def _substitute_aliases(
         value = getattr(expr, field_info.name)
         if isinstance(value, ast.Expression):
             updates[field_info.name] = _substitute_aliases(value, mapping)
-        elif isinstance(value, tuple) and value and isinstance(value[0], ast.Expression):
+        elif (
+            isinstance(value, tuple)
+            and value
+            and isinstance(value[0], ast.Expression)
+        ):
             updates[field_info.name] = tuple(
                 _substitute_aliases(item, mapping) for item in value
             )
@@ -156,7 +160,9 @@ class RewritingEngine:
         seen: set[str] = set()
         for atom in core.atoms:
             for residue in self._residues_for(atom):
-                key = format_query(ast.Query(ast.SelectCore((ast.SelectItem(residue, None),), ())))
+                key = format_query(
+                    ast.Query(ast.SelectCore((ast.SelectItem(residue, None),), ()))
+                )
                 if key not in seen:
                     seen.add(key)
                     residues.append(residue)

@@ -13,7 +13,7 @@ calls, and which the CQA grounding step relies on to compare conditions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence, Union
 
 from repro.engine.types import SQLValue

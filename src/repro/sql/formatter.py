@@ -202,7 +202,10 @@ def format_statement(statement: ast.Statement) -> str:
             "(" + ", ".join(format_expression(value) for value in row) + ")"
             for row in statement.rows
         )
-        return f"INSERT INTO {format_identifier(statement.table)}{columns} VALUES {rows}"
+        return (
+            f"INSERT INTO {format_identifier(statement.table)}{columns}"
+            f" VALUES {rows}"
+        )
     if isinstance(statement, ast.Delete):
         where = (
             f" WHERE {format_expression(statement.where)}"

@@ -341,7 +341,9 @@ class _Parser:
                 keys.append(self.expression())
             group_by = tuple(keys)
         having = self.expression() if self.accept_keyword("HAVING") else None
-        return ast.SelectCore(tuple(items), from_items, where, group_by, having, distinct)
+        return ast.SelectCore(
+            tuple(items), from_items, where, group_by, having, distinct
+        )
 
     def select_item(self) -> Union[ast.SelectItem, ast.Star]:
         if self.peek().matches("op", "*"):
@@ -452,7 +454,9 @@ class _Parser:
 
     def _in_tail(self, operand: ast.Expression, negated: bool) -> ast.Expression:
         self.expect("punct", "(")
-        if self.peek().matches("keyword", "SELECT") or self.peek().matches("punct", "("):
+        if self.peek().matches("keyword", "SELECT") or self.peek().matches(
+            "punct", "("
+        ):
             query = self.query()
             self.expect("punct", ")")
             return ast.InSubquery(operand, query, negated)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional
 
 from repro.constraints.fd import FunctionalDependency
 from repro.engine.database import Database
@@ -109,7 +109,14 @@ def generate_key_conflict_table(
         dependent_values = rng.sample(range(value_domain), cluster_size)
         for value in dependent_values:
             rows.append(
-                (key, value, *(rng.randrange(value_domain) for _ in range(n_dependent_columns - 1)))
+                (
+                    key,
+                    value,
+                    *(
+                        rng.randrange(value_domain)
+                        for _ in range(n_dependent_columns - 1)
+                    ),
+                )
             )
     rng.shuffle(rows)
     db.insert_rows(name, rows)

@@ -15,7 +15,6 @@ from repro.constraints import (
     ExclusionConstraint,
     FunctionalDependency,
 )
-from repro.engine import Database
 from repro.sql.parser import parse_expression
 
 

@@ -478,3 +478,87 @@ class TestDetectorInternals:
         db.execute("INSERT INTO r VALUES (2, 1)")
         engine.refresh()
         assert table.has_index((0,))  # created on first delta, then kept
+
+
+class TestMaintainedCounters:
+    """Per-constraint counters are maintained, not recounted (and the
+    shadow's label index stays consistent with them)."""
+
+    def build(self):
+        db = Database()
+        db.execute("CREATE TABLE r (a INTEGER, b INTEGER)")
+        db.execute("INSERT INTO r VALUES (1, 7), (1, 8)")
+        constraints = [
+            FunctionalDependency("r", ["a"], ["b"]),
+            DenialConstraint(
+                "neg", (ConstraintAtom("t", "r"),), parse_expression("t.b < 0")
+            ),
+        ]
+        return db, HippoEngine(db, constraints), constraints
+
+    def assert_counters_exact(self, engine, db, constraints):
+        """Maintained counters == a brute-force recount == full detection."""
+        detector = engine._incremental
+        recount_stored: dict[str, int] = {}
+        for label in detector.graph.edge_labels:
+            recount_stored[label] = recount_stored.get(label, 0) + 1
+        for name in detector.constraint_names:
+            assert detector._stored.get(name, 0) == recount_stored.get(name, 0)
+            by_label = len(detector._shadow_by_label.get(name, {}))
+            recount_found = sum(
+                1
+                for _edge, (_primary, supports) in detector._shadow.items()
+                if name in supports
+            )
+            assert by_label == recount_found
+        full = detect_conflicts(db, constraints)
+        assert engine.detection.per_constraint == full.per_constraint
+        assert engine.detection.subsumed == full.subsumed
+
+    def test_counts_pinned_through_add_subsume_resurrect(self):
+        db, engine, constraints = self.build()
+        assert engine.detection.per_constraint == {"fd:r:a->b": 1, "neg": 0}
+
+        # A negative row: singleton absorbs both FD pairs it joins.
+        db.execute("INSERT INTO r VALUES (1, -1)")
+        engine.refresh()
+        assert engine.detection.mode == "incremental"
+        assert engine.detection.per_constraint == {"fd:r:a->b": 1, "neg": 1}
+        assert engine.detection.subsumed == {"fd:r:a->b": 2, "neg": 0}
+        self.assert_counters_exact(engine, db, constraints)
+
+        # Curing the singleton resurrects the subsumed pairs.
+        db.execute("UPDATE r SET b = 9 WHERE b = -1")
+        engine.refresh()
+        assert engine.detection.mode == "incremental"
+        assert engine.detection.per_constraint == {"fd:r:a->b": 3, "neg": 0}
+        assert engine.detection.subsumed == {"fd:r:a->b": 0, "neg": 0}
+        self.assert_counters_exact(engine, db, constraints)
+
+        # Deletions retract stored edges and their counter entries.
+        db.execute("DELETE FROM r WHERE b = 8")
+        db.execute("DELETE FROM r WHERE b = 9")
+        engine.refresh()
+        assert engine.detection.mode == "incremental"
+        assert engine.detection.per_constraint == {"fd:r:a->b": 0, "neg": 0}
+        self.assert_counters_exact(engine, db, constraints)
+
+    def test_counters_exact_under_fk_rederivation(self):
+        db = Database()
+        db.execute("CREATE TABLE p (id INTEGER)")
+        db.execute("CREATE TABLE c (id INTEGER, pid INTEGER, v INTEGER)")
+        db.execute("INSERT INTO p VALUES (1)")
+        db.execute("INSERT INTO c VALUES (5, 2, 7), (5, 1, 8)")
+        constraints = [
+            FunctionalDependency("c", ["id"], ["v"]),
+            ForeignKeyConstraint("c", ["pid"], "p", ["id"]),
+        ]
+        engine = HippoEngine(db, constraints)
+        db.execute("INSERT INTO p VALUES (2)")  # cure -> resurrection
+        engine.refresh()
+        assert engine.detection.mode == "incremental"
+        self.assert_counters_exact(engine, db, constraints)
+        db.execute("DELETE FROM p WHERE id = 1")  # new dangling chain
+        engine.refresh()
+        assert engine.detection.mode == "incremental"
+        self.assert_counters_exact(engine, db, constraints)

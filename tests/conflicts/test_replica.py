@@ -1,0 +1,219 @@
+"""Unit tests for replica hypergraph maintenance over the change feed.
+
+A replica attaches to a (usually durable) feed, rebuilds the primary's
+database from it -- tids included -- and keeps a conflict hypergraph
+equal to full re-detection at every committed cut, across restarts and
+torn segment tails.  The property suite
+(``tests/property/test_replica_equivalence.py``) drives randomized
+sequences; here we pin the mechanics one scenario at a time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conflicts import ReplicaHypergraph, detect_conflicts
+from repro.constraints import FunctionalDependency
+from repro.constraints.foreign_key import ForeignKeyConstraint
+from repro.engine.database import Database
+from repro.engine.feed import ChangeFeed
+from repro.errors import FeedError
+
+
+def fd_primary(feed: ChangeFeed) -> tuple[Database, FunctionalDependency]:
+    db = Database(feed=feed)
+    db.execute("CREATE TABLE emp (name TEXT, salary INTEGER)")
+    db.execute("INSERT INTO emp VALUES ('ann', 10), ('ann', 20), ('bob', 5)")
+    return db, FunctionalDependency("emp", ["name"], ["salary"])
+
+
+def assert_converged(replica: ReplicaHypergraph, primary: Database, constraints):
+    """Replica db == primary db, and the graph == full re-detection."""
+    for name in primary.catalog.table_names():
+        assert dict(replica.db.table(name).items()) == dict(
+            primary.table(name).items()
+        )
+    full = detect_conflicts(primary, constraints)
+    assert replica.graph.as_dict() == full.hypergraph.as_dict()
+
+
+class TestReplicaFollowsPrimary:
+    def test_bootstrap_then_incremental(self):
+        feed = ChangeFeed()
+        replica = ReplicaHypergraph(
+            feed, [FunctionalDependency("emp", ["name"], ["salary"])],
+            group="replica",
+        )
+        db, fd = fd_primary(feed)
+        sync = replica.sync()
+        assert sync.mode == "full"  # the bootstrap batch carries DDL
+        assert_converged(replica, db, [fd])
+
+        db.execute("INSERT INTO emp VALUES ('bob', 6)")
+        sync = replica.sync()
+        assert sync.mode == "incremental"
+        assert sync.delta is not None and sync.delta.added == 1
+        assert_converged(replica, db, [fd])
+
+    def test_intermediate_cuts_are_exact(self):
+        feed = ChangeFeed()
+        replica = ReplicaHypergraph(
+            feed, [FunctionalDependency("emp", ["name"], ["salary"])],
+            group="replica",
+        )
+        db, fd = fd_primary(feed)
+        replica.sync()  # DDL -> full detection with the fd in place
+        for salary in (6, 7, 8):
+            db.execute(f"INSERT INTO emp VALUES ('bob', {salary})")
+        db.execute("DELETE FROM emp WHERE name = 'ann'")
+        # Consume one record at a time: every commit point must equal
+        # full re-detection over the replica's own database.
+        while replica.lag:
+            replica.sync(limit=1)
+            full = detect_conflicts(replica.db, [fd])
+            assert replica.graph.as_dict() == full.hypergraph.as_dict()
+        assert_converged(replica, db, [fd])
+
+    def test_fk_cascades_replicate(self):
+        feed = ChangeFeed()
+        constraints = [ForeignKeyConstraint("c", ["pid"], "p", ["id"])]
+        replica = ReplicaHypergraph(feed, constraints, group="replica")
+        db = Database(feed=feed)
+        db.execute("CREATE TABLE p (id INTEGER)")
+        db.execute("CREATE TABLE c (id INTEGER, pid INTEGER)")
+        db.execute("INSERT INTO p VALUES (1)")
+        db.execute("INSERT INTO c VALUES (10, 1), (11, 2)")
+        replica.sync()
+        assert_converged(replica, db, constraints)
+        db.execute("INSERT INTO p VALUES (2)")  # cures the dangling
+        sync = replica.sync()
+        assert sync.mode == "incremental"
+        assert len(replica.graph) == 0
+        assert_converged(replica, db, constraints)
+
+    def test_overflow_is_unrecoverable(self):
+        feed = ChangeFeed(max_retained=2)
+        replica = ReplicaHypergraph(
+            feed, [FunctionalDependency("emp", ["name"], ["salary"])],
+            group="replica",
+        )
+        db, fd = fd_primary(feed)
+        with pytest.raises(FeedError, match="cannot converge"):
+            replica.sync()
+
+
+class TestReplicaRestart:
+    def test_reattach_resumes_from_committed_cut(self, tmp_path):
+        directory = tmp_path / "feed"
+        feed = ChangeFeed(directory)
+        db, fd = fd_primary(feed)
+        replica = ReplicaHypergraph(feed, [fd], group="replica")
+        replica.sync()
+        db.execute("INSERT INTO emp VALUES ('bob', 6)")
+        db.execute("INSERT INTO emp VALUES ('carol', 1)")
+        replica.sync(limit=1)  # commit a cut strictly inside the stream
+        committed = dict(replica._consumer.committed)
+        feed.close()
+
+        # "Restart": a fresh feed instance on the same directory and a
+        # fresh replica under the same group.
+        reopened = ChangeFeed(directory)
+        resumed = ReplicaHypergraph(reopened, [fd], group="replica")
+        assert resumed._consumer.committed == committed
+        # Before syncing, the graph equals full detection at the cut...
+        cut = detect_conflicts(resumed.db, [fd])
+        assert resumed.graph.as_dict() == cut.hypergraph.as_dict()
+        assert resumed.lag == 1
+        # ...and after syncing it converges to the primary's state.
+        resumed.sync()
+        assert_converged(resumed, db, [fd])
+
+    def test_replay_converges_after_torn_tail(self, tmp_path):
+        directory = tmp_path / "feed"
+        feed = ChangeFeed(directory)
+        db, fd = fd_primary(feed)
+        db.execute("INSERT INTO emp VALUES ('bob', 6)")
+        feed.flush()
+        segment = directory / "topics" / "emp" / "000000000000.jsonl"
+        data = segment.read_bytes()
+        torn = data[: -(len(data.splitlines(True)[-1]) // 2)]
+        segment.write_bytes(torn)  # crash mid-append: half a record
+
+        reopened = ChangeFeed(directory)
+        replica = ReplicaHypergraph(reopened, [fd], group="replica")
+        replica.sync()
+        # The torn insert never became durable: the replica converges on
+        # the longest durable prefix (one fewer row than the primary).
+        assert len(list(replica.db.table("emp").rows())) == 3
+        full = detect_conflicts(replica.db, [fd])
+        assert replica.graph.as_dict() == full.hypergraph.as_dict()
+
+    def test_ddl_after_attach_forces_full_detection(self):
+        feed = ChangeFeed()
+        replica = ReplicaHypergraph(
+            feed, [FunctionalDependency("emp", ["name"], ["salary"])],
+            group="replica",
+        )
+        db, fd = fd_primary(feed)
+        sync = replica.sync()
+        assert sync.mode == "full"
+        db.execute("CREATE TABLE other (a INTEGER)")
+        db.execute("INSERT INTO emp VALUES ('bob', 6)")
+        sync = replica.sync()
+        assert sync.mode == "full"  # DDL in the batch
+        assert_converged(replica, db, [fd])
+
+
+class TestReplicaFailureModes:
+    def test_late_attach_to_lossy_inmemory_feed_is_rejected(self):
+        # Records published before any consumer group exist are dropped
+        # (zero-cost idle feed): a replica attaching afterwards could
+        # never rebuild them, so the constructor must refuse.
+        feed = ChangeFeed()
+        db, fd = fd_primary(feed)  # no groups yet: history is dropped
+        with pytest.raises(FeedError, match="dropped"):
+            ReplicaHypergraph(feed, [fd], group="late")
+
+    def test_deferred_replica_tolerates_empty_polls(self):
+        feed = ChangeFeed()
+        replica = ReplicaHypergraph(
+            feed, [FunctionalDependency("emp", ["name"], ["salary"])],
+            group="replica",
+        )
+        assert not replica.ready  # table not replicated yet
+        sync = replica.sync()  # nothing pending: must not raise
+        assert sync.mode == "deferred"
+        db, fd = fd_primary(feed)
+        assert replica.sync().mode == "full"
+        assert_converged(replica, db, [fd])
+
+    def test_failed_full_detection_does_not_strand_a_stale_graph(self):
+        from repro.errors import ConstraintError
+
+        feed = ChangeFeed()
+        constraints = [
+            FunctionalDependency("p", ["id"], ["v"]),
+            ForeignKeyConstraint("c", ["pid"], "p", ["id"]),
+        ]
+        replica = ReplicaHypergraph(feed, constraints, group="replica")
+        db = Database(feed=feed)
+        db.execute("CREATE TABLE p (id INTEGER, v INTEGER)")
+        db.execute("CREATE TABLE c (id INTEGER, pid INTEGER)")
+        db.execute("INSERT INTO p VALUES (1, 5)")
+        db.execute("INSERT INTO c VALUES (10, 1)")
+        replica.sync()
+        assert replica.ready
+        # A key conflict on a referenced relation, arriving in the same
+        # batch as DDL: full detection raises (outside the restricted
+        # class) and the pre-DDL detector must NOT stay attached.
+        db.execute("CREATE TABLE other (a INTEGER)")
+        db.execute("INSERT INTO p VALUES (1, 6)")
+        with pytest.raises(ConstraintError):
+            replica.sync()
+        assert not replica.ready  # no stale graph taking deltas
+        # Curing the conflict lets the next sync recover via full
+        # detection (the offsets were committed before the failure).
+        db.execute("DELETE FROM p WHERE v = 6")
+        sync = replica.sync()
+        assert sync.mode == "full"
+        assert_converged(replica, db, constraints)

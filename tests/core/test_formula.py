@@ -1,9 +1,8 @@
 """Tests for boolean membership formulas and DNF conversion."""
 
-import pytest
 
 from repro.core import formula as fm
-from repro.core.facts import Fact, fact
+from repro.core.facts import fact
 
 
 A = fact("r", (1,))

@@ -1,6 +1,5 @@
 """Tests for grounding candidate tuples into membership formulas."""
 
-import pytest
 
 from repro.core import formula as fm
 from repro.core.facts import fact

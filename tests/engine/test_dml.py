@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.engine import Database
 from repro.errors import CatalogError, ExecutionError, SchemaError
 
 

@@ -1,0 +1,339 @@
+"""Unit tests for the partitioned change feed.
+
+The feed is the durability layer under incremental conflict detection
+(see ``tests/conflicts/test_replica.py`` for the consumer side); here we
+pin its mechanics: per-topic offsets, global sequence order, consumer
+groups with committed offsets, retention/overflow, segment rotation, the
+manifest, and crash-safe replay of a torn segment tail.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.feed import (
+    MANIFEST,
+    SCHEMA_TOPIC,
+    ChangeFeed,
+    FeedRecord,
+)
+from repro.errors import FeedError
+
+
+def publish(feed: ChangeFeed, relation: str, tid: int, value: int, op: str = "insert"):
+    feed.publish_change(relation, tid, (value,), op)
+
+
+class TestPartitioning:
+    def test_offsets_are_per_topic_and_seq_is_global(self):
+        feed = ChangeFeed()
+        consumer = feed.consumer("g")
+        publish(feed, "r", 0, 10)
+        publish(feed, "s", 0, 20)
+        publish(feed, "r", 1, 11)
+        records, lost = consumer.poll()
+        assert not lost
+        assert [(r.topic, r.offset, r.seq) for r in records] == [
+            ("r", 0, 0),
+            ("s", 0, 1),
+            ("r", 1, 2),
+        ]
+
+    def test_nothing_buffered_without_consumers(self):
+        feed = ChangeFeed()
+        publish(feed, "r", 0, 1)
+        assert feed.next_seq == 0 and feed.topics() == []
+
+    def test_schema_records_ride_their_own_topic(self):
+        feed = ChangeFeed()
+        consumer = feed.consumer("g")
+        feed.publish_schema("create_table", "r", {"name": "r", "columns": []})
+        publish(feed, "r", 0, 1)
+        records, _ = consumer.poll()
+        assert [r.topic for r in records] == [SCHEMA_TOPIC, "r"]
+        assert feed.schema_version == 1
+
+    def test_suspended_publishing_drops_everything(self):
+        feed = ChangeFeed()
+        feed.consumer("g")
+        with feed.suspended():
+            publish(feed, "r", 0, 1)
+            feed.publish_schema("drop_table", "r")
+        assert feed.next_seq == 0 and feed.schema_version == 0
+
+
+class TestConsumerGroups:
+    def test_poll_without_commit_redelivers_on_reattach(self):
+        feed = ChangeFeed()
+        consumer = feed.consumer("g")
+        publish(feed, "r", 0, 1)
+        records, _ = consumer.poll()
+        assert len(records) == 1
+        # A new consumer of the same group starts at the *committed*
+        # offsets -- the uncommitted poll is redelivered.
+        again = feed.consumer("g")
+        redelivered, _ = again.poll()
+        assert [r.seq for r in redelivered] == [r.seq for r in records]
+
+    def test_commit_advances_the_group(self):
+        feed = ChangeFeed()
+        consumer = feed.consumer("g")
+        publish(feed, "r", 0, 1)
+        consumer.poll()
+        consumer.commit()
+        assert consumer.committed == {"r": 1}
+        assert feed.consumer("g").poll() == ([], False)
+
+    def test_groups_are_independent(self):
+        feed = ChangeFeed()
+        fast, slow = feed.consumer("fast"), feed.consumer("slow")
+        publish(feed, "r", 0, 1)
+        fast.poll()
+        fast.commit()
+        records, _ = slow.poll()
+        assert len(records) == 1
+
+    def test_poll_limit_stops_at_an_intermediate_cut(self):
+        feed = ChangeFeed()
+        consumer = feed.consumer("g")
+        for tid in range(5):
+            publish(feed, "r", tid, tid)
+        first, _ = consumer.poll(limit=2)
+        rest, _ = consumer.poll()
+        assert [r.tid for r in first] == [0, 1]
+        assert [r.tid for r in rest] == [2, 3, 4]
+
+    def test_lag_counts_from_committed(self):
+        feed = ChangeFeed()
+        consumer = feed.consumer("g")
+        for tid in range(3):
+            publish(feed, "r", tid, tid)
+        consumer.poll(limit=1)
+        assert consumer.pending == 2  # past the read position
+        assert consumer.lag == 3  # past the committed position
+        consumer.commit()
+        assert consumer.lag == 2
+
+
+class TestRetention:
+    def test_compaction_waits_for_the_slowest_group(self):
+        feed = ChangeFeed()
+        fast, slow = feed.consumer("fast"), feed.consumer("slow")
+        publish(feed, "r", 0, 1)
+        fast.poll()
+        fast.commit()
+        (topic,) = feed.topics()
+        assert topic.start == 0  # retained for the slow group
+        slow.poll()
+        slow.commit()
+        (topic,) = feed.topics()
+        assert topic.start == 1
+
+    def test_overflow_marks_lagging_groups_lost(self):
+        feed = ChangeFeed(max_retained=2)
+        consumer = feed.consumer("g")
+        for tid in range(4):
+            publish(feed, "r", tid, tid)
+        assert consumer.lost
+        records, lost = consumer.poll()
+        assert lost and records == []
+        assert not consumer.lost  # repositioned at the end
+        publish(feed, "r", 9, 9)
+        records, lost = consumer.poll()
+        assert not lost and [r.tid for r in records] == [9]
+
+    def test_records_upto_raises_past_retention(self):
+        feed = ChangeFeed(max_retained=2)
+        feed.consumer("g")
+        for tid in range(4):
+            publish(feed, "r", tid, tid)
+        with pytest.raises(FeedError, match="no longer retained"):
+            feed.records_upto({"r": 3})
+
+
+class TestDurability:
+    def test_records_survive_reopen(self, tmp_path):
+        directory = tmp_path / "feed"
+        with ChangeFeed(directory) as feed:
+            publish(feed, "r", 0, 10)
+            publish(feed, "s", 0, 20)
+        reopened = ChangeFeed(directory)
+        consumer = reopened.consumer("g", start="beginning")
+        records, _ = consumer.poll()
+        assert [(r.topic, r.tid, r.row) for r in records] == [
+            ("r", 0, (10,)),
+            ("s", 0, (20,)),
+        ]
+
+    def test_segments_rotate_and_land_in_the_manifest(self, tmp_path):
+        directory = tmp_path / "feed"
+        with ChangeFeed(directory, segment_records=2) as feed:
+            for tid in range(5):
+                publish(feed, "r", tid, tid)
+        manifest = json.loads((directory / MANIFEST).read_text())
+        segments = manifest["topics"]["r"]["segments"]
+        assert segments == [
+            "000000000000.jsonl",
+            "000000000002.jsonl",
+            "000000000004.jsonl",
+        ]
+        reopened = ChangeFeed(directory, segment_records=2)
+        assert reopened.end_offsets() == {"r": 5}
+
+    def test_committed_offsets_survive_reopen(self, tmp_path):
+        directory = tmp_path / "feed"
+        with ChangeFeed(directory) as feed:
+            consumer = feed.consumer("replica", start="beginning")
+            for tid in range(4):
+                publish(feed, "r", tid, tid)
+            consumer.poll(limit=2)
+            consumer.commit()
+        reopened = ChangeFeed(directory)
+        resumed = reopened.consumer("replica")
+        assert resumed.committed == {"r": 2}
+        records, _ = resumed.poll()
+        assert [r.tid for r in records] == [2, 3]
+
+    def test_durable_feeds_never_overflow(self, tmp_path):
+        feed = ChangeFeed(tmp_path / "feed", max_retained=2)
+        consumer = feed.consumer("g")
+        for tid in range(10):
+            publish(feed, "r", tid, tid)
+        assert not consumer.lost
+        records, lost = consumer.poll()
+        assert not lost and len(records) == 10
+
+    def test_torn_tail_is_truncated_on_reopen(self, tmp_path):
+        directory = tmp_path / "feed"
+        with ChangeFeed(directory) as feed:
+            for tid in range(3):
+                publish(feed, "r", tid, tid)
+        segment = directory / "topics" / "r" / "000000000000.jsonl"
+        data = segment.read_bytes()
+        torn = data[: len(data) - len(data.splitlines(True)[-1]) + 7]
+        segment.write_bytes(torn)  # the crash cut the last append short
+        reopened = ChangeFeed(directory)
+        assert reopened.end_offsets() == {"r": 2}
+        # The torn bytes are gone: appending again yields a clean file.
+        publish(reopened, "r", 7, 7)
+        reopened.close()
+        lines = segment.read_text().splitlines()
+        assert len(lines) == 3
+        assert FeedRecord.from_json(lines[-1]).tid == 7
+
+    def test_missing_active_segment_is_tolerated(self, tmp_path):
+        directory = tmp_path / "feed"
+        with ChangeFeed(directory, segment_records=1) as feed:
+            publish(feed, "r", 0, 0)
+        # Simulate a crash after the manifest named a successor segment
+        # but before its first append created the file.
+        manifest_path = directory / MANIFEST
+        manifest = json.loads(manifest_path.read_text())
+        manifest["topics"]["r"]["segments"].append("000000000001.jsonl")
+        manifest_path.write_text(json.dumps(manifest))
+        reopened = ChangeFeed(directory)
+        assert reopened.end_offsets() == {"r": 1}
+
+    def test_fsync_always_policy(self, tmp_path):
+        feed = ChangeFeed(tmp_path / "feed", fsync="always")
+        publish(feed, "r", 0, 1)
+        feed.close()
+        with pytest.raises(FeedError, match="fsync"):
+            ChangeFeed(tmp_path / "other", fsync="sometimes")
+
+
+class TestDurableDatabase:
+    def test_database_restores_from_its_feed(self, tmp_path):
+        directory = tmp_path / "db"
+        db = Database(durable=str(directory))
+        db.execute("CREATE TABLE emp (name TEXT, salary INTEGER)")
+        db.execute("INSERT INTO emp VALUES ('ann', 10), ('bob', 20)")
+        db.execute("UPDATE emp SET salary = 15 WHERE name = 'ann'")
+        db.execute("DELETE FROM emp WHERE name = 'bob'")
+        tids = dict(db.table("emp").items())
+        db.changes.feed.close()
+
+        restored = Database(durable=str(directory))
+        assert dict(restored.table("emp").items()) == tids
+        assert restored.changes.schema_version == db.changes.schema_version
+        # The restored database keeps appending where the old one left
+        # off (replay must not have re-published history).
+        end = restored.changes.end
+        restored.execute("INSERT INTO emp VALUES ('carol', 9)")
+        assert restored.changes.end == end + 1
+
+    def test_restore_replays_ddl_in_order(self, tmp_path):
+        directory = tmp_path / "db"
+        db = Database(durable=str(directory))
+        db.execute("CREATE TABLE r (a INTEGER)")
+        db.execute("INSERT INTO r VALUES (1)")
+        db.execute("DROP TABLE r")
+        db.execute("CREATE TABLE r (a INTEGER, b INTEGER)")
+        db.execute("INSERT INTO r VALUES (2, 3)")
+        db.changes.feed.close()
+
+        restored = Database(durable=str(directory))
+        assert list(restored.table("r").rows()) == [(2, 3)]
+        assert restored.table("r").schema.arity == 2
+
+    def test_durable_and_feed_are_exclusive(self, tmp_path):
+        from repro.errors import ExecutionError
+
+        with pytest.raises(ExecutionError, match="not both"):
+            Database(durable=str(tmp_path), feed=ChangeFeed())
+
+
+class TestCommitDurabilityOrdering:
+    def test_commit_flushes_acknowledged_records_first(self, tmp_path):
+        # A commit must never survive a crash its records did not: the
+        # buffered appends have to hit disk before the offsets file.
+        directory = tmp_path / "feed"
+        feed = ChangeFeed(directory)  # fsync="rotate": appends buffered
+        consumer = feed.consumer("replica", start="beginning")
+        for tid in range(3):
+            publish(feed, "r", tid, tid)
+        consumer.poll()
+        consumer.commit()  # no explicit feed.flush()
+        # Simulate the crash: reopen without close()/flush().
+        reopened = ChangeFeed(directory)
+        assert reopened.end_offsets() == {"r": 3}
+        assert reopened.consumer("replica").committed == {"r": 3}
+
+    def test_stale_commit_past_history_is_detected(self, tmp_path):
+        directory = tmp_path / "feed"
+        with ChangeFeed(directory) as feed:
+            feed.consumer("replica", start="beginning")
+            publish(feed, "r", 0, 0)
+        reopened = ChangeFeed(directory)
+        with pytest.raises(FeedError, match="past the end"):
+            reopened.records_upto({"r": 5})
+
+
+class TestEphemeralGroups:
+    def test_anonymous_cursors_leave_no_disk_state(self, tmp_path):
+        directory = tmp_path / "feed"
+        with ChangeFeed(directory) as feed:
+            consumer = feed.consumer()  # anonymous -> ephemeral
+            publish(feed, "r", 0, 0)
+            consumer.poll()
+            consumer.commit()
+            name = consumer.group
+        assert not (directory / "consumers" / f"{name}.json").exists()
+        # A fresh process's first anonymous cursor reuses the name but
+        # must start at the end, not at any previous position.
+        reopened = ChangeFeed(directory)
+        fresh = reopened.consumer()
+        assert fresh.group == name
+        assert fresh.pending == 0
+
+    def test_named_groups_do_persist(self, tmp_path):
+        directory = tmp_path / "feed"
+        with ChangeFeed(directory) as feed:
+            consumer = feed.consumer("replica", start="beginning")
+            publish(feed, "r", 0, 0)
+            consumer.poll()
+            consumer.commit()
+        assert (directory / "consumers" / "replica.json").exists()

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.engine.catalog import Catalog
-from repro.engine.schema import Column, TableSchema, make_schema
+from repro.engine.schema import Column, make_schema
 from repro.engine.storage import Table
 from repro.engine.types import SQLType
 from repro.errors import CatalogError, ExecutionError, SchemaError

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import io
 
-import pytest
 
 from repro.cli import HippoShell, _parse_cli_value, main
 

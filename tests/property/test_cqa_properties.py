@@ -137,7 +137,9 @@ def test_hippo_matches_repair_enumeration(instance, constraints, query_case):
     st.sampled_from(["query", "cached", "provenance"]),
     st.booleans(),
 )
-def test_strategies_and_core_agree(instance, constraints, query_case, strategy, use_core):
+def test_strategies_and_core_agree(
+    instance, constraints, query_case, strategy, use_core
+):
     """Optimizations must never change the answer set."""
     template, c, d = query_case
     text = template.format(c=c, d=d)

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.sql import ast
 from repro.sql.formatter import (
     format_expression,
     format_identifier,

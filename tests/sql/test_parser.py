@@ -148,7 +148,9 @@ class TestSelect:
         assert (query.limit, query.offset) == (5, 2)
 
     def test_set_operations_precedence(self):
-        query = parse_query("SELECT a FROM r UNION SELECT a FROM s INTERSECT SELECT a FROM t")
+        query = parse_query(
+            "SELECT a FROM r UNION SELECT a FROM s INTERSECT SELECT a FROM t"
+        )
         body = query.body
         assert isinstance(body, ast.SetOperation) and body.op == "union"
         assert isinstance(body.right, ast.SetOperation)
@@ -159,7 +161,9 @@ class TestSelect:
         assert body.all is True
 
     def test_parenthesized_set_operand(self):
-        body = parse_query("(SELECT a FROM r EXCEPT SELECT a FROM s) UNION SELECT a FROM t").body
+        body = parse_query(
+            "(SELECT a FROM r EXCEPT SELECT a FROM s) UNION SELECT a FROM t"
+        ).body
         assert body.op == "union"
         assert isinstance(body.left, ast.SetOperation) and body.left.op == "except"
 

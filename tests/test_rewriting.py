@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Database, HippoEngine
+from repro import HippoEngine
 from repro.constraints import (
     ConstraintAtom,
     DenialConstraint,

@@ -14,6 +14,13 @@ prices that capability:
   :class:`~repro.core.hippo.HippoEngine` hypergraph in-process (the
   PR 1 path the replica is measured against).
 
+It also gates the feed's **bounded-memory promise**: opening a durable
+feed and bootstrapping a replica over a history of >= 16 sealed
+segments must keep at most ``2 x segment_records`` feed records
+resident (the streaming chunk plus the active tail -- never the
+history), asserted under ``--smoke`` and reported with the
+``tracemalloc`` peak of the bootstrap.
+
 Replayed state is verified equal to full re-detection on every run.
 
 Run: ``python -m pytest benchmarks/bench_feed_replay.py -q``
@@ -26,6 +33,7 @@ import itertools
 import random
 import tempfile
 import time
+import tracemalloc
 from pathlib import Path
 
 import pytest
@@ -153,6 +161,81 @@ def test_replica_lag_drains_and_matches(recorded):
     feed.close()
 
 
+#: Tiny segments for the memory gate, so even the smoke history spans
+#: well over the 16 sealed segments the acceptance bar names.
+GATE_SEGMENT_RECORDS = 16
+GATE_TUPLES = scaled(2000, 320)
+
+
+def build_gate_history(directory: Path):
+    """The memory gate's fixture: a many-segment durable history whose
+    ``memory-gate`` group has a committed cut covering all of it, so a
+    cold re-attach replays the whole history (the expensive shape).
+    Shared by the pytest gate and the standalone report."""
+    feed = ChangeFeed(directory, segment_records=GATE_SEGMENT_RECORDS)
+    db = Database(feed=feed)
+    table = generate_key_conflict_table(
+        db, "r", GATE_TUPLES, CONFLICTS, seed=47
+    )
+    feed.flush()
+    warm = ChangeFeed(directory, segment_records=GATE_SEGMENT_RECORDS)
+    replica = ReplicaHypergraph(warm, [table.fd], group="memory-gate")
+    while replica.lag:
+        replica.sync(limit=GATE_SEGMENT_RECORDS)
+    replica._consumer.close()  # keep committed offsets, skip the snapshot
+    warm.close()
+    feed.close()
+    return db, table.fd
+
+
+def bounded_bootstrap(directory: Path, fd) -> dict:
+    """Re-attach a replica cold over a long history, measuring memory.
+
+    Returns sealed-segment count, the feed's peak resident record count
+    during bootstrap, and the tracemalloc peak of the whole attach.
+    """
+    tracemalloc.start()
+    feed = ChangeFeed(directory, segment_records=GATE_SEGMENT_RECORDS)
+    opened_resident = feed.resident_records()
+    replica = ReplicaHypergraph(feed, [fd], group="memory-gate")
+    _current, traced_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    (data_topic,) = [t for t in feed.topics() if t.name == "r"]
+    report = {
+        "sealed_segments": data_topic.segments - 1,
+        "opened_resident": opened_resident,
+        "peak_resident": feed.peak_resident_records,
+        "traced_peak_kib": traced_peak / 1024,
+        "replica": replica,
+    }
+    replica._consumer.close()
+    feed.close()
+    return report
+
+
+def test_bootstrap_memory_is_bounded_by_the_segment_size(tmp_path):
+    """The acceptance gate: >= 16 sealed segments, <= 2x segment_records
+    resident feed records across open + replica bootstrap."""
+    directory = tmp_path / "feed"
+    db, fd = build_gate_history(directory)
+
+    report = bounded_bootstrap(directory, fd)
+    assert report["sealed_segments"] >= 16
+    assert report["opened_resident"] == 0  # lazy open parses nothing
+    assert report["peak_resident"] <= 2 * GATE_SEGMENT_RECORDS
+    # The rebuilt graph is still exact.
+    assert (
+        report["replica"].graph.as_dict()
+        == detect_conflicts(db, [fd]).hypergraph.as_dict()
+    )
+    print(
+        f"bootstrap over {report['sealed_segments']} sealed segments:"
+        f" peak resident {report['peak_resident']} records"
+        f" (cap {2 * GATE_SEGMENT_RECORDS}),"
+        f" tracemalloc peak {report['traced_peak_kib']:.0f} KiB"
+    )
+
+
 def main() -> int:  # pragma: no cover - convenience entry
     """Standalone run: durable-publish overhead, replay rate, direct apply.
 
@@ -229,6 +312,19 @@ def main() -> int:  # pragma: no cover - convenience entry
                 f" {replay_seconds * 1e3:>8.1f}ms {rate:>10.0f}"
                 f" {direct_seconds * 1e3:>8.1f}ms"
             )
+
+    # The bounded-memory gate, reported standalone as well: bootstrap
+    # over a many-segment history must stay O(segment), not O(history).
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = Path(tmp) / "feed"
+        _db, fd = build_gate_history(directory)
+        report = bounded_bootstrap(directory, fd)
+        print(
+            f"bootstrap memory: {report['sealed_segments']} sealed segments,"
+            f" peak resident {report['peak_resident']} records"
+            f" (cap {2 * GATE_SEGMENT_RECORDS}),"
+            f" tracemalloc peak {report['traced_peak_kib']:.0f} KiB"
+        )
     return 0
 
 

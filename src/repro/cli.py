@@ -20,6 +20,7 @@ Meta-commands (everything else is executed as SQL):
 ``.detect``            apply pending deltas (or detect), print hypergraph stats
 ``.conflicts``         per-constraint stored / subsumed counts + detection mode
 ``.feed``              change-feed topics, offsets and per-consumer lag
+``.feed tail DIR [S]`` live-tail another process's durable feed for S seconds
 ``.consistent SQL``    consistent answers to a query
 ``.possible SQL``      possible answers (true in some repair)
 ``.cleaned SQL``       evaluate over the conflict-free sub-database
@@ -48,12 +49,20 @@ from repro.rewriting import RewritingEngine
 
 
 class HippoShell:
-    """State + command dispatch for the interactive frontend."""
+    """State + command dispatch for the interactive frontend.
+
+    With ``durable`` the shell's database appends every mutation to a
+    crash-safe change feed under that directory (and restores from it
+    when the directory already holds one) -- which is what another
+    process's ``.feed tail`` follows live.
+    """
 
     PROMPT = "hippo> "
 
-    def __init__(self, out: Optional[IO[str]] = None) -> None:
-        self.db = Database()
+    def __init__(
+        self, out: Optional[IO[str]] = None, durable: Optional[str] = None
+    ) -> None:
+        self.db = Database(durable=durable)
         self.constraints: list = []
         self._engine: Optional[HippoEngine] = None
         self._out = out if out is not None else sys.stdout
@@ -131,22 +140,30 @@ class HippoShell:
         from repro.sql.parser import parse_script
 
         ddl = False
-        for statement in parse_script(text):
-            ddl = ddl or isinstance(
-                statement, (sql_ast.CreateTable, sql_ast.DropTable)
-            )
-            result = self.db.execute_statement(statement)
-            if result.columns:
-                self._print("  ".join(result.columns))
-                for row in result.rows:
-                    self._print("  ".join(format_value(v) for v in row))
-                self._print(f"({result.rowcount} rows)")
-            else:
-                self._print(f"ok ({result.rowcount} rows affected)")
-        if ddl:
-            # Schema changes rebuild the engine; plain DML flows through
-            # the change log into incremental hypergraph maintenance.
-            self._invalidate()
+        try:
+            for statement in parse_script(text):
+                ddl = ddl or isinstance(
+                    statement, (sql_ast.CreateTable, sql_ast.DropTable)
+                )
+                result = self.db.execute_statement(statement)
+                if result.columns:
+                    self._print("  ".join(result.columns))
+                    for row in result.rows:
+                        self._print("  ".join(format_value(v) for v in row))
+                    self._print(f"({result.rowcount} rows)")
+                else:
+                    self._print(f"ok ({result.rowcount} rows affected)")
+        finally:
+            if ddl:
+                # Schema changes rebuild the engine; plain DML flows
+                # through the change log into incremental maintenance.
+                self._invalidate()
+            # A durable shell makes every acknowledged statement visible
+            # (and crash-safe) immediately -- even when a later statement
+            # in the batch fails: buffered appends are useless to a
+            # concurrent `.feed tail`, and a killed shell must not lose
+            # acknowledged statements.  No-op for in-memory feeds.
+            self.db.changes.feed.flush()
 
     def _meta(self, line: str) -> bool:
         command, _, argument = line.partition(" ")
@@ -208,6 +225,8 @@ class HippoShell:
                 )
             return True
         if command == ".feed":
+            if argument.split(maxsplit=1)[:1] == ["tail"]:
+                return self._feed_tail(argument.split()[1:])
             feed = self.db.changes.feed
             where = (
                 f"durable at {feed.directory}" if feed.durable else "in-memory"
@@ -310,6 +329,77 @@ class HippoShell:
         self._print(f"unknown command {command!r}; try .help")
         return True
 
+    def _feed_tail(self, arguments: list[str]) -> bool:
+        """``.feed tail DIR [SECONDS]``: live-follow a durable feed.
+
+        Attaches a :class:`~repro.conflicts.replica.ReplicaHypergraph`
+        (under the shell's current constraints) to the feed directory
+        as a *reader* instance and follows it for the given wall-clock
+        budget (default 1 second), printing each non-empty sync.  The
+        follower leaves no state behind: its consumer group (named per
+        process, so concurrent tails cannot collide) is dropped on
+        exit.
+        """
+        import os
+        from pathlib import Path
+
+        from repro.conflicts.replica import ReplicaHypergraph
+        from repro.engine.feed import MANIFEST, ChangeFeed
+
+        if not arguments:
+            self._print("usage: .feed tail DIRECTORY [SECONDS]")
+            return True
+        directory = arguments[0]
+        try:
+            seconds = float(arguments[1]) if len(arguments) > 1 else 1.0
+        except ValueError:
+            self._print("usage: .feed tail DIRECTORY [SECONDS]")
+            return True
+        # A read-only tail must not fabricate a feed out of a typo'd
+        # path (ChangeFeed would happily mkdir an empty one).
+        if not (Path(directory) / MANIFEST).exists():
+            self._print(f"error: no change feed at {directory}")
+            return True
+        feed = ChangeFeed(directory)
+        group = f"cli-tail-{os.getpid()}"
+        try:
+            replica = ReplicaHypergraph(
+                feed, self.constraints, group=group, snapshots=False
+            )
+
+            def on_sync(sync) -> None:
+                self._print(
+                    f"  sync: {sync.records} records"
+                    f" ({sync.mode}), lag {sync.lag}"
+                )
+
+            summary = replica.follow(
+                poll_interval=min(0.05, seconds),
+                max_seconds=seconds,
+                on_sync=on_sync,
+            )
+            if replica.ready:
+                stats = replica.graph.summary()
+                self._print(
+                    f"tailed {summary.records} records in"
+                    f" {summary.syncs} syncs ({summary.seconds:.2f}s);"
+                    f" hypergraph: {stats['edges']} edges,"
+                    f" {stats['conflicting_tuples']} conflicting tuples"
+                )
+            else:
+                self._print(
+                    f"tailed {summary.records} records in"
+                    f" {summary.syncs} syncs ({summary.seconds:.2f}s);"
+                    " detection deferred (constraint tables not"
+                    " replicated yet)"
+                )
+            replica.close()
+        finally:
+            # An inspection tail must not pin the feed's retention.
+            feed.drop_group(group)
+            feed.close()
+        return True
+
     # ----------------------------------------------------------------- loop
 
     def run(self, lines: Iterable[str], interactive: bool = False) -> None:
@@ -343,26 +433,43 @@ def _parse_cli_value(text: str):
 
 
 def main(argv: Optional[list[str]] = None) -> int:
-    """Entry point: reads from the files given in argv, else stdin."""
+    """Entry point: reads from the files given in argv, else stdin.
+
+    ``--durable DIR`` opens the shell on a durable database: mutations
+    append to the change feed under DIR, an existing DIR is restored by
+    replay, and other processes can ``.feed tail DIR`` it live.
+    """
     arguments = list(argv if argv is not None else sys.argv[1:])
-    shell = HippoShell()
-    if arguments:
-        for path in arguments:
-            with open(path, encoding="utf-8") as handle:
-                shell.run(handle)
+    durable: Optional[str] = None
+    if "--durable" in arguments:
+        flag = arguments.index("--durable")
+        try:
+            durable = arguments[flag + 1]
+        except IndexError:
+            print("error: --durable needs a directory", file=sys.stderr)
+            return 2
+        del arguments[flag : flag + 2]
+    shell = HippoShell(durable=durable)
+    try:
+        if arguments:
+            for path in arguments:
+                with open(path, encoding="utf-8") as handle:
+                    shell.run(handle)
+            return 0
+        if sys.stdin.isatty():  # pragma: no cover - interactive only
+            print("Hippo consistent-query-answering shell; .help for commands")
+            while True:
+                try:
+                    line = input(HippoShell.PROMPT)
+                except (EOFError, KeyboardInterrupt):
+                    print()
+                    return 0
+                if not shell.handle(line):
+                    return 0
+        shell.run(sys.stdin)
         return 0
-    if sys.stdin.isatty():  # pragma: no cover - interactive only
-        print("Hippo consistent-query-answering shell; .help for commands")
-        while True:
-            try:
-                line = input(HippoShell.PROMPT)
-            except (EOFError, KeyboardInterrupt):
-                print()
-                return 0
-            if not shell.handle(line):
-                return 0
-    shell.run(sys.stdin)
-    return 0
+    finally:
+        shell.db.changes.feed.close()
 
 
 if __name__ == "__main__":  # pragma: no cover

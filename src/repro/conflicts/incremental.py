@@ -102,9 +102,20 @@ class _DenialMatcher:
     conjuncts between different atoms become join *links*.  To find the
     violations a new tuple participates in, the matcher binds one atom
     to that tuple and walks the remaining atoms, fetching candidates
-    through hash-index lookups on the linked columns (indexes are
-    created on first use and kept maintained by the storage layer) --
-    falling back to a scan only for atoms the condition leaves unlinked.
+    through hash-index lookups on the linked columns -- falling back to
+    a scan only for atoms the condition leaves unlinked.
+
+    The binding order depends only on *which* atoms are bound, never on
+    their values, so it is planned **statically** here: one ordered
+    step list per possible bound atom, each step naming the atom to
+    extend with and the index columns that feed it.  The indexes those
+    plans need are created eagerly at detector attach time
+    (:meth:`ensure_indexes`) instead of lazily on the first delta, so
+    the first post-bulk-load statement no longer absorbs an O(N) index
+    build -- and, because they are ordinary storage hash indexes, the
+    query planner's index-scan selection
+    (``repro.engine.planner.Planner._try_index_scan``) picks the same
+    indexes up for free.
     """
 
     def __init__(self, db: Database, constraint: DenialConstraint) -> None:
@@ -150,6 +161,63 @@ class _DenialMatcher:
                     self.tables[right_atom].schema.index_of(conjunct.right.name),
                 )
             )
+        # Static binding plans: for each possible bound atom, the order
+        # in which the remaining atoms are extended and the key columns
+        # (with their value sources) each extension reads.
+        self._plans: list[list[tuple[int, Optional[dict[int, tuple[int, int]]]]]] = [
+            self._plan(bound) for bound in range(len(self.tables))
+        ]
+
+    def _plan(
+        self, bound_index: int
+    ) -> list[tuple[int, Optional[dict[int, tuple[int, int]]]]]:
+        """Greedy extension order starting from one bound atom.
+
+        Each step is ``(atom, keys)`` where ``keys`` maps a column
+        position on ``atom`` to the ``(source atom, source position)``
+        whose value constrains it -- or None when the atom is unlinked
+        from everything bound so far (scan fallback).  Mirrors the
+        most-links-first choice the dynamic walk used to make per
+        candidate, which depended only on the bound *set*, never on
+        values.
+        """
+        bound = [atom == bound_index for atom in range(len(self.tables))]
+        steps: list[tuple[int, Optional[dict[int, tuple[int, int]]]]] = []
+        for _ in range(len(self.tables) - 1):
+            best_atom, best_keys = -1, None
+            for atom in range(len(self.tables)):
+                if bound[atom]:
+                    continue
+                keys: dict[int, tuple[int, int]] = {}
+                for atom_a, pos_a, atom_b, pos_b in self._links:
+                    if atom_a == atom and bound[atom_b]:
+                        keys.setdefault(pos_a, (atom_b, pos_b))
+                    elif atom_b == atom and bound[atom_a]:
+                        keys.setdefault(pos_b, (atom_a, pos_a))
+                if best_atom < 0 or len(keys) > len(best_keys or {}):
+                    best_atom, best_keys = atom, (keys or None)
+            bound[best_atom] = True
+            steps.append((best_atom, best_keys))
+        return steps
+
+    def index_plans(self) -> list[tuple[Table, tuple[int, ...]]]:
+        """Every ``(table, column positions)`` index the plans can use."""
+        plans: list[tuple[Table, tuple[int, ...]]] = []
+        for steps in self._plans:
+            for atom, keys in steps:
+                if keys:
+                    plans.append((self.tables[atom], tuple(sorted(keys))))
+        return plans
+
+    def ensure_indexes(self) -> None:
+        """Create every index the binding plans will look up.
+
+        Called at detector attach time, so index builds ride the (already
+        O(N)) bootstrap instead of ambushing the first delta.
+        """
+        for table, positions in self.index_plans():
+            if not table.has_index(positions):
+                table.create_index(positions)
 
     def atom_positions(self, relation: str) -> list[int]:
         """Atom indexes whose relation matches (a delta can bind any)."""
@@ -163,12 +231,12 @@ class _DenialMatcher:
         """Violation sets containing ``(tid, row)`` at atom ``bound_index``."""
         assignment: list[Optional[tuple[int, tuple]]] = [None] * len(self.tables)
         assignment[bound_index] = (tid, row)
-        yield from self._extend(assignment, 1)
+        yield from self._extend(assignment, self._plans[bound_index], 0)
 
     def _extend(
-        self, assignment: list, bound_count: int
+        self, assignment: list, plan: list, depth: int
     ) -> Iterator[frozenset[Vertex]]:
-        if bound_count == len(self.tables):
+        if depth == len(plan):
             if self._predicate is not None:
                 env_row = tuple(
                     value
@@ -182,45 +250,28 @@ class _DenialMatcher:
                 for relation, (tid, _row) in zip(self.relations, assignment)
             )
             return
-        atom, keys = self._next_atom(assignment)
+        atom, keys = plan[depth]
         table = self.tables[atom]
         if keys is None:
             candidates: Iterable[tuple[int, tuple]] = table.items()
         else:
             positions = tuple(sorted(keys))
-            values = tuple(keys[position] for position in positions)
+            values = tuple(
+                assignment[keys[position][0]][1][keys[position][1]]
+                for position in positions
+            )
             if any(value is None for value in values):
                 return  # '=' with NULL matches nothing
             if not table.has_index(positions):
-                table.create_index(positions)
+                table.create_index(positions)  # safety net; planned eagerly
             candidates = (
                 (candidate_tid, table.get(candidate_tid))
                 for candidate_tid in table.index_lookup(positions, values)
             )
         for candidate in candidates:
             assignment[atom] = candidate
-            yield from self._extend(assignment, bound_count + 1)
+            yield from self._extend(assignment, plan, depth + 1)
             assignment[atom] = None
-
-    def _next_atom(self, assignment: list) -> tuple[int, Optional[dict]]:
-        """The unbound atom with the most equality links to bound atoms.
-
-        Returns ``(atom index, {column position: required value})``; the
-        dict is None when the atom is unlinked (scan fallback).
-        """
-        best_atom, best_keys = -1, None
-        for atom in range(len(self.tables)):
-            if assignment[atom] is not None:
-                continue
-            keys: dict[int, object] = {}
-            for atom_a, pos_a, atom_b, pos_b in self._links:
-                if atom_a == atom and assignment[atom_b] is not None:
-                    keys.setdefault(pos_a, assignment[atom_b][1][pos_b])
-                elif atom_b == atom and assignment[atom_a] is not None:
-                    keys.setdefault(pos_b, assignment[atom_a][1][pos_a])
-            if best_atom < 0 or len(keys) > len(best_keys or {}):
-                best_atom, best_keys = atom, (keys or None)
-        return best_atom, best_keys
 
 
 class IncrementalDetector:
@@ -262,7 +313,18 @@ class IncrementalDetector:
                 a.relation.lower() for a in denial.atoms
             ):
                 self._by_relation.setdefault(relation, []).append(denial)
+        # Matchers (and the hash indexes their binding plans read) are
+        # planned eagerly from the constraint set at attach time: the
+        # detector is only ever constructed next to an O(N) full
+        # detection, so the index builds ride the bootstrap instead of
+        # ambushing the first post-bulk-load delta.  The indexes are
+        # ordinary storage indexes, so the query planner's index-scan
+        # selection shares them.
         self._matchers: dict[str, _DenialMatcher] = {}
+        for denial in self.denials:
+            matcher = _DenialMatcher(db, denial)
+            matcher.ensure_indexes()
+            self._matchers[denial.name] = matcher
         self._build_fk_components()
         # Shadow store: every *current* raw violation, minimal or not.
         # edge -> (primary label, set of supporting constraint labels).

@@ -12,14 +12,22 @@ three things in lock-step:
    matters because tids are the hypergraph's vertices.
 2. **A committed offset per topic.**  The group's committed offsets mark
    the *cut* the replica has durably reached; on re-attach (e.g. after a
-   process restart) the replica replays the committed prefix of the feed
-   to rebuild its database, runs full conflict detection on it, and
-   resumes consuming from the cut.
+   process restart) the replica *streams* the committed prefix of the
+   feed to rebuild its database (bounded memory: one segment per topic
+   resident at a time), runs full conflict detection on it, and resumes
+   consuming from the cut.
 3. **The conflict hypergraph.**  Past bootstrap, records are folded in
    through :class:`~repro.conflicts.incremental.IncrementalDetector`, so
    a replica tracks the primary at delta cost.  The maintained invariant
    -- asserted by the property suite -- is that after every committed
    sync the graph equals full re-detection over the replica database.
+
+Attached to a *reader* feed instance (a second ``ChangeFeed`` opened on
+the writer's directory), the replica is a genuinely live follower:
+every :meth:`ReplicaHypergraph.sync` re-scans the directory, so appends
+the writer flushed after the replica opened stream in; the
+:meth:`ReplicaHypergraph.follow` loop packages that into a daemon-style
+tail (surfaced in the CLI as ``.feed tail``).
 
 Apply-then-commit ordering makes the pipeline exactly-once: records are
 applied to the replica database, the offsets commit, and only then does
@@ -27,6 +35,15 @@ the hypergraph advance.  A crash anywhere in between re-attaches from
 the last commit, where full detection reconstructs whatever the
 incremental layer had not persisted (the hypergraph itself is derived
 state and is never written to disk).
+
+**Retention.**  When the feed truncates sealed segments
+(``retention="truncate"``), a re-attaching replica may find its
+committed prefix gone.  Its escape hatch is the group *snapshot*: a
+serialized copy of the replica database stored at a committed cut
+(:meth:`ReplicaHypergraph.checkpoint`, and automatically on
+:meth:`ReplicaHypergraph.close`).  Bootstrap then restores the snapshot
+and replays only the still-retained gap -- the feed never truncates
+past a group's snapshot, so the gap is always readable.
 """
 
 from __future__ import annotations
@@ -43,6 +60,10 @@ from repro.engine.feed import (
     RECORD_CHANGE,
     ChangeFeed,
     FeedRecord,
+    decode_value,
+    deserialize_schema,
+    encode_value,
+    serialize_schema,
 )
 from repro.errors import CatalogError, FeedError
 
@@ -68,21 +89,40 @@ class ReplicaSync:
     delta: Optional[DeltaStats] = None
 
 
+@dataclass
+class ReplicaFollow:
+    """Summary of one :meth:`ReplicaHypergraph.follow` run."""
+
+    syncs: int = 0
+    records: int = 0
+    seconds: float = 0.0
+
+
 class ReplicaHypergraph:
     """A conflict hypergraph maintained from a change feed.
 
     Args:
         feed: the feed to consume (typically a durable
             :class:`~repro.engine.feed.ChangeFeed` opened on the
-            primary's directory).
+            primary's directory -- the same instance, or a second
+            *reader* instance in another process, which is then tailed
+            live).
         constraints: the constraint set (must match the primary's for
             the replica to mean anything).
         group: consumer-group name; committed offsets are stored under
             it, so re-attaching with the same name resumes the replica.
+        snapshots: whether to persist recovery snapshots (on
+            :meth:`close` and :meth:`checkpoint`); meaningless on
+            in-memory feeds.  Snapshots are what let the replica
+            re-attach after feed retention truncated its prefix.
+        checkpoint_records: when set, automatically checkpoint after
+            this many records have been committed since the last one.
 
     Raises:
-        FeedError: when the committed prefix is no longer retained (an
-            in-memory feed overflowed past this group).
+        FeedError: when the committed prefix is no longer retained and
+            no snapshot covers it (an in-memory feed overflowed, or a
+            durable feed truncated past a group that never
+            checkpointed).
     """
 
     def __init__(
@@ -90,6 +130,8 @@ class ReplicaHypergraph:
         feed: ChangeFeed,
         constraints: Iterable[object],
         group: str = "replica",
+        snapshots: bool = True,
+        checkpoint_records: Optional[int] = None,
     ) -> None:
         self.feed = feed
         self.group = group
@@ -101,6 +143,10 @@ class ReplicaHypergraph:
                 " replica before the primary takes writes, or use a"
                 " durable feed"
             )
+        self._snapshots = snapshots and feed.durable
+        self.checkpoint_records = checkpoint_records
+        self._since_checkpoint = 0
+        self._closed = False
         self._consumer = feed.consumer(group, start="beginning")
         #: the replica's own database, rebuilt purely from the feed.
         self.db = Database()
@@ -111,11 +157,35 @@ class ReplicaHypergraph:
     # ------------------------------------------------------------ bootstrap
 
     def _bootstrap(self) -> None:
-        """Replay the committed prefix, then full-detect on it."""
-        prefix = self.feed.records_upto(self._consumer.committed)
-        with self.db.changes.feed.suspended():
-            for record in prefix:
-                apply_feed_record(self.db, record)
+        """Stream the committed prefix, then full-detect on it.
+
+        The prefix is consumed record-by-record (one feed segment per
+        topic resident at a time), so bootstrap memory is bounded by the
+        replica database, not the feed history.  When retention
+        truncated the prefix, the group's snapshot is restored first and
+        only the still-retained gap is replayed.
+        """
+        committed = self._consumer.committed
+        try:
+            # iter_records validates retention eagerly, but segment
+            # files are read lazily -- a truncation racing us can still
+            # surface as a FeedError mid-replay, so the whole replay is
+            # inside the fallback's try.
+            with self.db.changes.feed.suspended():
+                for record in self.feed.iter_records(upto=committed):
+                    apply_feed_record(self.db, record)
+        except FeedError:
+            snapshot = self._consumer.load_snapshot()
+            if snapshot is None:
+                raise
+            snap_committed, payload = snapshot
+            self.db = Database()  # discard the half-applied replay
+            with self.db.changes.feed.suspended():
+                self._restore_snapshot(payload)
+                for record in self.feed.iter_records(
+                    start=snap_committed, upto=committed
+                ):
+                    apply_feed_record(self.db, record)
         try:
             self._full_detect()
         except CatalogError:
@@ -130,6 +200,48 @@ class ReplicaHypergraph:
         self._detector = IncrementalDetector(self.db, self.constraints)
         self._detector.bootstrap(report)
         self._needs_full = False
+
+    # ----------------------------------------------------------- snapshots
+
+    def checkpoint(self) -> None:
+        """Persist a recovery snapshot of the replica database at the
+        group's current committed cut.
+
+        The feed never truncates past a group's snapshot, so after a
+        checkpoint the segments below the cut become reclaimable -- and
+        a later re-attach restores the snapshot instead of replaying
+        them.
+
+        Raises:
+            FeedError: on an in-memory feed (nothing durable to bind to).
+        """
+        self._consumer.store_snapshot(self._snapshot_payload())
+        self._since_checkpoint = 0
+
+    def _snapshot_payload(self) -> dict:
+        """The replica database, serialized (schemas + rows with tids)."""
+        tables = []
+        for name in self.db.catalog.table_names():
+            table = self.db.table(name)
+            tables.append(
+                {
+                    "schema": serialize_schema(table.schema),
+                    "rows": [
+                        [tid, [encode_value(v) for v in row]]
+                        for tid, row in table.items()
+                    ],
+                }
+            )
+        return {"tables": tables}
+
+    def _restore_snapshot(self, payload: dict) -> None:
+        """Rebuild the replica database from a snapshot payload."""
+        for entry in payload.get("tables", []):
+            schema = deserialize_schema(entry["schema"])
+            self.db.catalog.create_table(schema)
+            table = self.db.table(entry["schema"]["name"])
+            for tid, row in entry.get("rows", []):
+                table.restore(int(tid), tuple(decode_value(v) for v in row))
 
     # ----------------------------------------------------------- consuming
 
@@ -151,7 +263,8 @@ class ReplicaHypergraph:
 
     @property
     def lag(self) -> int:
-        """Feed records past this replica's committed cut."""
+        """Feed records past this replica's committed cut (re-scans the
+        directory on reader instances, so writer appends show up)."""
         return self._consumer.lag
 
     def sync(self, limit: Optional[int] = None) -> ReplicaSync:
@@ -163,8 +276,9 @@ class ReplicaHypergraph:
 
         Raises:
             FeedError: when the feed dropped history this replica never
-                consumed (in-memory overflow) -- the replica can no
-                longer converge and must be rebuilt from a fresh feed.
+                consumed (in-memory overflow, or a truncation that
+                outran this group) -- the replica can no longer converge
+                and must be rebuilt from a fresh feed.
             ConstraintError: when the new state leaves the restricted
                 foreign-key class (full re-detection would raise too).
         """
@@ -201,6 +315,13 @@ class ReplicaHypergraph:
         # 2) Commit the cut: a crash from here on re-attaches *after*
         #    these records, and full detection rebuilds the graph.
         self._consumer.commit()
+        self._since_checkpoint += len(records)
+        if (
+            self._snapshots
+            and self.checkpoint_records is not None
+            and self._since_checkpoint >= self.checkpoint_records
+        ):
+            self.checkpoint()
         # 3) Advance the hypergraph: incrementally when possible, by
         #    full re-detection across DDL or after a failed apply.
         sync = ReplicaSync(records=len(records))
@@ -232,6 +353,56 @@ class ReplicaHypergraph:
         sync.seconds = time.perf_counter() - started
         return sync
 
+    def follow(
+        self,
+        poll_interval: float = 0.1,
+        max_seconds: Optional[float] = None,
+        idle_limit: Optional[int] = None,
+        limit: Optional[int] = None,
+        on_sync=None,
+    ) -> ReplicaFollow:
+        """Continuously drain *and live-tail* the feed.
+
+        Each iteration syncs (bounded by ``limit`` records when given);
+        when nothing was pending the loop sleeps ``poll_interval`` and
+        re-polls -- on a reader feed instance that re-scans the
+        directory, so appends from the writer process stream in as they
+        are flushed.  The loop ends after ``idle_limit`` consecutive
+        empty polls, or once ``max_seconds`` elapsed; with neither set
+        it follows forever (the daemon form).  ``on_sync`` is called
+        with each non-empty :class:`ReplicaSync`.
+        """
+        started = time.perf_counter()
+        summary = ReplicaFollow()
+        idle = 0
+        while True:
+            sync = self.sync(limit)
+            if sync.records:
+                idle = 0
+                summary.syncs += 1
+                summary.records += sync.records
+                if on_sync is not None:
+                    on_sync(sync)
+            else:
+                idle += 1
+                if idle_limit is not None and idle >= idle_limit:
+                    break
+            elapsed = time.perf_counter() - started
+            if max_seconds is not None and elapsed >= max_seconds:
+                break
+            # sync() already measured the lag at its commit; asking
+            # self.lag again would re-scan the directory a second time
+            # per idle tick for nothing.
+            if not sync.records and sync.lag == 0:
+                remaining = (
+                    max_seconds - elapsed
+                    if max_seconds is not None
+                    else poll_interval
+                )
+                time.sleep(max(min(poll_interval, remaining), 0.0))
+        summary.seconds = time.perf_counter() - started
+        return summary
+
     def _apply_incremental(self, records: Sequence[FeedRecord]) -> DeltaStats:
         assert self._detector is not None
         return self._detector.apply_records(
@@ -239,5 +410,15 @@ class ReplicaHypergraph:
         )
 
     def close(self) -> None:
-        """Detach from the feed (durable committed offsets survive)."""
+        """Checkpoint (durable feeds) and detach from the feed.
+
+        The group's durable committed offsets -- and its snapshot --
+        survive, so re-attaching under the same name resumes the
+        replica even after retention truncated the raw prefix.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._snapshots:
+            self.checkpoint()
         self._consumer.close()

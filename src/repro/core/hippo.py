@@ -96,11 +96,19 @@ class HippoEngine:
     The conflict hypergraph is built eagerly and then maintained
     *incrementally*: the engine is a consumer group of the database's
     change feed, and row deltas only touch the hyperedges around changed
-    tuples (see :mod:`repro.conflicts.incremental`).  Queries fold
-    pending deltas in automatically; :meth:`refresh` does it explicitly,
-    and ``refresh(full=True)`` is the escape hatch forcing complete
-    re-detection.  DDL, constraint-list changes and feed overflow all
-    fall back to full detection on their own.
+    tuples (see :mod:`repro.conflicts.incremental`; the detector plans
+    its matcher indexes eagerly at attach, so the first delta after a
+    bulk load pays no index build).  Queries fold pending deltas in
+    automatically; :meth:`refresh` does it explicitly, and
+    ``refresh(full=True)`` is the escape hatch forcing complete
+    re-detection.  DDL, constraint-list changes and lost feed history
+    (in-memory overflow, or a durable feed's retention truncating past
+    the engine's cursor) all fall back to full detection on their own.
+
+    On a durable feed, the engine's pending-delta checks go through the
+    consumer, which re-scans the feed directory on *reader* instances --
+    so an engine subscribed to another process's feed keeps its
+    hypergraph live as that process appends.
     """
 
     def __init__(
@@ -145,6 +153,16 @@ class HippoEngine:
     def hypergraph(self) -> ConflictHypergraph:
         """The conflict hypergraph built by Conflict Detection."""
         return self.detection.hypergraph
+
+    @property
+    def feed_lag(self) -> int:
+        """Change-feed records past the engine's committed cut.
+
+        Re-scans the directory on durable reader feeds (live tailing),
+        so it reflects appends made by other processes; 0 for a
+        detached engine.
+        """
+        return self._consumer.lag if self._consumer is not None else 0
 
     def _full_detection(self) -> DetectionReport:
         """Complete re-detection, re-seeding the incremental maintainer."""

@@ -106,13 +106,21 @@ class Database:
     def _restore_from_feed(self) -> None:
         """Rebuild catalog + tables by replaying the feed's history.
 
+        The history is *streamed* (one segment per topic resident at a
+        time), so restoring a database over a long feed costs memory
+        proportional to the database, not to every write ever made.
         Publishing is suspended during replay: recovery must not append
         its own history back onto the feed.
+
+        Raises:
+            FeedError: when retention truncated part of the history --
+                a truncated feed can no longer restore a database by
+                replay alone (replicas recover through their group
+                snapshots instead; see ``repro.conflicts.replica``).
         """
         feed = self.changes.feed
-        records = feed.records_upto(feed.end_offsets())
         with feed.suspended():
-            for record in records:
+            for record in feed.iter_records():
                 apply_feed_record(self, record)
 
     # ------------------------------------------------------------- execution

@@ -14,41 +14,74 @@ style of a partitioned commit log:
   whose records carry serialized table schemas, which is what lets a
   replica in another process rebuild the database without sharing memory.
 
-* **Durability.**  With a ``directory``, every record is appended to a
-  JSONL *segment* file per topic.  Segments rotate at
-  ``segment_records`` records: the active segment is fsync'd, sealed
-  into the manifest (written atomically: temp file + fsync +
-  ``os.replace``), and a fresh segment becomes active.  On open, the
-  manifest names the segments to replay; a torn final line (crash mid
-  append) is detected and truncated away, so replay converges on the
-  longest durable prefix.
+* **Durability, bounded memory.**  With a ``directory``, every record is
+  appended to a JSONL *segment* file per topic.  Segments rotate at
+  ``segment_records`` records: the active segment is fsync'd and sealed,
+  and a fresh segment becomes active.  Only the **active tail** of each
+  topic is resident in memory; sealed segments are read back lazily from
+  disk through a small LRU of parsed segments, so opening a feed costs
+  O(active segment) resident records -- and an open that only asks for
+  :meth:`ChangeFeed.end_offsets` never parses a record body at all (the
+  manifest names the segments, their file names carry their start
+  offsets, and the active segment is only line-counted).  Replays
+  (:meth:`ChangeFeed.iter_records`) stream segment-by-segment.  A torn
+  final line (crash mid append) is ignored on read and truncated away
+  when a writer re-opens the segment, so replay converges on the longest
+  durable prefix.
+
+* **Live tailing.**  A second ``ChangeFeed`` instance opened on the same
+  directory is a *reader*: every ``poll`` (and lag/pending check)
+  re-scans the manifest and the active segments, so appends made by the
+  writer process after the reader opened -- including rotations and new
+  topics -- become visible as soon as they are flushed.  One process
+  writes, any number tail.
 
 * **Consumer groups.**  A consumer attaches to the feed under a group
   name and gets its own *committed offset* per topic.  ``poll()``
   returns records past the committed position without committing;
   ``commit()`` makes the new position durable (crash between the two
   re-delivers, which is what lets a replica apply-then-commit and stay
-  exactly-once over restarts).  Anonymous groups (``group=None``) are
-  ephemeral and auto-named -- the in-process engine cursor uses one.
+  exactly-once over restarts).  Named groups on a durable feed are
+  registered on disk at attach time (retention must see them before
+  their first commit).  Anonymous groups (``group=None``) are ephemeral
+  and auto-named -- the in-process engine cursor uses one.  A group may
+  also store a *snapshot*: an opaque payload bound to its committed
+  offsets, which is its recovery point once retention has truncated the
+  prefix it would otherwise replay.
 
 * **Retention.**  In-memory feeds keep records until every group has
   consumed them, capped at ``max_retained``; past the cap the buffer is
   dropped wholesale and lagging groups observe ``lost=True`` (the
   consumer's cue to fall back to full re-detection).  Durable feeds
-  never drop: segments are the retention.
+  never lose an unconsumed record -- but with ``retention="truncate"``
+  sealed segments are *deleted* once every registered durable group has
+  committed past them (a group with a snapshot holds segments only back
+  to its snapshot's offsets -- its recovery point).  The manifest
+  records the truncation ``base`` per topic; a consumer that re-attaches
+  needing truncated offsets gets the ``no longer retained`` error and
+  must bootstrap from its snapshot instead (see
+  :meth:`FeedConsumer.load_snapshot` and
+  :class:`~repro.conflicts.replica.ReplicaHypergraph`).  Truncation
+  commits the manifest before unlinking files, so a crash between the
+  two leaves only orphan files, which the next open sweeps away.
 """
 
 from __future__ import annotations
 
+import bisect
 import contextlib
+import heapq
 import io
+import itertools
 import json
+import math
 import os
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, Optional
 
-from repro.errors import FeedError
+from repro.errors import FeedError, FeedRetentionError
 
 #: Record kinds.
 RECORD_CHANGE = "change"
@@ -60,6 +93,55 @@ SCHEMA_TOPIC = "_schema"
 
 #: Manifest file name inside a feed directory.
 MANIFEST = "manifest.json"
+
+#: The non-finite floats JSON cannot carry, by their wire tag.
+_NONFINITE = {
+    "nan": float("nan"),
+    "inf": float("inf"),
+    "-inf": float("-inf"),
+}
+
+
+def encode_value(value: object) -> object:
+    """JSON-safe encoding of one SQL value.
+
+    ``json.dumps`` would emit the non-standard ``NaN`` / ``Infinity``
+    tokens for non-finite REAL values, which strict parsers (and foreign
+    JSONL readers) reject.  Those three values are therefore wrapped as
+    ``{"$f": "nan" | "inf" | "-inf"}``; everything else passes through
+    (no other SQL value is a JSON object, so the wrapper cannot collide).
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        if math.isnan(value):
+            return {"$f": "nan"}
+        return {"$f": "inf"} if value > 0 else {"$f": "-inf"}
+    return value
+
+
+def decode_value(value: object) -> object:
+    """Invert :func:`encode_value`.
+
+    Raises:
+        FeedError: for an unknown wrapper object.
+    """
+    if isinstance(value, dict):
+        try:
+            return _NONFINITE[value["$f"]]
+        except (KeyError, TypeError):
+            raise FeedError(f"bad encoded value {value!r}") from None
+    return value
+
+
+def _segment_start(name: str) -> int:
+    """The first offset a segment file holds (encoded in its name)."""
+    try:
+        return int(name.split(".", 1)[0])
+    except ValueError:
+        raise FeedError(f"bad segment name {name!r}") from None
+
+
+def _seq_of(record: "FeedRecord") -> int:
+    return record.seq
 
 
 @dataclass(frozen=True)
@@ -89,7 +171,9 @@ class FeedRecord:
     schema: Optional[dict] = None
 
     def to_json(self) -> str:
-        """One JSONL line (compact, stable key order)."""
+        """One JSONL line (compact, stable key order, strictly valid
+        JSON: non-finite REAL values are encoded, never emitted as the
+        ``NaN`` / ``Infinity`` tokens)."""
         payload: dict[str, object] = {
             "seq": self.seq,
             "topic": self.topic,
@@ -98,13 +182,13 @@ class FeedRecord:
         }
         if self.kind == RECORD_CHANGE:
             payload["tid"] = self.tid
-            payload["row"] = list(self.row or ())
+            payload["row"] = [encode_value(v) for v in (self.row or ())]
             payload["op"] = self.op
         else:
             payload["table"] = self.table
             if self.schema is not None:
                 payload["schema"] = self.schema
-        return json.dumps(payload, separators=(",", ":"))
+        return json.dumps(payload, separators=(",", ":"), allow_nan=False)
 
     @staticmethod
     def from_json(line: str) -> "FeedRecord":
@@ -122,7 +206,7 @@ class FeedRecord:
                 kind=payload["kind"],
                 tid=payload.get("tid"),
                 row=(
-                    tuple(payload["row"])
+                    tuple(decode_value(v) for v in payload["row"])
                     if payload.get("row") is not None
                     else None
                 ),
@@ -145,26 +229,66 @@ class TopicInfo:
 
 
 class _Topic:
-    """One partition: retained records + the durable segment chain."""
+    """One partition: the resident tail plus the durable segment chain.
+
+    ``records`` holds the contiguous offsets ``[tail_start, end)``.  For
+    in-memory feeds that is every retained record (``base`` always
+    equals ``tail_start``); for durable feeds it is at most the newest
+    -- active -- segment, parsed lazily, and everything below
+    ``tail_start`` is read back from the sealed segment files on demand.
+    """
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.records: list[FeedRecord] = []
-        self.base = 0  # offset of records[0]
+        self.base = 0  # oldest retained offset (truncation point)
+        self.tail_start = 0  # offset of records[0]
+        self.end = 0  # one past the newest offset
         self.segments: list[str] = []  # durable file names, oldest first
-
-    @property
-    def end(self) -> int:
-        return self.base + len(self.records)
-
-    def read(self, start: int, limit: Optional[int] = None) -> list[FeedRecord]:
-        index = max(start - self.base, 0)
-        chunk = self.records[index:]
-        return chunk if limit is None else chunk[:limit]
+        self.tail_loaded = True  # False: durable tail not parsed yet
+        self.tail_bytes = 0  # validated bytes of the newest segment
 
     def drop_retained(self) -> None:
-        self.base = self.end
+        self.base = self.tail_start = self.end
         self.records.clear()
+
+
+class _SegmentCache:
+    """A small LRU of parsed sealed segments, keyed by (topic, name).
+
+    Sealed segments are immutable, so entries never go stale; eviction
+    is purely a memory bound.  Truncation discards the entries of the
+    segments it deletes.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = max(capacity, 1)
+        self._entries: "OrderedDict[tuple[str, str], list[FeedRecord]]" = (
+            OrderedDict()
+        )
+
+    @property
+    def records(self) -> int:
+        """Records currently held (for resident-memory accounting)."""
+        return sum(len(records) for records in self._entries.values())
+
+    def get(self, key: tuple[str, str]) -> Optional[list[FeedRecord]]:
+        records = self._entries.get(key)
+        if records is not None:
+            self._entries.move_to_end(key)
+        return records
+
+    def put(self, key: tuple[str, str], records: list[FeedRecord]) -> None:
+        self._entries[key] = records
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def discard(self, key: tuple[str, str]) -> None:
+        self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        self._entries.clear()
 
 
 class ChangeFeed:
@@ -173,12 +297,19 @@ class ChangeFeed:
     Args:
         directory: when given, records are persisted as JSONL segments
             under it and consumer commits under ``consumers/``; an
-            existing directory is *replayed* on open (crash-safe).
+            existing directory is opened *lazily* (only the newest
+            segment of each topic is even line-counted) and sealed
+            segments are streamed from disk on demand.
         max_retained: in-memory retention cap (ignored when durable).
         segment_records: records per segment before rotation.
         fsync: ``"rotate"`` (default; appends are buffered and made
             durable at segment rotation, :meth:`flush` and
             :meth:`close`) or ``"always"`` (flush + fsync every append).
+        retention: ``"keep"`` (default; sealed segments live forever) or
+            ``"truncate"`` (sealed segments are deleted once every
+            registered durable group -- and every group snapshot -- has
+            passed them; see :meth:`truncate`).
+        cache_segments: capacity of the parsed-sealed-segment LRU.
     """
 
     def __init__(
@@ -188,14 +319,19 @@ class ChangeFeed:
         max_retained: int = 100_000,
         segment_records: int = 4096,
         fsync: str = "rotate",
+        retention: str = "keep",
+        cache_segments: int = 4,
     ) -> None:
         if fsync not in ("rotate", "always"):
             raise FeedError(f"unknown fsync policy {fsync!r}")
+        if retention not in ("keep", "truncate"):
+            raise FeedError(f"unknown retention policy {retention!r}")
         self.directory = Path(directory) if directory is not None else None
         self.max_retained = max_retained
         self.segment_records = segment_records
         self.fsync = fsync
-        self.next_seq = 0
+        self.retention = retention
+        self._next_seq: Optional[int] = 0
         #: bumped by every DDL record (consumers that cached
         #: schema-derived state rebuild when it moves).
         self.schema_version = 0
@@ -210,6 +346,24 @@ class ChangeFeed:
         self.dropped = 0
         self._writers: dict[str, io.TextIOWrapper] = {}  # topic -> active file
         self._active_counts: dict[str, int] = {}  # records in active segment
+        #: whether this instance ever appended -- a durable instance
+        #: that never did is a *reader* and re-scans the directory on
+        #: poll (live tailing); the single writer's memory is
+        #: authoritative, so writers never re-scan.
+        self._published = False
+        self._cache = _SegmentCache(cache_segments)
+        self._streaming = 0  # records held by in-flight stream chunks
+        self._manifest_lock_depth = 0
+        #: (st_mtime_ns, st_size) of the manifest at last read -- lets
+        #: refresh() skip the JSON parse when nothing rotated/truncated.
+        self._manifest_stat: Optional[tuple[int, int]] = None
+        #: high-water mark of records resident in this instance (tails +
+        #: segment cache + streaming chunks) -- the bounded-memory gate.
+        self.peak_resident_records = 0
+        #: records the last ``poll`` pulled out of topic storage -- the
+        #: k-way merge materializes at most ``limit`` plus one look-ahead
+        #: record per topic (pinned by a regression test).
+        self.last_poll_materialized = 0
         if self.directory is not None:
             self._open_durable()
 
@@ -234,9 +388,26 @@ class ChangeFeed:
         return self.directory is not None
 
     @property
+    def next_seq(self) -> int:
+        """One past the newest global sequence number.
+
+        Lazily recovered from the durable tail on first use, so opening
+        a feed only to read its offsets never parses a record body.
+        """
+        if self._next_seq is None:
+            self._next_seq = self._scan_next_seq()
+        return self._next_seq
+
+    @next_seq.setter
+    def next_seq(self, value: int) -> None:
+        self._next_seq = value
+
+    @property
     def has_history(self) -> bool:
         """Whether any records exist (retained or durable)."""
-        return self.next_seq > 0
+        if self._topics:
+            return any(t.end > 0 for t in self._topics.values())
+        return bool(self._next_seq)
 
     def publish_change(self, relation: str, tid: int, row: tuple, op: str) -> None:
         """Append one row mutation to the relation's topic.
@@ -284,11 +455,21 @@ class ChangeFeed:
 
     def _append(self, topic: _Topic, record: FeedRecord) -> None:
         self.next_seq = record.seq + 1
-        topic.records.append(record)
         if self.durable:
+            # The write prepares the tail (loads / repairs the resumed
+            # segment) *before* the record joins it.
             self._write_durable(topic, record)
+            topic.records.append(record)
+            topic.end += 1
+            self._published = True
+            self._note_peak()
+            if self._active_counts[topic.name] >= self.segment_records:
+                self._rotate(topic)
             return
+        topic.records.append(record)
+        topic.end += 1
         retained = sum(len(t.records) for t in self._topics.values())
+        self._note_peak()
         if retained > self.max_retained:
             # Overflow: drop everything; lagging groups observe ``lost``
             # and fall back to full re-detection.
@@ -305,7 +486,9 @@ class ChangeFeed:
         A new group starts at the feed's current ``end`` (or at offset 0
         everywhere with ``start="beginning"`` -- what a replica wants).
         An existing group resumes from its committed offsets, which for
-        durable feeds survive process restarts.
+        durable feeds survive process restarts.  New named groups on a
+        durable feed are registered on disk immediately, so retention
+        respects them before their first commit.
         """
         ephemeral = group is None
         if group is None:
@@ -316,6 +499,7 @@ class ChangeFeed:
             # position is meaningless to any other process, and a stale
             # file under a recycled cursor-<n> name must not be resumed.
             committed = None if ephemeral else self._load_committed(group)
+            fresh = committed is None
             if committed is None:
                 committed = (
                     {}
@@ -325,12 +509,36 @@ class ChangeFeed:
             self._groups[group] = committed
             if ephemeral:
                 self._ephemeral.add(group)
+            elif self.durable and fresh:
+                # Register before the group's first commit, serialized
+                # with truncation's consumers/ scan (which runs under
+                # the same lock): a concurrent truncation either sees
+                # this group's floor or completes before it attaches --
+                # never in between.
+                with self._manifest_lock():
+                    self._store_committed(group, committed)
         return FeedConsumer(self, group)
 
     def close_group(self, group: str) -> None:
         """Drop a group's in-memory registration (durable commits stay)."""
         self._groups.pop(group, None)
         self._ephemeral.discard(group)
+        self._compact()
+
+    def drop_group(self, group: str) -> None:
+        """Deregister a group *everywhere*: in memory, its committed
+        offsets on disk, and its snapshot.  Releases the group's
+        retention hold -- the operator's tool for abandoned groups."""
+        self._groups.pop(group, None)
+        self._ephemeral.discard(group)
+        if self.durable:
+            for path in (
+                self._consumers_dir() / f"{group}.json",
+                self._snapshots_dir() / f"{group}.json",
+                self._snapshots_dir() / f"{group}.offsets.json",
+            ):
+                with contextlib.suppress(OSError):
+                    path.unlink()
         self._compact()
 
     def groups(self) -> dict[str, dict[str, int]]:
@@ -344,7 +552,7 @@ class ChangeFeed:
                 name=t.name,
                 start=t.base,
                 end=t.end,
-                segments=len(t.segments) + (1 if t.name in self._writers else 0),
+                segments=len(t.segments),
             )
             for t in self._topics.values()
         ]
@@ -353,38 +561,82 @@ class ChangeFeed:
         """Topic -> one past the newest offset."""
         return {name: t.end for name, t in self._topics.items()}
 
-    def records_upto(
-        self, committed: dict[str, int]
-    ) -> list[FeedRecord]:
-        """All retained records strictly below ``committed``, seq order.
+    def iter_records(
+        self,
+        start: Optional[dict[str, int]] = None,
+        upto: Optional[dict[str, int]] = None,
+    ) -> Iterator[FeedRecord]:
+        """Stream records with ``start <= offset < upto`` in seq order.
 
-        This is the *committed prefix* a re-attaching replica rebuilds
-        its state from.
+        This is the bounded-memory replay primitive: durable topics are
+        read one segment at a time straight from disk (no tail loading,
+        no LRU pollution) and the per-topic streams are merged by global
+        ``seq``, so replaying an arbitrarily long history keeps at most
+        one segment per topic resident.  ``start`` defaults to the
+        beginning, ``upto`` to the current end offsets.
+
+        Validation happens eagerly (before the first record is
+        yielded), so a caller never applies half a prefix:
 
         Raises:
-            FeedError: when part of the prefix is no longer retained
-                (possible only on in-memory feeds after an overflow).
+            FeedError: when part of the requested range is no longer
+                retained (in-memory overflow, or durable truncation), or
+                lies past the end of the history.
         """
-        prefix: list[FeedRecord] = []
-        for name, upto in committed.items():
-            if upto <= 0:
+        lows = dict(start or {})
+        highs = dict(upto) if upto is not None else self.end_offsets()
+        plans: list[tuple[_Topic, int, int]] = []
+        for name, high in highs.items():
+            low = lows.get(name, 0)
+            if high <= 0 or high <= low:
                 continue
             topic = self._topics.get(name)
-            if topic is None or topic.base > 0:
-                raise FeedError(
+            if topic is None or low < topic.base:
+                raise FeedRetentionError(
                     f"topic {name!r}: committed prefix up to offset"
-                    f" {upto} is no longer retained"
+                    f" {high} is no longer retained"
                 )
-            if upto > topic.end:
+            if high > topic.end:
                 # A commit that outlived its records (e.g. a crash that
                 # tore away more history than the offsets acknowledge).
                 raise FeedError(
-                    f"topic {name!r}: committed offset {upto} is past the"
+                    f"topic {name!r}: committed offset {high} is past the"
                     f" end of the durable history ({topic.end})"
                 )
-            prefix.extend(topic.read(0, upto))
-        prefix.sort(key=lambda record: record.seq)
-        return prefix
+            plans.append((topic, low, high))
+        iterators = [
+            self._iter_stream(topic, low, high) for topic, low, high in plans
+        ]
+        return heapq.merge(*iterators, key=_seq_of)
+
+    def records_upto(self, committed: dict[str, int]) -> list[FeedRecord]:
+        """All records strictly below ``committed``, seq order.
+
+        This is the *committed prefix* a re-attaching replica rebuilds
+        its state from -- materialized; prefer :meth:`iter_records` for
+        long histories.
+
+        Raises:
+            FeedError: when part of the prefix is no longer retained
+                (in-memory overflow, or durable retention truncation).
+        """
+        return list(self.iter_records(upto=committed))
+
+    # ------------------------------------------------------------ resident
+
+    def resident_records(self) -> int:
+        """Feed records currently resident in this instance's memory:
+        active tails + the sealed-segment LRU + in-flight stream chunks."""
+        return (
+            sum(len(t.records) for t in self._topics.values())
+            + self._cache.records
+            + self._streaming
+        )
+
+    def _note_peak(self, extra: int = 0) -> None:
+        resident = self.resident_records() + extra
+        if resident > self.peak_resident_records:
+            self.peak_resident_records = resident
 
     # ------------------------------------------- group plumbing (consumers)
 
@@ -398,11 +650,159 @@ class ChangeFeed:
     def _poll(
         self, positions: dict[str, int], limit: Optional[int]
     ) -> list[FeedRecord]:
-        batch: list[FeedRecord] = []
+        """Merge per-topic reads up to ``limit`` by global seq.
+
+        A bounded k-way merge: each topic contributes a lazy iterator
+        and the heap stops pulling once ``limit`` records came out, so a
+        slow consumer polling in small batches does O(limit + topics)
+        work per poll instead of materializing the whole backlog.
+        """
+        self.last_poll_materialized = 0
+        iterators = []
         for name, topic in self._topics.items():
-            batch.extend(topic.read(positions.get(name, 0)))
-        batch.sort(key=lambda record: record.seq)
-        return batch if limit is None else batch[:limit]
+            position = positions.get(name, 0)
+            if position < topic.end:
+                iterators.append(self._iter_topic(topic, position))
+        merged = heapq.merge(*iterators, key=_seq_of)
+        if limit is None:
+            return list(merged)
+        return list(itertools.islice(merged, limit))
+
+    def _iter_topic(
+        self, topic: _Topic, start: int, upto: Optional[int] = None
+    ) -> Iterator[FeedRecord]:
+        """Lazily yield ``[start, upto)`` of one topic (poll path).
+
+        Sealed segments go through the LRU (repeated small polls inside
+        the same segment parse it once); the tail is served resident.
+        """
+        end = topic.end if upto is None else min(upto, topic.end)
+        position = max(start, topic.base)
+        index: Optional[int] = None
+        while self.durable and position < min(topic.tail_start, end):
+            # The walk is strictly sequential: bisect once, then carry
+            # the segment index forward (catch-up over S sealed
+            # segments is O(S), not O(S^2) name re-parses).
+            if index is None:
+                index = self._segment_index(topic, position)
+            else:
+                index += 1
+            records = self._segment_records(topic, index)
+            first = _segment_start(topic.segments[index])
+            for record in records[position - first :]:
+                if record.offset >= end:
+                    return
+                self.last_poll_materialized += 1
+                yield record
+            position = first + len(records)
+        if position >= end:
+            return
+        if self.durable:
+            self._load_tail(topic)
+            end = min(end, topic.end)  # a torn tail may shrink on parse
+        for index in range(position - topic.tail_start, len(topic.records)):
+            record = topic.records[index]
+            if record.offset >= end:
+                return
+            self.last_poll_materialized += 1
+            yield record
+
+    def _iter_stream(
+        self, topic: _Topic, start: int, upto: int
+    ) -> Iterator[FeedRecord]:
+        """Stream ``[start, upto)`` reading segment files directly.
+
+        The bounded-memory replay path: no tail residency, no LRU
+        pollution -- each segment's records are dropped as soon as the
+        stream moves past them.
+        """
+        if not self.durable:
+            yield from self._iter_topic(topic, start, upto)
+            return
+        position = max(start, topic.base)
+        for index, name in enumerate(topic.segments):
+            last = index == len(topic.segments) - 1
+            first = _segment_start(name)
+            seg_end = (
+                topic.end
+                if last
+                else _segment_start(topic.segments[index + 1])
+            )
+            if seg_end <= position:
+                continue
+            if first >= upto:
+                return
+            if last and topic.tail_loaded:
+                # The tail is already resident (writer, or a prior
+                # poll): serve it from memory.
+                for i in range(position - topic.tail_start, len(topic.records)):
+                    record = topic.records[i]
+                    if record.offset >= upto:
+                        return
+                    yield record
+                return
+            records = self._read_segment(
+                topic, name, first, seg_end - first, sealed=not last
+            )
+            self._streaming += len(records)
+            self._note_peak()
+            try:
+                for record in records[position - first :]:
+                    if record.offset >= upto:
+                        return
+                    yield record
+            finally:
+                self._streaming -= len(records)
+            position = seg_end
+
+    def _segment_index(self, topic: _Topic, offset: int) -> int:
+        starts = [_segment_start(name) for name in topic.segments]
+        return max(bisect.bisect_right(starts, offset) - 1, 0)
+
+    def _segment_records(self, topic: _Topic, index: int) -> list[FeedRecord]:
+        """A sealed segment's parsed records, through the LRU."""
+        name = topic.segments[index]
+        key = (topic.name, name)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        first = _segment_start(name)
+        expected = _segment_start(topic.segments[index + 1]) - first
+        records = self._read_segment(topic, name, first, expected, sealed=True)
+        self._cache.put(key, records)
+        self._note_peak()
+        return records
+
+    def _read_segment(
+        self, topic: _Topic, name: str, first: int, expected: int, sealed: bool
+    ) -> list[FeedRecord]:
+        path = self._segment_dir(topic.name) / name
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            if sealed:
+                # Almost certainly a foreign process's retention
+                # truncation (writers never re-scan the manifest, so
+                # their base can be stale): fold the disk state in --
+                # later _lost() checks then see the raised base -- and
+                # signal retention loss, which consumers map to the
+                # rebuild-from-scratch fallback.
+                self._merge_disk_retention()
+                raise FeedRetentionError(
+                    f"topic {topic.name!r}: sealed segment {name} is"
+                    " missing -- its offsets are no longer retained"
+                ) from None
+            return []  # rotation crashed before the first append
+        records, _good = self._parse_lines(data, repair=not sealed, where=path)
+        if sealed:
+            if len(records) != expected or any(
+                record.offset != first + i for i, record in enumerate(records)
+            ):
+                raise FeedError(
+                    f"corrupt sealed segment {path}: expected {expected}"
+                    f" records from offset {first}"
+                )
+        return records
 
     def _lost(self, positions: dict[str, int]) -> bool:
         return any(
@@ -428,19 +828,263 @@ class ChangeFeed:
         self._compact()
 
     def _compact(self) -> None:
-        """In-memory mode: drop records every group has consumed."""
+        """In-memory: drop records every group consumed.  Durable with
+        ``retention="truncate"``: delete fully-consumed sealed segments."""
         if self.durable:
-            return  # segments are the retention; memory mirrors them
+            if self.retention == "truncate":
+                self._maybe_truncate()
+            return
         for name, topic in self._topics.items():
             if not self._groups:
                 topic.drop_retained()
                 continue
             low = min(c.get(name, 0) for c in self._groups.values())
-            if low > topic.base:
-                del topic.records[: low - topic.base]
-                topic.base = low
+            if low > topic.tail_start:
+                del topic.records[: low - topic.tail_start]
+                topic.tail_start = topic.base = low
+
+    # ----------------------------------------------------------- retention
+
+    def _maybe_truncate(self) -> None:
+        """Run :meth:`truncate` only when this instance's own groups
+        already allow deleting some sealed segment (the full scan reads
+        every consumer/snapshot file; don't pay it on every commit)."""
+        if self._groups:
+            local = list(self._groups.values())
+            for name, topic in self._topics.items():
+                if len(topic.segments) < 2:
+                    continue
+                floor = min(c.get(name, 0) for c in local)
+                if _segment_start(topic.segments[1]) <= floor:
+                    break
+            else:
+                return
+        self.truncate()
+
+    def truncate(self) -> dict[str, int]:
+        """Delete sealed segments every registered group has passed.
+
+        A group's retention floor is its *recovery point*: the committed
+        offsets of its latest snapshot when it has one (it can rebuild
+        from there and replay forward), its committed offsets otherwise.
+        Registered groups on disk (other processes included), their
+        snapshots, and this instance's in-memory groups (ephemeral
+        cursors included) all hold segments; with no groups at all
+        nothing is deleted.  The newest segment of a topic is never
+        deleted.  The manifest (with the new per-topic ``base``) is
+        committed *before* any file is unlinked -- a crash in between
+        leaves orphan files, swept by the next open.
+
+        Returns the new ``base`` per truncated topic (empty when nothing
+        was deleted).
+        """
+        if not self.durable:
+            return {}
+        with self._manifest_lock():
+            # Work from the live layout under the lock: a concurrent
+            # rotation can no longer slip between our manifest read and
+            # our store.
+            self.refresh()
+            contributions = self._floor_contributions()
+            if not contributions:
+                return {}
+            truncated: dict[str, int] = {}
+            removed: list[tuple[str, str]] = []
+            for name, topic in self._topics.items():
+                if len(topic.segments) < 2:
+                    continue
+                floor = min(c.get(name, 0) for c in contributions)
+                starts = [_segment_start(s) for s in topic.segments]
+                keep = 0
+                while (
+                    keep + 1 < len(topic.segments)
+                    and starts[keep + 1] <= floor
+                ):
+                    keep += 1
+                if keep == 0:
+                    continue
+                removed.extend(
+                    (name, victim) for victim in topic.segments[:keep]
+                )
+                topic.segments = topic.segments[keep:]
+                topic.base = starts[keep]
+                truncated[name] = topic.base
+            if not truncated:
+                return {}
+            self._store_manifest()
+        for name, victim in removed:
+            self._cache.discard((name, victim))
+            with contextlib.suppress(OSError):
+                (self._segment_dir(name) / victim).unlink()
+        return truncated
+
+    def _floor_contributions(self) -> list[dict[str, int]]:
+        """One committed-offsets dict per consumer retention respects."""
+        by_group: dict[str, dict[str, int]] = {}
+        directory = self._consumers_dir()
+        if directory.exists():
+            for path in sorted(directory.glob("*.json")):
+                committed = self._load_committed(path.stem)
+                if committed is not None:
+                    by_group[path.stem] = committed
+        snapshots = self._snapshots_dir()
+        if snapshots.exists():
+            for path in sorted(snapshots.glob("*.offsets.json")):
+                group = path.name[: -len(".offsets.json")]
+                try:
+                    data = json.loads(path.read_text(encoding="utf-8"))
+                    offsets = {
+                        str(k): int(v) for k, v in data["committed"].items()
+                    }
+                except (ValueError, KeyError) as exc:
+                    raise FeedError(f"corrupt snapshot offsets {path}") from exc
+                # The snapshot is the group's recovery point: it
+                # overrides the (>=) committed offsets.
+                by_group[group] = offsets
+        for group, committed in self._groups.items():
+            by_group.setdefault(group, dict(committed))
+        return list(by_group.values())
+
+    # ------------------------------------------------------------ tailing
+
+    def refresh(self) -> bool:
+        """Re-scan the manifest and active segments for new records.
+
+        Live tailing: a durable *reader* instance (this process never
+        appended) picks up appends, rotations, new topics, and
+        truncations another process performed since the last scan.
+        Writers and in-memory feeds are authoritative in memory, so the
+        call is a no-op there.  Returns whether anything changed.
+        """
+        if not self.durable or self._published or self._writers:
+            return False
+        path = self.directory / MANIFEST
+        try:
+            stat = path.stat()
+        except FileNotFoundError:
+            return False
+        signature = (stat.st_mtime_ns, stat.st_size)
+        if signature == self._manifest_stat:
+            # Nothing rotated or truncated since the last scan: skip the
+            # JSON parse and only look for appends to the known tails.
+            changed = False
+            for topic in self._topics.values():
+                if self._extend_tail(topic):
+                    changed = True
+            if changed:
+                self._next_seq = None
+                schema_topic = self._topics.get(SCHEMA_TOPIC)
+                if schema_topic is not None:
+                    self.schema_version = max(
+                        self.schema_version, schema_topic.end
+                    )
+            return changed
+        try:
+            manifest = json.loads(path.read_text(encoding="utf-8"))
+            topics = manifest["topics"]
+        except FileNotFoundError:
+            return False
+        except (ValueError, KeyError) as exc:
+            raise FeedError(f"corrupt manifest {path}") from exc
+        self._manifest_stat = signature
+        changed = False
+        for name, entry in topics.items():
+            topic = self._topic(name)
+            base = int(entry.get("base", 0))
+            segments = [str(s) for s in entry.get("segments", [])]
+            if base > topic.base:
+                topic.base = base
+                changed = True
+            if segments != topic.segments:
+                same_tail = bool(
+                    topic.segments
+                    and segments
+                    and segments[-1] == topic.segments[-1]
+                )
+                topic.segments = segments
+                if same_tail:  # truncation only: the tail still applies
+                    self._extend_tail(topic)
+                else:  # rotation / first sight: re-point at the new tail
+                    self._init_topic_from_disk(topic)
+                changed = True
+            elif self._extend_tail(topic):
+                changed = True
+        if changed:
+            self._next_seq = None  # recover from the new tail on demand
+            schema_topic = self._topics.get(SCHEMA_TOPIC)
+            if schema_topic is not None:
+                self.schema_version = max(
+                    self.schema_version, schema_topic.end
+                )
+        return changed
+
+    def _extend_tail(self, topic: _Topic) -> bool:
+        """Pick up bytes appended to the newest segment since last scan."""
+        if not topic.segments:
+            return False
+        path = self._segment_dir(topic.name) / topic.segments[-1]
+        try:
+            size = path.stat().st_size
+        except FileNotFoundError:
+            return False
+        if size < topic.tail_bytes:
+            # The file shrank under us (a writer repaired a torn tail
+            # differently than we scanned it): start over from disk.
+            self._init_topic_from_disk(topic)
+            return True
+        if size == topic.tail_bytes:
+            return False
+        with open(path, "rb") as handle:
+            handle.seek(topic.tail_bytes)
+            data = handle.read()
+        if topic.tail_loaded:
+            records, good = self._parse_lines(data, repair=True, where=path)
+            topic.records.extend(records)
+            topic.end = topic.tail_start + len(topic.records)
+            topic.tail_bytes += good
+            self._note_peak()
+            return bool(records)
+        count, good = _count_lines(data)
+        topic.end += count
+        topic.tail_bytes += good
+        return count > 0
 
     # ------------------------------------------------------------ durability
+
+    @contextlib.contextmanager
+    def _manifest_lock(self) -> Iterator[None]:
+        """Advisory exclusive lock over manifest read-modify-write.
+
+        Truncation (in a consumer process) and rotation (in the writer)
+        both read the manifest, fold the other side's changes in, and
+        write it back; without mutual exclusion one could overwrite the
+        other's update in the read-to-write window -- e.g. a rotating
+        writer resurrecting just-deleted segment names.  ``flock`` is
+        advisory, per-host and reentrant here via a depth counter; on
+        platforms without ``fcntl`` the lock degrades to a no-op (the
+        single-process case needs none).
+        """
+        assert self.directory is not None
+        if self._manifest_lock_depth:
+            self._manifest_lock_depth += 1
+            try:
+                yield
+            finally:
+                self._manifest_lock_depth -= 1
+            return
+        try:
+            import fcntl
+        except ImportError:  # non-POSIX: single-process feeds only
+            yield
+            return
+        with open(self.directory / "manifest.lock", "a") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            self._manifest_lock_depth = 1
+            try:
+                yield
+            finally:
+                self._manifest_lock_depth = 0
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
 
     def _segment_dir(self, topic: str) -> Path:
         assert self.directory is not None
@@ -450,6 +1094,10 @@ class ChangeFeed:
         assert self.directory is not None
         return self.directory / "consumers"
 
+    def _snapshots_dir(self) -> Path:
+        assert self.directory is not None
+        return self.directory / "snapshots"
+
     @staticmethod
     def _segment_name(start_offset: int) -> str:
         return f"{start_offset:012d}.jsonl"
@@ -458,17 +1106,17 @@ class ChangeFeed:
         writer = self._writers.get(topic.name)
         if writer is None:
             writer = self._open_segment(topic, record.offset)
-        writer.write(record.to_json() + "\n")
+        line = record.to_json() + "\n"
+        writer.write(line)
         if self.fsync == "always":
             writer.flush()
             os.fsync(writer.fileno())
         # Under the "rotate" policy appends stay in the userspace buffer
         # until rotation / flush() / close(): a crash can cost the tail
-        # of the active segment, never a sealed one -- and replay
-        # truncates any torn line it left behind.
+        # of the active segment, never a sealed one -- and the next
+        # writer truncates any torn line it left behind.
+        topic.tail_bytes += len(line.encode("utf-8"))
         self._active_counts[topic.name] += 1
-        if self._active_counts[topic.name] >= self.segment_records:
-            self._rotate(topic)
 
     def _open_segment(self, topic: _Topic, next_offset: int) -> io.TextIOWrapper:
         directory = self._segment_dir(topic.name)
@@ -476,14 +1124,25 @@ class ChangeFeed:
         name = self._segment_name(next_offset)
         held = 0
         if topic.segments:
-            # Resume the newest segment (e.g. after a reopen) while it
-            # still has room; segments are contiguous, so its record
-            # count is just the offset distance from its start.
-            last_start = int(topic.segments[-1].split(".", 1)[0])
-            held = next_offset - last_start
+            # Becoming the writer of this topic: first drop any torn
+            # bytes a crashed writer left on the newest segment.
+            self._repair_tail(topic)
+            last = topic.segments[-1]
+            held = next_offset - _segment_start(last)
             if 0 <= held < self.segment_records:
-                name = topic.segments[-1]
+                # Resume the newest segment while it still has room; the
+                # resident tail must hold it in full before we append.
+                name = last
+                self._load_tail(topic)
             else:
+                # The previous newest segment is sealed by this cut;
+                # keep its parsed records around for in-process readers.
+                if topic.tail_loaded and topic.records:
+                    self._cache.put((topic.name, last), topic.records)
+                topic.records = []
+                topic.tail_loaded = True
+                topic.tail_start = next_offset
+                topic.tail_bytes = 0
                 held = 0
         writer = open(directory / name, "a", encoding="utf-8")
         self._writers[topic.name] = writer
@@ -493,6 +1152,19 @@ class ChangeFeed:
             self._store_manifest()
         return writer
 
+    def _repair_tail(self, topic: _Topic) -> None:
+        """Truncate torn bytes off the newest segment (writer open)."""
+        if not topic.segments:
+            return
+        path = self._segment_dir(topic.name) / topic.segments[-1]
+        try:
+            size = path.stat().st_size
+        except FileNotFoundError:
+            return  # rotation crashed before the first append created it
+        if size > topic.tail_bytes:
+            with open(path, "r+b") as handle:
+                handle.truncate(topic.tail_bytes)
+
     def _rotate(self, topic: _Topic) -> None:
         """Seal the active segment: fsync it, then cut a new one."""
         writer = self._writers.pop(topic.name)
@@ -501,19 +1173,49 @@ class ChangeFeed:
         writer.close()
         self._active_counts.pop(topic.name, None)
         # The next append opens the successor segment (named by the
-        # first offset it will hold) and records it in the manifest.
+        # first offset it will hold) and records it in the manifest; the
+        # resident tail keeps serving readers until then.
 
     def _store_manifest(self) -> None:
         assert self.directory is not None
-        payload = {
-            "version": 1,
-            "segment_records": self.segment_records,
-            "topics": {
-                name: {"segments": list(topic.segments)}
-                for name, topic in self._topics.items()
-            },
-        }
-        self._atomic_json(self.directory / MANIFEST, payload)
+        with self._manifest_lock():
+            self._merge_disk_retention()
+            payload = {
+                "version": 2,
+                "segment_records": self.segment_records,
+                "topics": {
+                    name: {
+                        "base": topic.base,
+                        "segments": list(topic.segments),
+                    }
+                    for name, topic in self._topics.items()
+                },
+            }
+            self._atomic_json(self.directory / MANIFEST, payload)
+
+    def _merge_disk_retention(self) -> None:
+        """Fold another instance's truncation into our view.
+
+        Truncating compaction may run in a *consumer* process; a writer
+        that rotates afterwards must not resurrect the deleted segments
+        when it stores its own (stale) manifest.  The on-disk ``base``
+        only ever grows, so taking the max and pruning segments below it
+        is always safe."""
+        path = self.directory / MANIFEST
+        try:
+            topics = json.loads(path.read_text(encoding="utf-8"))["topics"]
+        except (OSError, ValueError, KeyError):
+            return
+        for name, entry in topics.items():
+            topic = self._topics.get(name)
+            if topic is None:
+                continue
+            base = int(entry.get("base", 0))
+            if base > topic.base:
+                topic.base = base
+                topic.segments = [
+                    s for s in topic.segments if _segment_start(s) >= base
+                ]
 
     def _store_committed(self, group: str, committed: dict[str, int]) -> None:
         directory = self._consumers_dir()
@@ -535,6 +1237,53 @@ class ChangeFeed:
         except (ValueError, KeyError) as exc:
             raise FeedError(f"corrupt consumer state {path}") from exc
 
+    def store_snapshot(
+        self, group: str, committed: dict[str, int], payload: dict
+    ) -> None:
+        """Persist a group's recovery snapshot: an opaque payload bound
+        to the committed offsets it captures.  Retention never deletes
+        past a group's snapshot, so the group can always restore the
+        payload and replay forward from those offsets."""
+        if not self.durable:
+            raise FeedError("snapshots need a durable feed")
+        directory = self._snapshots_dir()
+        directory.mkdir(parents=True, exist_ok=True)
+        self._atomic_json(
+            directory / f"{group}.json",
+            {"group": group, "committed": dict(committed), "payload": payload},
+        )
+        # A small offsets sidecar, written *after* the payload it
+        # describes (a crash in between leaves the older -- lower, so
+        # safe -- floor on disk): truncation's floor scan reads this
+        # instead of json-parsing every group's full snapshot payload.
+        self._atomic_json(
+            directory / f"{group}.offsets.json",
+            {"group": group, "committed": dict(committed)},
+        )
+
+    def load_snapshot(
+        self, group: str
+    ) -> Optional[tuple[dict[str, int], dict]]:
+        """The group's snapshot as ``(committed offsets, payload)``, or
+        None when it never stored one.
+
+        Raises:
+            FeedError: when the snapshot file is corrupt.
+        """
+        if not self.durable:
+            return None
+        path = self._snapshots_dir() / f"{group}.json"
+        if not path.exists():
+            return None
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            committed = {
+                str(k): int(v) for k, v in data["committed"].items()
+            }
+            return committed, data["payload"]
+        except (ValueError, KeyError) as exc:
+            raise FeedError(f"corrupt snapshot {path}") from exc
+
     @staticmethod
     def _atomic_json(path: Path, payload: dict) -> None:
         temp = path.with_suffix(path.suffix + ".tmp")
@@ -545,7 +1294,14 @@ class ChangeFeed:
         os.replace(temp, path)
 
     def _open_durable(self) -> None:
-        """Open (or create) the feed directory, replaying its history."""
+        """Open (or create) the feed directory -- lazily.
+
+        Nothing is parsed here: the manifest names each topic's segments
+        and truncation base, the newest segment of each topic is
+        line-counted to learn the end offset (and the repair point for a
+        future writer), and everything else -- record bodies, the global
+        sequence -- is recovered on demand.
+        """
         assert self.directory is not None
         self.directory.mkdir(parents=True, exist_ok=True)
         manifest_path = self.directory / MANIFEST
@@ -557,37 +1313,77 @@ class ChangeFeed:
             topics = manifest["topics"]
         except (ValueError, KeyError) as exc:
             raise FeedError(f"corrupt manifest {manifest_path}") from exc
-        records: list[FeedRecord] = []
         for name, entry in topics.items():
             topic = self._topic(name)
+            topic.base = int(entry.get("base", 0))
             topic.segments = [str(s) for s in entry.get("segments", [])]
-            for index, segment in enumerate(topic.segments):
-                last = index == len(topic.segments) - 1
-                records.extend(self._replay_segment(name, segment, repair=last))
-        records.sort(key=lambda record: record.seq)
-        for record in records:
-            topic = self._topic(record.topic)
-            if record.offset != topic.end:
-                raise FeedError(
-                    f"topic {record.topic!r}: offset {record.offset}"
-                    f" out of order (expected {topic.end})"
-                )
-            topic.records.append(record)
-            if record.kind != RECORD_CHANGE:
-                self.schema_version += 1
-        self.next_seq = max((r.seq for r in records), default=-1) + 1
+            self._sweep_orphans(topic)
+            self._init_topic_from_disk(topic)
+        schema_topic = self._topics.get(SCHEMA_TOPIC)
+        self.schema_version = schema_topic.end if schema_topic else 0
+        if self._topics:
+            self._next_seq = None  # recovered lazily from the tails
 
-    def _replay_segment(
-        self, topic: str, segment: str, repair: bool
-    ) -> list[FeedRecord]:
-        """Read one segment; on a torn tail, truncate it away (``repair``)."""
-        path = self._segment_dir(topic) / segment
-        if not path.exists():
-            return []  # rotation crashed before the first append
+    def _init_topic_from_disk(self, topic: _Topic) -> None:
+        """Point the topic at its newest segment without parsing bodies."""
+        if not topic.segments:
+            topic.tail_start = topic.end = topic.base
+            topic.records = []
+            topic.tail_loaded = True
+            topic.tail_bytes = 0
+            return
+        first = _segment_start(topic.segments[-1])
+        path = self._segment_dir(topic.name) / topic.segments[-1]
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            data = b""  # rotation crashed before the first append
+        count, good = _count_lines(data)
+        topic.tail_start = first
+        topic.end = first + count
+        topic.tail_bytes = good
+        topic.records = []
+        topic.tail_loaded = False
+
+    def _sweep_orphans(self, topic: _Topic) -> None:
+        """Delete segment files a crashed truncation left behind.
+
+        Truncation commits the manifest first and unlinks after, so a
+        crash between the two leaves files no manifest entry names;
+        their offsets are below ``base`` and they are dead weight."""
+        directory = self._segment_dir(topic.name)
+        if not directory.exists():
+            return
+        named = set(topic.segments)
+        for path in directory.glob("*.jsonl"):
+            if path.name in named:
+                continue
+            if _segment_start(path.name) < topic.base:
+                with contextlib.suppress(OSError):
+                    path.unlink()
+
+    def _load_tail(self, topic: _Topic) -> None:
+        """Parse the newest segment into the resident tail (idempotent)."""
+        if topic.tail_loaded:
+            return
+        path = self._segment_dir(topic.name) / topic.segments[-1]
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            data = b""
+        records, good = self._parse_lines(data, repair=True, where=path)
+        topic.records = records
+        topic.tail_loaded = True
+        topic.tail_bytes = good
+        topic.end = topic.tail_start + len(records)
+        self._note_peak()
+
+    def _parse_lines(
+        self, data: bytes, repair: bool, where: Path
+    ) -> tuple[list[FeedRecord], int]:
+        """Parse JSONL bytes; on a torn tail, stop (``repair``) or raise."""
         records: list[FeedRecord] = []
         good_bytes = 0
-        with open(path, "rb") as handle:
-            data = handle.read()
         for line in data.splitlines(keepends=True):
             if not line.endswith(b"\n"):
                 break  # torn tail: the crash cut this append short
@@ -596,14 +1392,29 @@ class ChangeFeed:
             except FeedError:
                 break  # garbage tail (e.g. partial line + later append)
             good_bytes += len(line)
-        if good_bytes < len(data):
-            if not repair:
-                raise FeedError(
-                    f"corrupt record inside sealed segment {path}"
-                )
-            with open(path, "r+b") as handle:
-                handle.truncate(good_bytes)
-        return records
+        if good_bytes < len(data) and not repair:
+            raise FeedError(f"corrupt record inside sealed segment {where}")
+        return records, good_bytes
+
+    def _scan_next_seq(self) -> int:
+        """Recover the global sequence from the newest durable records."""
+        best = 0
+        for topic in self._topics.values():
+            record = self._last_record(topic)
+            if record is not None:
+                best = max(best, record.seq + 1)
+        return best
+
+    def _last_record(self, topic: _Topic) -> Optional[FeedRecord]:
+        if self.durable:
+            self._load_tail(topic)
+        if topic.records:
+            return topic.records[-1]
+        for index in range(len(topic.segments) - 2, -1, -1):
+            records = self._segment_records(topic, index)
+            if records:
+                return records[-1]
+        return None
 
     def flush(self) -> None:
         """Flush + fsync every active segment writer."""
@@ -619,12 +1430,30 @@ class ChangeFeed:
             os.fsync(writer.fileno())
             writer.close()
         self._active_counts.clear()
+        self._cache.clear()
 
     def __enter__(self) -> "ChangeFeed":
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+
+def _count_lines(data: bytes) -> tuple[int, int]:
+    """Complete (newline-terminated) lines in ``data`` and their bytes.
+
+    A crash truncates an append stream at a point, so only the final
+    line can be partial -- counting complete lines is enough to know how
+    many records are durable without parsing a single body.
+    """
+    count = 0
+    good_bytes = 0
+    for line in data.splitlines(keepends=True):
+        if not line.endswith(b"\n"):
+            break
+        count += 1
+        good_bytes += len(line)
+    return count, good_bytes
 
 
 class FeedConsumer:
@@ -634,7 +1463,9 @@ class FeedConsumer:
     publishes it as the group's committed offsets (durably, when the
     feed is).  A consumer that crashes between the two is re-delivered
     the uncommitted records on re-attach -- apply-then-commit therefore
-    gives exactly-once effects for idempotent appliers.
+    gives exactly-once effects for idempotent appliers.  On a reader
+    instance of a durable feed, every poll / lag / pending / lost check
+    first re-scans the directory (live tailing).
     """
 
     def __init__(self, feed: ChangeFeed, group: str) -> None:
@@ -653,6 +1484,7 @@ class FeedConsumer:
         """Records past the *committed* position (includes unpolled)."""
         if self._closed:
             return 0
+        self.feed.refresh()
         return self.feed._lag(self.feed._groups[self.group])
 
     @property
@@ -660,6 +1492,7 @@ class FeedConsumer:
         """Records past the current *read* position."""
         if self._closed:
             return 0
+        self.feed.refresh()
         return self.feed._lag(self._positions)
 
     @property
@@ -667,6 +1500,7 @@ class FeedConsumer:
         """Whether retention dropped records this consumer never read."""
         if self._closed:
             return False
+        self.feed.refresh()
         return self.feed._lost(self._positions)
 
     def poll(
@@ -680,10 +1514,19 @@ class FeedConsumer:
         """
         if self._closed:
             return [], False
+        self.feed.refresh()
         if self.feed._lost(self._positions):
             self._positions = self.feed.end_offsets()
             return [], True
-        records = self.feed._poll(self._positions, limit)
+        try:
+            records = self.feed._poll(self._positions, limit)
+        except FeedRetentionError:
+            # A foreign truncation deleted segments between our _lost
+            # check and the read (writers never re-scan, so their base
+            # can be stale until the miss).  Same contract as any other
+            # retention loss: reposition at the end, report lost.
+            self._positions = self.feed.end_offsets()
+            return [], True
         for record in records:
             self._positions[record.topic] = record.offset + 1
         return records, False
@@ -696,8 +1539,27 @@ class FeedConsumer:
 
     def seek_to_end(self) -> None:
         """Jump past all retained records and commit there."""
+        self.feed.refresh()
         self._positions = self.feed.end_offsets()
         self.commit()
+
+    def store_snapshot(self, payload: dict) -> None:
+        """Persist ``payload`` as this group's recovery snapshot, bound
+        to its *committed* offsets.  Retention keeps every record past
+        the snapshot, so the group can always restore the payload and
+        replay forward -- even after its committed prefix is truncated.
+
+        Raises:
+            FeedError: on an in-memory feed or an ephemeral group.
+        """
+        if self._closed or self.group in self.feed._ephemeral:
+            raise FeedError("snapshots need a named group on a durable feed")
+        self.feed.flush()
+        self.feed.store_snapshot(self.group, self.committed, payload)
+
+    def load_snapshot(self) -> Optional[tuple[dict[str, int], dict]]:
+        """This group's snapshot ``(committed offsets, payload)``, if any."""
+        return self.feed.load_snapshot(self.group)
 
     def close(self) -> None:
         """Deregister the group (in-memory registration only)."""

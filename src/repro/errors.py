@@ -62,6 +62,16 @@ class FeedError(ReproError):
     unretained history, or invalid consumer state."""
 
 
+class FeedRetentionError(FeedError):
+    """Raised when requested feed offsets are no longer retained
+    (in-memory overflow, or durable retention truncation).
+
+    Distinguished from other :class:`FeedError` cases because it is the
+    one failure consumers can recover from mechanically: rebuild derived
+    state from the live database (or a snapshot) instead of the log.
+    """
+
+
 class AlgebraError(ReproError):
     """Raised for malformed relational-algebra expressions."""
 

@@ -467,17 +467,49 @@ class TestDetectorInternals:
         with pytest.raises(ValueError, match="keep_raw"):
             detector.bootstrap(report)
 
-    def test_matcher_creates_and_reuses_index(self):
+    def test_matcher_indexes_are_planned_eagerly_at_attach(self):
+        # The first post-bulk-load delta must not absorb an O(N) index
+        # build: attaching the engine (whose detector plans matcher
+        # indexes from the constraint set) creates them up front.
         db = Database()
         db.execute("CREATE TABLE r (a INTEGER, b INTEGER)")
         db.execute("INSERT INTO r VALUES (1, 7), (1, 8)")
         fd = FunctionalDependency("r", ["a"], ["b"])
-        engine = HippoEngine(db, [fd])
         table = db.table("r")
         assert not table.has_index((0,))
+        engine = HippoEngine(db, [fd])
+        assert table.has_index((0,))  # planned at attach, before any delta
+        created = table.indexed_column_sets()
         db.execute("INSERT INTO r VALUES (2, 1)")
         engine.refresh()
-        assert table.has_index((0,))  # created on first delta, then kept
+        # The delta reused the planned index; nothing new was built.
+        assert table.indexed_column_sets() == created
+
+    def test_first_delta_builds_no_index(self, monkeypatch):
+        from repro.engine.storage import Table
+
+        db = Database()
+        db.execute("CREATE TABLE r (a INTEGER, b INTEGER)")
+        db.execute("INSERT INTO r VALUES (1, 7), (1, 8)")
+        engine = HippoEngine(db, [FunctionalDependency("r", ["a"], ["b"])])
+
+        def forbid(self, positions):
+            raise AssertionError(
+                f"index {tuple(positions)} built lazily on a delta"
+            )
+
+        monkeypatch.setattr(Table, "create_index", forbid)
+        db.execute("INSERT INTO r VALUES (2, 1)")
+        engine.refresh()  # must not need any new index
+
+    def test_planned_matcher_indexes_are_shared_with_the_planner(self):
+        # Matcher indexes are ordinary storage hash indexes, so the
+        # query planner's index-scan selection picks them up for free.
+        db = Database()
+        db.execute("CREATE TABLE r (a INTEGER, b INTEGER)")
+        db.execute("INSERT INTO r VALUES (1, 7), (1, 8), (2, 9)")
+        HippoEngine(db, [FunctionalDependency("r", ["a"], ["b"])])
+        assert "IndexScan" in db.explain("SELECT * FROM r WHERE a = 1")
 
 
 class TestMaintainedCounters:

@@ -164,6 +164,165 @@ class TestReplicaRestart:
         assert_converged(replica, db, [fd])
 
 
+class TestLiveTailing:
+    def test_reader_instance_follows_the_writer_live(self, tmp_path):
+        # The replica attaches through a *second* feed instance -- the
+        # cross-process shape -- and before the writer appends anything.
+        directory = tmp_path / "feed"
+        writer = ChangeFeed(directory)
+        reader = ChangeFeed(directory)
+        fd = FunctionalDependency("emp", ["name"], ["salary"])
+        replica = ReplicaHypergraph(reader, [fd], group="replica")
+        assert not replica.ready  # nothing has been written yet
+
+        db = Database(feed=writer)
+        db.execute("CREATE TABLE emp (name TEXT, salary INTEGER)")
+        db.execute("INSERT INTO emp VALUES ('ann', 10), ('ann', 20)")
+        writer.flush()
+        assert replica.sync().mode == "full"
+        assert_converged(replica, db, [fd])
+
+        db.execute("INSERT INTO emp VALUES ('bob', 5)")
+        db.execute("UPDATE emp SET salary = 30 WHERE salary = 20")
+        writer.flush()
+        sync = replica.sync()
+        assert sync.mode == "incremental"
+        assert_converged(replica, db, [fd])
+        writer.close()
+        reader.close()
+
+    def test_follow_drains_then_stops_when_idle(self, tmp_path):
+        directory = tmp_path / "feed"
+        writer = ChangeFeed(directory)
+        db, fd = fd_primary(writer)
+        writer.flush()
+        reader = ChangeFeed(directory)
+        replica = ReplicaHypergraph(reader, [fd], group="replica")
+        seen = []
+        summary = replica.follow(
+            poll_interval=0.01, idle_limit=2, on_sync=seen.append
+        )
+        assert summary.records == 4  # schema + 3 rows
+        assert summary.syncs == len(seen) == 1
+        assert replica.lag == 0
+        assert_converged(replica, db, [fd])
+        writer.close()
+        reader.close()
+
+
+class TestRetentionRecovery:
+    def primary(self, feed):
+        db = Database(feed=feed)
+        db.execute("CREATE TABLE emp (name TEXT, salary INTEGER)")
+        db.execute("INSERT INTO emp VALUES ('ann', 10), ('ann', 20), ('bob', 5)")
+        db.execute("INSERT INTO emp VALUES ('carol', 7), ('dan', 8)")
+        db.execute("UPDATE emp SET salary = 9 WHERE name = 'dan'")
+        return db, FunctionalDependency("emp", ["name"], ["salary"])
+
+    def test_reattach_from_snapshot_after_truncation(self, tmp_path):
+        directory = tmp_path / "feed"
+        feed = ChangeFeed(directory, segment_records=2, retention="truncate")
+        db, fd = self.primary(feed)
+        replica = ReplicaHypergraph(feed, [fd], group="replica")
+        replica.sync()
+        replica.close()  # checkpoint at the committed cut
+        # The close-time checkpoint is the group's recovery point; its
+        # commits let retention reclaim every sealed segment below it.
+        feed.truncate()
+        (emp,) = [t for t in feed.topics() if t.name == "emp"]
+        assert emp.start > 0  # sealed prefix actually reclaimed
+        with pytest.raises(FeedError, match="no longer retained"):
+            feed.records_upto(feed.end_offsets())
+        feed.close()
+
+        # Re-attach: replay is impossible, the snapshot takes over.
+        reopened = ChangeFeed(directory, segment_records=2)
+        resumed = ReplicaHypergraph(reopened, [fd], group="replica")
+        assert_converged(resumed, db, [fd])
+        reopened.close()
+
+    def test_snapshot_plus_gap_replay(self, tmp_path):
+        # Snapshot taken strictly *before* the committed cut: bootstrap
+        # restores it and replays the still-retained gap on top.
+        directory = tmp_path / "feed"
+        feed = ChangeFeed(directory, segment_records=2, retention="truncate")
+        db, fd = self.primary(feed)
+        replica = ReplicaHypergraph(feed, [fd], group="replica")
+        replica.sync(limit=4)
+        replica.checkpoint()  # recovery point at an intermediate cut
+        replica.sync()  # commit the rest (no further checkpoint)
+        snapshot_cut = dict(replica._consumer.load_snapshot()[0])
+        committed = dict(replica._consumer.committed)
+        assert snapshot_cut != committed
+        replica._consumer.close()  # detach *without* a fresh checkpoint
+        feed.truncate()
+        feed.close()
+
+        reopened = ChangeFeed(directory, segment_records=2)
+        resumed = ReplicaHypergraph(reopened, [fd], group="replica")
+        assert resumed._consumer.committed == committed
+        assert_converged(resumed, db, [fd])
+        reopened.close()
+
+    def test_truncation_racing_bootstrap_falls_back_to_the_snapshot(
+        self, tmp_path
+    ):
+        # iter_records validates against the manifest eagerly, but reads
+        # segment files lazily: a segment deleted *after* validation
+        # surfaces as a FeedError mid-replay, which must still land in
+        # the snapshot fallback (with the half-applied replay discarded).
+        directory = tmp_path / "feed"
+        feed = ChangeFeed(directory, segment_records=2)
+        db, fd = self.primary(feed)
+        replica = ReplicaHypergraph(feed, [fd], group="replica")
+        replica.sync()
+        replica.close()  # snapshot at the committed cut
+        feed.close()
+
+        # Simulate the race: a sealed segment vanishes without the
+        # manifest (validation's source of truth) knowing yet.
+        victims = sorted((directory / "topics" / "emp").glob("*.jsonl"))
+        victims[1].unlink()
+
+        reopened = ChangeFeed(directory, segment_records=2)
+        resumed = ReplicaHypergraph(reopened, [fd], group="replica")
+        assert_converged(resumed, db, [fd])
+        reopened.close()
+
+    def test_reattach_without_snapshot_fails_loudly(self, tmp_path):
+        directory = tmp_path / "feed"
+        feed = ChangeFeed(directory, segment_records=2, retention="truncate")
+        db, fd = self.primary(feed)
+        replica = ReplicaHypergraph(feed, [fd], group="replica", snapshots=False)
+        replica.sync()
+        replica.close()  # no snapshot written
+        feed.truncate()
+        feed.close()
+
+        reopened = ChangeFeed(directory, segment_records=2)
+        with pytest.raises(FeedError, match="no longer retained"):
+            ReplicaHypergraph(reopened, [fd], group="replica", snapshots=False)
+        reopened.close()
+
+    def test_periodic_checkpoints_bound_recovery(self, tmp_path):
+        directory = tmp_path / "feed"
+        feed = ChangeFeed(directory, segment_records=2, retention="truncate")
+        db, fd = self.primary(feed)
+        replica = ReplicaHypergraph(
+            feed, [fd], group="replica", checkpoint_records=3
+        )
+        while replica.lag:
+            replica.sync(limit=3)
+        assert replica._consumer.load_snapshot() is not None
+        replica._consumer.close()  # crash-style detach: rely on the
+        feed.close()  # auto-checkpoints alone
+
+        reopened = ChangeFeed(directory, segment_records=2)
+        resumed = ReplicaHypergraph(reopened, [fd], group="replica")
+        assert_converged(resumed, db, [fd])
+        reopened.close()
+
+
 class TestReplicaFailureModes:
     def test_late_attach_to_lossy_inmemory_feed_is_rejected(self):
         # Records published before any consumer group exist are dropped

@@ -4,12 +4,14 @@ The feed is the durability layer under incremental conflict detection
 (see ``tests/conflicts/test_replica.py`` for the consumer side); here we
 pin its mechanics: per-topic offsets, global sequence order, consumer
 groups with committed offsets, retention/overflow, segment rotation, the
-manifest, and crash-safe replay of a torn segment tail.
+manifest, crash-safe replay of a torn segment tail, bounded-memory lazy
+opens, cross-process live tailing, and durable retention truncation.
 """
 
 from __future__ import annotations
 
 import json
+import math
 
 import pytest
 
@@ -310,6 +312,467 @@ class TestCommitDurabilityOrdering:
         reopened = ChangeFeed(directory)
         with pytest.raises(FeedError, match="past the end"):
             reopened.records_upto({"r": 5})
+
+
+class TestPollMerging:
+    """``_poll`` is a bounded k-way merge, not slice-of-everything."""
+
+    def test_poll_limit_materializes_a_bounded_batch(self):
+        feed = ChangeFeed()
+        consumer = feed.consumer("g")
+        for tid in range(100):
+            publish(feed, "r" if tid % 2 else "s", tid, tid)
+        records, _ = consumer.poll(limit=5)
+        assert [r.seq for r in records] == [0, 1, 2, 3, 4]
+        # The regression this pins: the old implementation materialized
+        # the *entire* remaining backlog (100 records) and sliced to 5.
+        # The merge may look one record ahead per topic, nothing more.
+        assert feed.last_poll_materialized <= 5 + 2
+        rest, _ = consumer.poll()
+        assert [r.seq for r in rest] == list(range(5, 100))
+
+    def test_small_batches_interleave_topics_in_seq_order(self):
+        feed = ChangeFeed()
+        consumer = feed.consumer("g")
+        for tid in range(9):
+            publish(feed, f"t{tid % 3}", tid // 3, tid)
+        seen: list[int] = []
+        while True:
+            records, _ = consumer.poll(limit=2)
+            if not records:
+                break
+            assert feed.last_poll_materialized <= 2 + 3
+            seen.extend(r.seq for r in records)
+        assert seen == list(range(9))
+
+
+class TestValueRoundTrip:
+    """REAL edge values survive the JSONL wire format -- as strict JSON."""
+
+    def publish_row(self, tmp_path, row):
+        directory = tmp_path / "feed"
+        with ChangeFeed(directory) as feed:
+            feed.publish_change("r", 0, row, "insert")
+        reopened = ChangeFeed(directory)
+        (record,) = reopened.records_upto(reopened.end_offsets())
+        return record.row
+
+    def test_non_finite_reals_round_trip(self, tmp_path):
+        row = (float("nan"), float("inf"), float("-inf"), 2.0, -0.0)
+        back = self.publish_row(tmp_path, row)
+        assert math.isnan(back[0])
+        assert back[1] == float("inf") and back[2] == float("-inf")
+        assert back[3] == 2.0 and type(back[3]) is float
+        assert str(back[4]) == "-0.0"
+
+    def test_lines_are_strict_json(self):
+        record = FeedRecord(
+            seq=0,
+            topic="r",
+            offset=0,
+            kind="change",
+            tid=0,
+            row=(float("nan"), float("inf"), "x", None, True, 7),
+            op="insert",
+        )
+        line = record.to_json()
+        # A strict foreign parser must never see the non-standard
+        # ``NaN`` / ``Infinity`` tokens (json.loads only calls
+        # parse_constant for exactly those).
+        def reject(token):
+            raise AssertionError(f"non-standard JSON token {token!r}")
+
+        json.loads(line, parse_constant=reject)
+        back = FeedRecord.from_json(line)
+        assert math.isnan(back.row[0]) and back.row[1:] == record.row[1:]
+
+    def test_unknown_wrapper_is_rejected(self):
+        line = (
+            '{"seq":0,"topic":"r","offset":0,"kind":"change",'
+            '"tid":0,"row":[{"$f":"wat"}],"op":"insert"}'
+        )
+        with pytest.raises(FeedError):
+            FeedRecord.from_json(line)
+
+
+class TestLazyOpen:
+    """Opening a durable feed parses no record bodies."""
+
+    def build(self, directory, records=10, segment_records=3):
+        with ChangeFeed(directory, segment_records=segment_records) as feed:
+            for tid in range(records):
+                publish(feed, "r", tid, tid)
+
+    def test_end_offsets_only_open_parses_no_bodies(self, tmp_path, monkeypatch):
+        directory = tmp_path / "feed"
+        self.build(directory)
+
+        def forbid(line):
+            raise AssertionError(f"parsed a record body: {line!r}")
+
+        monkeypatch.setattr(FeedRecord, "from_json", staticmethod(forbid))
+        reopened = ChangeFeed(directory, segment_records=3)
+        assert reopened.end_offsets() == {"r": 10}
+        assert reopened.resident_records() == 0
+
+    def test_open_keeps_only_the_active_tail_resident(self, tmp_path):
+        directory = tmp_path / "feed"
+        self.build(directory, records=10, segment_records=3)
+        reopened = ChangeFeed(directory, segment_records=3)
+        consumer = reopened.consumer("g", start="beginning")
+        records, _ = consumer.poll()
+        assert [r.tid for r in records] == list(range(10))
+        # Tail (1 record) + the sealed-segment LRU; never the full 10.
+        assert reopened.resident_records() <= 1 + 3 * reopened._cache.capacity
+
+    def test_streaming_replay_is_segment_bounded(self, tmp_path):
+        # The acceptance bar: over a history of >= 16 sealed segments,
+        # replaying retains at most 2x segment_records records.
+        directory = tmp_path / "feed"
+        self.build(directory, records=51, segment_records=3)
+        reopened = ChangeFeed(directory, segment_records=3)
+        (topic,) = reopened.topics()
+        assert topic.segments - 1 >= 16  # sealed segments
+        tids = [r.tid for r in reopened.iter_records()]
+        assert tids == list(range(51))
+        # Streaming holds one segment chunk (3) at a time, never the
+        # LRU, never the history.
+        assert reopened.peak_resident_records <= 2 * 3
+
+    def test_next_seq_recovered_lazily(self, tmp_path):
+        directory = tmp_path / "feed"
+        self.build(directory, records=5)
+        reopened = ChangeFeed(directory, segment_records=3)
+        assert reopened.next_seq == 5
+        publish(reopened, "r", 9, 9)
+        assert reopened.end_offsets() == {"r": 6}
+        reopened.close()
+
+
+class TestLiveTailing:
+    """A reader instance sees the writer's flushed appends on poll."""
+
+    def test_reader_sees_appends_made_after_open(self, tmp_path):
+        directory = tmp_path / "feed"
+        writer = ChangeFeed(directory)
+        reader = ChangeFeed(directory)
+        consumer = reader.consumer("follower", start="beginning")
+        assert consumer.poll() == ([], False)
+        publish(writer, "r", 0, 0)
+        writer.flush()
+        records, lost = consumer.poll()
+        assert not lost and [r.tid for r in records] == [0]
+        publish(writer, "r", 1, 1)
+        publish(writer, "s", 0, 5)  # a topic born after the reader opened
+        writer.flush()
+        records, _ = consumer.poll()
+        assert [(r.topic, r.tid) for r in records] == [("r", 1), ("s", 0)]
+        writer.close()
+        reader.close()
+
+    def test_reader_follows_rotation(self, tmp_path):
+        directory = tmp_path / "feed"
+        writer = ChangeFeed(directory, segment_records=2)
+        reader = ChangeFeed(directory, segment_records=2)
+        consumer = reader.consumer("follower", start="beginning")
+        for tid in range(5):
+            publish(writer, "r", tid, tid)
+        writer.flush()
+        records, _ = consumer.poll()
+        assert [r.tid for r in records] == [0, 1, 2, 3, 4]
+        assert reader.end_offsets() == {"r": 5}
+        writer.close()
+        reader.close()
+
+    def test_lag_refreshes_without_polling(self, tmp_path):
+        directory = tmp_path / "feed"
+        writer = ChangeFeed(directory)
+        reader = ChangeFeed(directory)
+        consumer = reader.consumer("follower", start="beginning")
+        assert consumer.lag == 0
+        publish(writer, "r", 0, 0)
+        writer.flush()
+        assert consumer.lag == 1
+        writer.close()
+        reader.close()
+
+    def test_schema_version_follows_ddl(self, tmp_path):
+        directory = tmp_path / "feed"
+        writer = ChangeFeed(directory)
+        reader = ChangeFeed(directory)
+        reader.consumer("follower", start="beginning")
+        writer.publish_schema("create_table", "r", {"name": "r"})
+        writer.flush()
+        reader.refresh()
+        assert reader.schema_version == 1
+        writer.close()
+        reader.close()
+
+    def test_reader_ignores_a_partially_flushed_line(self, tmp_path):
+        directory = tmp_path / "feed"
+        writer = ChangeFeed(directory)
+        consumer_side = ChangeFeed(directory)
+        consumer = consumer_side.consumer("follower", start="beginning")
+        publish(writer, "r", 0, 0)
+        writer.flush()
+        consumer.poll()
+        # Simulate a half-flushed append from the writer's buffer.
+        segment = directory / "topics" / "r" / "000000000000.jsonl"
+        whole = FeedRecord(
+            seq=1, topic="r", offset=1, kind="change", tid=1, row=(1,), op="insert"
+        ).to_json()
+        with open(segment, "a", encoding="utf-8") as handle:
+            handle.write(whole[: len(whole) // 2])
+        assert consumer.poll() == ([], False)  # incomplete line invisible
+        with open(segment, "a", encoding="utf-8") as handle:
+            handle.write(whole[len(whole) // 2 :] + "\n")
+        records, _ = consumer.poll()
+        assert [r.tid for r in records] == [1]
+        writer.close()
+        consumer_side.close()
+
+    def test_writer_instances_do_not_rescan(self, tmp_path):
+        directory = tmp_path / "feed"
+        writer = ChangeFeed(directory)
+        publish(writer, "r", 0, 0)
+        assert writer.refresh() is False  # the writer's memory is truth
+        writer.close()
+
+
+class TestRetentionTruncation:
+    """``retention="truncate"``: sealed segments die once consumed."""
+
+    def build(self, directory, records=6, **kwargs):
+        feed = ChangeFeed(
+            directory, segment_records=2, retention="truncate", **kwargs
+        )
+        consumer = feed.consumer("g", start="beginning")
+        for tid in range(records):
+            publish(feed, "r", tid, tid)
+        return feed, consumer
+
+    def test_sealed_segments_are_deleted_once_the_group_passes(self, tmp_path):
+        directory = tmp_path / "feed"
+        feed, consumer = self.build(directory)
+        consumer.poll()
+        consumer.commit()
+        (topic,) = [t for t in feed.topics() if t.name == "r"]
+        assert topic.start == 4  # only the newest segment survives
+        names = sorted(p.name for p in (directory / "topics" / "r").glob("*"))
+        assert names == ["000000000004.jsonl"]
+        manifest = json.loads((directory / MANIFEST).read_text())
+        assert manifest["topics"]["r"]["base"] == 4
+        assert manifest["topics"]["r"]["segments"] == ["000000000004.jsonl"]
+        feed.close()
+
+    def test_truncation_waits_for_the_slowest_group(self, tmp_path):
+        directory = tmp_path / "feed"
+        feed, fast = self.build(directory)
+        slow = feed.consumer("slow", start="beginning")
+        fast.poll()
+        fast.commit()
+        (topic,) = [t for t in feed.topics() if t.name == "r"]
+        assert topic.start == 0  # "slow" still needs the prefix
+        slow.poll()
+        slow.commit()
+        (topic,) = [t for t in feed.topics() if t.name == "r"]
+        assert topic.start == 4
+        feed.close()
+
+    def test_truncated_prefix_is_no_longer_retained(self, tmp_path):
+        directory = tmp_path / "feed"
+        feed, consumer = self.build(directory)
+        consumer.poll()
+        consumer.commit()
+        with pytest.raises(FeedError, match="no longer retained"):
+            feed.records_upto({"r": 6})
+        feed.close()
+
+    def test_keep_policy_never_deletes(self, tmp_path):
+        directory = tmp_path / "feed"
+        feed = ChangeFeed(directory, segment_records=2)  # default "keep"
+        consumer = feed.consumer("g", start="beginning")
+        for tid in range(6):
+            publish(feed, "r", tid, tid)
+        consumer.poll()
+        consumer.commit()
+        assert len(list((directory / "topics" / "r").glob("*.jsonl"))) == 3
+        feed.close()
+
+    def test_truncation_races_a_reattaching_group(self, tmp_path):
+        # A group registered by another instance *before* truncation
+        # runs must hold the segments -- registration writes the
+        # consumers/ file at attach time, not first commit.
+        directory = tmp_path / "feed"
+        feed, consumer = self.build(directory)
+        feed.flush()
+        reader = ChangeFeed(directory)
+        late = reader.consumer("late", start="beginning")
+        consumer.poll()
+        consumer.commit()  # would truncate -- but "late" is on disk at 0
+        assert len(list((directory / "topics" / "r").glob("*.jsonl"))) == 3
+        records, lost = late.poll()
+        assert not lost and [r.tid for r in records] == list(range(6))
+        feed.close()
+        reader.close()
+
+    def test_group_attaching_after_truncation_finds_history_gone(self, tmp_path):
+        directory = tmp_path / "feed"
+        feed, consumer = self.build(directory)
+        consumer.poll()
+        consumer.commit()  # truncates [0, 4)
+        feed.flush()
+        reader = ChangeFeed(directory)
+        late = reader.consumer("late", start="beginning")
+        assert late.lost  # offsets [0, 4) are gone
+        records, lost = late.poll()
+        assert lost and records == []
+        with pytest.raises(FeedError, match="no longer retained"):
+            reader.records_upto({"r": 6})
+        feed.close()
+        reader.close()
+
+    def test_snapshot_is_the_groups_retention_floor(self, tmp_path):
+        directory = tmp_path / "feed"
+        feed, consumer = self.build(directory)
+        consumer.poll(limit=2)
+        consumer.commit()
+        consumer.store_snapshot({"state": "at-2"})
+        consumer.poll()
+        consumer.commit()  # committed 6, but the snapshot pins offset 2
+        names = sorted(p.name for p in (directory / "topics" / "r").glob("*"))
+        assert names == [
+            "000000000002.jsonl",
+            "000000000004.jsonl",
+        ]  # [0, 2) reclaimed; [2, 6) held for snapshot recovery
+        committed, payload = consumer.load_snapshot()
+        assert committed == {"r": 2} and payload == {"state": "at-2"}
+        # The snapshot gap replays fine.
+        assert [r.tid for r in feed.iter_records(start=committed)] == [
+            2, 3, 4, 5,
+        ]
+        feed.close()
+
+    def test_snapshots_need_a_named_durable_group(self, tmp_path):
+        feed = ChangeFeed()
+        consumer = feed.consumer("g")
+        with pytest.raises(FeedError, match="durable"):
+            consumer.store_snapshot({})
+        durable = ChangeFeed(tmp_path / "feed")
+        anonymous = durable.consumer()
+        with pytest.raises(FeedError, match="named group"):
+            anonymous.store_snapshot({})
+        durable.close()
+
+    def test_drop_group_releases_the_retention_hold(self, tmp_path):
+        directory = tmp_path / "feed"
+        feed, consumer = self.build(directory)
+        feed.consumer("stuck", start="beginning")
+        consumer.poll()
+        consumer.commit()
+        assert len(list((directory / "topics" / "r").glob("*.jsonl"))) == 3
+        feed.drop_group("stuck")
+        assert not (directory / "consumers" / "stuck.json").exists()
+        feed.truncate()
+        assert len(list((directory / "topics" / "r").glob("*.jsonl"))) == 1
+        feed.close()
+
+    def test_writer_rotation_does_not_resurrect_truncated_segments(
+        self, tmp_path
+    ):
+        # Truncation may run in a *consumer* process; when the writer
+        # next rotates (and stores its manifest) it must fold that
+        # truncation in rather than resurrect the deleted names.
+        directory = tmp_path / "feed"
+        writer = ChangeFeed(directory, segment_records=2)
+        for tid in range(6):
+            publish(writer, "r", tid, tid)
+        writer.flush()
+        consumer_side = ChangeFeed(directory, retention="truncate")
+        consumer = consumer_side.consumer("g", start="beginning")
+        consumer.poll()
+        consumer.commit()  # truncates [0, 4) from the consumer process
+        manifest = json.loads((directory / MANIFEST).read_text())
+        assert manifest["topics"]["r"]["base"] == 4
+        for tid in range(6, 9):  # the writer rotates twice more
+            publish(writer, "r", tid, tid)
+        writer.flush()
+        manifest = json.loads((directory / MANIFEST).read_text())
+        assert manifest["topics"]["r"]["base"] == 4
+        assert manifest["topics"]["r"]["segments"] == [
+            "000000000004.jsonl",
+            "000000000006.jsonl",
+            "000000000008.jsonl",
+        ]
+        records, _ = consumer.poll()
+        assert [r.tid for r in records] == [6, 7, 8]
+        writer.close()
+        consumer_side.close()
+
+    def test_writer_side_cursor_observes_foreign_truncation_as_lost(
+        self, tmp_path
+    ):
+        # A writer process never re-scans the manifest, so a truncation
+        # performed by a consumer process can delete sealed segments an
+        # in-writer ephemeral cursor (invisible to the foreign floor
+        # scan) still needs.  That must surface as the ordinary
+        # ``lost`` fallback -- not a FeedError out of every poll.
+        directory = tmp_path / "feed"
+        writer = ChangeFeed(directory, segment_records=2)
+        stale = writer.consumer()  # ephemeral, at offset 0, never on disk
+        for tid in range(6):
+            publish(writer, "r", tid, tid)
+        writer.flush()
+        # Age the writer's resident copies out so the poll must go to
+        # disk: the LRU holds the rotation-time segments.
+        writer._cache.clear()
+        foreign = ChangeFeed(directory, retention="truncate")
+        consumer = foreign.consumer("g", start="beginning")
+        consumer.poll()
+        consumer.commit()  # deletes the sealed segments
+        foreign.close()
+
+        records, lost = stale.poll()
+        assert lost and records == []
+        publish(writer, "r", 9, 9)
+        writer.flush()
+        records, lost = stale.poll()
+        assert not lost and [r.tid for r in records] == [9]
+        writer.close()
+
+    def test_crash_during_truncation_leaves_a_repairable_manifest(
+        self, tmp_path, monkeypatch
+    ):
+        from pathlib import Path
+
+        directory = tmp_path / "feed"
+        feed, consumer = self.build(directory)
+        consumer.poll()
+        consumer.commit()  # commit triggers truncation...
+        feed.close()
+
+        # ...but simulate the crash *between* the manifest write and the
+        # unlinks by re-creating the deleted segment files from a copy.
+        untruncated = tmp_path / "copy"
+        feed2, consumer2 = self.build(untruncated)
+        feed2.flush()
+        for path in sorted((untruncated / "topics" / "r").glob("*.jsonl")):
+            target = directory / "topics" / "r" / path.name
+            if not target.exists():
+                target.write_bytes(path.read_bytes())
+        feed2.close()
+        assert len(list((directory / "topics" / "r").glob("*.jsonl"))) == 3
+
+        # Reopen: the manifest is authoritative; the orphans are swept.
+        reopened = ChangeFeed(directory, segment_records=2)
+        assert reopened.end_offsets() == {"r": 6}
+        names = sorted(p.name for p in (directory / "topics" / "r").glob("*"))
+        assert names == ["000000000004.jsonl"]
+        resumed = reopened.consumer("g")
+        assert resumed.committed == {"r": 6}
+        publish(reopened, "r", 9, 9)  # appends continue past the repair
+        assert reopened.end_offsets() == {"r": 7}
+        reopened.close()
 
 
 class TestEphemeralGroups:

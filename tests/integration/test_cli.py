@@ -113,6 +113,112 @@ class TestShellCommands:
         assert "2 consistent answers" in output  # ann(10) recovered
 
 
+class TestDurableShell:
+    def test_durable_shell_restores_and_feed_reports_directory(self, tmp_path):
+        directory = str(tmp_path / "db")
+        out = io.StringIO()
+        shell = HippoShell(out=out, durable=directory)
+        shell.run(
+            [
+                "CREATE TABLE t (a INTEGER);",
+                "INSERT INTO t VALUES (1), (2);",
+                ".feed",
+            ]
+        )
+        shell.db.changes.feed.close()
+        assert f"durable at {directory}" in out.getvalue()
+
+        out2 = io.StringIO()
+        restored = HippoShell(out=out2, durable=directory)
+        restored.run(["SELECT a FROM t ORDER BY a;"])
+        restored.db.changes.feed.close()
+        assert "(2 rows)" in out2.getvalue()
+
+    def test_durable_shell_flushes_acknowledged_statements_on_error(
+        self, tmp_path
+    ):
+        # A failing statement mid-batch must not strand the earlier,
+        # already-acknowledged ones in the userspace buffer.
+        from repro.engine.feed import ChangeFeed
+
+        directory = str(tmp_path / "db")
+        out = io.StringIO()
+        shell = HippoShell(out=out, durable=directory)
+        shell.run(
+            [
+                "CREATE TABLE t (a INTEGER);",
+                "INSERT INTO t VALUES (1); INSERT INTO t VALUES ('x');",
+            ]
+        )
+        assert "ok (1 rows affected)" in out.getvalue()
+        assert "error:" in out.getvalue()
+        # A concurrent reader (not a reopen) sees the acknowledged row.
+        reader = ChangeFeed(directory)
+        records, _ = reader.consumer("probe", start="beginning").poll()
+        assert [(r.topic, r.kind) for r in records] == [
+            ("_schema", "create_table"),
+            ("t", "change"),
+        ]
+        reader.close()
+        shell.db.changes.feed.close()
+
+    def test_main_parses_durable_flag(self, tmp_path):
+        directory = str(tmp_path / "db")
+        script = tmp_path / "setup.sql"
+        script.write_text("CREATE TABLE t (a INTEGER);\nINSERT INTO t VALUES (7);\n")
+        assert main([str(script), "--durable", directory]) == 0
+        # The mutations landed in the feed directory.
+        assert (tmp_path / "db" / "manifest.json").exists()
+
+    def test_feed_tail_follows_another_processs_feed(self, tmp_path):
+        directory = str(tmp_path / "db")
+        writer_out = io.StringIO()
+        writer = HippoShell(out=writer_out, durable=directory)
+        # No explicit flush: a durable shell makes every statement batch
+        # durable on its own, or a concurrent tail would see nothing.
+        writer.run(
+            [
+                "CREATE TABLE emp (name TEXT, salary INTEGER);",
+                "INSERT INTO emp VALUES ('ann', 10), ('ann', 20), ('bob', 5);",
+            ]
+        )
+
+        out = io.StringIO()
+        tailer = HippoShell(out=out)
+        tailer.run(
+            [
+                ".constraint FD emp: name -> salary",
+                f".feed tail {directory} 0.2",
+            ]
+        )
+        text = out.getvalue()
+        assert "4 records" in text  # schema + 3 rows streamed in live
+        assert "1 edges" in text and "2 conflicting tuples" in text
+        # The inspection tail left no consumer-group state behind.
+        consumers = tmp_path / "db" / "consumers"
+        leftovers = (
+            [p.name for p in consumers.glob("cli-tail*")]
+            if consumers.exists()
+            else []
+        )
+        assert leftovers == []
+        writer.db.changes.feed.close()
+
+    def test_feed_tail_usage_message(self):
+        output = run_shell(".feed tail")
+        assert "usage: .feed tail" in output
+
+    def test_feed_tail_rejects_bad_seconds(self, tmp_path):
+        output = run_shell(f".feed tail {tmp_path} 2s")
+        assert "usage: .feed tail" in output
+
+    def test_feed_tail_refuses_a_missing_feed(self, tmp_path):
+        missing = tmp_path / "typo"
+        output = run_shell(f".feed tail {missing} 0.1")
+        assert "no change feed at" in output
+        assert not missing.exists()  # the tail must not fabricate one
+
+
 class TestMultiLineStatements:
     def test_insert_spanning_lines(self):
         output = run_shell(

@@ -3,9 +3,11 @@
 A :class:`~repro.conflicts.replica.ReplicaHypergraph` replaying a
 randomized DML sequence from the durable feed must equal full
 re-detection at **every commit point** -- after each bounded ``sync``,
-after fully catching up with the primary, and after a simulated process
+after fully catching up with the primary, after a simulated process
 restart (a fresh feed instance on the same directory, re-attached from
-the group's committed offsets).
+the group's committed offsets), for a *reader* feed instance that
+attached before the writer appended anything (live tailing), and across
+retention truncation + snapshot recovery.
 """
 
 from __future__ import annotations
@@ -121,3 +123,59 @@ def test_replica_equals_full_detection_at_every_cut(
     primary_full = detect_conflicts(db, constraints)
     assert replica.graph.as_dict() == primary_full.hypergraph.as_dict()
     feed.close()
+
+
+@settings(max_examples=12, deadline=None)
+@given(sequence=ops, stride=strides, checkpoint_after=restarts)
+def test_live_reader_with_truncation_equals_full_detection(
+    tmp_path_factory, sequence, stride, checkpoint_after
+):
+    """The cross-process shape: a reader feed instance attached *before*
+    the writer appends tails it live, stays exact at every cut, survives
+    retention truncation (its checkpoints are the recovery points), and
+    re-attaches exactly after a restart."""
+    directory = tmp_path_factory.mktemp("feed") / "segments"
+    constraints = constraint_set()
+    writer = ChangeFeed(directory, segment_records=4)
+    # The *reader* instance runs the truncating compaction: its commits
+    # are the only ones that move the retention floor here.
+    reader = ChangeFeed(directory, segment_records=4, retention="truncate")
+    replica = ReplicaHypergraph(reader, constraints, group="replica")
+    assert not replica.ready  # attached before any append
+
+    db = Database(feed=writer)
+    db.execute("CREATE TABLE p (id INTEGER)")
+    db.execute("CREATE TABLE c (id INTEGER, pid INTEGER, v INTEGER)")
+    db.execute("INSERT INTO p VALUES (0), (1)")
+    db.execute("INSERT INTO c VALUES (0, 0, 2), (1, 5, 2), (2, 1, 0)")
+    synced = 0
+    for step in sequence:
+        run_step(db, step)
+        writer.flush()
+        while replica.lag:  # live tailing: the reader re-scans on poll
+            replica.sync(limit=stride)
+            synced += 1
+            assert_exact_at_cut(replica)
+            if synced == checkpoint_after:
+                # The checkpoint lets later commits truncate the prefix.
+                replica.checkpoint()
+
+    # Fully caught up: the replica mirrors the primary exactly.
+    for name in db.catalog.table_names():
+        assert dict(replica.db.table(name).items()) == dict(
+            db.table(name).items()
+        )
+    primary_full = detect_conflicts(db, constraints)
+    assert replica.graph.as_dict() == primary_full.hypergraph.as_dict()
+
+    # Restart after (possible) truncation: the snapshot written on
+    # close is the recovery point; the re-attached replica must come
+    # back exactly where it left off.
+    before = replica.graph.as_dict()
+    replica.close()
+    reader.close()
+    writer.close()
+    reopened = ChangeFeed(directory, segment_records=4, retention="truncate")
+    resumed = ReplicaHypergraph(reopened, constraints, group="replica")
+    assert resumed.graph.as_dict() == before
+    reopened.close()

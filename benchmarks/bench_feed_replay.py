@@ -236,6 +236,103 @@ def test_bootstrap_memory_is_bounded_by_the_segment_size(tmp_path):
     )
 
 
+#: The compaction gate's shape: a few topics, each several sealed
+#: segments long, with a slow consumer group stuck half-way through the
+#: middle sealed segment of every topic -- the workload that pins whole
+#: segments under ``retention="truncate"`` but not under ``"compact"``.
+COMPACT_SEGMENT_RECORDS = 8
+COMPACT_TABLES = 3
+COMPACT_ROUNDS = 24  # records per topic: 3 segments of 8
+COMPACT_SUFFIX = 5  # records published after the writer checkpoint
+
+
+def feed_bytes(directory: Path) -> int:
+    """On-disk bytes of every segment file under a feed directory."""
+    return sum(
+        p.stat().st_size for p in directory.glob("topics/*/*.jsonl")
+    )
+
+
+def build_compaction_history(directory: Path):
+    """A durable database over several topics, checkpointed, with a
+    registered slow group still at offset 0.  Returns
+    ``(feed, db, checkpoint_cut, slow_consumer)``."""
+    feed = ChangeFeed(
+        directory, segment_records=COMPACT_SEGMENT_RECORDS, retention="compact"
+    )
+    db = Database(feed=feed)
+    for t in range(COMPACT_TABLES):
+        db.execute(f"CREATE TABLE r{t} (a INTEGER)")
+    for i in range(COMPACT_ROUNDS):  # round-robin: seqs interleave topics
+        for t in range(COMPACT_TABLES):
+            db.execute(f"INSERT INTO r{t} VALUES ({i})")
+    slow = feed.consumer("slow", start="beginning")  # pins offset 0
+    cut = db.checkpoint()
+    for i in range(COMPACT_SUFFIX):  # the retained suffix a reopen replays
+        db.execute(f"INSERT INTO r0 VALUES ({100 + i})")
+    feed.flush()
+    return feed, db, cut, slow
+
+
+def run_compaction_gate(directory: Path) -> dict:
+    """Drive the slow group half-way, compact, and reopen from snapshot.
+
+    Returns the before/after byte counts and the reopened database's
+    restore statistics.
+    """
+    feed, db, cut, slow = build_compaction_history(directory)
+    before = feed_bytes(directory)
+    # Half of each topic's consumed history sits mid-segment: commit at
+    # 12 of 24 records per topic (plus the schema records).
+    slow.poll(limit=COMPACT_TABLES + COMPACT_TABLES * COMPACT_ROUNDS // 2)
+    slow.commit()  # retention="compact" reclaims on this commit
+    after = feed_bytes(directory)
+    feed.close()
+
+    reopened_feed = ChangeFeed(
+        directory, segment_records=COMPACT_SEGMENT_RECORDS, retention="compact"
+    )
+    reopened = Database(feed=reopened_feed)
+    report = {
+        "before_bytes": before,
+        "after_bytes": after,
+        "ratio": after / before,
+        "restore_mode": reopened.restore_mode,
+        "restore_records": reopened.restore_records,
+        "suffix_records": sum(reopened_feed.end_offsets().values())
+        - sum(cut.values()),
+        "tables_equal": all(
+            dict(reopened.table(f"r{t}").items())
+            == dict(db.table(f"r{t}").items())
+            for t in range(COMPACT_TABLES)
+        ),
+    }
+    reopened_feed.close()
+    return report
+
+
+def test_compaction_reclaims_disk_and_reopen_replays_only_the_suffix(
+    tmp_path,
+):
+    """The compaction gate: after a slow group consumes half of each
+    sealed segment's history, compacted on-disk bytes drop below 60% of
+    the uncompacted log -- and a writer reopen restores from the
+    checkpoint snapshot, replaying exactly the post-checkpoint suffix."""
+    report = run_compaction_gate(tmp_path / "feed")
+    assert report["ratio"] < 0.60, (
+        f"compaction left {report['ratio']:.0%} of the log on disk"
+    )
+    assert report["restore_mode"] == "snapshot"
+    assert report["restore_records"] == COMPACT_SUFFIX
+    assert report["suffix_records"] == COMPACT_SUFFIX
+    assert report["tables_equal"]
+    print(
+        f"compaction gate: {report['before_bytes']} -> "
+        f"{report['after_bytes']} bytes ({report['ratio']:.0%}); "
+        f"snapshot reopen replayed {report['restore_records']} records"
+    )
+
+
 def main() -> int:  # pragma: no cover - convenience entry
     """Standalone run: durable-publish overhead, replay rate, direct apply.
 
@@ -324,6 +421,19 @@ def main() -> int:  # pragma: no cover - convenience entry
             f" peak resident {report['peak_resident']} records"
             f" (cap {2 * GATE_SEGMENT_RECORDS}),"
             f" tracemalloc peak {report['traced_peak_kib']:.0f} KiB"
+        )
+
+    # The compaction gate: a slow group mid-segment must not pin whole
+    # segments of disk, and a checkpointed writer reopens by replaying
+    # only the post-checkpoint suffix.
+    with tempfile.TemporaryDirectory() as tmp:
+        report = run_compaction_gate(Path(tmp) / "feed")
+        print(
+            f"compaction: {report['before_bytes']} ->"
+            f" {report['after_bytes']} bytes"
+            f" ({report['ratio']:.0%}, gate < 60%);"
+            f" snapshot reopen replayed {report['restore_records']}"
+            f" of the {report['suffix_records']}-record suffix"
         )
     return 0
 

@@ -21,6 +21,8 @@ Meta-commands (everything else is executed as SQL):
 ``.conflicts``         per-constraint stored / subsumed counts + detection mode
 ``.feed``              change-feed topics, offsets and per-consumer lag
 ``.feed tail DIR [S]`` live-tail another process's durable feed for S seconds
+``.feed compact``      reclaim consumed feed segments (truncate + rewrite)
+``.checkpoint``        store a writer recovery snapshot (durable shells)
 ``.consistent SQL``    consistent answers to a query
 ``.possible SQL``      possible answers (true in some repair)
 ``.cleaned SQL``       evaluate over the conflict-free sub-database
@@ -224,9 +226,21 @@ class HippoShell:
                     f"  {name}: {report.per_constraint[name]} stored{note}"
                 )
             return True
+        if command == ".checkpoint":
+            cut = self.db.checkpoint()
+            positions = ", ".join(
+                f"{name}={offset}" for name, offset in sorted(cut.items())
+            )
+            self._print(
+                "checkpoint stored"
+                + (f" (committed {positions})" if positions else " (empty)")
+            )
+            return True
         if command == ".feed":
             if argument.split(maxsplit=1)[:1] == ["tail"]:
                 return self._feed_tail(argument.split()[1:])
+            if argument == "compact":
+                return self._feed_compact()
             feed = self.db.changes.feed
             where = (
                 f"durable at {feed.directory}" if feed.durable else "in-memory"
@@ -327,6 +341,31 @@ class HippoShell:
             )
             return True
         self._print(f"unknown command {command!r}; try .help")
+        return True
+
+    def _feed_compact(self) -> bool:
+        """``.feed compact``: reclaim consumed segments on demand.
+
+        Runs segment compaction regardless of the feed's configured
+        retention policy: sealed segments every recovery participant has
+        passed are deleted, and the oldest partially-consumed sealed
+        segment is rewritten down to its surviving records.  The shell's
+        own writer registration caps what can be reclaimed -- run
+        ``.checkpoint`` first to move it.
+        """
+        feed = self.db.changes.feed
+        if not feed.durable:
+            self._print(
+                "error: compaction needs a durable feed"
+                " (start the shell with --durable DIR)"
+            )
+            return True
+        reclaimed = feed.compact()
+        if not reclaimed:
+            self._print("(nothing to reclaim)")
+            return True
+        for name, base in sorted(reclaimed.items()):
+            self._print(f"  topic {name}: reclaimed below offset {base}")
         return True
 
     def _feed_tail(self, arguments: list[str]) -> bool:

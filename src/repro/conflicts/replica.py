@@ -43,7 +43,10 @@ serialized copy of the replica database stored at a committed cut
 (:meth:`ReplicaHypergraph.checkpoint`, and automatically on
 :meth:`ReplicaHypergraph.close`).  Bootstrap then restores the snapshot
 and replays only the still-retained gap -- the feed never truncates
-past a group's snapshot, so the gap is always readable.
+past a group's snapshot, so the gap is always readable.  The snapshot
+wire format lives in :mod:`repro.engine.snapshot` and is shared with
+the durable writer's own checkpoints
+(:meth:`repro.engine.database.Database.checkpoint`).
 """
 
 from __future__ import annotations
@@ -55,16 +58,9 @@ from typing import Iterable, Optional, Sequence
 from repro.conflicts.detection import detect_conflicts
 from repro.conflicts.hypergraph import ConflictHypergraph
 from repro.conflicts.incremental import DeltaStats, IncrementalDetector
-from repro.engine.database import Database, apply_feed_record
-from repro.engine.feed import (
-    RECORD_CHANGE,
-    ChangeFeed,
-    FeedRecord,
-    decode_value,
-    deserialize_schema,
-    encode_value,
-    serialize_schema,
-)
+from repro.engine.database import WRITER_GROUP, Database, apply_feed_record
+from repro.engine.feed import RECORD_CHANGE, ChangeFeed, FeedRecord
+from repro.engine.snapshot import restore_database, snapshot_database
 from repro.errors import CatalogError, FeedError
 
 
@@ -163,29 +159,32 @@ class ReplicaHypergraph:
         topic resident at a time), so bootstrap memory is bounded by the
         replica database, not the feed history.  When retention
         truncated the prefix, the group's snapshot is restored first and
-        only the still-retained gap is replayed.
+        only the still-retained gap is replayed; a *fresh* group on a
+        feed whose prefix is already gone (it has no snapshot of its
+        own) seeds itself from the writer's checkpoint instead.
         """
         committed = self._consumer.committed
-        try:
-            # iter_records validates retention eagerly, but segment
-            # files are read lazily -- a truncation racing us can still
-            # surface as a FeedError mid-replay, so the whole replay is
-            # inside the fallback's try.
-            with self.db.changes.feed.suspended():
-                for record in self.feed.iter_records(upto=committed):
-                    apply_feed_record(self.db, record)
-        except FeedError:
-            snapshot = self._consumer.load_snapshot()
-            if snapshot is None:
-                raise
-            snap_committed, payload = snapshot
-            self.db = Database()  # discard the half-applied replay
-            with self.db.changes.feed.suspended():
-                self._restore_snapshot(payload)
-                for record in self.feed.iter_records(
-                    start=snap_committed, upto=committed
-                ):
-                    apply_feed_record(self.db, record)
+        if committed or not self._seed_from_writer_checkpoint():
+            try:
+                # iter_records validates retention eagerly, but segment
+                # files are read lazily -- a truncation racing us can
+                # still surface as a FeedError mid-replay, so the whole
+                # replay is inside the fallback's try.
+                with self.db.changes.feed.suspended():
+                    for record in self.feed.iter_records(upto=committed):
+                        apply_feed_record(self.db, record)
+            except FeedError:
+                snapshot = self._consumer.load_snapshot()
+                if snapshot is None:
+                    raise
+                snap_committed, payload = snapshot
+                self.db = Database()  # discard the half-applied replay
+                with self.db.changes.feed.suspended():
+                    restore_database(self.db, payload)
+                    for record in self.feed.iter_records(
+                        start=snap_committed, upto=committed
+                    ):
+                        apply_feed_record(self.db, record)
         try:
             self._full_detect()
         except CatalogError:
@@ -194,6 +193,34 @@ class ReplicaHypergraph:
             # carries that DDL) runs the deferred full detection.
             self._detector = None
             self._needs_full = True
+
+    def _seed_from_writer_checkpoint(self) -> bool:
+        """Bootstrap a brand-new group over an already-reclaimed feed.
+
+        A group with no committed offsets wants the history from offset
+        0 -- which retention may have reclaimed long before the group
+        existed.  The writer's checkpoint (kept in the feed directory,
+        and never truncated past) carries exactly the state at its cut:
+        restore it, commit the group at that cut, and consume the
+        retained records from there.  Returns whether seeding happened
+        (False on in-memory feeds, unreclaimed feeds, or when no writer
+        checkpoint exists -- the plain replay handles those).
+        """
+        if not self.feed.durable:
+            return False
+        # A reader instance's view can predate a foreign reclaim: judge
+        # replayability from the live directory, not stale memory.
+        self.feed.refresh()
+        if all(t.start == 0 for t in self.feed.topics()):
+            return False  # the full history is still replayable
+        seeded = self.feed.load_snapshot(WRITER_GROUP)
+        if seeded is None:
+            return False
+        cut, payload = seeded
+        restore_database(self.db, payload)
+        self._consumer.seek(cut)
+        self._consumer.commit()
+        return True
 
     def _full_detect(self) -> None:
         report = detect_conflicts(self.db, self.constraints, keep_raw=True)
@@ -215,33 +242,8 @@ class ReplicaHypergraph:
         Raises:
             FeedError: on an in-memory feed (nothing durable to bind to).
         """
-        self._consumer.store_snapshot(self._snapshot_payload())
+        self._consumer.store_snapshot(snapshot_database(self.db))
         self._since_checkpoint = 0
-
-    def _snapshot_payload(self) -> dict:
-        """The replica database, serialized (schemas + rows with tids)."""
-        tables = []
-        for name in self.db.catalog.table_names():
-            table = self.db.table(name)
-            tables.append(
-                {
-                    "schema": serialize_schema(table.schema),
-                    "rows": [
-                        [tid, [encode_value(v) for v in row]]
-                        for tid, row in table.items()
-                    ],
-                }
-            )
-        return {"tables": tables}
-
-    def _restore_snapshot(self, payload: dict) -> None:
-        """Rebuild the replica database from a snapshot payload."""
-        for entry in payload.get("tables", []):
-            schema = deserialize_schema(entry["schema"])
-            self.db.catalog.create_table(schema)
-            table = self.db.table(entry["schema"]["name"])
-            for tid, row in entry.get("rows", []):
-                table.restore(int(tid), tuple(decode_value(v) for v in row))
 
     # ----------------------------------------------------------- consuming
 

@@ -26,10 +26,12 @@ makes the whole stream crash-safe and replayable by other processes
   ``lost=True``, telling the consumer to fall back to full re-detection
   (the escape hatch is always correct, just slower).  Durable feeds
   never lose an unconsumed record: segments are the retention, only the
-  active tail stays resident, and with ``retention="truncate"`` sealed
-  segments are deleted once every registered group has passed them --
-  cursors whose history was truncated report ``lost`` and fall back the
-  same way.
+  active tail stays resident, and with ``retention="truncate"`` (or
+  ``"compact"``, which additionally rewrites partially-consumed sealed
+  segments down to their surviving records) sealed history is reclaimed
+  once every registered recovery participant -- the durable writer's
+  checkpoint included -- has passed it; cursors whose history was
+  reclaimed report ``lost`` and fall back the same way.
 * **DDL rides the feed.**  CREATE/DROP TABLE bump ``schema_version``
   and (when anyone is listening) publish serialized schemas on the
   ``_schema`` topic, which is what lets a replica rebuild the database

@@ -17,6 +17,7 @@ from repro.engine.feed import (
     RECORD_CREATE_TABLE,
     RECORD_DROP_TABLE,
     ChangeFeed,
+    FeedConsumer,
     FeedRecord,
     deserialize_schema,
 )
@@ -24,12 +25,21 @@ from repro.engine.expressions import ExpressionCompiler, Scope
 from repro.engine.plan import Filter, Scan, run_plan
 from repro.engine.planner import Planner
 from repro.engine.schema import Column, TableSchema
+from repro.engine.snapshot import restore_database, snapshot_database
 from repro.engine.stats import ExecutionStats
 from repro.engine.storage import Table
 from repro.engine.types import SQLType, SQLValue, type_from_name
-from repro.errors import CatalogError, ExecutionError
+from repro.errors import CatalogError, ExecutionError, FeedRetentionError
 from repro.sql import ast
 from repro.sql.parser import parse_script, parse_statement
+
+#: The consumer-group name under which a durable database's writer
+#: registers itself as a retention participant.  Its latest checkpoint
+#: (snapshot of catalog + tables bound to a committed cut) is the
+#: writer's *recovery point*: retention never reclaims past it, and
+#: before the first checkpoint the registration pins the whole history
+#: -- a writer can never truncate records it would need to reopen.
+WRITER_GROUP = "__writer__"
 
 
 @dataclass
@@ -76,52 +86,166 @@ class Database:
         durable: a directory path; when given, every mutation (DDL and
             DML) is appended to a crash-safe partitioned change feed
             there, and opening the same directory again **restores** the
-            database by replaying the feed.
+            database -- from the writer's latest :meth:`checkpoint`
+            snapshot plus a replay of the retained suffix when one
+            exists, by full replay otherwise.
         feed: an explicit :class:`~repro.engine.feed.ChangeFeed` to
             publish to (mutually exclusive with ``durable``); if it
             already holds history, the database is restored from it.
+        retention: forwarded to the feed ``durable`` creates (``"keep"``
+            / ``"truncate"`` / ``"compact"``); only valid with
+            ``durable``.
+        checkpoint_records: when set, automatically :meth:`checkpoint`
+            once at least this many new feed records have been published
+            since the last one (checked after each executed statement
+            and bulk insert); needs a durable feed.
     """
 
     def __init__(
         self,
         durable: Optional[str] = None,
         feed: Optional[ChangeFeed] = None,
+        retention: Optional[str] = None,
+        checkpoint_records: Optional[int] = None,
     ) -> None:
         if durable is not None and feed is not None:
             raise ExecutionError("pass either durable= or feed=, not both")
         if feed is None and durable is not None:
-            feed = ChangeFeed(directory=durable)
+            feed = ChangeFeed(
+                directory=durable,
+                **({} if retention is None else {"retention": retention}),
+            )
+        elif retention is not None:
+            raise ExecutionError("retention= requires durable=")
         #: row-mutation feed consumed by incremental conflict detection;
         #: an in-memory feed buffers nothing until a cursor is opened.
         self.changes = ChangeLog(feed=feed) if feed is not None else ChangeLog()
+        if checkpoint_records is not None and not self.changes.feed.durable:
+            raise ExecutionError("checkpoint_records= needs a durable feed")
         self.catalog = Catalog(self.changes)
         self.stats = ExecutionStats()
         # index name (lower) -> (table name, column names) for diagnostics.
         self._indexes: dict[str, tuple[str, tuple[str, ...]]] = {}
+        self.checkpoint_records = checkpoint_records
+        #: how the last open recovered state: "fresh" (no history),
+        #: "replay" (full feed replay) or "snapshot" (writer checkpoint
+        #: + retained-suffix replay) -- and how many feed records that
+        #: recovery replayed (the suffix only, under "snapshot").
+        self.restore_mode = "fresh"
+        self.restore_records = 0
         if self.changes.feed.has_history:
             self._restore_from_feed()
+        #: the writer's registration as a retention participant (durable
+        #: feeds only): until the first checkpoint it pins offset 0
+        #: everywhere, so the writer's own (or a foreign) retention
+        #: policy can never delete history the writer still needs.
+        self._writer: Optional[FeedConsumer] = None
+        if self.changes.feed.durable:
+            self._writer = self.changes.feed.consumer(
+                WRITER_GROUP, start="beginning"
+            )
+        self._checkpoint_seq = (
+            self.changes.end if checkpoint_records is not None else 0
+        )
 
     # ------------------------------------------------------------ durability
 
-    def _restore_from_feed(self) -> None:
-        """Rebuild catalog + tables by replaying the feed's history.
+    def checkpoint(self) -> dict[str, int]:
+        """Persist a writer recovery snapshot at the current feed end.
 
-        The history is *streamed* (one segment per topic resident at a
-        time), so restoring a database over a long feed costs memory
-        proportional to the database, not to every write ever made.
-        Publishing is suspended during replay: recovery must not append
-        its own history back onto the feed.
+        The snapshot (catalog + tables with tids, the replica snapshot
+        format from :mod:`repro.engine.snapshot`) is stored under the
+        :data:`WRITER_GROUP` registration and becomes the writer's
+        recovery point: reopening the directory restores it and replays
+        only the records published after it, and retention may now
+        reclaim sealed segments below it.  Write order is crash-safe --
+        the snapshot lands on disk *before* the registration's floor
+        moves, so a crash in between merely retains more than strictly
+        necessary.
+
+        Returns the committed cut (offset per topic) the snapshot is
+        bound to.
 
         Raises:
-            FeedError: when retention truncated part of the history --
-                a truncated feed can no longer restore a database by
-                replay alone (replicas recover through their group
-                snapshots instead; see ``repro.conflicts.replica``).
+            ExecutionError: on a non-durable database.
         """
         feed = self.changes.feed
+        if self._writer is None:
+            raise ExecutionError("checkpoint() needs a durable database")
+        feed.flush()
+        committed = feed.end_offsets()
+        feed.store_snapshot(WRITER_GROUP, committed, snapshot_database(self))
+        # Only now advance the registered floor (and give retention a
+        # chance to reclaim what the new snapshot just released).
+        self._writer.seek_to_end()
+        self._checkpoint_seq = self.changes.end
+        return committed
+
+    def _maybe_checkpoint(self) -> None:
+        if self._writer is None or self.checkpoint_records is None:
+            return
+        if self.changes.end - self._checkpoint_seq >= self.checkpoint_records:
+            self.checkpoint()
+
+    def _restore_from_feed(self) -> None:
+        """Rebuild catalog + tables from the feed's durable history.
+
+        With a writer checkpoint on disk, recovery restores the snapshot
+        and replays only the suffix published after it; otherwise the
+        whole history is replayed.  Either way the replay is *streamed*
+        (one segment per topic resident at a time), so restoring a
+        database over a long feed costs memory proportional to the
+        database, not to every write ever made.  Publishing is suspended
+        during replay: recovery must not append its own history back
+        onto the feed.
+
+        Raises:
+            FeedRetentionError: when retention reclaimed part of the
+                history and no writer checkpoint covers it -- the
+                directory belonged to a writer that never called
+                :meth:`checkpoint` (or whose :data:`WRITER_GROUP`
+                registration was dropped) while something else truncated
+                the feed.
+        """
+        feed = self.changes.feed
+        snapshot = feed.load_snapshot(WRITER_GROUP)
+        if snapshot is None:
+            try:
+                self.restore_records = self._replay(None)
+                self.restore_mode = "replay"
+                return
+            except FeedRetentionError as exc:
+                # A reclaim can race the replay (another process's
+                # retention); re-check for a checkpoint before giving
+                # up, on a fresh catalog (the replay half-applied).
+                snapshot = feed.load_snapshot(WRITER_GROUP)
+                if snapshot is None:
+                    raise FeedRetentionError(
+                        f"cannot restore the database at {feed.directory}:"
+                        " retention reclaimed part of its history and no"
+                        " writer checkpoint covers it (see"
+                        " Database.checkpoint())"
+                    ) from exc
+                self.catalog = Catalog(self.changes)
+                self._indexes.clear()
+        self.restore_records = self._replay(snapshot)
+        self.restore_mode = "snapshot"
+
+    def _replay(self, snapshot: Optional[tuple[dict[str, int], dict]]) -> int:
+        """Apply the feed (past ``snapshot``'s cut, when given); returns
+        the number of records replayed."""
+        feed = self.changes.feed
+        start = None
+        if snapshot is not None:
+            committed, payload = snapshot
+            restore_database(self, payload)
+            start = committed
+        count = 0
         with feed.suspended():
-            for record in feed.iter_records():
+            for record in feed.iter_records(start=start):
                 apply_feed_record(self, record)
+                count += 1
+        return count
 
     # ------------------------------------------------------------- execution
 
@@ -142,6 +266,11 @@ class Database:
 
     def execute_statement(self, statement: ast.Statement) -> Result:
         """Execute an already-parsed statement."""
+        result = self._execute_statement(statement)
+        self._maybe_checkpoint()
+        return result
+
+    def _execute_statement(self, statement: ast.Statement) -> Result:
         self.stats.statements += 1
         if isinstance(statement, ast.SelectStatement):
             return self._execute_select(statement.query)
@@ -197,7 +326,9 @@ class Database:
     ) -> list[int]:
         """Bulk-insert rows; returns the assigned tids."""
         table = self.catalog.table(table_name)
-        return [table.insert(row) for row in rows]
+        tids = [table.insert(row) for row in rows]
+        self._maybe_checkpoint()
+        return tids
 
     def table(self, name: str) -> Table:
         """Access a stored table by name."""

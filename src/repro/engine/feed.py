@@ -56,14 +56,21 @@ style of a partitioned commit log:
   never lose an unconsumed record -- but with ``retention="truncate"``
   sealed segments are *deleted* once every registered durable group has
   committed past them (a group with a snapshot holds segments only back
-  to its snapshot's offsets -- its recovery point).  The manifest
-  records the truncation ``base`` per topic; a consumer that re-attaches
-  needing truncated offsets gets the ``no longer retained`` error and
-  must bootstrap from its snapshot instead (see
+  to its snapshot's offsets -- its recovery point), and with
+  ``retention="compact"`` the oldest *partially*-consumed sealed segment
+  is additionally **rewritten**: its surviving records land in a fresh
+  segment named by their start offset, so one slow group no longer pins
+  a whole segment of disk for the sake of its unread suffix.  The
+  manifest records the retention ``base`` per topic; a consumer that
+  re-attaches needing reclaimed offsets gets the ``no longer retained``
+  error and must bootstrap from its snapshot instead (see
   :meth:`FeedConsumer.load_snapshot` and
-  :class:`~repro.conflicts.replica.ReplicaHypergraph`).  Truncation
-  commits the manifest before unlinking files, so a crash between the
-  two leaves only orphan files, which the next open sweeps away.
+  :class:`~repro.conflicts.replica.ReplicaHypergraph`).  Both reclaim
+  paths are crash-safe the same way: new files (compaction's rewritten
+  segment) are written and fsync'd first, the manifest commits under the
+  directory's advisory lock, and only then are victim files unlinked --
+  a crash at any point leaves either the old consistent view or the new
+  one plus orphan files, which the next open sweeps away.
 """
 
 from __future__ import annotations
@@ -305,10 +312,13 @@ class ChangeFeed:
         fsync: ``"rotate"`` (default; appends are buffered and made
             durable at segment rotation, :meth:`flush` and
             :meth:`close`) or ``"always"`` (flush + fsync every append).
-        retention: ``"keep"`` (default; sealed segments live forever) or
+        retention: ``"keep"`` (default; sealed segments live forever),
             ``"truncate"`` (sealed segments are deleted once every
             registered durable group -- and every group snapshot -- has
-            passed them; see :meth:`truncate`).
+            passed them; see :meth:`truncate`), or ``"compact"``
+            (truncation plus rewriting the surviving records of the
+            oldest partially-consumed sealed segment; see
+            :meth:`compact`).
         cache_segments: capacity of the parsed-sealed-segment LRU.
     """
 
@@ -324,7 +334,7 @@ class ChangeFeed:
     ) -> None:
         if fsync not in ("rotate", "always"):
             raise FeedError(f"unknown fsync policy {fsync!r}")
-        if retention not in ("keep", "truncate"):
+        if retention not in ("keep", "truncate", "compact"):
             raise FeedError(f"unknown retention policy {retention!r}")
         self.directory = Path(directory) if directory is not None else None
         self.max_retained = max_retained
@@ -829,10 +839,12 @@ class ChangeFeed:
 
     def _compact(self) -> None:
         """In-memory: drop records every group consumed.  Durable with
-        ``retention="truncate"``: delete fully-consumed sealed segments."""
+        ``retention="truncate"``: delete fully-consumed sealed segments;
+        with ``retention="compact"``: additionally rewrite the oldest
+        partially-consumed sealed segment down to its surviving suffix."""
         if self.durable:
-            if self.retention == "truncate":
-                self._maybe_truncate()
+            if self.retention in ("truncate", "compact"):
+                self._maybe_reclaim(rewrite=self.retention == "compact")
             return
         for name, topic in self._topics.items():
             if not self._groups:
@@ -845,10 +857,12 @@ class ChangeFeed:
 
     # ----------------------------------------------------------- retention
 
-    def _maybe_truncate(self) -> None:
-        """Run :meth:`truncate` only when this instance's own groups
-        already allow deleting some sealed segment (the full scan reads
-        every consumer/snapshot file; don't pay it on every commit)."""
+    def _maybe_reclaim(self, rewrite: bool) -> None:
+        """Run :meth:`truncate` / :meth:`compact` only when this
+        instance's own groups already allow reclaiming something (the
+        full scan reads every consumer/snapshot file; don't pay it on
+        every commit)."""
+        min_reclaim = self._auto_min_reclaim() if rewrite else 0
         if self._groups:
             local = list(self._groups.values())
             for name, topic in self._topics.items():
@@ -857,9 +871,25 @@ class ChangeFeed:
                 floor = min(c.get(name, 0) for c in local)
                 if _segment_start(topic.segments[1]) <= floor:
                     break
+                if (
+                    rewrite
+                    and floor - _segment_start(topic.segments[0])
+                    >= min_reclaim
+                ):
+                    break
             else:
                 return
-        self.truncate()
+        if rewrite:
+            self.compact(min_reclaim=min_reclaim)
+        else:
+            self.truncate()
+
+    def _auto_min_reclaim(self) -> int:
+        """Records the automatic (post-commit) compaction must be able
+        to reclaim from the straddling segment before it rewrites it --
+        hysteresis so a group inching through a segment does not trigger
+        an O(segment) rewrite on every commit."""
+        return max(self.segment_records // 2, 1)
 
     def truncate(self) -> dict[str, int]:
         """Delete sealed segments every registered group has passed.
@@ -878,6 +908,34 @@ class ChangeFeed:
         Returns the new ``base`` per truncated topic (empty when nothing
         was deleted).
         """
+        return self._reclaim(rewrite=False, min_reclaim=0)
+
+    def compact(self, min_reclaim: int = 0) -> dict[str, int]:
+        """Truncate, then rewrite the oldest straddling sealed segment.
+
+        Everything :meth:`truncate` deletes is deleted; on top of that,
+        when the retention floor falls *inside* a sealed segment (a
+        group mid-way through it), that segment's surviving records
+        ``[floor, end)`` are rewritten into a fresh segment named by
+        ``floor`` -- reclaiming the consumed prefix a whole-segment
+        policy would keep pinned.  Offsets and seqs of the surviving
+        records are unchanged; only the file boundary moves.
+
+        Crash-safe write order: the rewritten segment is written and
+        fsync'd under the manifest lock *before* the manifest commits,
+        and the old file is unlinked only after; a crash leaves either
+        the old view (plus a swept-on-next-open orphan rewrite) or the
+        new view (plus a swept orphan victim).
+
+        Args:
+            min_reclaim: rewrite only when at least this many records of
+                the straddling segment can be reclaimed (0 = any).
+
+        Returns the new ``base`` per reclaimed topic.
+        """
+        return self._reclaim(rewrite=True, min_reclaim=min_reclaim)
+
+    def _reclaim(self, rewrite: bool, min_reclaim: int) -> dict[str, int]:
         if not self.durable:
             return {}
         with self._manifest_lock():
@@ -888,8 +946,12 @@ class ChangeFeed:
             contributions = self._floor_contributions()
             if not contributions:
                 return {}
-            truncated: dict[str, int] = {}
-            removed: list[tuple[str, str]] = []
+            # Phase 1 -- plan.  Pure reads: a corrupt sealed segment (or
+            # a foreign reclaim racing us) surfaces here, before any
+            # topic's in-memory state was touched.
+            plans: list[
+                tuple[_Topic, int, int, list[int], Optional[list[FeedRecord]]]
+            ] = []
             for name, topic in self._topics.items():
                 if len(topic.segments) < 2:
                     continue
@@ -901,22 +963,78 @@ class ChangeFeed:
                     and starts[keep + 1] <= floor
                 ):
                     keep += 1
-                if keep == 0:
-                    continue
-                removed.extend(
-                    (name, victim) for victim in topic.segments[:keep]
-                )
-                topic.segments = topic.segments[keep:]
-                topic.base = starts[keep]
-                truncated[name] = topic.base
-            if not truncated:
+                survivors: Optional[list[FeedRecord]] = None
+                if (
+                    rewrite
+                    and keep + 1 < len(topic.segments)
+                    and starts[keep] < floor < starts[keep + 1]
+                    and floor - starts[keep] >= max(min_reclaim, 1)
+                ):
+                    try:
+                        records = self._segment_records(topic, keep)
+                    except FeedRetentionError:
+                        records = None  # a foreign reclaim beat us here
+                    if records is not None:
+                        survivors = records[floor - starts[keep] :]
+                if keep or survivors is not None:
+                    plans.append((topic, keep, floor, starts, survivors))
+            if not plans:
                 return {}
-            self._store_manifest()
+            # Phase 2 -- apply: write the rewritten segments, repoint
+            # the topics, commit the manifest.  Any failure before the
+            # commit rolls the in-memory state back, so this instance
+            # never serves a layout the on-disk manifest does not name
+            # (the written files are then orphans the next open sweeps).
+            saved = [
+                (topic, list(topic.segments), topic.base)
+                for topic, *_ in plans
+            ]
+            reclaimed: dict[str, int] = {}
+            removed: list[tuple[str, str]] = []
+            added: list[tuple[str, str]] = []
+            try:
+                for topic, keep, floor, starts, survivors in plans:
+                    if keep:
+                        removed.extend(
+                            (topic.name, victim)
+                            for victim in topic.segments[:keep]
+                        )
+                        topic.segments = topic.segments[keep:]
+                        topic.base = starts[keep]
+                        reclaimed[topic.name] = topic.base
+                    if survivors is not None:
+                        removed.append((topic.name, topic.segments[0]))
+                        name = self._segment_name(floor)
+                        self._write_sealed(topic, name, survivors)
+                        added.append((topic.name, name))
+                        topic.segments[0] = name
+                        topic.base = floor
+                        reclaimed[topic.name] = floor
+                self._store_manifest()
+            except BaseException:
+                for topic, segments, base in saved:
+                    topic.segments = segments
+                    topic.base = base
+                for key in added:
+                    self._cache.discard(key)
+                raise
         for name, victim in removed:
             self._cache.discard((name, victim))
             with contextlib.suppress(OSError):
                 (self._segment_dir(name) / victim).unlink()
-        return truncated
+        return reclaimed
+
+    def _write_sealed(
+        self, topic: _Topic, name: str, records: list[FeedRecord]
+    ) -> None:
+        """Write a complete sealed segment file (fsync'd) and cache it."""
+        path = self._segment_dir(topic.name) / name
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(record.to_json() + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._cache.put((topic.name, name), records)
 
     def _floor_contributions(self) -> list[dict[str, int]]:
         """One committed-offsets dict per consumer retention respects."""
@@ -1194,13 +1312,16 @@ class ChangeFeed:
             self._atomic_json(self.directory / MANIFEST, payload)
 
     def _merge_disk_retention(self) -> None:
-        """Fold another instance's truncation into our view.
+        """Fold another instance's retention reclaim into our view.
 
-        Truncating compaction may run in a *consumer* process; a writer
-        that rotates afterwards must not resurrect the deleted segments
-        when it stores its own (stale) manifest.  The on-disk ``base``
-        only ever grows, so taking the max and pruning segments below it
-        is always safe."""
+        Truncation / compaction may run in a *consumer* process; a
+        writer that rotates afterwards must not resurrect the deleted
+        segments when it stores its own (stale) manifest.  The on-disk
+        ``base`` only ever grows, so taking the max and pruning segments
+        below it is always safe.  A foreign *compaction* additionally
+        rewrites the straddling segment under a new start-offset name
+        our stale list does not know: the disk names preceding our kept
+        suffix are adopted, so the surviving records stay reachable."""
         path = self.directory / MANIFEST
         try:
             topics = json.loads(path.read_text(encoding="utf-8"))["topics"]
@@ -1213,9 +1334,17 @@ class ChangeFeed:
             base = int(entry.get("base", 0))
             if base > topic.base:
                 topic.base = base
-                topic.segments = [
+                kept = [
                     s for s in topic.segments if _segment_start(s) >= base
                 ]
+                cut = _segment_start(kept[0]) if kept else None
+                adopted = [
+                    str(s)
+                    for s in entry.get("segments", [])
+                    if _segment_start(str(s)) >= base
+                    and (cut is None or _segment_start(str(s)) < cut)
+                ]
+                topic.segments = adopted + kept
 
     def _store_committed(self, group: str, committed: dict[str, int]) -> None:
         directory = self._consumers_dir()
@@ -1308,17 +1437,24 @@ class ChangeFeed:
         if not manifest_path.exists():
             self._store_manifest()
             return
-        try:
-            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
-            topics = manifest["topics"]
-        except (ValueError, KeyError) as exc:
-            raise FeedError(f"corrupt manifest {manifest_path}") from exc
-        for name, entry in topics.items():
-            topic = self._topic(name)
-            topic.base = int(entry.get("base", 0))
-            topic.segments = [str(s) for s in entry.get("segments", [])]
-            self._sweep_orphans(topic)
-            self._init_topic_from_disk(topic)
+        # The manifest read and the orphan sweep share the manifest
+        # lock: a foreign compaction commits its rewritten segment and
+        # the manifest naming it atomically with respect to us, so the
+        # sweep can never mistake a live rewrite for a crashed one.
+        with self._manifest_lock():
+            try:
+                manifest = json.loads(
+                    manifest_path.read_text(encoding="utf-8")
+                )
+                topics = manifest["topics"]
+            except (ValueError, KeyError) as exc:
+                raise FeedError(f"corrupt manifest {manifest_path}") from exc
+            for name, entry in topics.items():
+                topic = self._topic(name)
+                topic.base = int(entry.get("base", 0))
+                topic.segments = [str(s) for s in entry.get("segments", [])]
+                self._sweep_orphans(topic)
+                self._init_topic_from_disk(topic)
         schema_topic = self._topics.get(SCHEMA_TOPIC)
         self.schema_version = schema_topic.end if schema_topic else 0
         if self._topics:
@@ -1346,19 +1482,31 @@ class ChangeFeed:
         topic.tail_loaded = False
 
     def _sweep_orphans(self, topic: _Topic) -> None:
-        """Delete segment files a crashed truncation left behind.
+        """Delete segment files a crashed retention reclaim left behind.
 
         Truncation commits the manifest first and unlinks after, so a
-        crash between the two leaves files no manifest entry names;
-        their offsets are below ``base`` and they are dead weight."""
+        crash between the two leaves victim files no manifest entry
+        names (their offsets are below ``base``).  Compaction writes its
+        rewritten segment *before* the manifest commit, so a crash in
+        between leaves a temporary whose start offset falls inside a
+        still-named segment's range.  Either way: any file the manifest
+        does not name whose start lies below the newest named segment's
+        start is dead weight.  Files at or past that start are left
+        alone -- they are a resuming writer's successor segment, created
+        just before its manifest store."""
         directory = self._segment_dir(topic.name)
         if not directory.exists():
             return
         named = set(topic.segments)
+        cut = (
+            _segment_start(topic.segments[-1])
+            if topic.segments
+            else topic.base
+        )
         for path in directory.glob("*.jsonl"):
             if path.name in named:
                 continue
-            if _segment_start(path.name) < topic.base:
+            if _segment_start(path.name) < cut:
                 with contextlib.suppress(OSError):
                     path.unlink()
 
@@ -1502,6 +1650,13 @@ class FeedConsumer:
             return False
         self.feed.refresh()
         return self.feed._lost(self._positions)
+
+    def seek(self, positions: dict[str, int]) -> None:
+        """Set the read position per topic (uncommitted until
+        :meth:`commit`).  Used by consumers that seeded their state out
+        of band -- e.g. a fresh replica bootstrapping from the writer's
+        checkpoint because the feed's prefix was already reclaimed."""
+        self._positions = dict(positions)
 
     def poll(
         self, limit: Optional[int] = None

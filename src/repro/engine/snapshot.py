@@ -1,0 +1,71 @@
+"""Database snapshots: the shared recovery wire format.
+
+A snapshot is a JSON-safe serialization of a whole database -- every
+table's schema plus its rows *under their original tids* (tids are the
+conflict hypergraph's vertices, so recovery must reproduce them
+exactly).  Two recovery participants share the format:
+
+* **Replicas** (:class:`~repro.conflicts.replica.ReplicaHypergraph`)
+  store one as their consumer group's snapshot so they can re-bootstrap
+  after feed retention truncated their committed prefix.
+* **The durable writer itself** (:class:`~repro.engine.database.Database`
+  with a durable feed) checkpoints one so ``Database(durable=dir)`` can
+  reopen as *snapshot + retained-suffix replay* even after its own
+  retention policy deleted the sealed segments a full replay would need.
+
+Values ride through :func:`~repro.engine.feed.encode_value` /
+:func:`~repro.engine.feed.decode_value`, so non-finite REALs survive the
+strict-JSON snapshot files exactly like they survive feed segments.
+"""
+
+from __future__ import annotations
+
+from repro.engine.feed import (
+    decode_value,
+    deserialize_schema,
+    encode_value,
+    serialize_schema,
+)
+
+
+def snapshot_database(db) -> dict:
+    """Serialize ``db`` (schemas + rows with tids) to a JSON-safe dict.
+
+    Tables appear in catalog (creation) order; restoring them in that
+    order can therefore never trip over a dependency the original
+    database did not have.
+    """
+    tables = []
+    for name in db.catalog.table_names():
+        table = db.table(name)
+        tables.append(
+            {
+                "schema": serialize_schema(table.schema),
+                # The allocation cursor travels with the rows: rows that
+                # lived and died before the cut must not get their tids
+                # re-issued after a restore (a full-history replay would
+                # never re-issue them).
+                "next_tid": table.next_tid,
+                "rows": [
+                    [tid, [encode_value(v) for v in row]]
+                    for tid, row in table.items()
+                ],
+            }
+        )
+    return {"tables": tables}
+
+
+def restore_database(db, payload: dict) -> None:
+    """Rebuild ``db`` (assumed empty) from a :func:`snapshot_database`
+    payload.
+
+    Publishing is suspended for the duration: restoring history must
+    not append that history back onto the database's own change feed.
+    """
+    with db.changes.feed.suspended():
+        for entry in payload.get("tables", []):
+            schema = deserialize_schema(entry["schema"])
+            table = db.catalog.create_table(schema)
+            for tid, row in entry.get("rows", []):
+                table.restore(int(tid), tuple(decode_value(v) for v in row))
+            table.reserve_tids(int(entry.get("next_tid", 0)))

@@ -121,6 +121,22 @@ class Table:
         """Insert several rows; returns their tids in order."""
         return [self.insert(row) for row in rows]
 
+    @property
+    def next_tid(self) -> int:
+        """The tid the next insert will receive.
+
+        Part of a table's durable state: a snapshot that restored only
+        the live rows would re-issue the tids of rows that lived and
+        died before the cut, diverging from a full-history replay (and
+        from every replica that witnessed those rows).
+        """
+        return self._next_tid
+
+    def reserve_tids(self, next_tid: int) -> None:
+        """Raise the allocation cursor to at least ``next_tid``
+        (snapshot restore; never lowers it)."""
+        self._next_tid = max(self._next_tid, next_tid)
+
     def restore(self, tid: int, values: Sequence[SQLValue]) -> None:
         """Re-insert a row under an explicit tid (change-feed replay).
 

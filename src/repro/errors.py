@@ -64,7 +64,7 @@ class FeedError(ReproError):
 
 class FeedRetentionError(FeedError):
     """Raised when requested feed offsets are no longer retained
-    (in-memory overflow, or durable retention truncation).
+    (in-memory overflow, or durable retention truncation/compaction).
 
     Distinguished from other :class:`FeedError` cases because it is the
     one failure consumers can recover from mechanically: rebuild derived

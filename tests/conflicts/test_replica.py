@@ -226,8 +226,11 @@ class TestRetentionRecovery:
         replica = ReplicaHypergraph(feed, [fd], group="replica")
         replica.sync()
         replica.close()  # checkpoint at the committed cut
-        # The close-time checkpoint is the group's recovery point; its
-        # commits let retention reclaim every sealed segment below it.
+        # The close-time checkpoint is the group's recovery point; with
+        # the *writer* checkpointed too (its registration would
+        # otherwise pin the whole history), retention can reclaim every
+        # sealed segment below both recovery points.
+        db.checkpoint()
         feed.truncate()
         (emp,) = [t for t in feed.topics() if t.name == "emp"]
         assert emp.start > 0  # sealed prefix actually reclaimed
@@ -255,8 +258,12 @@ class TestRetentionRecovery:
         committed = dict(replica._consumer.committed)
         assert snapshot_cut != committed
         replica._consumer.close()  # detach *without* a fresh checkpoint
+        db.checkpoint()  # release the writer's pin (and reclaim)
         feed.truncate()
-        feed.close()
+        (emp,) = [t for t in feed.topics() if t.name == "emp"]
+        assert 0 < emp.start  # the replica's snapshot cut, not its
+        assert emp.start <= snapshot_cut["emp"]  # committed cut, bounds
+        feed.close()  # what was reclaimed
 
         reopened = ChangeFeed(directory, segment_records=2)
         resumed = ReplicaHypergraph(reopened, [fd], group="replica")
@@ -296,6 +303,7 @@ class TestRetentionRecovery:
         replica = ReplicaHypergraph(feed, [fd], group="replica", snapshots=False)
         replica.sync()
         replica.close()  # no snapshot written
+        db.checkpoint()  # the writer can recover -- the replica cannot
         feed.truncate()
         feed.close()
 
@@ -311,6 +319,7 @@ class TestRetentionRecovery:
         replica = ReplicaHypergraph(
             feed, [fd], group="replica", checkpoint_records=3
         )
+        db.checkpoint()  # release the writer's pin so retention can act
         while replica.lag:
             replica.sync(limit=3)
         assert replica._consumer.load_snapshot() is not None
@@ -319,6 +328,119 @@ class TestRetentionRecovery:
 
         reopened = ChangeFeed(directory, segment_records=2)
         resumed = ReplicaHypergraph(reopened, [fd], group="replica")
+        assert_converged(resumed, db, [fd])
+        reopened.close()
+
+
+class TestFreshGroupSeeding:
+    def test_fresh_group_seeds_from_the_writer_checkpoint(self, tmp_path):
+        # A group born *after* retention reclaimed the prefix can never
+        # replay offset 0 -- but the writer's checkpoint carries the
+        # state at its cut, so a fresh replica seeds from it and
+        # consumes only the retained records.
+        directory = tmp_path / "feed"
+        feed = ChangeFeed(directory, segment_records=2, retention="truncate")
+        db = Database(feed=feed)
+        db.execute("CREATE TABLE emp (name TEXT, salary INTEGER)")
+        db.execute("INSERT INTO emp VALUES ('ann', 10), ('bob', 5)")
+        db.checkpoint()
+        db.execute("INSERT INTO emp VALUES ('ann', 20)")  # retained suffix
+        drain = feed.consumer("drain", start="beginning")
+        drain.poll()
+        drain.commit()  # reclaims the sealed prefix behind the checkpoint
+        (emp,) = [t for t in feed.topics() if t.name == "emp"]
+        assert emp.start > 0
+        feed.flush()
+
+        fd = FunctionalDependency("emp", ["name"], ["salary"])
+        reader = ChangeFeed(directory, segment_records=2)
+        fresh = ReplicaHypergraph(reader, [fd], group="fresh")
+        while fresh.lag:
+            fresh.sync()
+        assert_converged(fresh, db, [fd])
+        fresh._consumer.close()
+        reader.close()
+        feed.close()
+
+    def test_stale_reader_instance_still_seeds(self, tmp_path):
+        # The reader feed opened *before* the reclaim: its in-memory
+        # bases are stale zeros, so seeding must judge replayability
+        # from the live directory, not from memory.
+        directory = tmp_path / "feed"
+        feed = ChangeFeed(directory, segment_records=2, retention="truncate")
+        db = Database(feed=feed)
+        db.execute("CREATE TABLE emp (name TEXT, salary INTEGER)")
+        db.execute("INSERT INTO emp VALUES ('ann', 10), ('bob', 5)")
+        db.checkpoint()
+        db.execute("INSERT INTO emp VALUES ('ann', 20)")
+        feed.flush()
+        reader = ChangeFeed(directory, segment_records=2)  # pre-reclaim view
+        drain = feed.consumer("drain", start="beginning")
+        drain.poll()
+        drain.commit()  # the foreign (writer-side) reclaim happens now
+        feed.flush()
+
+        fd = FunctionalDependency("emp", ["name"], ["salary"])
+        fresh = ReplicaHypergraph(reader, [fd], group="fresh")
+        while fresh.lag:
+            fresh.sync()
+        assert_converged(fresh, db, [fd])
+        fresh._consumer.close()
+        reader.close()
+        feed.close()
+
+    def test_fresh_group_without_checkpoint_still_reports_loss(self, tmp_path):
+        # No writer checkpoint to seed from: the fresh group must keep
+        # failing loudly rather than silently starting empty.
+        directory = tmp_path / "feed"
+        feed = ChangeFeed(directory, segment_records=2, retention="truncate")
+        db = Database(feed=feed)
+        db.execute("CREATE TABLE emp (name TEXT, salary INTEGER)")
+        db.execute("INSERT INTO emp VALUES ('ann', 10), ('bob', 5)")
+        db.execute("INSERT INTO emp VALUES ('carol', 7), ('dan', 8)")
+        drain = feed.consumer("drain", start="beginning")
+        drain.poll()
+        drain.commit()
+        from repro.engine.database import WRITER_GROUP
+
+        feed.drop_group(WRITER_GROUP)  # abandons the writer *and* reclaims
+        (emp,) = [t for t in feed.topics() if t.name == "emp"]
+        assert emp.start > 0
+        feed.flush()
+
+        fd = FunctionalDependency("emp", ["name"], ["salary"])
+        reader = ChangeFeed(directory, segment_records=2)
+        fresh = ReplicaHypergraph(reader, [fd], group="fresh")
+        with pytest.raises(FeedError, match="dropped"):
+            fresh.sync()
+        reader.close()
+        feed.close()
+
+
+class TestMixedCaseNames:
+    def test_snapshot_restore_bridges_topic_and_catalog_case(self, tmp_path):
+        # Feed topics are lower-cased relation names; the snapshot keeps
+        # the declared mixed case.  A snapshot restore followed by a
+        # gap replay must resolve one onto the other.
+        directory = tmp_path / "feed"
+        feed = ChangeFeed(directory, segment_records=2, retention="truncate")
+        db = Database(feed=feed)
+        db.execute("CREATE TABLE Emp (Name TEXT, Salary INTEGER)")
+        db.execute("INSERT INTO Emp VALUES ('ann', 10), ('ann', 20)")
+        fd = FunctionalDependency("Emp", ["Name"], ["Salary"])
+        replica = ReplicaHypergraph(feed, [fd], group="replica")
+        replica.sync()
+        replica.checkpoint()  # snapshot carries the mixed-case schema
+        db.execute("INSERT INTO Emp VALUES ('bob', 5), ('ann', 30)")
+        replica.sync()
+        replica._consumer.close()  # keep the *older* snapshot cut
+        db.checkpoint()
+        feed.truncate()
+        feed.close()
+
+        reopened = ChangeFeed(directory, segment_records=2)
+        resumed = ReplicaHypergraph(reopened, [fd], group="replica")
+        assert resumed.db.catalog.table_names() == ["Emp"]
         assert_converged(resumed, db, [fd])
         reopened.close()
 

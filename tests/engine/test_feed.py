@@ -14,15 +14,16 @@ import json
 import math
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
-from repro.engine.database import Database
+from repro.engine.database import WRITER_GROUP, Database
 from repro.engine.feed import (
     MANIFEST,
     SCHEMA_TOPIC,
     ChangeFeed,
     FeedRecord,
 )
-from repro.errors import FeedError
+from repro.errors import FeedError, FeedRetentionError
 
 
 def publish(feed: ChangeFeed, relation: str, tid: int, value: int, op: str = "insert"):
@@ -743,8 +744,6 @@ class TestRetentionTruncation:
     def test_crash_during_truncation_leaves_a_repairable_manifest(
         self, tmp_path, monkeypatch
     ):
-        from pathlib import Path
-
         directory = tmp_path / "feed"
         feed, consumer = self.build(directory)
         consumer.poll()
@@ -800,3 +799,437 @@ class TestEphemeralGroups:
             consumer.poll()
             consumer.commit()
         assert (directory / "consumers" / "replica.json").exists()
+
+
+def segment_names(directory, topic="r"):
+    return sorted(p.name for p in (directory / "topics" / topic).glob("*.jsonl"))
+
+
+class TestSegmentCompaction:
+    """``retention="compact"``: partially-consumed sealed segments are
+    rewritten down to their surviving suffix, not merely pinned whole."""
+
+    def test_straddling_segment_is_rewritten_on_commit(self, tmp_path):
+        directory = tmp_path / "feed"
+        feed = ChangeFeed(directory, segment_records=4, retention="compact")
+        consumer = feed.consumer("g", start="beginning")
+        for tid in range(12):
+            publish(feed, "r", tid, tid)  # segments at 0, 4, 8
+        consumer.poll(limit=6)
+        consumer.commit()
+        # [0, 4) is fully consumed -> deleted whole; [4, 8) is consumed
+        # up to 6 -> rewritten as [6, 8) under its new start-offset name.
+        assert segment_names(directory) == [
+            "000000000006.jsonl",
+            "000000000008.jsonl",
+        ]
+        manifest = json.loads((directory / MANIFEST).read_text())
+        assert manifest["topics"]["r"]["base"] == 6
+        assert manifest["topics"]["r"]["segments"] == [
+            "000000000006.jsonl",
+            "000000000008.jsonl",
+        ]
+        # Surviving records keep their original offsets and stay readable.
+        assert [r.tid for r in feed.iter_records(start={"r": 6})] == [
+            6, 7, 8, 9, 10, 11,
+        ]
+        with pytest.raises(FeedError, match="no longer retained"):
+            feed.records_upto({"r": 6})
+        # The feed keeps appending and consuming past the rewrite.
+        publish(feed, "r", 12, 12)
+        records, lost = consumer.poll()
+        assert not lost and [r.tid for r in records] == [6, 7, 8, 9, 10, 11, 12]
+        feed.close()
+
+    def test_auto_compaction_has_hysteresis(self, tmp_path):
+        # A group inching through a sealed segment must not trigger an
+        # O(segment) rewrite per commit: the automatic path waits until
+        # at least half a segment is reclaimable.
+        directory = tmp_path / "feed"
+        feed = ChangeFeed(directory, segment_records=8, retention="compact")
+        consumer = feed.consumer("g", start="beginning")
+        for tid in range(16):
+            publish(feed, "r", tid, tid)  # segments at 0, 8
+        consumer.poll(limit=2)
+        consumer.commit()  # only 2 of 8 reclaimable: no rewrite
+        assert segment_names(directory) == [
+            "000000000000.jsonl",
+            "000000000008.jsonl",
+        ]
+        consumer.poll(limit=2)
+        consumer.commit()  # 4 of 8 reclaimable: rewrite [4, 8)
+        assert segment_names(directory) == [
+            "000000000004.jsonl",
+            "000000000008.jsonl",
+        ]
+        feed.close()
+
+    def test_explicit_compact_reclaims_any_amount(self, tmp_path):
+        # compact() on demand (the CLI's `.feed compact`) works on any
+        # durable feed -- whatever its configured retention policy --
+        # and takes min_reclaim=0: a single reclaimable record counts.
+        directory = tmp_path / "feed"
+        feed = ChangeFeed(directory, segment_records=4)  # retention="keep"
+        consumer = feed.consumer("g", start="beginning")
+        for tid in range(8):
+            publish(feed, "r", tid, tid)
+        consumer.poll(limit=1)
+        consumer.commit()  # keep policy: nothing reclaimed automatically
+        assert len(segment_names(directory)) == 2
+        reclaimed = feed.compact()
+        assert reclaimed == {"r": 1}
+        assert segment_names(directory) == [
+            "000000000001.jsonl",
+            "000000000004.jsonl",
+        ]
+        assert [r.tid for r in feed.iter_records(start={"r": 1})] == list(
+            range(1, 8)
+        )
+        feed.close()
+
+    def test_compacted_segments_serve_reader_instances(self, tmp_path):
+        directory = tmp_path / "feed"
+        writer = ChangeFeed(directory, segment_records=4, retention="compact")
+        reader = ChangeFeed(directory, segment_records=4)
+        # Anonymous: invisible to the floor scan, so it can fall behind
+        # a reclaim (a *registered* behind group would have pinned it).
+        behind = reader.consumer(start="beginning")
+        ahead = reader.consumer("ahead", start="beginning")
+        for tid in range(12):
+            publish(writer, "r", tid, tid)
+        writer.flush()
+        records, _ = ahead.poll()
+        assert [r.tid for r in records] == list(range(12))
+        ahead.commit()
+        cursor = writer.consumer("g", start="beginning")
+        cursor.poll(limit=6)
+        cursor.commit()  # compacts to base 6
+        # A reader group already past the floor reads on, through the
+        # rewritten segment; one behind it observes the ordinary loss.
+        publish(writer, "r", 12, 12)
+        writer.flush()
+        records, lost = ahead.poll()
+        assert not lost and [r.tid for r in records] == [12]
+        records, lost = behind.poll()
+        assert lost and records == []
+        writer.close()
+        reader.close()
+
+    def test_writer_folds_a_foreign_compaction_into_its_manifest(
+        self, tmp_path
+    ):
+        # Compaction may run in a consumer process; the writer's next
+        # rotation must adopt the rewritten start-offset name instead of
+        # resurrecting the victim -- or the surviving records would
+        # become unreachable through the writer's own manifest.
+        directory = tmp_path / "feed"
+        writer = ChangeFeed(directory, segment_records=2)
+        for tid in range(6):
+            publish(writer, "r", tid, tid)  # segments at 0, 2, 4
+        writer.flush()
+        foreign = ChangeFeed(directory, segment_records=2, retention="compact")
+        consumer = foreign.consumer("g", start="beginning")
+        consumer.poll(limit=3)
+        consumer.commit()  # deletes [0, 2), rewrites [2, 4) -> [3, 4)
+        foreign.close()
+        assert segment_names(directory) == [
+            "000000000003.jsonl",
+            "000000000004.jsonl",
+        ]
+        for tid in range(6, 9):
+            publish(writer, "r", tid, tid)  # forces rotations + manifest
+        writer.flush()
+        manifest = json.loads((directory / MANIFEST).read_text())
+        assert manifest["topics"]["r"]["base"] == 3
+        assert manifest["topics"]["r"]["segments"] == [
+            "000000000003.jsonl",
+            "000000000004.jsonl",
+            "000000000006.jsonl",
+            "000000000008.jsonl",
+        ]
+        assert [r.tid for r in writer.iter_records(start={"r": 3})] == list(
+            range(3, 9)
+        )
+        writer.close()
+
+
+class TestCompactionCrashSafety:
+    """Crash-mid-compaction repairs to one consistent view on reopen."""
+
+    def build(self, directory, records=10, committed=5):
+        with ChangeFeed(directory, segment_records=4) as feed:
+            consumer = feed.consumer("g", start="beginning")
+            for tid in range(records):
+                publish(feed, "r", tid, tid)
+            consumer.poll(limit=committed)
+            consumer.commit()
+
+    def test_crash_between_rewrite_and_manifest_commit(self, tmp_path):
+        directory = tmp_path / "feed"
+        self.build(directory)
+        feed = ChangeFeed(directory, segment_records=4)
+
+        def boom() -> None:
+            raise RuntimeError("crash before the manifest commit")
+
+        feed._store_manifest = boom  # the rewrite happened, the commit dies
+        with pytest.raises(RuntimeError):
+            feed.compact()
+        # The failed commit rolled the instance's memory back: it keeps
+        # serving the layout the on-disk manifest still names.
+        (topic,) = feed.topics()
+        assert topic.start == 0
+        assert [r.tid for r in feed.iter_records()] == list(range(10))
+        # The old manifest still names the old segments; the rewritten
+        # temporary (000000000005.jsonl) is an orphan the reopen sweeps.
+        assert "000000000005.jsonl" in segment_names(directory)
+        reopened = ChangeFeed(directory, segment_records=4)
+        assert segment_names(directory) == [
+            "000000000000.jsonl",
+            "000000000004.jsonl",
+            "000000000008.jsonl",
+        ]
+        # One consistent (old) view: the full history is intact.
+        assert [r.tid for r in reopened.iter_records()] == list(range(10))
+        resumed = reopened.consumer("g")
+        assert resumed.committed == {"r": 5}
+        publish(reopened, "r", 10, 10)
+        assert reopened.end_offsets() == {"r": 11}
+        reopened.close()
+
+    def test_crash_between_manifest_commit_and_unlink(self, tmp_path):
+        directory = tmp_path / "feed"
+        self.build(directory)
+        untouched = {
+            name: (directory / "topics" / "r" / name).read_bytes()
+            for name in segment_names(directory)
+        }
+        feed = ChangeFeed(directory, segment_records=4)
+        assert feed.compact() == {"r": 5}
+        feed.close()
+        # Resurrect the unlinked victims: the crash happened after the
+        # manifest commit but before the unlinks.
+        for name, data in untouched.items():
+            path = directory / "topics" / "r" / name
+            if not path.exists():
+                path.write_bytes(data)
+        reopened = ChangeFeed(directory, segment_records=4)
+        # The new manifest is authoritative; the victims are swept.
+        assert segment_names(directory) == [
+            "000000000005.jsonl",
+            "000000000008.jsonl",
+        ]
+        assert [r.tid for r in reopened.iter_records(start={"r": 5})] == list(
+            range(5, 10)
+        )
+        reopened.close()
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        records=st.integers(min_value=3, max_value=40),
+        committed=st.integers(min_value=1, max_value=40),
+        crash=st.sampled_from(["none", "before_manifest", "after_manifest"]),
+    )
+    def test_crash_mid_compaction_repairs_to_one_view(
+        self, tmp_path_factory, records, committed, crash
+    ):
+        """Whatever the commit point and wherever the crash lands, the
+        reopened feed presents one consistent view: a contiguous record
+        range [base, end), orphan files swept, committed offsets intact,
+        and appends continuing past the repair."""
+        committed = min(committed, records)
+        directory = tmp_path_factory.mktemp("compact") / "feed"
+        self.build(directory, records=records, committed=committed)
+        before = {
+            name: (directory / "topics" / "r" / name).read_bytes()
+            for name in segment_names(directory)
+        }
+        feed = ChangeFeed(directory, segment_records=4)
+        if crash == "before_manifest":
+            def boom() -> None:
+                raise RuntimeError("crash")
+
+            feed._store_manifest = boom
+            try:
+                feed.compact()
+            except RuntimeError:
+                pass
+        else:
+            feed.compact()
+            if crash == "after_manifest":
+                for name, data in before.items():
+                    path = directory / "topics" / "r" / name
+                    if not path.exists():
+                        path.write_bytes(data)
+        feed.close()
+
+        reopened = ChangeFeed(directory, segment_records=4)
+        (topic,) = reopened.topics()
+        assert topic.end == records
+        assert 0 <= topic.start <= committed
+        # Orphans are gone: disk holds exactly the manifest's segments.
+        manifest = json.loads((directory / MANIFEST).read_text())
+        assert segment_names(directory) == sorted(
+            manifest["topics"]["r"]["segments"]
+        )
+        # The retained suffix replays contiguously...
+        assert [
+            r.tid for r in reopened.iter_records(start={"r": topic.start})
+        ] == list(range(topic.start, records))
+        # ...the group resumes exactly at its commit...
+        resumed = reopened.consumer("g")
+        assert resumed.committed == {"r": committed}
+        rest, lost = resumed.poll()
+        assert not lost and [r.tid for r in rest] == list(
+            range(committed, records)
+        )
+        # ...and the feed keeps accepting appends.
+        publish(reopened, "r", records, records)
+        assert reopened.end_offsets() == {"r": records + 1}
+        reopened.close()
+
+
+class TestWriterRecovery:
+    """``Database(durable=dir)`` reopens after its own retention via
+    writer checkpoints (the ISSUE 4 headline regression)."""
+
+    def primary(self, feed):
+        db = Database(feed=feed)
+        db.execute("CREATE TABLE emp (name TEXT, salary INTEGER)")
+        db.execute("INSERT INTO emp VALUES ('ann', 10), ('ann', 20), ('bob', 5)")
+        db.execute("INSERT INTO emp VALUES ('carol', 7), ('dan', 8)")
+        db.execute("UPDATE emp SET salary = 9 WHERE name = 'dan'")
+        return db
+
+    def test_reopen_after_own_retention_truncated_segments(self, tmp_path):
+        # The headline bug: a consumer group commits past the sealed
+        # segments, retention deletes them, and before writer-side
+        # checkpoints existed the writer's own reopen then raised
+        # FeedError out of the full replay.
+        directory = tmp_path / "feed"
+        feed = ChangeFeed(directory, segment_records=2, retention="truncate")
+        db = self.primary(feed)
+        cut = db.checkpoint()
+        db.execute("INSERT INTO emp VALUES ('erin', 3)")
+        consumer = feed.consumer("g", start="beginning")
+        consumer.poll()
+        consumer.commit()  # truncates everything below the checkpoint
+        (emp,) = [t for t in feed.topics() if t.name == "emp"]
+        assert emp.start > 0  # a full replay is genuinely impossible now
+        with pytest.raises(FeedError, match="no longer retained"):
+            feed.records_upto(feed.end_offsets())
+        expected = dict(db.table("emp").items())
+        end = db.changes.end
+        feed.close()
+
+        reopened_feed = ChangeFeed(
+            directory, segment_records=2, retention="truncate"
+        )
+        restored = Database(feed=reopened_feed)
+        assert restored.restore_mode == "snapshot"
+        # Only the records published after the checkpoint were replayed.
+        assert restored.restore_records == end - sum(cut.values())
+        assert dict(restored.table("emp").items()) == expected
+        # The restored writer keeps appending where the old one left off.
+        restored.execute("INSERT INTO emp VALUES ('fred', 1)")
+        assert restored.changes.end == end + 1
+        reopened_feed.close()
+
+    def test_truncated_and_never_checkpointed_is_unrecoverable(self, tmp_path):
+        directory = tmp_path / "feed"
+        feed = ChangeFeed(directory, segment_records=2, retention="truncate")
+        db = self.primary(feed)
+        consumer = feed.consumer("g", start="beginning")
+        consumer.poll()
+        consumer.commit()
+        # The writer's registration pins the history ... until an
+        # operator drops it without a checkpoint ever being stored
+        # (drop_group itself re-runs retention).
+        feed.drop_group(WRITER_GROUP)
+        (emp,) = [t for t in feed.topics() if t.name == "emp"]
+        assert emp.start > 0  # sealed history is gone for good
+        feed.close()
+
+        with pytest.raises(FeedRetentionError, match="no writer checkpoint"):
+            Database(feed=ChangeFeed(directory, segment_records=2))
+
+    def test_writer_registration_is_the_retention_floor(self, tmp_path):
+        # The satellite bug: a writer-only directory used to compute its
+        # truncation floor from whatever consumer groups existed --
+        # letting a fully-caught-up group (or an ephemeral engine
+        # cursor) truncate history the writer itself still needed.
+        directory = tmp_path / "feed"
+        feed = ChangeFeed(directory, segment_records=2, retention="truncate")
+        db = self.primary(feed)
+        consumer = feed.consumer("g", start="beginning")
+        consumer.poll()
+        consumer.commit()  # fully caught up -- but the writer is not
+        assert len(segment_names(directory, "emp")) == 4  # nothing died
+        assert feed.truncate() == {}  # even explicitly
+        db.checkpoint()  # the checkpoint *is* the writer's floor
+        assert len(segment_names(directory, "emp")) == 1
+        feed.close()
+        restored = Database(feed=ChangeFeed(directory, segment_records=2))
+        assert restored.restore_mode == "snapshot"
+        assert dict(restored.table("emp").items()) == dict(
+            db.table("emp").items()
+        )
+        restored.changes.feed.close()
+
+    def test_checkpoint_cadence(self, tmp_path):
+        directory = tmp_path / "feed"
+        feed = ChangeFeed(directory, segment_records=2, retention="truncate")
+        db = Database(feed=feed, checkpoint_records=4)
+        db.execute("CREATE TABLE r (a INTEGER)")
+        assert feed.load_snapshot(WRITER_GROUP) is None
+        for i in range(4):
+            db.execute(f"INSERT INTO r VALUES ({i})")
+        first = feed.load_snapshot(WRITER_GROUP)
+        assert first is not None  # cadence reached: auto-checkpointed
+        for i in range(4, 8):
+            db.execute(f"INSERT INTO r VALUES ({i})")
+        second = feed.load_snapshot(WRITER_GROUP)
+        assert second[0] != first[0]  # the cut advanced with the writes
+        feed.close()
+        restored = Database(feed=ChangeFeed(directory, segment_records=2))
+        assert restored.restore_mode == "snapshot"
+        assert sorted(r[0] for r in restored.table("r").rows()) == list(
+            range(8)
+        )
+        restored.changes.feed.close()
+
+    def test_checkpoint_needs_a_durable_database(self, tmp_path):
+        from repro.errors import ExecutionError
+
+        with pytest.raises(ExecutionError, match="durable"):
+            Database().checkpoint()
+        with pytest.raises(ExecutionError, match="durable"):
+            Database(checkpoint_records=5)
+        with pytest.raises(ExecutionError, match="retention"):
+            Database(feed=ChangeFeed(), retention="truncate")
+
+    def test_mixed_case_table_survives_the_checkpoint_path(self, tmp_path):
+        # Feed topics are lower-cased relation names while the catalog
+        # (and the snapshot's serialized schemas) keep declared case:
+        # the snapshot + suffix-replay path must bridge the two.
+        directory = tmp_path / "feed"
+        feed = ChangeFeed(directory, segment_records=2, retention="truncate")
+        db = Database(feed=feed)
+        db.execute("CREATE TABLE Emp (Name TEXT, Salary INTEGER)")
+        db.execute("INSERT INTO Emp VALUES ('ann', 10), ('bob', 20)")
+        db.checkpoint()
+        db.execute("UPDATE Emp SET Salary = 15 WHERE Name = 'ann'")
+        consumer = feed.consumer("g", start="beginning")
+        consumer.poll()
+        consumer.commit()
+        expected = dict(db.table("emp").items())
+        feed.close()
+
+        restored = Database(feed=ChangeFeed(directory, segment_records=2))
+        assert restored.restore_mode == "snapshot"
+        assert restored.catalog.table_names() == ["Emp"]  # case preserved
+        # The suffix replay resolved the lower-cased topic onto the
+        # mixed-case table, and both spellings look it up.
+        assert dict(restored.table("emp").items()) == expected
+        assert dict(restored.table("EMP").items()) == expected
+        restored.changes.feed.close()

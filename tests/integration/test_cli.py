@@ -162,6 +162,65 @@ class TestDurableShell:
         reader.close()
         shell.db.changes.feed.close()
 
+    def test_checkpoint_and_feed_compact(self, tmp_path):
+        from repro.engine.database import WRITER_GROUP, Database
+        from repro.engine.feed import ChangeFeed
+
+        directory = str(tmp_path / "db")
+        out = io.StringIO()
+        shell = HippoShell(out=out, durable=directory)
+        shell.run(
+            [
+                "CREATE TABLE t (a INTEGER);",
+                "INSERT INTO t VALUES (1), (2), (3);",
+                ".checkpoint",
+                ".feed compact",
+            ]
+        )
+        shell.db.changes.feed.close()
+        output = out.getvalue()
+        assert "checkpoint stored (committed _schema=1, t=3)" in output
+        # Everything fits one active segment: nothing is reclaimable.
+        assert "(nothing to reclaim)" in output
+
+        feed = ChangeFeed(directory)
+        assert feed.load_snapshot(WRITER_GROUP) is not None
+        restored = Database(feed=feed)
+        assert restored.restore_mode == "snapshot"
+        feed.close()
+
+    def test_feed_compact_reports_reclaimed_topics(self, tmp_path):
+        from repro.engine.database import Database
+        from repro.engine.feed import ChangeFeed
+
+        directory = tmp_path / "db"
+        out = io.StringIO()
+        shell = HippoShell(out=out)
+        # Tiny segments so a handful of inserts spans several of them
+        # (the default-sized shell would keep everything in one).
+        shell.db = Database(feed=ChangeFeed(directory, segment_records=2))
+        shell.run(
+            [
+                "CREATE TABLE t (a INTEGER);",
+                "INSERT INTO t VALUES (1);",
+                "INSERT INTO t VALUES (2);",
+                "INSERT INTO t VALUES (3);",
+                "INSERT INTO t VALUES (4);",
+                "INSERT INTO t VALUES (5);",
+                ".checkpoint",
+                ".feed compact",
+            ]
+        )
+        output = out.getvalue()
+        assert "topic t: reclaimed below offset" in output
+        shell.db.changes.feed.close()
+
+    def test_checkpoint_and_compact_need_a_durable_shell(self):
+        output = run_shell(".checkpoint")
+        assert "error:" in output and "durable" in output
+        output = run_shell(".feed compact")
+        assert "compaction needs a durable feed" in output
+
     def test_main_parses_durable_flag(self, tmp_path):
         directory = str(tmp_path / "db")
         script = tmp_path / "setup.sql"
@@ -203,6 +262,36 @@ class TestDurableShell:
         )
         assert leftovers == []
         writer.db.changes.feed.close()
+
+    def test_feed_tail_seeds_from_a_reclaimed_feeds_checkpoint(
+        self, tmp_path
+    ):
+        # Tailing a feed whose prefix retention already reclaimed used
+        # to die with "history was dropped"; the tail's fresh group now
+        # seeds from the writer's checkpoint and follows the suffix.
+        from repro.engine.database import Database
+        from repro.engine.feed import ChangeFeed
+
+        directory = str(tmp_path / "db")
+        feed = ChangeFeed(directory, segment_records=2, retention="truncate")
+        db = Database(feed=feed)
+        db.execute("CREATE TABLE emp (name TEXT, salary INTEGER)")
+        db.execute("INSERT INTO emp VALUES ('ann', 10), ('bob', 5)")
+        db.checkpoint()
+        db.execute("INSERT INTO emp VALUES ('ann', 20)")
+        drain = feed.consumer("drain", start="beginning")
+        drain.poll()
+        drain.commit()
+        assert any(t.start > 0 for t in feed.topics())  # prefix is gone
+        feed.flush()
+
+        output = run_shell(
+            ".constraint FD emp: name -> salary\n"
+            f".feed tail {directory} 0.2"
+        )
+        assert "history was dropped" not in output
+        assert "1 edges, 2 conflicting tuples" in output
+        feed.close()
 
     def test_feed_tail_usage_message(self):
         output = run_shell(".feed tail")

@@ -157,8 +157,12 @@ def test_live_reader_with_truncation_equals_full_detection(
             synced += 1
             assert_exact_at_cut(replica)
             if synced == checkpoint_after:
-                # The checkpoint lets later commits truncate the prefix.
+                # Checkpoint both recovery participants: the replica's
+                # snapshot *and* the writer's (whose registration would
+                # otherwise pin the whole history) let later commits
+                # truncate the prefix.
                 replica.checkpoint()
+                db.checkpoint()
 
     # Fully caught up: the replica mirrors the primary exactly.
     for name in db.catalog.table_names():
@@ -179,3 +183,69 @@ def test_live_reader_with_truncation_equals_full_detection(
     resumed = ReplicaHypergraph(reopened, constraints, group="replica")
     assert resumed.graph.as_dict() == before
     reopened.close()
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    sequence=ops,
+    checkpoint_every=st.integers(min_value=1, max_value=8),
+    retention=st.sampled_from(["truncate", "compact"]),
+)
+def test_writer_reopen_after_retention_equals_untruncated_replay(
+    tmp_path_factory, sequence, checkpoint_every, retention
+):
+    """The writer-side recovery shape: a durable database whose own
+    retention policy reclaims sealed segments behind its checkpoints
+    must, at every reopen, equal a full replay of a never-truncated
+    twin feed -- tables, tids, and conflict hypergraph alike."""
+    base = tmp_path_factory.mktemp("writer")
+    constraints = constraint_set()
+
+    def seed(database: Database) -> None:
+        database.execute("CREATE TABLE p (id INTEGER)")
+        database.execute("CREATE TABLE c (id INTEGER, pid INTEGER, v INTEGER)")
+        database.execute("INSERT INTO p VALUES (0), (1)")
+        database.execute("INSERT INTO c VALUES (0, 0, 2), (1, 5, 2), (2, 1, 0)")
+
+    feed = ChangeFeed(base / "reclaimed", segment_records=2, retention=retention)
+    db = Database(feed=feed)
+    shadow_feed = ChangeFeed(base / "keep", segment_records=2)  # never reclaims
+    shadow = Database(feed=shadow_feed)
+    seed(db)
+    seed(shadow)
+
+    steps = 0
+    for step in sequence:
+        run_step(db, step)
+        run_step(shadow, step)
+        steps += 1
+        if steps % checkpoint_every:
+            continue
+        db.checkpoint()  # lets retention reclaim below this cut...
+        feed.close()  # ...then simulate a crash + reopen
+        feed = ChangeFeed(
+            base / "reclaimed", segment_records=2, retention=retention
+        )
+        db = Database(feed=feed)
+        assert db.restore_mode == "snapshot"
+        # The never-truncated twin replays its full history.
+        shadow_feed.flush()
+        replay_feed = ChangeFeed(base / "keep", segment_records=2)
+        replayed = Database(feed=replay_feed)
+        assert replayed.restore_mode == "replay"
+        assert db.catalog.table_names() == replayed.catalog.table_names()
+        for name in replayed.catalog.table_names():
+            assert dict(db.table(name).items()) == dict(
+                replayed.table(name).items()
+            )
+        assert (
+            detect_conflicts(db, constraints).hypergraph.as_dict()
+            == detect_conflicts(replayed, constraints).hypergraph.as_dict()
+        )
+        replay_feed.close()
+
+    # Fully played out: the reclaimed-feed database equals the shadow.
+    for name in shadow.catalog.table_names():
+        assert dict(db.table(name).items()) == dict(shadow.table(name).items())
+    feed.close()
+    shadow_feed.close()

@@ -133,3 +133,44 @@ class TestGroundTruth:
             CatalogSchemaProvider(db.catalog),
         )
         assert ground_truth_consistent_answers(db, graph, tree) == frozenset()
+
+
+class TestMixedCaseNames:
+    """Repairs key relations by ``name.lower()`` while the catalog keeps
+    declared case; the whole oracle must bridge the two."""
+
+    def build(self):
+        from repro.engine.database import Database
+
+        db = Database()
+        db.execute("CREATE TABLE Emp (Name TEXT, Salary INTEGER)")
+        db.execute(
+            "INSERT INTO Emp VALUES ('ann', 10), ('ann', 20), ('bob', 5)"
+        )
+        fd = FunctionalDependency("Emp", ["Name"], ["Salary"])
+        report = detect_conflicts(db, [fd])
+        return db, fd, report.hypergraph
+
+    def test_repairs_are_keyed_lowercase_and_complete(self):
+        db, fd, graph = self.build()
+        # Vertices are normalized to lower-case relation names...
+        assert {v.relation for e in graph.edges for v in e} == {"emp"}
+        repairs = all_repairs(db, graph)
+        # ...and so are the repair keys, even though the catalog answers
+        # to the declared mixed-case name.
+        assert all(set(r) == {"emp"} for r in repairs)
+        assert len(repairs) == 2
+        bob = next(iter(db.table("Emp").lookup(("bob", 5))))
+        assert all(bob in r["emp"] for r in repairs)
+        for repair in repairs:
+            assert satisfies_constraints(db, [fd], repair)
+            assert is_repair(db, [fd], graph, repair)
+
+    def test_ground_truth_resolves_mixed_case_queries(self):
+        db, _fd, graph = self.build()
+        tree = from_sql_query(
+            parse_query("SELECT * FROM Emp WHERE Salary > 0"),
+            CatalogSchemaProvider(db.catalog),
+        )
+        truth = ground_truth_consistent_answers(db, graph, tree)
+        assert truth == {("bob", 5)}

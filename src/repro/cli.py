@@ -19,9 +19,12 @@ Meta-commands (everything else is executed as SQL):
 ``.constraints``       list the active constraints
 ``.detect``            apply pending deltas (or detect), print hypergraph stats
 ``.conflicts``         per-constraint stored / subsumed counts + detection mode
-``.feed``              change-feed topics, offsets and per-consumer lag
+``.feed``              change-feed topics, offsets, per-consumer lag and
+                       recovery points (snapshot floor, else committed)
 ``.feed tail DIR [S]`` live-tail another process's durable feed for S seconds
+``.feed tail DIR S K/N``  tail only shard K of an N-way constraint-aware plan
 ``.feed compact``      reclaim consumed feed segments (truncate + rewrite)
+``.shards [N]``        the constraint-aware N-way shard plan (default 2)
 ``.checkpoint``        store a writer recovery snapshot (durable shells)
 ``.consistent SQL``    consistent answers to a query
 ``.possible SQL``      possible answers (true in some repair)
@@ -261,20 +264,45 @@ class HippoShell:
                     f"  topic {topic.name}: offsets"
                     f" [{topic.start}..{topic.end}){segments}"
                 )
-            for group_name, committed in sorted(feed.groups().items()):
+            recovery = feed.recovery_points()
+            attached = feed.groups()
+            for group_name in sorted(set(attached) | set(recovery)):
+                committed = attached.get(group_name)
+                point = recovery.get(group_name)
+                if committed is None:  # registered on disk only
+                    committed = point.committed if point else {}
                 lag = sum(
                     max(topic.end - committed.get(topic.name, 0), 0)
                     for topic in topics
+                    if point is None
+                    or point.topics is None
+                    or topic.name in point.topics
                 )
                 positions = ", ".join(
                     f"{name}={offset}"
                     for name, offset in sorted(committed.items())
                 )
-                self._print(
-                    f"  consumer {group_name}: lag {lag}"
-                    + (f" (committed {positions})" if positions else "")
+                line = f"  consumer {group_name}: lag {lag}" + (
+                    f" (committed {positions})" if positions else ""
                 )
+                if point is not None and point.topics is not None:
+                    line += f" [topics {', '.join(sorted(point.topics))}]"
+                self._print(line)
+                # The group's *recovery point* is what pins retention:
+                # the snapshot floor when it stored one, else its
+                # committed offsets.
+                if point is not None:
+                    floor = ", ".join(
+                        f"{name}={offset}"
+                        for name, offset in sorted(point.floor.items())
+                    )
+                    self._print(
+                        f"    recovery point: {point.source}"
+                        + (f" ({floor})" if floor else " (start)")
+                    )
             return True
+        if command == ".shards":
+            return self._shards(argument)
         if command == ".consistent":
             self._print_answers(
                 self._hippo().consistent_answers(argument), "consistent answer"
@@ -343,6 +371,46 @@ class HippoShell:
         self._print(f"unknown command {command!r}; try .help")
         return True
 
+    def _shards(self, argument: str) -> bool:
+        """``.shards [N]``: the constraint-aware shard plan.
+
+        Computes the N-way topic assignment
+        (:func:`repro.conflicts.shard.plan_assignment`) over the
+        shell's current constraints and tables: which worker owns which
+        topics, which constraints each evaluates, and which constraints
+        are cross-shard (owned by their anchor's worker, which also
+        subscribes to the foreign topics).
+        """
+        from repro.conflicts.shard import plan_assignment
+
+        try:
+            workers = int(argument) if argument else 2
+        except ValueError:
+            self._print("usage: .shards [WORKERS]")
+            return True
+        relations = [name.lower() for name in self.db.catalog.table_names()]
+        plan = plan_assignment(
+            self.constraints, workers, relations=relations
+        )
+        cross = plan.cross_shard
+        self._print(
+            f"shard plan: {workers} workers over"
+            f" {len(plan.topic_owner)} topics,"
+            f" {len(self.constraints)} constraints"
+            f" ({len(cross)} cross-shard)"
+        )
+        for spec in plan.shards:
+            owned = ", ".join(spec.owned) if spec.owned else "-"
+            line = f"  worker {spec.index}: owns [{owned}]"
+            if spec.foreign:
+                line += f" + foreign [{', '.join(spec.foreign)}]"
+            self._print(line)
+            for constraint in spec.constraints:
+                label = str(constraint)
+                marker = " [cross-shard]" if label in spec.cross_shard else ""
+                self._print(f"    {label}{marker}")
+        return True
+
     def _feed_compact(self) -> bool:
         """``.feed compact``: reclaim consumed segments on demand.
 
@@ -369,12 +437,16 @@ class HippoShell:
         return True
 
     def _feed_tail(self, arguments: list[str]) -> bool:
-        """``.feed tail DIR [SECONDS]``: live-follow a durable feed.
+        """``.feed tail DIR [SECONDS] [K/N]``: live-follow a durable feed.
 
         Attaches a :class:`~repro.conflicts.replica.ReplicaHypergraph`
         (under the shell's current constraints) to the feed directory
         as a *reader* instance and follows it for the given wall-clock
-        budget (default 1 second), printing each non-empty sync.  The
+        budget (default 1 second), printing each non-empty sync.  With
+        ``K/N`` the tail follows only shard ``K`` of an N-way
+        constraint-aware plan over the feed's topics: the shard's topic
+        subset and constraint slice, exactly what the corresponding
+        :class:`~repro.conflicts.shard.ShardWorker` would consume.  The
         follower leaves no state behind: its consumer group (named per
         process, so concurrent tails cannot collide) is dropped on
         exit.
@@ -383,17 +455,30 @@ class HippoShell:
         from pathlib import Path
 
         from repro.conflicts.replica import ReplicaHypergraph
-        from repro.engine.feed import MANIFEST, ChangeFeed
+        from repro.conflicts.shard import plan_assignment
+        from repro.engine.feed import MANIFEST, SCHEMA_TOPIC, ChangeFeed
 
+        usage = "usage: .feed tail DIRECTORY [SECONDS] [SHARD/WORKERS]"
         if not arguments:
-            self._print("usage: .feed tail DIRECTORY [SECONDS]")
+            self._print(usage)
             return True
         directory = arguments[0]
         try:
             seconds = float(arguments[1]) if len(arguments) > 1 else 1.0
         except ValueError:
-            self._print("usage: .feed tail DIRECTORY [SECONDS]")
+            self._print(usage)
             return True
+        shard = None
+        if len(arguments) > 2:
+            try:
+                index, _, count = arguments[2].partition("/")
+                shard = (int(index), int(count))
+            except ValueError:
+                self._print(usage)
+                return True
+            if not 0 <= shard[0] < shard[1]:
+                self._print(usage)
+                return True
         # A read-only tail must not fabricate a feed out of a typo'd
         # path (ChangeFeed would happily mkdir an empty one).
         if not (Path(directory) / MANIFEST).exists():
@@ -401,9 +486,37 @@ class HippoShell:
             return True
         feed = ChangeFeed(directory)
         group = f"cli-tail-{os.getpid()}"
+        constraints = self.constraints
+        topics = None
+        referenced: tuple = ()
+        if shard is not None:
+            relations = [
+                t.name for t in feed.topics() if t.name != SCHEMA_TOPIC
+            ]
+            plan = plan_assignment(
+                constraints, shard[1], relations=relations
+            )
+            spec = plan.shards[shard[0]]
+            constraints = list(spec.constraints)
+            topics = spec.subscribed
+            referenced = tuple(plan.referenced)
+            self._print(
+                f"shard {shard[0]}/{shard[1]}: topics"
+                f" [{', '.join(spec.owned) or '-'}]"
+                + (
+                    f" + foreign [{', '.join(spec.foreign)}]"
+                    if spec.foreign
+                    else ""
+                )
+            )
         try:
             replica = ReplicaHypergraph(
-                feed, self.constraints, group=group, snapshots=False
+                feed,
+                constraints,
+                group=group,
+                snapshots=False,
+                topics=topics,
+                extra_referenced=referenced,
             )
 
             def on_sync(sync) -> None:

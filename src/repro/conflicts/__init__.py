@@ -9,6 +9,15 @@ from repro.conflicts.hypergraph import (
 )
 from repro.conflicts.incremental import DeltaStats, IncrementalDetector
 from repro.conflicts.replica import ReplicaHypergraph, ReplicaSync
+from repro.conflicts.shard import (
+    MergedHypergraph,
+    ShardCoordinator,
+    ShardPlan,
+    ShardSpec,
+    ShardWorker,
+    merge_graphs,
+    plan_assignment,
+)
 
 __all__ = [
     "DetectionReport",
@@ -22,4 +31,11 @@ __all__ = [
     "IncrementalDetector",
     "ReplicaHypergraph",
     "ReplicaSync",
+    "MergedHypergraph",
+    "ShardCoordinator",
+    "ShardPlan",
+    "ShardSpec",
+    "ShardWorker",
+    "merge_graphs",
+    "plan_assignment",
 ]

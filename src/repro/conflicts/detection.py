@@ -96,7 +96,10 @@ def violations_of(
 
 
 def detect_conflicts(
-    db: Database, constraints: Iterable[object], keep_raw: bool = False
+    db: Database,
+    constraints: Iterable[object],
+    keep_raw: bool = False,
+    extra_referenced: Iterable[str] = (),
 ) -> DetectionReport:
     """Run Conflict Detection for a set of constraints.
 
@@ -109,6 +112,12 @@ def detect_conflicts(
     Args:
         keep_raw: also return the pre-minimization violation stream on
             the report (used to bootstrap incremental maintenance).
+        extra_referenced: relations referenced by foreign keys *outside*
+            ``constraints`` that the restricted-class check must still
+            protect.  A shard worker evaluating only its own constraint
+            slice passes the global FK-referenced set here, so a denial
+            conflict on a relation some *other* shard's FK references
+            raises exactly like monolithic detection would.
 
     Raises:
         ConstraintError: when a foreign key falls outside the restricted
@@ -120,6 +129,9 @@ def detect_conflicts(
     denials = to_denial_constraints(
         c for c in constraints if not isinstance(c, ForeignKeyConstraint)
     )
+    referenced = {fk.referenced.lower() for fk in foreign_keys} | {
+        relation.lower() for relation in extra_referenced
+    }
     edges: list[frozenset[Vertex]] = []
     labels: list[str] = []
     per_constraint: dict[str, int] = {}
@@ -128,6 +140,9 @@ def detect_conflicts(
         per_constraint[constraint.name] = len(found)
         edges.extend(found)
         labels.extend([constraint.name] * len(found))
+    if referenced:
+        for edge in edges:
+            ensure_edge_in_restricted_class(edge, referenced)
     if foreign_keys:
         fk_edges, fk_labels, fk_counts = _foreign_key_violations(
             db, foreign_keys, edges
@@ -223,11 +238,11 @@ def _foreign_key_violations(
     foreign_keys: list[ForeignKeyConstraint],
     denial_edges: list[frozenset[Vertex]],
 ) -> tuple[list[frozenset[Vertex]], list[str], dict[str, int]]:
-    """Dangling tuples of restricted foreign keys, as singleton edges."""
-    referenced = {fk.referenced.lower() for fk in foreign_keys}
-    for edge in denial_edges:
-        ensure_edge_in_restricted_class(edge, referenced)
+    """Dangling tuples of restricted foreign keys, as singleton edges.
 
+    The caller has already verified the denial edges stay inside the
+    restricted class (:func:`ensure_edge_in_restricted_class`).
+    """
     # Deterministic deletions seen so far: singleton denial edges.
     deleted: dict[str, set[int]] = {}
     for edge in denial_edges:

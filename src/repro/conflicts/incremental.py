@@ -290,7 +290,12 @@ class IncrementalDetector:
             re-detection on the new state would raise.
     """
 
-    def __init__(self, db: Database, constraints: Iterable[object]) -> None:
+    def __init__(
+        self,
+        db: Database,
+        constraints: Iterable[object],
+        extra_referenced: Iterable[str] = (),
+    ) -> None:
         self.db = db
         constraint_list = list(constraints)
         self.foreign_keys = [
@@ -300,9 +305,12 @@ class IncrementalDetector:
             c for c in constraint_list if not isinstance(c, ForeignKeyConstraint)
         )
         self.fk_labels = frozenset(str(fk) for fk in self.foreign_keys)
+        # ``extra_referenced``: FK-referenced relations owned by other
+        # shard workers -- the restricted-class check must reject a
+        # choice conflict on them exactly like the monolith does.
         self.referenced = frozenset(
             fk.referenced.lower() for fk in self.foreign_keys
-        )
+        ) | frozenset(relation.lower() for relation in extra_referenced)
         self.constraint_names = [d.name for d in self.denials] + [
             str(fk) for fk in self.foreign_keys
         ]

@@ -59,7 +59,12 @@ from repro.conflicts.detection import detect_conflicts
 from repro.conflicts.hypergraph import ConflictHypergraph
 from repro.conflicts.incremental import DeltaStats, IncrementalDetector
 from repro.engine.database import WRITER_GROUP, Database, apply_feed_record
-from repro.engine.feed import RECORD_CHANGE, ChangeFeed, FeedRecord
+from repro.engine.feed import (
+    RECORD_CHANGE,
+    SCHEMA_TOPIC,
+    ChangeFeed,
+    FeedRecord,
+)
 from repro.engine.snapshot import restore_database, snapshot_database
 from repro.errors import CatalogError, FeedError
 
@@ -113,6 +118,16 @@ class ReplicaHypergraph:
             re-attach after feed retention truncated its prefix.
         checkpoint_records: when set, automatically checkpoint after
             this many records have been committed since the last one.
+        topics: subscribe to a subset of the feed's topics (relation
+            names; the ``_schema`` topic is always included so DDL
+            replicates).  The replica then maintains a *partial*
+            database -- only the subscribed relations carry rows --
+            which is the shard-worker shape
+            (:class:`~repro.conflicts.shard.ShardWorker`); its retention
+            floor only pins the subscribed topics.
+        extra_referenced: FK-referenced relations protected by
+            constraints *outside* this replica's list (other shards');
+            forwarded into detection's restricted-class check.
 
     Raises:
         FeedError: when the committed prefix is no longer retained and
@@ -128,10 +143,22 @@ class ReplicaHypergraph:
         group: str = "replica",
         snapshots: bool = True,
         checkpoint_records: Optional[int] = None,
+        topics: Optional[Iterable[str]] = None,
+        extra_referenced: Iterable[str] = (),
     ) -> None:
         self.feed = feed
         self.group = group
         self.constraints = list(constraints)
+        self.topics = (
+            None
+            if topics is None
+            else frozenset(
+                {str(t).lower() for t in topics} | {SCHEMA_TOPIC}
+            )
+        )
+        self.extra_referenced = frozenset(
+            relation.lower() for relation in extra_referenced
+        )
         if not feed.durable and feed.dropped:
             raise FeedError(
                 "cannot attach a replica to an in-memory feed that already"
@@ -143,7 +170,9 @@ class ReplicaHypergraph:
         self.checkpoint_records = checkpoint_records
         self._since_checkpoint = 0
         self._closed = False
-        self._consumer = feed.consumer(group, start="beginning")
+        self._consumer = feed.consumer(
+            group, start="beginning", topics=self.topics
+        )
         #: the replica's own database, rebuilt purely from the feed.
         self.db = Database()
         self._detector: Optional[IncrementalDetector] = None
@@ -211,20 +240,35 @@ class ReplicaHypergraph:
         # A reader instance's view can predate a foreign reclaim: judge
         # replayability from the live directory, not stale memory.
         self.feed.refresh()
-        if all(t.start == 0 for t in self.feed.topics()):
-            return False  # the full history is still replayable
+        if all(
+            t.start == 0
+            for t in self.feed.topics()
+            if self.topics is None or t.name in self.topics
+        ):
+            return False  # the (subscribed) history is still replayable
         seeded = self.feed.load_snapshot(WRITER_GROUP)
         if seeded is None:
             return False
         cut, payload = seeded
-        restore_database(self.db, payload)
+        # A subscribed replica restores only its slice of the writer's
+        # checkpoint (schemas in full -- detection needs the catalog --
+        # rows only for subscribed relations); seek() drops the foreign
+        # topics from the cut.
+        restore_database(self.db, payload, tables=self.topics)
         self._consumer.seek(cut)
         self._consumer.commit()
         return True
 
     def _full_detect(self) -> None:
-        report = detect_conflicts(self.db, self.constraints, keep_raw=True)
-        self._detector = IncrementalDetector(self.db, self.constraints)
+        report = detect_conflicts(
+            self.db,
+            self.constraints,
+            keep_raw=True,
+            extra_referenced=self.extra_referenced,
+        )
+        self._detector = IncrementalDetector(
+            self.db, self.constraints, extra_referenced=self.extra_referenced
+        )
         self._detector.bootstrap(report)
         self._needs_full = False
 

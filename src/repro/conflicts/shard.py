@@ -1,0 +1,534 @@
+"""Sharded per-topic conflict-hypergraph maintenance.
+
+The durable feed partitions the change stream per relation (one topic
+each); replicas proved the conflict hypergraph can be rebuilt *away*
+from the writer.  This module combines the two into the codebase's
+first horizontal scale-out primitive: the hypergraph is maintained by a
+set of **shard workers**, each a consumer group over a *subset* of the
+topics, and the shards provably add up to the monolith.
+
+The decomposition leans on a locality fact the CQA literature leans on
+too (e.g. Koutris & Wijsen's first-order / logspace results for
+primary-key CQA): most conflicts are confined to one relation, and a
+denial constraint can only ever produce an edge among the relations its
+body mentions.  So:
+
+* :func:`plan_assignment` computes a **constraint-aware topic
+  assignment**: relations co-referenced by a denial / FK constraint are
+  placed on the same worker (the co-reference graph's components are
+  the atomic placement units, balanced greedily across workers).  When
+  an explicit assignment *does* split a constraint's relations across
+  workers, the constraint is flagged **cross-shard** and assigned to a
+  designated *owner* -- the worker owning its anchor relation (an FK's
+  referencing side; a denial's first atom) -- which additionally
+  subscribes to the foreign topics, so the cross-relation residue is
+  routed explicitly instead of assumed away.
+
+* :class:`ShardWorker` is a
+  :class:`~repro.conflicts.replica.ReplicaHypergraph` over its topic
+  subset: it maintains a partial database (rows only for subscribed
+  relations) and a partial hypergraph via the existing
+  :class:`~repro.conflicts.incremental.IncrementalDetector` machinery,
+  and checkpoints its shard through :mod:`repro.engine.snapshot`
+  exactly the way the writer checkpoints the whole database -- its
+  retention floor pins only its subscribed topics.
+
+* :func:`merge_graphs` / :class:`MergedHypergraph` union the shard
+  graphs back into one view: duplicate edges (the same violation
+  derived by constraints on two workers) are deduplicated by edge key
+  with the label resolved by global constraint order, and subsumption
+  is re-checked -- only across shard boundaries, since each shard
+  graph is already minimal among its own edges.
+
+* :class:`ShardCoordinator` owns the plan and the workers, drains them,
+  assembles a full database from the workers' owned slices, and hands
+  :class:`~repro.core.hippo.HippoEngine` a merged view so consistent
+  query answering runs off the shards transparently.
+
+The maintained invariant -- pinned by
+``tests/property/test_shard_equivalence.py`` -- is that at every
+aligned committed cut the merged view equals the monolithic replica's
+graph (and therefore full re-detection), including after killing a
+worker and restarting it from its shard checkpoint, with every
+cross-shard edge produced exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.conflicts.hypergraph import ConflictHypergraph, Vertex
+from repro.conflicts.replica import ReplicaHypergraph, ReplicaSync
+from repro.constraints.denial import to_denial_constraints
+from repro.constraints.foreign_key import (
+    ForeignKeyConstraint,
+    topological_fk_order,
+)
+from repro.engine.database import Database
+from repro.engine.feed import SCHEMA_TOPIC, ChangeFeed
+from repro.engine.snapshot import restore_database, snapshot_database
+from repro.errors import ConstraintError
+
+
+def constraint_relations(constraint: object) -> tuple[str, ...]:
+    """The (lower-cased) relations a constraint's evaluation touches.
+
+    The first entry is the constraint's *anchor*: the relation whose
+    owning worker evaluates the constraint when its relations span
+    shards (an FK's referencing side -- where the dangling singletons
+    live; a denial's first atom).
+    """
+    if isinstance(constraint, ForeignKeyConstraint):
+        return (constraint.referencing.lower(), constraint.referenced.lower())
+    ordered: dict[str, None] = {}
+    for denial in to_denial_constraints([constraint]):
+        for atom in denial.atoms:
+            ordered.setdefault(atom.relation.lower())
+    return tuple(ordered)
+
+
+def global_constraint_names(constraints: Sequence[object]) -> tuple[str, ...]:
+    """Constraint labels in the monolith's derivation order.
+
+    Full detection derives denial violations in constraint-list order
+    and FK danglings after all of them (in topological order), and the
+    first deriving constraint becomes an edge's stored label.  The
+    shard merge resolves duplicate edges by this order, so merged
+    labels equal monolithic ones.
+    """
+    fks = [c for c in constraints if isinstance(c, ForeignKeyConstraint)]
+    denials = to_denial_constraints(
+        c for c in constraints if not isinstance(c, ForeignKeyConstraint)
+    )
+    return tuple(d.name for d in denials) + tuple(
+        str(fk) for fk in topological_fk_order(fks)
+    )
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One worker's slice of the plan.
+
+    Attributes:
+        index: worker number (0-based).
+        owned: topics this worker owns (rows it is authoritative for).
+        foreign: topics of *other* workers it additionally subscribes
+            to, because it owns a cross-shard constraint that reads
+            them.
+        subscribed: the full subscription handed to the consumer group
+            (owned + foreign + the ``_schema`` topic).
+        constraints: the constraints this worker evaluates (original
+            objects, original relative order).
+        cross_shard: display labels of its cross-shard constraints.
+    """
+
+    index: int
+    owned: tuple[str, ...]
+    foreign: tuple[str, ...]
+    subscribed: tuple[str, ...]
+    constraints: tuple[object, ...]
+    cross_shard: tuple[str, ...]
+
+
+@dataclass
+class ShardPlan:
+    """A complete constraint-aware topic assignment.
+
+    Attributes:
+        shards: one :class:`ShardSpec` per worker.
+        topic_owner: relation (topic) name -> owning worker index.
+        constraint_names: global label order (see
+            :func:`global_constraint_names`).
+        referenced: all FK-referenced relations, passed to every worker
+            so the restricted-class check stays global.
+    """
+
+    shards: tuple[ShardSpec, ...]
+    topic_owner: Dict[str, int]
+    constraint_names: tuple[str, ...]
+    referenced: frozenset[str]
+
+    @property
+    def cross_shard(self) -> tuple[str, ...]:
+        """Labels of every cross-shard constraint, worker order."""
+        labels: list[str] = []
+        for spec in self.shards:
+            labels.extend(spec.cross_shard)
+        return tuple(labels)
+
+
+def plan_assignment(
+    constraints: Iterable[object],
+    workers: int = 2,
+    relations: Iterable[str] = (),
+    assignment: Optional[Dict[str, int]] = None,
+) -> ShardPlan:
+    """Compute a constraint-aware topic assignment over ``workers``.
+
+    Relations co-referenced by a constraint are kept on one worker: the
+    co-reference graph's connected components are placed whole, largest
+    first, each onto the currently least-loaded worker.  ``relations``
+    adds topics no constraint mentions (they still need an owner);
+    ``assignment`` pins relations to workers explicitly -- the operator
+    override, and the way tests force a constraint across shards.  A
+    pinned relation drags the unpinned remainder of its component to
+    its worker; a constraint whose relations still land on different
+    workers is flagged cross-shard and owned by its anchor's worker,
+    which subscribes to the foreign topics.
+
+    Raises:
+        ConstraintError: on ``workers < 1``, a pinned worker index out
+            of range, or a cyclic FK reference graph (validated
+            globally here -- no single worker may see all of a
+            cross-shard cycle).
+    """
+    if workers < 1:
+        raise ConstraintError("a shard plan needs at least one worker")
+    constraint_list = list(constraints)
+    fks = [c for c in constraint_list if isinstance(c, ForeignKeyConstraint)]
+    topological_fk_order(fks)  # global acyclicity check, up front
+    per_constraint = [constraint_relations(c) for c in constraint_list]
+
+    known: dict[str, None] = {}
+    for rels in per_constraint:
+        for relation in rels:
+            known.setdefault(relation)
+    for relation in relations:
+        known.setdefault(str(relation).lower())
+    pinned: dict[str, int] = {}
+    for relation, worker in (assignment or {}).items():
+        if not 0 <= worker < workers:
+            raise ConstraintError(
+                f"assignment pins {relation!r} to worker {worker},"
+                f" but the plan has {workers} workers"
+            )
+        key = str(relation).lower()
+        known.setdefault(key)
+        pinned[key] = worker
+
+    # Union-find over co-referenced relations: components place whole.
+    parent = {relation: relation for relation in known}
+
+    def find(relation: str) -> str:
+        root = relation
+        while parent[root] != root:
+            root = parent[root]
+        parent[relation] = root
+        return root
+
+    for rels in per_constraint:
+        for other in rels[1:]:
+            left, right = find(rels[0]), find(other)
+            if left != right:
+                parent[left] = right
+    components: dict[str, list[str]] = {}
+    for relation in sorted(known):
+        components.setdefault(find(relation), []).append(relation)
+
+    owner: dict[str, int] = dict(pinned)
+    loads = [0] * workers
+    for worker in pinned.values():
+        loads[worker] += 1
+    for component in sorted(
+        components.values(), key=lambda c: (-len(c), c[0])
+    ):
+        unassigned = [r for r in component if r not in owner]
+        if not unassigned:
+            continue
+        pinned_in = [r for r in component if r in owner]
+        if pinned_in:
+            # A pinned member anchors the component's remainder.
+            worker = owner[pinned_in[0]]
+        else:
+            worker = min(range(workers), key=lambda i: (loads[i], i))
+        for relation in unassigned:
+            owner[relation] = worker
+            loads[worker] += 1
+
+    shard_constraints: list[list[object]] = [[] for _ in range(workers)]
+    shard_cross: list[list[str]] = [[] for _ in range(workers)]
+    shard_foreign: list[dict[str, None]] = [{} for _ in range(workers)]
+    for constraint, rels in zip(constraint_list, per_constraint):
+        worker = owner[rels[0]]
+        shard_constraints[worker].append(constraint)
+        if len({owner[r] for r in rels}) > 1:
+            shard_cross[worker].append(str(constraint))
+            for relation in rels:
+                if owner[relation] != worker:
+                    shard_foreign[worker].setdefault(relation)
+    owned: list[list[str]] = [[] for _ in range(workers)]
+    for relation in sorted(owner):
+        owned[owner[relation]].append(relation)
+    shards = tuple(
+        ShardSpec(
+            index=index,
+            owned=tuple(owned[index]),
+            foreign=tuple(shard_foreign[index]),
+            subscribed=tuple(
+                dict.fromkeys(
+                    [*owned[index], *shard_foreign[index], SCHEMA_TOPIC]
+                )
+            ),
+            constraints=tuple(shard_constraints[index]),
+            cross_shard=tuple(shard_cross[index]),
+        )
+        for index in range(workers)
+    )
+    return ShardPlan(
+        shards=shards,
+        topic_owner=owner,
+        constraint_names=global_constraint_names(constraint_list),
+        referenced=frozenset(fk.referenced.lower() for fk in fks),
+    )
+
+
+def merge_graphs(
+    graphs: Iterable[ConflictHypergraph],
+    constraint_names: Sequence[str] = (),
+) -> ConflictHypergraph:
+    """Union shard graphs into one minimal hypergraph.
+
+    Duplicate edges (the same violation derived by constraints on two
+    different workers) are deduplicated by edge key; the surviving
+    label is the supporting constraint earliest in
+    ``constraint_names`` -- the same tie-break the monolith's first-
+    derivation-wins rule produces.  Subsumption is then re-checked
+    smallest-edge-first; since each input graph is already minimal
+    among its own edges, every subsuming pair this pass finds is
+    necessarily cross-shard.
+    """
+    rank = {name: index for index, name in enumerate(constraint_names)}
+    worst = len(rank)
+    best: dict[frozenset[Vertex], str] = {}
+    for graph in graphs:
+        for edge, label in zip(graph.edges, graph.edge_labels):
+            current = best.get(edge)
+            if current is None or rank.get(label, worst) < rank.get(
+                current, worst
+            ):
+                best[edge] = label
+    merged = ConflictHypergraph()
+    for edge in sorted(best, key=len):
+        if not merged.subset_edges(edge):
+            merged.add_edge(edge, best[edge])
+    return merged
+
+
+class MergedHypergraph:
+    """A live union view over a set of shard workers' graphs.
+
+    Recomputed from the current shard graphs on every access, so worker
+    syncs, retractions and cross-boundary resurrections are always
+    reflected; workers whose detection is still deferred (constraint
+    tables not replicated yet) contribute nothing.
+    """
+
+    def __init__(
+        self,
+        workers: Sequence["ShardWorker"],
+        constraint_names: Sequence[str] = (),
+    ) -> None:
+        self.workers = workers
+        self.constraint_names = tuple(constraint_names)
+
+    @property
+    def graph(self) -> ConflictHypergraph:
+        return merge_graphs(
+            (worker.graph for worker in self.workers if worker.ready),
+            self.constraint_names,
+        )
+
+    def as_dict(self) -> dict[frozenset[Vertex], str]:
+        return self.graph.as_dict()
+
+
+class ShardWorker(ReplicaHypergraph):
+    """One consumer group maintaining one shard of the hypergraph.
+
+    A :class:`~repro.conflicts.replica.ReplicaHypergraph` over the
+    spec's topic subset and constraint slice: the worker's database
+    carries rows only for its subscribed relations, its graph only the
+    edges its constraints derive, and its checkpoints
+    (:meth:`~repro.conflicts.replica.ReplicaHypergraph.checkpoint`)
+    are partial snapshots bound to the shard's committed cut -- the
+    worker restarts from them exactly like the writer restarts from
+    its own checkpoint, and its retention floor pins only its topics.
+    """
+
+    def __init__(
+        self,
+        feed: ChangeFeed,
+        spec: ShardSpec,
+        plan: ShardPlan,
+        group: Optional[str] = None,
+        snapshots: bool = True,
+        checkpoint_records: Optional[int] = None,
+    ) -> None:
+        self.spec = spec
+        super().__init__(
+            feed,
+            spec.constraints,
+            group=group if group is not None else f"shard-{spec.index}",
+            snapshots=snapshots,
+            checkpoint_records=checkpoint_records,
+            topics=spec.subscribed,
+            extra_referenced=plan.referenced,
+        )
+
+
+class ShardCoordinator:
+    """Plans the assignment, runs the workers, merges the shards.
+
+    Args:
+        feed: the feed to shard over -- typically a *reader*
+            :class:`~repro.engine.feed.ChangeFeed` instance on the
+            writer's directory (the coordinator never closes it; the
+            caller owns it).  All workers attach to this instance under
+            their own consumer groups, so they also run one-per-process
+            against separate reader instances unchanged.
+        constraints: the full constraint set (split across workers by
+            the plan).
+        workers: number of shard workers.
+        relations: extra topics to assign that no constraint mentions
+            and the feed has not seen yet (lets the coordinator attach
+            before the writer creates its tables).
+        assignment: explicit relation -> worker pinning (see
+            :func:`plan_assignment`).
+        group_prefix: consumer groups are named ``{prefix}-{index}``.
+        snapshots / checkpoint_records: forwarded to every worker.
+    """
+
+    def __init__(
+        self,
+        feed: ChangeFeed,
+        constraints: Iterable[object],
+        workers: int = 2,
+        relations: Iterable[str] = (),
+        assignment: Optional[Dict[str, int]] = None,
+        group_prefix: str = "shard",
+        snapshots: bool = True,
+        checkpoint_records: Optional[int] = None,
+    ) -> None:
+        self.feed = feed
+        self.constraints = list(constraints)
+        self._snapshots = snapshots
+        self._checkpoint_records = checkpoint_records
+        feed.refresh()
+        discovered = [
+            t.name for t in feed.topics() if t.name != SCHEMA_TOPIC
+        ]
+        self.plan = plan_assignment(
+            self.constraints,
+            workers,
+            relations=[*discovered, *relations],
+            assignment=assignment,
+        )
+        self.workers: list[ShardWorker] = [
+            ShardWorker(
+                feed,
+                spec,
+                self.plan,
+                group=f"{group_prefix}-{spec.index}",
+                snapshots=snapshots,
+                checkpoint_records=checkpoint_records,
+            )
+            for spec in self.plan.shards
+        ]
+        self.merged = MergedHypergraph(self.workers, self.plan.constraint_names)
+
+    # ------------------------------------------------------------- running
+
+    @property
+    def lag(self) -> int:
+        """Feed records pending across all shards."""
+        return sum(worker.lag for worker in self.workers)
+
+    @property
+    def ready(self) -> bool:
+        """Whether every worker maintains a graph (none deferred)."""
+        return all(worker.ready for worker in self.workers)
+
+    @property
+    def graph(self) -> ConflictHypergraph:
+        """The merged shard view (see :class:`MergedHypergraph`)."""
+        return self.merged.graph
+
+    def sync(self, limit: Optional[int] = None) -> list[ReplicaSync]:
+        """One bounded sync per worker (round-robin fairness)."""
+        return [worker.sync(limit) for worker in self.workers]
+
+    def drain(self) -> int:
+        """Sync every worker until its lag is zero; returns records
+        consumed.  After a drain the shards sit at an *aligned* cut --
+        the precondition for comparing the merged view against a
+        monolith (the writer must be quiescent and flushed)."""
+        total = 0
+        for worker in self.workers:
+            while worker.lag:
+                total += worker.sync().records
+        return total
+
+    def checkpoint(self) -> None:
+        """Checkpoint every worker's shard at its committed cut."""
+        for worker in self.workers:
+            worker.checkpoint()
+
+    def restart(self, index: int) -> ShardWorker:
+        """Kill one worker and re-attach it from its durable state.
+
+        The old worker's uncommitted progress is discarded (its
+        consumer deregisters in memory only -- committed offsets and
+        shard checkpoints survive, exactly like a process crash); the
+        fresh worker bootstraps from the group's snapshot / committed
+        cut and resumes.  Returns the replacement.
+        """
+        old = self.workers[index]
+        old._consumer.close()
+        self.workers[index] = ShardWorker(
+            self.feed,
+            self.plan.shards[index],
+            self.plan,
+            group=old.group,
+            snapshots=self._snapshots,
+            checkpoint_records=self._checkpoint_records,
+        )
+        return self.workers[index]
+
+    # ------------------------------------------------------------ querying
+
+    def database(self) -> Database:
+        """Assemble one full database from the workers' owned slices.
+
+        Each worker is authoritative for the rows of its *owned* topics
+        (foreign subscriptions are read-only copies), so restoring each
+        owned slice into one target -- schemas merged, rows disjoint,
+        tids preserved -- reproduces the primary at the aligned cut.
+        Call after :meth:`drain`.
+        """
+        db = Database()
+        for worker in self.workers:
+            restore_database(
+                db,
+                snapshot_database(worker.db, tables=worker.spec.owned),
+                merge=True,
+            )
+        return db
+
+    def engine(self, **kwargs):
+        """A :class:`~repro.core.hippo.HippoEngine` answering from the
+        shards: the assembled database plus the merged hypergraph
+        (handed over as precomputed detection, so the engine never
+        re-detects).  Consistent-query answering then runs the paper's
+        pipeline transparently over shard state."""
+        from repro.core.hippo import HippoEngine
+
+        return HippoEngine(
+            self.database(), self.constraints, hypergraph=self.graph, **kwargs
+        )
+
+    def close(self) -> None:
+        """Close every worker (checkpointing durable shards); the feed
+        stays open -- the caller owns it."""
+        for worker in self.workers:
+            worker.close()

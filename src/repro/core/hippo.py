@@ -92,6 +92,13 @@ class HippoEngine:
             durable feed, persistent) under that name -- the CLI's
             ``.feed`` command shows per-group lag; anonymous engines get
             an ephemeral ``cursor-<n>`` group.
+        hypergraph: a precomputed conflict hypergraph to answer from
+            instead of running detection.  The engine is then *static*
+            (detached: no feed subscription, no auto-sync) -- the shape
+            :class:`~repro.conflicts.shard.ShardCoordinator.engine`
+            uses to answer queries from a merged shard view.  An
+            explicit :meth:`refresh` still falls back to full
+            detection.
 
     The conflict hypergraph is built eagerly and then maintained
     *incrementally*: the engine is a consumer group of the database's
@@ -119,12 +126,26 @@ class HippoEngine:
         use_core: bool = True,
         feed: Optional[ChangeFeed] = None,
         group: Optional[str] = None,
+        hypergraph: Optional[ConflictHypergraph] = None,
     ) -> None:
         self.db = db
         self.constraints = list(constraints)
         self.membership_strategy = membership
         self.use_core = use_core
         self._schema = CatalogSchemaProvider(db.catalog)
+        if hypergraph is not None:
+            # Externally-maintained detection (e.g. a merged shard
+            # view): the engine answers from it statically -- detached,
+            # so no consumer, no incremental maintainer.
+            self._consumer = None
+            self._incremental = None
+            self._schema_version = db.changes.schema_version
+            self._constraints_snapshot = tuple(self.constraints)
+            self.detection = DetectionReport(
+                hypergraph=hypergraph, mode="external"
+            )
+            self._enveloper = Enveloper(db, self.hypergraph)
+            return
         source = feed if feed is not None else db.changes.feed
         self._consumer: Optional[FeedConsumer] = source.consumer(group)
         # The engine is about to run full detection on the *current*

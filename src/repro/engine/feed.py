@@ -49,6 +49,16 @@ style of a partitioned commit log:
   offsets, which is its recovery point once retention has truncated the
   prefix it would otherwise replay.
 
+* **Topic-subset subscriptions.**  A group may subscribe to a subset of
+  the topics (``consumer(..., topics=...)``): polls, lag and loss
+  checks then see only the subscribed topics, and -- crucially for
+  retention -- the group's floor *only pins the topics it subscribes
+  to*.  The subscription is persisted with the group's registration and
+  with its snapshot offsets, so a foreign process's retention scan
+  honors it too.  This is what lets shard workers
+  (:mod:`repro.conflicts.shard`) each own a slice of the relations
+  without one slow shard pinning every other shard's history.
+
 * **Retention.**  In-memory feeds keep records until every group has
   consumed them, capped at ``max_retained``; past the cap the buffer is
   dropped wholesale and lagging groups observe ``lost=True`` (the
@@ -86,7 +96,7 @@ import os
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, Optional
+from typing import Iterable, Iterator, Optional
 
 from repro.errors import FeedError, FeedRetentionError
 
@@ -235,6 +245,53 @@ class TopicInfo:
     segments: int  # durable segment files (0 for in-memory feeds)
 
 
+@dataclass
+class GroupRecovery:
+    """One consumer group's recovery state, as retention sees it.
+
+    Attributes:
+        group: the group name.
+        committed: committed offsets per topic.
+        snapshot: the offsets of the group's snapshot, when it stored
+            one -- then the group's recovery point (it rebuilds from
+            the snapshot and replays forward).
+        topics: the group's topic subscription (None = all topics);
+            the group's floor only pins subscribed topics.
+    """
+
+    group: str
+    committed: dict[str, int]
+    snapshot: Optional[dict[str, int]] = None
+    topics: Optional[frozenset[str]] = None
+
+    @property
+    def floor(self) -> dict[str, int]:
+        """The offsets retention must keep for this group."""
+        return self.snapshot if self.snapshot is not None else self.committed
+
+    @property
+    def source(self) -> str:
+        """Where the floor comes from: ``"snapshot"`` or ``"committed"``."""
+        return "snapshot" if self.snapshot is not None else "committed"
+
+
+def _floor_of(
+    name: str,
+    contributions: Iterable[tuple[dict[str, int], Optional[frozenset[str]]]],
+) -> int:
+    """The retention floor of one topic over (offsets, subscription)
+    contributions.  Groups not subscribed to the topic do not pin it; a
+    topic with no subscriber at all stays pinned at 0 (conservative --
+    nothing is reclaimed that a later subscribe-all attach could want).
+    """
+    floors = [
+        offsets.get(name, 0)
+        for offsets, topics in contributions
+        if topics is None or name in topics
+    ]
+    return min(floors) if floors else 0
+
+
 class _Topic:
     """One partition: the resident tail plus the durable segment chain.
 
@@ -347,6 +404,8 @@ class ChangeFeed:
         self.schema_version = 0
         self._topics: dict[str, _Topic] = {}
         self._groups: dict[str, dict[str, int]] = {}  # group -> committed
+        #: group -> subscribed topic names (None = all topics).
+        self._subscriptions: dict[str, Optional[frozenset[str]]] = {}
         self._ephemeral: set[str] = set()  # anonymous groups (no disk state)
         self._next_anonymous = 0
         self._suspended = 0
@@ -489,7 +548,10 @@ class ChangeFeed:
     # ------------------------------------------------------------- consuming
 
     def consumer(
-        self, group: Optional[str] = None, start: str = "end"
+        self,
+        group: Optional[str] = None,
+        start: str = "end",
+        topics: Optional[Iterable[str]] = None,
     ) -> "FeedConsumer":
         """Attach a consumer under ``group``.
 
@@ -499,11 +561,23 @@ class ChangeFeed:
         durable feeds survive process restarts.  New named groups on a
         durable feed are registered on disk immediately, so retention
         respects them before their first commit.
+
+        ``topics`` subscribes the group to a subset of the topic names
+        (lower-cased): polls, lag, loss and retention floors are then
+        restricted to that subset.  A group's subscription should stay
+        stable across re-attaches (it is persisted with the group's
+        registration; the value passed here wins).
         """
         ephemeral = group is None
         if group is None:
             group = f"cursor-{self._next_anonymous}"
             self._next_anonymous += 1
+        subscription = (
+            None
+            if topics is None
+            else frozenset(topic.lower() for topic in topics)
+        )
+        self._subscriptions[group] = subscription
         if group not in self._groups:
             # Ephemeral groups never touch consumers/ on disk: their
             # position is meaningless to any other process, and a stale
@@ -514,7 +588,11 @@ class ChangeFeed:
                 committed = (
                     {}
                     if start == "beginning"
-                    else {name: t.end for name, t in self._topics.items()}
+                    else {
+                        name: t.end
+                        for name, t in self._topics.items()
+                        if subscription is None or name in subscription
+                    }
                 )
             self._groups[group] = committed
             if ephemeral:
@@ -532,6 +610,7 @@ class ChangeFeed:
     def close_group(self, group: str) -> None:
         """Drop a group's in-memory registration (durable commits stay)."""
         self._groups.pop(group, None)
+        self._subscriptions.pop(group, None)
         self._ephemeral.discard(group)
         self._compact()
 
@@ -540,6 +619,7 @@ class ChangeFeed:
         offsets on disk, and its snapshot.  Releases the group's
         retention hold -- the operator's tool for abandoned groups."""
         self._groups.pop(group, None)
+        self._subscriptions.pop(group, None)
         self._ephemeral.discard(group)
         if self.durable:
             for path in (
@@ -657,8 +737,15 @@ class ChangeFeed:
             self._topics[name] = topic
         return topic
 
+    def _subscribed(self, group: str, topic: str) -> bool:
+        subscription = self._subscriptions.get(group)
+        return subscription is None or topic in subscription
+
     def _poll(
-        self, positions: dict[str, int], limit: Optional[int]
+        self,
+        positions: dict[str, int],
+        limit: Optional[int],
+        topics: Optional[frozenset[str]] = None,
     ) -> list[FeedRecord]:
         """Merge per-topic reads up to ``limit`` by global seq.
 
@@ -666,10 +753,13 @@ class ChangeFeed:
         and the heap stops pulling once ``limit`` records came out, so a
         slow consumer polling in small batches does O(limit + topics)
         work per poll instead of materializing the whole backlog.
+        ``topics`` restricts the merge to a subscription.
         """
         self.last_poll_materialized = 0
         iterators = []
         for name, topic in self._topics.items():
+            if topics is not None and name not in topics:
+                continue
             position = positions.get(name, 0)
             if position < topic.end:
                 iterators.append(self._iter_topic(topic, position))
@@ -814,16 +904,26 @@ class ChangeFeed:
                 )
         return records
 
-    def _lost(self, positions: dict[str, int]) -> bool:
+    def _lost(
+        self,
+        positions: dict[str, int],
+        topics: Optional[frozenset[str]] = None,
+    ) -> bool:
         return any(
             positions.get(name, 0) < topic.base
             for name, topic in self._topics.items()
+            if topics is None or name in topics
         )
 
-    def _lag(self, positions: dict[str, int]) -> int:
+    def _lag(
+        self,
+        positions: dict[str, int],
+        topics: Optional[frozenset[str]] = None,
+    ) -> int:
         return sum(
             max(topic.end - positions.get(name, 0), 0)
             for name, topic in self._topics.items()
+            if topics is None or name in topics
         )
 
     def _commit(self, group: str, committed: dict[str, int]) -> None:
@@ -850,7 +950,19 @@ class ChangeFeed:
             if not self._groups:
                 topic.drop_retained()
                 continue
-            low = min(c.get(name, 0) for c in self._groups.values())
+            lows = [
+                committed.get(name, 0)
+                for group, committed in self._groups.items()
+                if self._subscribed(group, name)
+            ]
+            if not lows:
+                # No *subscribed* listener right now -- but groups
+                # exist, and a subscribe-all consumer may still attach:
+                # retain, exactly like the durable floor pins an
+                # unsubscribed topic at 0 (the overflow cap is the
+                # backstop, and it marks lagging groups as lost).
+                continue
+            low = min(lows)
             if low > topic.tail_start:
                 del topic.records[: low - topic.tail_start]
                 topic.tail_start = topic.base = low
@@ -864,11 +976,14 @@ class ChangeFeed:
         every commit)."""
         min_reclaim = self._auto_min_reclaim() if rewrite else 0
         if self._groups:
-            local = list(self._groups.values())
+            local = [
+                (committed, self._subscriptions.get(group))
+                for group, committed in self._groups.items()
+            ]
             for name, topic in self._topics.items():
                 if len(topic.segments) < 2:
                     continue
-                floor = min(c.get(name, 0) for c in local)
+                floor = _floor_of(name, local)
                 if _segment_start(topic.segments[1]) <= floor:
                     break
                 if (
@@ -955,7 +1070,7 @@ class ChangeFeed:
             for name, topic in self._topics.items():
                 if len(topic.segments) < 2:
                     continue
-                floor = min(c.get(name, 0) for c in contributions)
+                floor = _floor_of(name, contributions)
                 starts = [_segment_start(s) for s in topic.segments]
                 keep = 0
                 while (
@@ -1036,32 +1151,80 @@ class ChangeFeed:
             os.fsync(handle.fileno())
         self._cache.put((topic.name, name), records)
 
-    def _floor_contributions(self) -> list[dict[str, int]]:
-        """One committed-offsets dict per consumer retention respects."""
-        by_group: dict[str, dict[str, int]] = {}
-        directory = self._consumers_dir()
-        if directory.exists():
-            for path in sorted(directory.glob("*.json")):
-                committed = self._load_committed(path.stem)
-                if committed is not None:
-                    by_group[path.stem] = committed
-        snapshots = self._snapshots_dir()
-        if snapshots.exists():
-            for path in sorted(snapshots.glob("*.offsets.json")):
-                group = path.name[: -len(".offsets.json")]
-                try:
-                    data = json.loads(path.read_text(encoding="utf-8"))
-                    offsets = {
-                        str(k): int(v) for k, v in data["committed"].items()
-                    }
-                except (ValueError, KeyError) as exc:
-                    raise FeedError(f"corrupt snapshot offsets {path}") from exc
-                # The snapshot is the group's recovery point: it
-                # overrides the (>=) committed offsets.
-                by_group[group] = offsets
+    def _floor_contributions(
+        self,
+    ) -> list[tuple[dict[str, int], Optional[frozenset[str]]]]:
+        """One (floor offsets, subscription) pair per consumer retention
+        respects.  A group's floor only pins the topics it subscribes
+        to (``None`` = all topics)."""
+        return [
+            (recovery.floor, recovery.topics)
+            for recovery in self._registered_floors().values()
+        ]
+
+    def _registered_floors(self) -> dict[str, "GroupRecovery"]:
+        """Every registered group's recovery state, on-disk groups of
+        other processes included (durable feeds)."""
+        by_group: dict[str, GroupRecovery] = {}
+        if self.durable:
+            directory = self._consumers_dir()
+            if directory.exists():
+                for path in sorted(directory.glob("*.json")):
+                    offsets, topics = self._parse_offsets_file(path)
+                    by_group[path.stem] = GroupRecovery(
+                        group=path.stem, committed=offsets, topics=topics
+                    )
+            snapshots = self._snapshots_dir()
+            if snapshots.exists():
+                for path in sorted(snapshots.glob("*.offsets.json")):
+                    group = path.name[: -len(".offsets.json")]
+                    offsets, topics = self._parse_offsets_file(path)
+                    entry = by_group.get(group)
+                    if entry is None:
+                        entry = GroupRecovery(
+                            group=group, committed={}, topics=topics
+                        )
+                        by_group[group] = entry
+                    elif topics is not None:
+                        entry.topics = topics
+                    # The snapshot is the group's recovery point: it
+                    # overrides the (>=) committed offsets.
+                    entry.snapshot = offsets
         for group, committed in self._groups.items():
-            by_group.setdefault(group, dict(committed))
-        return list(by_group.values())
+            by_group.setdefault(
+                group,
+                GroupRecovery(
+                    group=group,
+                    committed=dict(committed),
+                    topics=self._subscriptions.get(group),
+                ),
+            )
+        return by_group
+
+    @staticmethod
+    def _parse_offsets_file(
+        path: Path,
+    ) -> tuple[dict[str, int], Optional[frozenset[str]]]:
+        """One parse for a registration / sidecar file: its committed
+        offsets plus its ``topics`` subscription (None = all)."""
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            offsets = {str(k): int(v) for k, v in data["committed"].items()}
+        except (ValueError, KeyError) as exc:
+            raise FeedError(f"corrupt consumer state {path}") from exc
+        topics = data.get("topics")
+        if topics is None:
+            return offsets, None
+        return offsets, frozenset(str(t) for t in topics)
+
+    def recovery_points(self) -> dict[str, "GroupRecovery"]:
+        """Every registered group's recovery point -- its snapshot
+        offsets when it stored a snapshot, else its committed offsets
+        -- plus its topic subscription.  This is exactly the state the
+        retention floor scan reads, surfaced for operators (the CLI's
+        ``.feed`` view): a topic is pinned at the minimum floor over
+        the groups subscribed to it."""
+        return self._registered_floors()
 
     # ------------------------------------------------------------ tailing
 
@@ -1349,10 +1512,16 @@ class ChangeFeed:
     def _store_committed(self, group: str, committed: dict[str, int]) -> None:
         directory = self._consumers_dir()
         directory.mkdir(parents=True, exist_ok=True)
-        self._atomic_json(
-            directory / f"{group}.json",
-            {"group": group, "committed": dict(committed)},
-        )
+        payload: dict[str, object] = {
+            "group": group,
+            "committed": dict(committed),
+        }
+        subscription = self._subscriptions.get(group)
+        if subscription is not None:
+            # Persist the subscription so a *foreign* process's
+            # retention scan knows this group only pins these topics.
+            payload["topics"] = sorted(subscription)
+        self._atomic_json(directory / f"{group}.json", payload)
 
     def _load_committed(self, group: str) -> Optional[dict[str, int]]:
         if not self.durable:
@@ -1377,9 +1546,18 @@ class ChangeFeed:
             raise FeedError("snapshots need a durable feed")
         directory = self._snapshots_dir()
         directory.mkdir(parents=True, exist_ok=True)
+        subscription = self._subscriptions.get(group)
+        extra: dict[str, object] = (
+            {} if subscription is None else {"topics": sorted(subscription)}
+        )
         self._atomic_json(
             directory / f"{group}.json",
-            {"group": group, "committed": dict(committed), "payload": payload},
+            {
+                "group": group,
+                "committed": dict(committed),
+                "payload": payload,
+                **extra,
+            },
         )
         # A small offsets sidecar, written *after* the payload it
         # describes (a crash in between leaves the older -- lower, so
@@ -1387,7 +1565,7 @@ class ChangeFeed:
         # instead of json-parsing every group's full snapshot payload.
         self._atomic_json(
             directory / f"{group}.offsets.json",
-            {"group": group, "committed": dict(committed)},
+            {"group": group, "committed": dict(committed), **extra},
         )
 
     def load_snapshot(
@@ -1619,7 +1797,15 @@ class FeedConsumer:
     def __init__(self, feed: ChangeFeed, group: str) -> None:
         self.feed = feed
         self.group = group
+        #: the group's topic subscription (None = all topics).
+        self.topics = feed._subscriptions.get(group)
         self._positions = dict(feed._groups[group])
+        if self.topics is not None:
+            self._positions = {
+                name: offset
+                for name, offset in self._positions.items()
+                if name in self.topics
+            }
         self._closed = False
 
     @property
@@ -1629,11 +1815,12 @@ class FeedConsumer:
 
     @property
     def lag(self) -> int:
-        """Records past the *committed* position (includes unpolled)."""
+        """Records past the *committed* position (includes unpolled;
+        subscribed topics only)."""
         if self._closed:
             return 0
         self.feed.refresh()
-        return self.feed._lag(self.feed._groups[self.group])
+        return self.feed._lag(self.feed._groups[self.group], self.topics)
 
     @property
     def pending(self) -> int:
@@ -1641,7 +1828,7 @@ class FeedConsumer:
         if self._closed:
             return 0
         self.feed.refresh()
-        return self.feed._lag(self._positions)
+        return self.feed._lag(self._positions, self.topics)
 
     @property
     def lost(self) -> bool:
@@ -1649,14 +1836,19 @@ class FeedConsumer:
         if self._closed:
             return False
         self.feed.refresh()
-        return self.feed._lost(self._positions)
+        return self.feed._lost(self._positions, self.topics)
 
     def seek(self, positions: dict[str, int]) -> None:
         """Set the read position per topic (uncommitted until
         :meth:`commit`).  Used by consumers that seeded their state out
         of band -- e.g. a fresh replica bootstrapping from the writer's
-        checkpoint because the feed's prefix was already reclaimed."""
-        self._positions = dict(positions)
+        checkpoint because the feed's prefix was already reclaimed.
+        Positions outside the subscription are dropped."""
+        self._positions = {
+            name: offset
+            for name, offset in positions.items()
+            if self.topics is None or name in self.topics
+        }
 
     def poll(
         self, limit: Optional[int] = None
@@ -1670,17 +1862,17 @@ class FeedConsumer:
         if self._closed:
             return [], False
         self.feed.refresh()
-        if self.feed._lost(self._positions):
-            self._positions = self.feed.end_offsets()
+        if self.feed._lost(self._positions, self.topics):
+            self._positions = self._subscribed_ends()
             return [], True
         try:
-            records = self.feed._poll(self._positions, limit)
+            records = self.feed._poll(self._positions, limit, self.topics)
         except FeedRetentionError:
             # A foreign truncation deleted segments between our _lost
             # check and the read (writers never re-scan, so their base
             # can be stale until the miss).  Same contract as any other
             # retention loss: reposition at the end, report lost.
-            self._positions = self.feed.end_offsets()
+            self._positions = self._subscribed_ends()
             return [], True
         for record in records:
             self._positions[record.topic] = record.offset + 1
@@ -1693,10 +1885,20 @@ class FeedConsumer:
         self.feed._commit(self.group, self._positions)
 
     def seek_to_end(self) -> None:
-        """Jump past all retained records and commit there."""
+        """Jump past all retained (subscribed) records and commit there."""
         self.feed.refresh()
-        self._positions = self.feed.end_offsets()
+        self._positions = self._subscribed_ends()
         self.commit()
+
+    def _subscribed_ends(self) -> dict[str, int]:
+        ends = self.feed.end_offsets()
+        if self.topics is None:
+            return ends
+        return {
+            name: offset
+            for name, offset in ends.items()
+            if name in self.topics
+        }
 
     def store_snapshot(self, payload: dict) -> None:
         """Persist ``payload`` as this group's recovery snapshot, bound

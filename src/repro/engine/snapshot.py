@@ -3,7 +3,7 @@
 A snapshot is a JSON-safe serialization of a whole database -- every
 table's schema plus its rows *under their original tids* (tids are the
 conflict hypergraph's vertices, so recovery must reproduce them
-exactly).  Two recovery participants share the format:
+exactly).  Three recovery participants share the format:
 
 * **Replicas** (:class:`~repro.conflicts.replica.ReplicaHypergraph`)
   store one as their consumer group's snapshot so they can re-bootstrap
@@ -12,6 +12,11 @@ exactly).  Two recovery participants share the format:
   with a durable feed) checkpoints one so ``Database(durable=dir)`` can
   reopen as *snapshot + retained-suffix replay* even after its own
   retention policy deleted the sealed segments a full replay would need.
+* **Shard workers** (:class:`~repro.conflicts.shard.ShardWorker`)
+  checkpoint *partial* snapshots -- every schema, but rows only for the
+  relations their topic subscription covers -- and the shard merge
+  assembles a full database by restoring each worker's owned slice into
+  one target (``restore_database(..., merge=True)``).
 
 Values ride through :func:`~repro.engine.feed.encode_value` /
 :func:`~repro.engine.feed.decode_value`, so non-finite REALs survive the
@@ -19,6 +24,8 @@ strict-JSON snapshot files exactly like they survive feed segments.
 """
 
 from __future__ import annotations
+
+from typing import Iterable, Optional
 
 from repro.engine.feed import (
     decode_value,
@@ -28,44 +35,74 @@ from repro.engine.feed import (
 )
 
 
-def snapshot_database(db) -> dict:
+def snapshot_database(db, tables: Optional[Iterable[str]] = None) -> dict:
     """Serialize ``db`` (schemas + rows with tids) to a JSON-safe dict.
 
     Tables appear in catalog (creation) order; restoring them in that
     order can therefore never trip over a dependency the original
     database did not have.
+
+    Args:
+        tables: when given, a *partial* snapshot: every table's schema
+            is still serialized (a restore must rebuild the full
+            catalog), but rows -- and the tid allocation cursor --
+            only for the named tables (case-insensitive).  This is the
+            shard-worker shape: one worker's slice of the database.
     """
-    tables = []
+    include = (
+        None if tables is None else {str(name).lower() for name in tables}
+    )
+    serialized = []
     for name in db.catalog.table_names():
         table = db.table(name)
-        tables.append(
-            {
-                "schema": serialize_schema(table.schema),
-                # The allocation cursor travels with the rows: rows that
-                # lived and died before the cut must not get their tids
-                # re-issued after a restore (a full-history replay would
-                # never re-issue them).
-                "next_tid": table.next_tid,
-                "rows": [
-                    [tid, [encode_value(v) for v in row]]
-                    for tid, row in table.items()
-                ],
-            }
-        )
-    return {"tables": tables}
+        entry: dict[str, object] = {"schema": serialize_schema(table.schema)}
+        if include is None or name.lower() in include:
+            # The allocation cursor travels with the rows: rows that
+            # lived and died before the cut must not get their tids
+            # re-issued after a restore (a full-history replay would
+            # never re-issue them).
+            entry["next_tid"] = table.next_tid
+            entry["rows"] = [
+                [tid, [encode_value(v) for v in row]]
+                for tid, row in table.items()
+            ]
+        serialized.append(entry)
+    return {"tables": serialized}
 
 
-def restore_database(db, payload: dict) -> None:
-    """Rebuild ``db`` (assumed empty) from a :func:`snapshot_database`
-    payload.
+def restore_database(
+    db,
+    payload: dict,
+    tables: Optional[Iterable[str]] = None,
+    merge: bool = False,
+) -> None:
+    """Rebuild ``db`` from a :func:`snapshot_database` payload.
 
     Publishing is suspended for the duration: restoring history must
     not append that history back onto the database's own change feed.
+
+    Args:
+        tables: restore rows only for these tables (case-insensitive);
+            schemas are always restored, so the catalog comes back in
+            full.  A replica subscribed to a topic subset restores the
+            writer's checkpoint through this filter.
+        merge: tolerate tables that already exist (rows are added into
+            them, the allocation cursor is raised, the schema is left
+            as-is).  The shard merge restores one worker's owned slice
+            after another into the same target database.
     """
+    include = (
+        None if tables is None else {str(name).lower() for name in tables}
+    )
     with db.changes.feed.suspended():
         for entry in payload.get("tables", []):
             schema = deserialize_schema(entry["schema"])
-            table = db.catalog.create_table(schema)
+            if merge and db.catalog.has_table(schema.name):
+                table = db.catalog.table(schema.name)
+            else:
+                table = db.catalog.create_table(schema)
+            if include is not None and schema.name.lower() not in include:
+                continue  # partial restore: schema only
             for tid, row in entry.get("rows", []):
                 table.restore(int(tid), tuple(decode_value(v) for v in row))
             table.reserve_tids(int(entry.get("next_tid", 0)))

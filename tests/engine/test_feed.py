@@ -156,6 +156,41 @@ class TestRetention:
         with pytest.raises(FeedError, match="no longer retained"):
             feed.records_upto({"r": 3})
 
+    def test_subscribed_groups_compact_their_own_topics_only(self):
+        feed = ChangeFeed()
+        subscribed = feed.consumer("r-only", topics=["r"])
+        everything = feed.consumer("all")
+        publish(feed, "r", 0, 1)
+        publish(feed, "s", 0, 2)
+        assert subscribed.lag == 1  # s is invisible to the subscription
+        records, lost = subscribed.poll()
+        assert not lost and [r.topic for r in records] == ["r"]
+        subscribed.commit()
+        # r is held for the subscribe-all group; s is untouched.
+        assert {t.name: t.start for t in feed.topics()} == {"r": 0, "s": 0}
+        everything.poll()
+        everything.commit()
+        assert {t.name: t.start for t in feed.topics()} == {"r": 1, "s": 1}
+
+    def test_unsubscribed_topics_are_retained_for_late_attachers(self):
+        # A topic no current group subscribes to must keep its records
+        # (and dropped == 0): a subscribe-all consumer attaching later
+        # still sees the full history.
+        feed = ChangeFeed()
+        subscribed = feed.consumer("r-only", topics=["r"])
+        publish(feed, "r", 0, 1)
+        publish(feed, "s", 0, 2)
+        subscribed.poll()
+        subscribed.commit()  # compaction runs; s has no subscriber
+        assert feed.dropped == 0
+        # r was consumed by its only subscriber and compacts away (the
+        # normal in-memory semantics); s must survive untouched.
+        assert {t.name: t.start for t in feed.topics()} == {"r": 1, "s": 0}
+        late = feed.consumer("late", start="beginning", topics=["s"])
+        records, lost = late.poll()
+        assert not lost
+        assert [(r.topic, r.tid) for r in records] == [("s", 0)]
+
 
 class TestDurability:
     def test_records_survive_reopen(self, tmp_path):

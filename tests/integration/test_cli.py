@@ -307,6 +307,115 @@ class TestDurableShell:
         assert "no change feed at" in output
         assert not missing.exists()  # the tail must not fabricate one
 
+    def test_feed_shows_each_groups_recovery_point(self, tmp_path):
+        # Operators need to see why retention is pinned: the snapshot
+        # floor when a group checkpointed, else its committed offsets.
+        from repro.conflicts import ReplicaHypergraph
+        from repro.engine.feed import ChangeFeed
+
+        directory = str(tmp_path / "db")
+        out = io.StringIO()
+        shell = HippoShell(out=out, durable=directory)
+        shell.run(
+            [
+                "CREATE TABLE t (a INTEGER);",
+                "INSERT INTO t VALUES (1), (2), (3);",
+            ]
+        )
+        # A replica group whose checkpoint trails its committed cut.
+        reader = ChangeFeed(directory)
+        replica = ReplicaHypergraph(reader, [], group="replica")
+        replica.sync(limit=2)
+        replica.checkpoint()  # snapshot floor at _schema=1, t=1
+        replica.sync()
+        replica._consumer.close()  # keep commits, skip the auto-snapshot
+        reader.close()
+
+        shell.run([".checkpoint", ".feed"])
+        shell.db.changes.feed.close()
+        output = out.getvalue()
+        # The writer checkpointed: its recovery point is its snapshot.
+        assert "consumer __writer__: lag 0" in output
+        assert "recovery point: snapshot (_schema=1, t=3)" in output
+        # The replica's snapshot floor trails its committed offsets --
+        # exactly the state that pins retention.
+        assert "consumer replica: lag 0 (committed _schema=1, t=3)" in output
+        assert "recovery point: snapshot (_schema=1, t=1)" in output
+
+    def test_feed_shows_committed_recovery_point_without_snapshot(
+        self, tmp_path
+    ):
+        from repro.engine.feed import ChangeFeed
+
+        directory = str(tmp_path / "db")
+        out = io.StringIO()
+        shell = HippoShell(out=out, durable=directory)
+        shell.run(["CREATE TABLE t (a INTEGER);", "INSERT INTO t VALUES (1);"])
+        reader = ChangeFeed(directory)
+        probe = reader.consumer("probe", start="beginning", topics=["t"])
+        probe.poll()
+        probe.commit()
+        reader.close()
+        shell.run([".feed"])
+        shell.db.changes.feed.close()
+        output = out.getvalue()
+        # A group that never checkpointed recovers from its commits --
+        # and its topic subscription is visible.
+        assert "consumer probe: lag 0 (committed t=1) [topics t]" in output
+        assert "recovery point: committed (t=1)" in output
+
+    def test_shards_reports_the_constraint_aware_plan(self):
+        output = run_shell(
+            "CREATE TABLE p (id INTEGER);\n"
+            "CREATE TABLE c (id INTEGER, pid INTEGER, v INTEGER);\n"
+            "CREATE TABLE u (id INTEGER, v INTEGER);\n"
+            ".constraint FD c: id -> v\n"
+            ".constraint FK c (pid) REFERENCES p (id)\n"
+            ".shards 2"
+        )
+        assert "shard plan: 2 workers over 3 topics" in output
+        assert "(0 cross-shard)" in output
+        # Co-referenced relations land together; u gets the other worker.
+        assert "owns [c, p]" in output
+        assert "owns [u]" in output
+        assert "FK c(pid) -> p(id)" in output
+
+    def test_shards_rejects_a_bad_worker_count(self):
+        output = run_shell(".shards two")
+        assert "usage: .shards" in output
+
+    def test_feed_tail_follows_one_shard_of_the_plan(self, tmp_path):
+        directory = str(tmp_path / "db")
+        writer_out = io.StringIO()
+        writer = HippoShell(out=writer_out, durable=directory)
+        writer.run(
+            [
+                "CREATE TABLE emp (name TEXT, salary INTEGER);",
+                "CREATE TABLE log (msg TEXT);",
+                "INSERT INTO emp VALUES ('ann', 10), ('ann', 20);",
+                "INSERT INTO log VALUES ('a'), ('b'), ('c');",
+            ]
+        )
+        out = io.StringIO()
+        tailer = HippoShell(out=out)
+        tailer.run(
+            [
+                ".constraint FD emp: name -> salary",
+                f".feed tail {directory} 0.2 0/2",
+            ]
+        )
+        text = out.getvalue()
+        assert "shard 0/2: topics [emp]" in text
+        # Only emp's records (+ DDL) stream in: 2 schema + 2 rows, not
+        # the 3 log rows the other shard owns.
+        assert "4 records" in text
+        assert "1 edges" in text and "2 conflicting tuples" in text
+        writer.db.changes.feed.close()
+
+    def test_feed_tail_rejects_a_bad_shard_spec(self, tmp_path):
+        output = run_shell(f".feed tail {tmp_path} 0.1 5/2")
+        assert "usage: .feed tail" in output
+
 
 class TestMultiLineStatements:
     def test_insert_spanning_lines(self):

@@ -36,7 +36,7 @@ from repro.version import __version__
 __all__ = ["Database", "Result", "HippoEngine", "__version__"]
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     # HippoEngine is re-exported lazily to keep `import repro` cheap and to
     # avoid an import cycle while the package initializes.
     if name == "HippoEngine":

@@ -34,13 +34,16 @@ from repro.engine.database import Database
 from repro.engine.types import SQLValue
 from repro.errors import UnsupportedQueryError
 
+#: key tuple -> the (group value, contribution value) options of its tuples.
+_Contributions = dict[tuple[SQLValue, ...], list[tuple[SQLValue, SQLValue]]]
+
 
 def _group_contributions(
     db: Database,
     fd: FunctionalDependency,
     group_column: str,
     value_column: Optional[str],
-):
+) -> _Contributions:
     """Per (group, key): the contribution values and escapability."""
     key_indexes = _validate_key_fd(db, fd)
     table = db.catalog.table(fd.relation)
@@ -50,7 +53,7 @@ def _group_contributions(
     )
 
     # key -> list of (group value, aggregated value)
-    per_key: dict[tuple, list[tuple[SQLValue, SQLValue]]] = {}
+    per_key: _Contributions = {}
     for row in set(table.rows()):  # set semantics: duplicates count once
         key = tuple(row[i] for i in key_indexes)
         value = 1 if value_index is None else row[value_index]
@@ -68,7 +71,9 @@ def _group_contributions(
     return per_key
 
 
-def _ranges_from_contributions(per_key) -> dict[SQLValue, AggregateRange]:
+def _ranges_from_contributions(
+    per_key: _Contributions,
+) -> dict[SQLValue, AggregateRange]:
     groups: set[SQLValue] = {
         group for options in per_key.values() for group, _value in options
     }

@@ -31,6 +31,7 @@ Meta-commands (everything else is executed as SQL):
 ``.cleaned SQL``       evaluate over the conflict-free sub-database
 ``.raw SQL``           evaluate ignoring inconsistency
 ``.rewrite SQL``       show the PODS'99 rewritten SQL and its answers
+``.classify SQL``      which CQA path applies (rewriting vs. hypergraph)
 ``.explain SQL``       show the envelope query handed to the RDBMS
 ``.why SQL ; TUPLE``   explain why a tuple is / is not consistent
 ``.repairs``           exact repair count (component factorization)
@@ -50,7 +51,7 @@ from repro.engine.types import format_value
 from repro.errors import ReproError
 from repro.ra import CatalogSchemaProvider, tree_to_sql
 from repro.repairs import TooManyRepairsError, count_repairs_exact
-from repro.rewriting import RewritingEngine
+from repro.rewriting import RewritingEngine, classify
 
 
 class HippoShell:
@@ -324,6 +325,10 @@ class HippoShell:
             self._print(rewriting.rewrite_sql(argument))
             self._print_answers(rewriting.consistent_answers(argument), "answer")
             return True
+        if command == ".classify":
+            result = classify(argument, self.constraints, schema=self.db)
+            self._print(result.describe())
+            return True
         if command == ".explain":
             tree, _ = self._hippo().parse(argument)
             self._print("envelope: " + tree_to_sql(tree))
@@ -454,7 +459,7 @@ class HippoShell:
         import os
         from pathlib import Path
 
-        from repro.conflicts.replica import ReplicaHypergraph
+        from repro.conflicts.replica import ReplicaHypergraph, ReplicaSync
         from repro.conflicts.shard import plan_assignment
         from repro.engine.feed import MANIFEST, SCHEMA_TOPIC, ChangeFeed
 
@@ -519,7 +524,7 @@ class HippoShell:
                 extra_referenced=referenced,
             )
 
-            def on_sync(sync) -> None:
+            def on_sync(sync: ReplicaSync) -> None:
                 self._print(
                     f"  sync: {sync.records} records"
                     f" ({sync.mode}), lag {sync.lag}"
@@ -567,7 +572,7 @@ class HippoShell:
             self._print(f"error: {exc}")
 
 
-def _parse_cli_value(text: str):
+def _parse_cli_value(text: str) -> object:
     """Parse a .why tuple component: int, float, NULL or bare string."""
     stripped = text.strip()
     if stripped.upper() == "NULL":

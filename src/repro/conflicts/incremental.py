@@ -410,6 +410,9 @@ class IncrementalDetector:
         # state is the inserted row; tids are never reused).
         last: dict[Vertex, Change] = {}
         for change in changes:
+            # Feed topics are lower-cased at publish time (storage lowers
+            # schema names), and this is the per-delta hot path.
+            # hippolint: disable-next-line=HL005 -- topic already lower-case
             last[Vertex(change.relation, change.tid)] = change
         stats.vertices = len(last)
 

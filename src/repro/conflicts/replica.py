@@ -53,7 +53,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 from repro.conflicts.detection import detect_conflicts
 from repro.conflicts.hypergraph import ConflictHypergraph
@@ -405,7 +405,7 @@ class ReplicaHypergraph:
         max_seconds: Optional[float] = None,
         idle_limit: Optional[int] = None,
         limit: Optional[int] = None,
-        on_sync=None,
+        on_sync: Optional[Callable[[ReplicaSync], None]] = None,
     ) -> ReplicaFollow:
         """Continuously drain *and live-tail* the feed.
 

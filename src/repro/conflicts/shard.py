@@ -56,7 +56,7 @@ cross-shard edge produced exactly once.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Sequence
 
 from repro.conflicts.hypergraph import ConflictHypergraph, Vertex
 from repro.conflicts.replica import ReplicaHypergraph, ReplicaSync
@@ -69,6 +69,9 @@ from repro.engine.database import Database
 from repro.engine.feed import SCHEMA_TOPIC, ChangeFeed
 from repro.engine.snapshot import restore_database, snapshot_database
 from repro.errors import ConstraintError
+
+if TYPE_CHECKING:
+    from repro.core.hippo import HippoEngine
 
 
 def constraint_relations(constraint: object) -> tuple[str, ...]:
@@ -515,7 +518,7 @@ class ShardCoordinator:
             )
         return db
 
-    def engine(self, **kwargs):
+    def engine(self, **kwargs: object) -> HippoEngine:
         """A :class:`~repro.core.hippo.HippoEngine` answering from the
         shards: the assembled database plus the merged hypergraph
         (handed over as precomputed detection, so the engine never

@@ -13,11 +13,14 @@ and Chomicki & Marcinkowski (2005).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.constraints.denial import ConstraintAtom, DenialConstraint
 from repro.errors import ConstraintError
 from repro.sql import ast
+
+if TYPE_CHECKING:
+    from repro.engine.database import Database
 
 
 @dataclass(frozen=True)
@@ -107,7 +110,7 @@ def key_constraint(
     return FunctionalDependency(relation, list(key), rhs)
 
 
-def primary_key_fd(db, relation: str) -> FunctionalDependency:
+def primary_key_fd(db: Database, relation: str) -> FunctionalDependency:
     """Derive the key FD from a table's declared PRIMARY KEY.
 
     Raises:

@@ -15,7 +15,7 @@ One constraint per line; blank lines and ``--`` comments are skipped.
 
 from __future__ import annotations
 
-from typing import Union
+from typing import TYPE_CHECKING, Optional, Union
 
 from repro.constraints.denial import ConstraintAtom, DenialConstraint
 from repro.constraints.exclusion import ExclusionConstraint
@@ -23,6 +23,9 @@ from repro.constraints.fd import FunctionalDependency, key_constraint
 from repro.constraints.foreign_key import ForeignKeyConstraint
 from repro.errors import ConstraintError
 from repro.sql.parser import parse_expression
+
+if TYPE_CHECKING:
+    from repro.ra.sjud import SchemaProvider
 
 Constraint = Union[
     DenialConstraint,
@@ -32,7 +35,9 @@ Constraint = Union[
 ]
 
 
-def parse_constraints(text: str, schema_provider=None) -> list[Constraint]:
+def parse_constraints(
+    text: str, schema_provider: Optional[SchemaProvider] = None
+) -> list[Constraint]:
     """Parse a multi-line constraint specification.
 
     Args:
@@ -56,7 +61,9 @@ def parse_constraints(text: str, schema_provider=None) -> list[Constraint]:
     return constraints
 
 
-def parse_constraint(line: str, schema_provider=None) -> Constraint:
+def parse_constraint(
+    line: str, schema_provider: Optional[SchemaProvider] = None
+) -> Constraint:
     """Parse a single constraint."""
     stripped = line.strip()
     upper = stripped.upper()
@@ -95,7 +102,9 @@ def _parse_relation_columns(text: str) -> tuple[str, list[str]]:
     return relation, _split_names(inner)
 
 
-def _parse_key(text: str, schema_provider) -> FunctionalDependency:
+def _parse_key(
+    text: str, schema_provider: Optional[SchemaProvider]
+) -> FunctionalDependency:
     relation, key = _parse_relation_columns(text)
     if schema_provider is None:
         raise ConstraintError(

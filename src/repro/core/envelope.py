@@ -148,5 +148,7 @@ def provenance_hints(
     for relation, tid in provenance:
         table = db.catalog.table(relation)
         if table.has_tid(tid):
+            # Provenance relations are lower-cased by evaluate_core.
+            # hippolint: disable-next-line=HL005 -- relation already lower-case
             hints[Fact(relation, table.get(tid))] = Vertex(relation, tid)
     return hints

@@ -19,7 +19,7 @@ data -- the linchpin of Hippo's polynomial data complexity.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
 
 from repro.core import formula as fm
 from repro.core.facts import Fact
@@ -34,6 +34,10 @@ from repro.ra.sjud import (
     Union_,
     reconstruction_map,
 )
+
+#: A prepared grounding tree: a core grounder leaf, or an
+#: ("union" | "difference", left, right) combination node.
+_Prepared = Union["_GroundCore", tuple[str, "_Prepared", "_Prepared"]]
 
 
 class _GroundCore:
@@ -78,6 +82,8 @@ class _GroundCore:
                 candidate[payload] if kind == "slot" else payload
                 for kind, payload in sources
             )
+            # atom_plans lower-cases every relation when the plan is built.
+            # hippolint: disable-next-line=HL005 -- relation already lower-case
             facts.append(Fact(relation, values))
         return facts
 
@@ -99,7 +105,7 @@ class GroundQuery:
     def __init__(self, tree: SJUDTree, schema: SchemaProvider) -> None:
         self._tree = self._prepare(tree, schema)
 
-    def _prepare(self, tree: SJUDTree, schema: SchemaProvider):
+    def _prepare(self, tree: SJUDTree, schema: SchemaProvider) -> _Prepared:
         if isinstance(tree, SJUDCore):
             return _GroundCore(tree, schema)
         if isinstance(tree, Union_):
@@ -119,7 +125,7 @@ class GroundQuery:
     def formula_for(self, candidate: tuple) -> fm.Formula:
         """The membership formula ``Phi`` with ``t in Q(M) iff M |= Phi``."""
 
-        def recurse(node) -> fm.Formula:
+        def recurse(node: _Prepared) -> fm.Formula:
             if isinstance(node, _GroundCore):
                 return node.ground(candidate)
             op, left, right = node

@@ -25,7 +25,7 @@ from __future__ import annotations
 import time
 import weakref
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence, Union
+from typing import Iterable, Iterator, Optional, Sequence, Union
 
 from repro.conflicts.detection import DetectionReport, detect_conflicts
 from repro.conflicts.hypergraph import ConflictHypergraph
@@ -65,7 +65,7 @@ class AnswerSet:
     rows: list[tuple]
     stats: dict[str, object] = field(default_factory=dict)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[tuple]:
         return iter(self.rows)
 
     def __len__(self) -> int:

@@ -77,6 +77,8 @@ class QueryMembership:
     def _lookup(self, fact: Fact) -> frozenset[Vertex]:
         self.stats.db_queries += 1
         tids = self._db.lookup(fact.relation, fact.values)
+        # Fact relations are built lower-case by the grounder.
+        # hippolint: disable-next-line=HL005 -- relation already lower-case
         return frozenset(Vertex(fact.relation, tid) for tid in tids)
 
     def some_vertex(self, fact: Fact) -> Optional[Vertex]:
@@ -107,6 +109,8 @@ class CachedMembership:
             return cached
         self.stats.db_queries += 1
         tids = self._db.lookup(fact.relation, fact.values)
+        # Fact relations are built lower-case by the grounder.
+        # hippolint: disable-next-line=HL005 -- relation already lower-case
         vertices = frozenset(Vertex(fact.relation, tid) for tid in tids)
         self._cache[fact] = vertices
         return vertices

@@ -1,0 +1,43 @@
+"""hippolint: an AST-based invariant analyzer for this repository.
+
+The dynamic property harnesses (replica/shard equivalence, crash-recovery
+tests) exercise the durability and concurrency protocol at runtime; the
+rules in this package check the *structural* side of the same invariants
+on every file, the way the paper's rewriting path statically classifies a
+query before touching data.
+
+Usage::
+
+    hippolint src tests            # console entry point
+    python -m repro.devtools src   # module form
+
+Programmatic::
+
+    from repro.devtools import analyze_paths, analyze_source
+"""
+
+from repro.devtools.diagnostics import Diagnostic, Suppressions
+from repro.devtools.framework import (
+    Rule,
+    SourceModule,
+    all_rules,
+    analyze_module,
+    analyze_paths,
+    analyze_source,
+    get_rule,
+    register,
+)
+from repro.devtools import rules as _rules  # noqa: F401  (registers the rules)
+
+__all__ = [
+    "Diagnostic",
+    "Rule",
+    "SourceModule",
+    "Suppressions",
+    "all_rules",
+    "analyze_module",
+    "analyze_paths",
+    "analyze_source",
+    "get_rule",
+    "register",
+]

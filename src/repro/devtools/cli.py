@@ -1,0 +1,82 @@
+"""The ``hippolint`` console entry point.
+
+Exit status 0 means no diagnostics; 1 means findings (or parse errors);
+2 means bad usage.  Output is one ``path:line:col: ID [name] message``
+line per finding so editors and CI annotate it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.devtools.framework import all_rules, analyze_paths
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hippolint",
+        description=(
+            "AST-based invariant analyzer for the repro durability and"
+            " concurrency protocol"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to check (default: src tests)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="ID",
+        help="run only the given rule id (repeatable, e.g. --select HL003)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="describe every registered rule and exit",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the summary line on success",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the analyzer; returns the process exit status."""
+    options = _build_parser().parse_args(argv)
+    if options.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id} [{rule.name}]")
+            print(f"    {rule.summary}")
+            print(f"    rationale: {rule.rationale}")
+        return 0
+    started = time.perf_counter()
+    diagnostics, checked = analyze_paths(options.paths, options.select)
+    elapsed = time.perf_counter() - started
+    for diagnostic in diagnostics:
+        print(diagnostic.render())
+    if diagnostics:
+        print(
+            f"hippolint: {len(diagnostics)} finding(s) in {checked} file(s)"
+            f" [{elapsed:.2f}s]",
+            file=sys.stderr,
+        )
+        return 1
+    if not options.quiet:
+        print(
+            f"hippolint: clean ({checked} file(s) checked in {elapsed:.2f}s)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -168,6 +168,11 @@ class ChangeCursor:
         records are skipped (the engine watches ``schema_version``).
         """
         records, lost = self._consumer.poll()
+        # Auto-committing by contract: this cursor feeds the *in-process*
+        # engine, which on any failure rebuilds derived state from the
+        # database rather than replaying records, so the committed offset
+        # is not a durability boundary here (unlike replica consumers).
+        # hippolint: disable-next-line=HL003 -- in-process auto-commit cursor
         self._consumer.commit()
         changes = [
             Change(record.topic, record.tid, record.row, record.op)

@@ -23,7 +23,7 @@ from repro.engine.feed import (
 )
 from repro.engine.expressions import ExpressionCompiler, Scope
 from repro.engine.plan import Filter, Scan, run_plan
-from repro.engine.planner import Planner
+from repro.engine.planner import PlannedQuery, Planner
 from repro.engine.schema import Column, TableSchema
 from repro.engine.snapshot import restore_database, snapshot_database
 from repro.engine.stats import ExecutionStats
@@ -294,7 +294,7 @@ class Database:
             return self._execute_update(statement)
         raise ExecutionError(f"cannot execute {type(statement).__name__}")
 
-    def plan(self, query: ast.Query):
+    def plan(self, query: ast.Query) -> PlannedQuery:
         """Plan a query AST (exposed for the RA layer and for EXPLAIN)."""
         return Planner(self.catalog, self.stats).plan_query(query)
 

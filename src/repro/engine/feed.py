@@ -886,7 +886,10 @@ class ChangeFeed:
                 # their base can be stale): fold the disk state in --
                 # later _lost() checks then see the raised base -- and
                 # signal retention loss, which consumers map to the
-                # rebuild-from-scratch fallback.
+                # rebuild-from-scratch fallback.  Lock-free by design:
+                # this path only *reads* the foreign manifest and raises
+                # our in-memory base; it never writes MANIFEST.
+                # hippolint: disable-next-line=HL001 -- read-only fold
                 self._merge_disk_retention()
                 raise FeedRetentionError(
                     f"topic {topic.name!r}: sealed segment {name} is"
@@ -1595,7 +1598,7 @@ class ChangeFeed:
     def _atomic_json(path: Path, payload: dict) -> None:
         temp = path.with_suffix(path.suffix + ".tmp")
         with open(temp, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, separators=(",", ":"))
+            json.dump(payload, handle, separators=(",", ":"), allow_nan=False)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(temp, path)

@@ -18,7 +18,7 @@ needs to make the Hippo experiments meaningful:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields, replace
-from typing import Optional, Sequence, Union
+from typing import Callable, Iterator, Optional, Sequence, Union
 
 from repro.engine import functions, plan
 from repro.engine.catalog import Catalog
@@ -39,11 +39,11 @@ class _AbortDecorrelation(Exception):
     """Internal: the subquery shape cannot be decorrelated."""
 
 
-def _flatten_from(from_items) -> tuple:
+def _flatten_from(from_items: Sequence[ast.FromItem]) -> tuple[ast.FromItem, ...]:
     """Flatten explicit inner joins into plain comma sources."""
     flat: list[ast.FromItem] = []
 
-    def visit(item) -> None:
+    def visit(item: ast.FromItem) -> None:
         if isinstance(item, ast.Join):
             visit(item.left)
             visit(item.right)
@@ -145,8 +145,8 @@ class _DecorrelatedSubplan:
         inner_plan: plan.PlanNode,
         n_keys: int,
         outer_keys: list,
-        residual_predicate,
-        value_evaluator,
+        residual_predicate: Optional[Callable[[Env], bool]],
+        value_evaluator: Evaluator,
         stats: ExecutionStats,
     ) -> None:
         self._inner_plan = inner_plan
@@ -194,7 +194,7 @@ class _DecorrelatedSubplan:
         ]
 
 
-def _walk_expressions(node: ast.Node):
+def _walk_expressions(node: ast.Node) -> Iterator[ast.Node]:
     """Yield every descendant node (including ``node``), skipping subqueries."""
     yield node
     for field_info in fields(node):  # type: ignore[arg-type]
@@ -427,7 +427,9 @@ class Planner:
         return [c for c in conjuncts if c not in local and c not in source.consumed]
 
     @staticmethod
-    def _constant_equality(conjunct: ast.Expression):
+    def _constant_equality(
+        conjunct: ast.Expression,
+    ) -> Optional[tuple[ast.ColumnRef, object]]:
         """Match ``col = literal`` (either orientation); None otherwise."""
         if not (isinstance(conjunct, ast.BinaryOp) and conjunct.op == "="):
             return None
@@ -687,7 +689,10 @@ class Planner:
         return transform(expr)
 
     @staticmethod
-    def _map_children(node: ast.Expression, transform) -> ast.Expression:
+    def _map_children(
+        node: ast.Expression,
+        transform: Callable[[ast.Expression], ast.Expression],
+    ) -> ast.Expression:
         """Rebuild a dataclass expression node with transformed children."""
         updates = {}
         for field_info in fields(node):  # type: ignore[arg-type]
@@ -768,7 +773,9 @@ class Planner:
 
         return ExpressionCompiler(scope, self._plan_subquery, capture_hook)
 
-    def _plan_subquery(self, query: ast.Query, site_scope: Scope):
+    def _plan_subquery(
+        self, query: ast.Query, site_scope: Scope
+    ) -> Union[_Subplan, _DecorrelatedSubplan]:
         decorrelated = self._try_decorrelate(query, site_scope)
         if decorrelated is not None:
             return decorrelated
@@ -789,12 +796,12 @@ class Planner:
 
     @staticmethod
     def _static_entries(
-        from_items, catalog: Catalog
+        from_items: Sequence[ast.FromItem], catalog: Catalog
     ) -> Optional[list[tuple[Optional[str], str]]]:
         """Visible columns of a FROM clause, without planning it."""
         entries: list[tuple[Optional[str], str]] = []
 
-        def visit(item) -> bool:
+        def visit(item: ast.FromItem) -> bool:
             if isinstance(item, ast.TableRef):
                 if not catalog.has_table(item.name):
                     return False
@@ -814,7 +821,9 @@ class Planner:
                 return None
         return entries
 
-    def _try_decorrelate(self, query: ast.Query, site_scope: Scope):
+    def _try_decorrelate(
+        self, query: ast.Query, site_scope: Scope
+    ) -> Optional[_DecorrelatedSubplan]:
         """Compile a correlated subquery into a hash semi-join, if possible.
 
         Returns None (and lets the generic memoized path handle the query)
@@ -854,7 +863,7 @@ class Planner:
         residual: list[ast.Expression] = []
         join_conjuncts: list[ast.Expression] = []
 
-        def collect_on(item) -> None:
+        def collect_on(item: ast.FromItem) -> None:
             if isinstance(item, ast.Join):
                 collect_on(item.left)
                 collect_on(item.right)

@@ -25,7 +25,7 @@ strict-JSON snapshot files exactly like they survive feed segments.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.engine.feed import (
     decode_value,
@@ -34,8 +34,13 @@ from repro.engine.feed import (
     serialize_schema,
 )
 
+if TYPE_CHECKING:
+    from repro.engine.database import Database
 
-def snapshot_database(db, tables: Optional[Iterable[str]] = None) -> dict:
+
+def snapshot_database(
+    db: Database, tables: Optional[Iterable[str]] = None
+) -> dict:
     """Serialize ``db`` (schemas + rows with tids) to a JSON-safe dict.
 
     Tables appear in catalog (creation) order; restoring them in that
@@ -71,7 +76,7 @@ def snapshot_database(db, tables: Optional[Iterable[str]] = None) -> dict:
 
 
 def restore_database(
-    db,
+    db: Database,
     payload: dict,
     tables: Optional[Iterable[str]] = None,
     merge: bool = False,

@@ -13,7 +13,7 @@ the full instance (``Q-up``) all go through the same code path.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 from repro.engine import plan as physical
 from repro.engine.database import Database
@@ -24,6 +24,9 @@ from repro.ra.sjud import Difference, SJUDCore, SJUDTree, Union_
 
 #: Maps a relation name to the tids allowed in a scan (None = all rows).
 Restriction = Callable[[str], Optional[frozenset[int]]]
+
+#: The visible columns of a (partial) plan: ``(alias, column)`` pairs.
+Entries = Sequence[tuple[Optional[str], str]]
 
 
 def unrestricted(_relation: str) -> Optional[frozenset[int]]:
@@ -58,7 +61,7 @@ def compile_core(
     conjuncts = ast.split_conjuncts(core.condition)
     used: set[int] = set()
 
-    def resolvable(expr: ast.Expression, entries) -> bool:
+    def resolvable(expr: ast.Expression, entries: Entries) -> bool:
         probe = Scope(list(entries))
         from repro.engine.planner import column_refs
         from repro.errors import PlanError
@@ -70,7 +73,7 @@ def compile_core(
                 return False
         return True
 
-    def apply_local(node, entries):
+    def apply_local(node: physical.PlanNode, entries: Entries) -> physical.PlanNode:
         local = [
             index
             for index, conjunct in enumerate(conjuncts)
@@ -137,7 +140,11 @@ def compile_core(
     return physical.Project(node, evaluators)
 
 
-def _equi_pair(conjunct, left_entries, right_entries):
+def _equi_pair(
+    conjunct: ast.Expression,
+    left_entries: Entries,
+    right_entries: Entries,
+) -> Optional[tuple[ast.ColumnRef, ast.ColumnRef]]:
     """Detect an equality conjunct linking the two entry sets."""
     if not (
         isinstance(conjunct, ast.BinaryOp)

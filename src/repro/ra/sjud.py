@@ -26,7 +26,10 @@ it with an explanation (as Hippo does).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Protocol, Sequence, Union
+from typing import TYPE_CHECKING, Optional, Protocol, Sequence, Union
+
+if TYPE_CHECKING:
+    from repro.engine.catalog import Catalog
 
 from repro.errors import AlgebraError, UnsupportedQueryError
 from repro.sql import ast
@@ -42,7 +45,7 @@ class SchemaProvider(Protocol):
 class CatalogSchemaProvider:
     """Adapter from an engine :class:`~repro.engine.catalog.Catalog`."""
 
-    def __init__(self, catalog) -> None:
+    def __init__(self, catalog: Catalog) -> None:
         self._catalog = catalog
 
     def relation_columns(self, name: str) -> tuple[str, ...]:
@@ -146,9 +149,9 @@ class _UnionFind:
     """Union-find over hashable items (attribute names and constants)."""
 
     def __init__(self) -> None:
-        self._parent: dict = {}
+        self._parent: dict[object, object] = {}
 
-    def find(self, item):
+    def find(self, item: object) -> object:
         parent = self._parent.setdefault(item, item)
         if parent == item:
             return item
@@ -156,7 +159,7 @@ class _UnionFind:
         self._parent[item] = root
         return root
 
-    def union(self, a, b) -> None:
+    def union(self, a: object, b: object) -> None:
         root_a, root_b = self.find(a), self.find(b)
         if root_a != root_b:
             self._parent[root_a] = root_b

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from repro.conflicts.detection import violations_of
-from repro.conflicts.hypergraph import ConflictHypergraph, Vertex
+from repro.conflicts.hypergraph import ConflictHypergraph, vertex
 from repro.constraints.denial import to_denial_constraints
 from repro.constraints.foreign_key import ForeignKeyConstraint
 from repro.engine.database import Database
@@ -70,12 +70,12 @@ def is_repair(
         kept = repair.get(key, frozenset())
         table = db.catalog.table(name)
         kept_vertices = {
-            Vertex(rel, tid) for rel, tids in repair.items() for tid in tids
+            vertex(rel, tid) for rel, tids in repair.items() for tid in tids
         }
         for tid in table.tids():
             if tid in kept:
                 continue
-            candidate = Vertex(key, tid)
+            candidate = vertex(key, tid)
             restored = kept_vertices | {candidate}
             if hypergraph.is_independent(restored):
                 return False

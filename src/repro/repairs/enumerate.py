@@ -13,7 +13,7 @@ that every Hippo answer is tested against.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.conflicts.hypergraph import ConflictHypergraph, Vertex
 from repro.engine.database import Database
@@ -109,7 +109,9 @@ def all_repairs(
     return repairs
 
 
-def repair_restriction(repair: Repair):
+def repair_restriction(
+    repair: Repair,
+) -> Callable[[str], Optional[frozenset[int]]]:
     """Adapt a repair to the :data:`~repro.ra.compile.Restriction` protocol."""
 
     def restrict(relation: str) -> Optional[frozenset[int]]:

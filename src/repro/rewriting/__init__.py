@@ -1,5 +1,9 @@
-"""The PODS'99 query-rewriting baseline."""
+"""The PODS'99 query-rewriting baseline and the static CQA-path classifier."""
 
-from repro.rewriting.rewrite import RewritingEngine
+from repro.rewriting.rewrite import (
+    QueryClassification,
+    RewritingEngine,
+    classify,
+)
 
-__all__ = ["RewritingEngine"]
+__all__ = ["QueryClassification", "RewritingEngine", "classify"]

@@ -27,20 +27,23 @@ from __future__ import annotations
 import itertools
 import time
 from dataclasses import dataclass, fields, replace
-from typing import Iterable, Union
+from typing import Iterable, Iterator, Optional, Union
 
 from repro.constraints.denial import DenialConstraint, to_denial_constraints
+from repro.constraints.foreign_key import ForeignKeyConstraint
 from repro.core.hippo import AnswerSet
 from repro.engine.database import Database
 from repro.engine.types import sort_key
-from repro.errors import RewritingError
+from repro.errors import RewritingError, UnsupportedQueryError
 from repro.ra.sjud import (
     Atom,
     CatalogSchemaProvider,
     Difference,
+    SchemaProvider,
     SJUDCore,
     SJUDTree,
     Union_,
+    cores_of,
     from_sql_query,
 )
 from repro.ra.to_sql import core_to_select
@@ -248,3 +251,196 @@ class RewritingEngine:
                 " semantics is not first-order expressible otherwise)"
             )
         return core_to_select(tree)
+
+
+# ---------------------------------------------------------------------------
+# Static classification: which CQA path applies?
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QueryClassification:
+    """The statically determined CQA path for one (query, constraints) pair.
+
+    Attributes:
+        path: ``"first-order-rewriting"`` when the PODS'99 rewriting
+            answers the query exactly; ``"conflict-hypergraph"`` when
+            Hippo's pipeline / repair enumeration is needed; or
+            ``"unsupported"`` when the query is outside the SJUD class
+            both paths require (existential projections are co-NP-hard).
+        rewritable: whether the rewriting path applies.
+        shape: the top-level query shape: ``core``, ``union`` or
+            ``difference``.
+        query_relations: the lower-cased base relations the query reads.
+        reasons: why rewriting is out of scope (empty when it applies).
+        denial_constraints: number of denial-form constraints considered.
+        foreign_keys: number of foreign-key constraints (these alone
+            force the hypergraph path).
+    """
+
+    path: str
+    rewritable: bool
+    shape: str
+    query_relations: tuple[str, ...]
+    reasons: tuple[str, ...]
+    denial_constraints: int
+    foreign_keys: int
+
+    def describe(self) -> str:
+        """A human-readable report (the CLI's ``.classify`` output)."""
+        lines = [
+            f"path: {self.path}",
+            f"shape: {self.shape}",
+            f"relations: {', '.join(self.query_relations) or '(none)'}",
+            f"constraints: {self.denial_constraints} denial-form,"
+            f" {self.foreign_keys} foreign-key",
+        ]
+        if self.rewritable:
+            lines.append(
+                "first-order rewriting applies: the rewritten query can be"
+                " evaluated by any RDBMS with no repair machinery"
+            )
+        else:
+            lines.append("first-order rewriting does not apply:")
+            lines.extend(f"  - {reason}" for reason in self.reasons)
+        return "\n".join(lines)
+
+
+def _tree_nodes(tree: SJUDTree) -> Iterator[SJUDTree]:
+    yield tree
+    if isinstance(tree, (Union_, Difference)):
+        yield from _tree_nodes(tree.left)
+        yield from _tree_nodes(tree.right)
+
+
+def classify(
+    query: QueryLike,
+    constraints: Iterable[object],
+    schema: Optional[object] = None,
+) -> QueryClassification:
+    """Statically decide which CQA path answers ``query`` -- no data access.
+
+    This is the rewriting scope test of :class:`RewritingEngine` turned
+    into a pure function of the query and constraint *shapes*: unions,
+    wide difference right-hand sides, non-binary denial constraints and
+    foreign keys each force the conflict-hypergraph path; everything else
+    is answerable by the PODS'99 first-order rewriting.  (It is also the
+    stepping stone to a dichotomy-aware router: the same inspection point
+    can grow finer tractability tests without touching the engines.)
+
+    Args:
+        query: SQL text, a parsed query AST, or an SJUD tree.
+        constraints: the integrity constraints (any mix of FDs, keys,
+            exclusions, denial constraints and foreign keys).
+        schema: needed to resolve SQL input -- a
+            :class:`~repro.ra.sjud.SchemaProvider` or anything with a
+            ``catalog`` attribute (e.g. a Database).  SJUD-tree input
+            needs no schema.
+
+    Raises:
+        RewritingError: when SQL input is given without a schema.
+    """
+    provider: Optional[SchemaProvider]
+    catalog = getattr(schema, "catalog", None)
+    if catalog is not None:
+        provider = CatalogSchemaProvider(catalog)
+    else:
+        provider = schema  # type: ignore[assignment]
+    foreign_keys = [
+        c for c in constraints if isinstance(c, ForeignKeyConstraint)
+    ]
+    denials = to_denial_constraints(
+        c for c in constraints if not isinstance(c, ForeignKeyConstraint)
+    )
+    if isinstance(query, str):
+        query = parse_query(query)
+    if isinstance(query, ast.Query):
+        if provider is None:
+            raise RewritingError(
+                "classifying SQL text needs a schema: pass schema= a"
+                " Database or SchemaProvider (SJUD trees need none)"
+            )
+        try:
+            tree = from_sql_query(query, provider)
+        except UnsupportedQueryError as exc:
+            return QueryClassification(
+                path="unsupported",
+                rewritable=False,
+                shape="unknown",
+                query_relations=(),
+                reasons=(
+                    f"outside the SJUD class both paths require: {exc}",
+                ),
+                denial_constraints=len(denials),
+                foreign_keys=len(foreign_keys),
+            )
+    else:
+        tree = query
+    relations = frozenset(
+        atom.relation.lower()
+        for core in cores_of(tree)
+        for atom in core.atoms
+    )
+    nodes = list(_tree_nodes(tree))
+    if isinstance(tree, SJUDCore):
+        shape = "core"
+    elif isinstance(tree, Union_):
+        shape = "union"
+    else:
+        shape = "difference"
+
+    reasons: list[str] = []
+    if any(isinstance(node, Union_) for node in nodes):
+        reasons.append(
+            "the query contains a union: consistent answers to unions"
+            " carry disjunctive information that no rewritten first-order"
+            " query expresses (Hippo's demonstrated advantage)"
+        )
+    for node in nodes:
+        if isinstance(node, Difference) and not (
+            isinstance(node.right, SJUDCore) and len(node.right.atoms) == 1
+        ):
+            reasons.append(
+                "a difference's right-hand side is not a single-atom"
+                " core, so its 'possibly true' semantics is not"
+                " first-order expressible"
+            )
+            break
+    if foreign_keys:
+        spans = ", ".join(
+            sorted(
+                f"{fk.referencing.lower()}->{fk.referenced.lower()}"
+                for fk in foreign_keys
+            )
+        )
+        reasons.append(
+            f"foreign-key constraints ({spans}) have no binary denial"
+            " form; their repairs delete referencing chains only the"
+            " hypergraph path models"
+        )
+    for constraint in denials:
+        if not relations & {a.relation.lower() for a in constraint.atoms}:
+            continue  # cannot produce a residue for this query
+        if constraint.arity == 1 and constraint.condition is None:
+            reasons.append(
+                f"constraint {constraint.name} forbids every"
+                f" {constraint.atoms[0].relation} tuple, so the rewriting"
+                " degenerates to the empty query"
+            )
+        elif not constraint.is_binary and constraint.arity != 1:
+            reasons.append(
+                f"constraint {constraint.name} relates {constraint.arity}"
+                " tuples; rewriting supports only binary universal"
+                " constraints"
+            )
+
+    rewritable = not reasons
+    return QueryClassification(
+        path="first-order-rewriting" if rewritable else "conflict-hypergraph",
+        rewritable=rewritable,
+        shape=shape,
+        query_relations=tuple(sorted(relations)),
+        reasons=tuple(reasons),
+        denial_constraints=len(denials),
+        foreign_keys=len(foreign_keys),
+    )

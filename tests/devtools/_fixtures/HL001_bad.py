@@ -1,0 +1,9 @@
+# hippolint-fixture: src/repro/engine/feed.py
+"""Bad: manifest-state helpers called outside the manifest flock."""
+
+
+class ChangeFeed:
+    def _reclaim(self) -> None:
+        self._merge_disk_retention()
+        self._sweep_orphans()
+        self._atomic_json(self.directory / MANIFEST, {"segments": []})

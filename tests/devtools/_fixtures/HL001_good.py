@@ -1,0 +1,14 @@
+# hippolint-fixture: src/repro/engine/feed.py
+"""Good: manifest-state helpers run inside `with self._manifest_lock():`."""
+
+
+class ChangeFeed:
+    def _reclaim(self) -> None:
+        with self._manifest_lock():
+            self._merge_disk_retention()
+            self._sweep_orphans()
+            self._atomic_json(self.directory / MANIFEST, {"segments": []})
+
+    def _offsets(self) -> None:
+        # Non-manifest writes need no lock.
+        self._atomic_json(self.directory / COMMITS, {"offsets": {}})

@@ -1,0 +1,10 @@
+# hippolint-fixture: src/repro/conflicts/replica.py
+"""Bad: offsets committed before the polled records are applied."""
+
+
+class ReplicaHypergraph:
+    def sync(self) -> None:
+        records, lost = self._consumer.poll()
+        self._consumer.commit()  # a crash here silently loses `records`
+        for record in records:
+            self._apply(record)

@@ -1,0 +1,10 @@
+# hippolint-fixture: src/repro/conflicts/replica.py
+"""Good: records applied first, then the cut committed."""
+
+
+class ReplicaHypergraph:
+    def sync(self) -> None:
+        records, lost = self._consumer.poll()
+        for record in records:
+            self._apply(record)
+        self._consumer.commit()

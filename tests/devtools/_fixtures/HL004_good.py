@@ -1,0 +1,8 @@
+# hippolint-fixture: src/repro/conflicts/incremental.py
+"""Good: read the public surface, never mutate it from outside."""
+
+
+def summarize(graph) -> tuple:
+    width = len(graph.edges)
+    labels = dict(graph.edge_labels)
+    return width, labels

@@ -1,0 +1,8 @@
+# hippolint-fixture: src/repro/repairs/checker.py
+"""Bad: raw constructors skip the lowercase relation-name normalizer."""
+from repro.conflicts.hypergraph import Vertex
+from repro.core.facts import Fact
+
+
+def probe(relation, tid, values) -> tuple:
+    return Vertex(relation, tid), Fact(relation, values)

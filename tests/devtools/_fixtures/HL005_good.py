@@ -1,0 +1,8 @@
+# hippolint-fixture: src/repro/repairs/checker.py
+"""Good: the normalizing factories keep relation keys case-insensitive."""
+from repro.conflicts.hypergraph import vertex
+from repro.core.facts import fact
+
+
+def probe(relation, tid, values) -> tuple:
+    return vertex(relation, tid), fact(relation, values)

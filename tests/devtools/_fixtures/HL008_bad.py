@@ -1,0 +1,12 @@
+# hippolint-fixture: src/repro/conflicts/shard.py
+"""Bad: wall-clock and process-seeded entropy inside deterministic planning."""
+import random
+import time
+from datetime import datetime
+
+
+def pick_shard(topics) -> str:
+    if time.time() % 2:
+        return random.choice(topics)
+    stamp = datetime.now()
+    return topics[hash(stamp) % len(topics)]

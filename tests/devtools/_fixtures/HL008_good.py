@@ -1,0 +1,8 @@
+# hippolint-fixture: src/repro/conflicts/shard.py
+"""Good: shard choice derives only from stable input content."""
+import hashlib
+
+
+def pick_shard(topics, relation) -> str:
+    digest = hashlib.sha256(relation.encode("utf-8")).digest()
+    return topics[digest[0] % len(topics)]

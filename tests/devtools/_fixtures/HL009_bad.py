@@ -1,0 +1,14 @@
+# hippolint-fixture: src/repro/core/util.py
+"""Bad: unannotated signatures defeat the strict-typing gate."""
+
+
+def widen(span, margin):
+    return span[0] - margin, span[1] + margin
+
+
+class Cursor:
+    def seek(self, offset) -> None:
+        self.offset = offset
+
+    def tell(self):
+        return self.offset

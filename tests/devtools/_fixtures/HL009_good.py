@@ -1,0 +1,18 @@
+# hippolint-fixture: src/repro/core/util.py
+"""Good: every parameter and return carries an annotation."""
+
+
+def widen(span: tuple, margin: int) -> tuple:
+    return span[0] - margin, span[1] + margin
+
+
+class Cursor:
+    def seek(self, offset: int) -> None:
+        self.offset = offset
+
+    def tell(self) -> int:
+        return self.offset
+
+    @classmethod
+    def fresh(cls, *seeds: int, **flags: bool) -> "Cursor":
+        return cls()

@@ -1,0 +1,6 @@
+# hippolint-fixture: src/repro/engine/feed.py
+"""Bad: library code printing to stdout corrupts shell/pipe consumers."""
+
+
+def rotate(segment) -> None:
+    print("rotating", segment)

@@ -1,0 +1,9 @@
+# hippolint-fixture: src/repro/engine/feed.py
+"""Good: library code reports through logging, not stdout."""
+import logging
+
+LOG = logging.getLogger(__name__)
+
+
+def rotate(segment) -> None:
+    LOG.info("rotating %s", segment)

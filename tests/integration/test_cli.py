@@ -50,6 +50,15 @@ class TestShellCommands:
         output = run_shell(SETUP + ".rewrite SELECT * FROM emp;")
         assert "NOT EXISTS" in output
 
+    def test_classify_rewritable(self):
+        output = run_shell(SETUP + ".classify SELECT * FROM emp;")
+        assert "path: first-order-rewriting" in output
+        assert "first-order rewriting applies" in output
+
+    def test_classify_unsupported(self):
+        output = run_shell(SETUP + ".classify SELECT name FROM emp;")
+        assert "path: unsupported" in output
+
     def test_explain_shows_envelope(self):
         output = run_shell(SETUP + ".explain SELECT * FROM emp WHERE salary > 1;")
         assert "envelope: SELECT DISTINCT" in output

@@ -10,8 +10,9 @@ from repro.constraints import (
     FunctionalDependency,
 )
 from repro.errors import RewritingError
+from repro.constraints.foreign_key import ForeignKeyConstraint
 from repro.repairs import ground_truth_consistent_answers
-from repro.rewriting import RewritingEngine
+from repro.rewriting import RewritingEngine, classify
 from repro.sql.parser import parse_expression
 
 
@@ -147,3 +148,69 @@ class TestScopeLimits:
         engine = RewritingEngine(emp_db, [emp_fd])
         answers = engine.consistent_answers("SELECT * FROM emp")
         assert "NOT EXISTS" in answers.stats["rewritten_sql"]
+
+
+class TestClassify:
+    """The static, data-free routing decision behind `.classify`."""
+
+    def test_rewritable_core(self, emp_db, emp_fd):
+        result = classify("SELECT * FROM emp", [emp_fd], schema=emp_db)
+        assert result.path == "first-order-rewriting"
+        assert result.rewritable
+        assert result.shape == "core"
+        assert result.query_relations == ("emp",)
+        assert result.reasons == ()
+        # the FD expands into one denial per dependent attribute
+        assert result.denial_constraints == 2
+        assert result.foreign_keys == 0
+
+    def test_union_needs_hypergraph(self, emp_db, emp_fd):
+        result = classify(
+            "SELECT name, dept FROM emp WHERE salary = 10"
+            " UNION SELECT name, dept FROM emp WHERE salary = 12",
+            [emp_fd],
+            schema=emp_db,
+        )
+        assert result.path == "conflict-hypergraph"
+        assert not result.rewritable
+        assert result.shape == "union"
+        assert any("union" in reason for reason in result.reasons)
+
+    def test_foreign_key_forces_hypergraph(self, emp_db, emp_fd):
+        emp_db.execute("CREATE TABLE dept (dept TEXT, head TEXT)")
+        fk = ForeignKeyConstraint("emp", ["dept"], "dept", ["dept"])
+        result = classify("SELECT * FROM emp", [emp_fd, fk], schema=emp_db)
+        assert result.path == "conflict-hypergraph"
+        assert result.foreign_keys == 1
+        assert any("emp->dept" in reason for reason in result.reasons)
+
+    def test_ternary_constraint_blocks_rewriting(self, two_table_db):
+        denial = DenialConstraint(
+            "t3",
+            (
+                ConstraintAtom("x", "r"),
+                ConstraintAtom("y", "r"),
+                ConstraintAtom("z", "s"),
+            ),
+            parse_expression("x.a = y.a AND y.a = z.a"),
+        )
+        result = classify("SELECT * FROM r", [denial], schema=two_table_db)
+        assert result.path == "conflict-hypergraph"
+        assert any("binary" in reason for reason in result.reasons)
+
+    def test_existential_projection_unsupported(self, emp_db, emp_fd):
+        result = classify("SELECT name FROM emp", [emp_fd], schema=emp_db)
+        assert result.path == "unsupported"
+        assert not result.rewritable
+        assert result.shape == "unknown"
+
+    def test_classification_is_data_free(self, emp_db, emp_fd):
+        before = classify("SELECT * FROM emp", [emp_fd], schema=emp_db)
+        emp_db.execute("DELETE FROM emp")
+        after = classify("SELECT * FROM emp", [emp_fd], schema=emp_db)
+        assert before == after
+
+    def test_describe_mentions_path(self, emp_db, emp_fd):
+        report = classify("SELECT * FROM emp", [emp_fd], schema=emp_db).describe()
+        assert "path: first-order-rewriting" in report
+        assert "relations: emp" in report

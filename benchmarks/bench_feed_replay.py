@@ -40,7 +40,12 @@ import pytest
 
 from repro import Database, HippoEngine
 from repro.conflicts import ReplicaHypergraph, detect_conflicts
-from repro.engine.feed import ChangeFeed
+from repro.engine.database import (
+    REPLAY_BATCH_RECORDS,
+    apply_feed_record,
+    apply_feed_records,
+)
+from repro.engine.feed import RECORD_CHANGE, ChangeFeed, FeedRecord
 from repro.workloads import generate_key_conflict_table
 
 try:
@@ -159,6 +164,84 @@ def test_replica_lag_drains_and_matches(recorded):
         == detect_conflicts(db, [fd]).hypergraph.as_dict()
     )
     feed.close()
+
+
+#: The batched-apply gate: a poll batch of change records applied via
+#: :func:`apply_feed_records` (runs folded into one
+#: ``Table.apply_changes`` each) must beat applying the same records one
+#: :func:`apply_feed_record` at a time.  Full size is the acceptance
+#: bar's N=16k; the smoke size keeps CI honest with a timing-noise
+#: slack, since at tiny N a single scheduler hiccup can flip a strict
+#: comparison.
+APPLY_GATE_RECORDS = scaled(16000, 800)
+APPLY_GATE_TRIALS = 3
+APPLY_GATE_SLACK = scaled(1.0, 1.5)
+
+
+def build_apply_records(count: int) -> list[FeedRecord]:
+    """``count`` change records on one topic: inserts with a delete
+    every 16th record (the update-stream shape, all foldable runs)."""
+    records = []
+    tid = 0
+    for i in range(count):
+        if i % 16 == 15:
+            records.append(
+                FeedRecord(
+                    seq=i, topic="gate", offset=i, kind=RECORD_CHANGE,
+                    tid=tid, op="delete",
+                )
+            )
+        else:
+            tid += 1
+            records.append(
+                FeedRecord(
+                    seq=i, topic="gate", offset=i, kind=RECORD_CHANGE,
+                    tid=tid, row=(tid, tid % 97), op="insert",
+                )
+            )
+    return records
+
+
+def _apply_seconds(records: list[FeedRecord], batched: bool) -> float:
+    """Min-of-trials apply time; verifies the replayed state each trial."""
+    expected_rows = sum(
+        1 if r.op == "insert" else -1 for r in records
+    )
+    best = float("inf")
+    for _ in range(APPLY_GATE_TRIALS):
+        db = Database()
+        db.execute("CREATE TABLE gate (a INTEGER, b INTEGER)")
+        table = db.table("gate")
+        with db.changes.feed.suspended():
+            started = time.perf_counter()
+            if batched:
+                for start in range(0, len(records), REPLAY_BATCH_RECORDS):
+                    apply_feed_records(
+                        db, records[start : start + REPLAY_BATCH_RECORDS]
+                    )
+            else:
+                for record in records:
+                    apply_feed_record(db, record)
+            best = min(best, time.perf_counter() - started)
+        assert len(list(table.tids())) == expected_rows
+    return best
+
+
+def test_batched_apply_beats_per_record_gate():
+    """The acceptance gate: batched replay wins at the poll-batch size."""
+    records = build_apply_records(APPLY_GATE_RECORDS)
+    per_record = _apply_seconds(records, batched=False)
+    batched = _apply_seconds(records, batched=True)
+    speedup = per_record / batched if batched else float("inf")
+    print(
+        f"batched-apply gate: {APPLY_GATE_RECORDS} records, per-record"
+        f" {per_record * 1e3:.1f}ms vs batched {batched * 1e3:.1f}ms"
+        f" ({speedup:.2f}x, gate: batched wins)"
+    )
+    assert batched < per_record * APPLY_GATE_SLACK, (
+        f"batched apply ({batched * 1e3:.1f}ms) did not beat per-record"
+        f" apply ({per_record * 1e3:.1f}ms) at N={APPLY_GATE_RECORDS}"
+    )
 
 
 #: Tiny segments for the memory gate, so even the smoke history spans

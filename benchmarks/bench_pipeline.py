@@ -3,9 +3,17 @@
 Times Conflict Detection (runs once, before any query -- its cost is
 amortized over the query stream) and hypergraph primitives, so the
 experiment index can report where the time goes.
+
+Also gates the **statement/plan cache**: a repeated-statement stream
+(the CQA shape -- the same envelope text re-executed after every data
+change) must run at >= 2x the throughput of an identical database with
+the cache disabled, since a cache hit skips parsing and planning
+entirely.
 """
 
 from __future__ import annotations
+
+import time
 
 import pytest
 
@@ -38,6 +46,64 @@ def test_stage_engine_construction(benchmark, populated):
     db, table = populated
     engine = benchmark(lambda: HippoEngine(db, [table.fd]))
     assert len(engine.hypergraph) > 0
+
+
+#: The repeated-statement gate: rows are tiny (parse + plan must
+#: dominate, as it does for the envelope texts Hippo re-executes), the
+#: repeat count large enough for stable timing.
+CACHE_GATE_ROWS = scaled(16, 8)
+CACHE_GATE_REPEATS = scaled(400, 80)
+CACHE_GATE_TRIALS = 3
+
+#: A planner-heavy, cacheable statement (no subqueries -- those are
+#: deliberately uncacheable): join + aggregate + several conjuncts.
+CACHE_GATE_SQL = (
+    "SELECT r.a, COUNT(*), SUM(s.c) FROM r, s"
+    " WHERE r.a = s.a AND r.b >= 0 AND r.b < 1000000 AND s.c >= 0"
+    " GROUP BY r.a ORDER BY r.a"
+)
+
+
+def _cache_gate_db(plan_cache: bool) -> Database:
+    db = Database(plan_cache=plan_cache)
+    db.execute("CREATE TABLE r (a INTEGER, b INTEGER)")
+    db.execute("CREATE TABLE s (a INTEGER, c INTEGER)")
+    for i in range(CACHE_GATE_ROWS):
+        db.execute(f"INSERT INTO r VALUES ({i % 8}, {i})")
+        db.execute(f"INSERT INTO s VALUES ({i % 8}, {i * 3})")
+    return db
+
+
+def _repeated_statement_seconds(plan_cache: bool) -> float:
+    """Min-of-trials time for the repeated-statement stream."""
+    best = float("inf")
+    for _ in range(CACHE_GATE_TRIALS):
+        db = _cache_gate_db(plan_cache)
+        db.execute(CACHE_GATE_SQL)  # warm (first plan is a miss anyway)
+        started = time.perf_counter()
+        for _ in range(CACHE_GATE_REPEATS):
+            db.execute(CACHE_GATE_SQL)
+        best = min(best, time.perf_counter() - started)
+        if plan_cache:
+            assert db.stats.plan_cache_hits == CACHE_GATE_REPEATS
+        else:
+            assert db.stats.plan_cache_hits == 0
+    return best
+
+
+def test_plan_cache_repeated_statement_gate():
+    """The acceptance gate: >= 2x throughput with the plan cache on."""
+    cached = _repeated_statement_seconds(plan_cache=True)
+    uncached = _repeated_statement_seconds(plan_cache=False)
+    speedup = uncached / cached if cached else float("inf")
+    print(
+        f"plan-cache gate: {CACHE_GATE_REPEATS} repeats, cached"
+        f" {cached * 1e3:.1f}ms vs uncached {uncached * 1e3:.1f}ms"
+        f" ({speedup:.1f}x, gate >= 2x)"
+    )
+    assert speedup >= 2.0, (
+        f"plan cache gave only {speedup:.2f}x over the uncached baseline"
+    )
 
 
 @pytest.mark.benchmark(group="pipeline-stages")

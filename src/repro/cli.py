@@ -35,6 +35,8 @@ Meta-commands (everything else is executed as SQL):
 ``.explain SQL``       show the envelope query handed to the RDBMS
 ``.why SQL ; TUPLE``   explain why a tuple is / is not consistent
 ``.repairs``           exact repair count (component factorization)
+``.stats``             execution counters + statement/plan cache
+                       hits, misses and invalidations
 ``.help`` / ``.quit``  the obvious
 =====================  ====================================================
 """
@@ -147,11 +149,19 @@ class HippoShell:
 
         ddl = False
         try:
-            for statement in parse_script(text):
+            statements = parse_script(text)
+            for statement in statements:
                 ddl = ddl or isinstance(
                     statement, (sql_ast.CreateTable, sql_ast.DropTable)
                 )
-                result = self.db.execute_statement(statement)
+                if len(statements) == 1 and isinstance(
+                    statement, sql_ast.SelectStatement
+                ):
+                    # Single SELECTs go through the text-keyed statement
+                    # cache: a repeated query skips parse + plan.
+                    result = self.db.execute(text)
+                else:
+                    result = self.db.execute_statement(statement)
                 if result.columns:
                     self._print("  ".join(result.columns))
                     for row in result.rows:
@@ -327,7 +337,30 @@ class HippoShell:
             return True
         if command == ".classify":
             result = classify(argument, self.constraints, schema=self.db)
+            # Classification decides how later statements are evaluated
+            # (rewriting vs hypergraph); drop cached plans so an execute
+            # of the same text observes a fresh plan under that decision.
+            self.db.invalidate_plans()
             self._print(result.describe())
+            return True
+        if command == ".stats":
+            counters = self.db.stats.snapshot()
+            cache = self.db.plan_cache.snapshot()
+            self._print("execution:")
+            for name in (
+                "statements",
+                "rows_scanned",
+                "point_lookups",
+                "subquery_evaluations",
+                "subquery_cache_hits",
+            ):
+                self._print(f"  {name}: {counters[name]}")
+            self._print(
+                "plan cache"
+                + (" (disabled):" if not self.db.plan_cache.enabled else ":")
+            )
+            for name in ("entries", "hits", "misses", "invalidations"):
+                self._print(f"  {name}: {cache[name]}")
             return True
         if command == ".explain":
             tree, _ = self._hippo().parse(argument)

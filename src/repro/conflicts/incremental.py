@@ -388,16 +388,19 @@ class IncrementalDetector:
         Raises:
             ValueError: when a non-change record is in the batch.
         """
-        changes = []
+        # Validate in one pass, then convert in a comprehension: the
+        # conversion is the per-record hot loop of every replica sync.
         for record in records:
             if record.kind != RECORD_CHANGE:
                 raise ValueError(
                     f"cannot apply {record.kind!r} record incrementally"
                 )
-            changes.append(
+        return self.apply(
+            [
                 Change(record.topic, record.tid, record.row, record.op)
-            )
-        return self.apply(changes)
+                for record in records
+            ]
+        )
 
     def apply(self, changes: Sequence[Change]) -> DeltaStats:
         """Fold a batch of deltas into the maintained hypergraph."""

@@ -58,7 +58,13 @@ from typing import Callable, Iterable, Optional, Sequence
 from repro.conflicts.detection import detect_conflicts
 from repro.conflicts.hypergraph import ConflictHypergraph
 from repro.conflicts.incremental import DeltaStats, IncrementalDetector
-from repro.engine.database import WRITER_GROUP, Database, apply_feed_record
+from repro.engine.database import (
+    REPLAY_BATCH_RECORDS,
+    WRITER_GROUP,
+    Database,
+    apply_feed_record,
+    apply_feed_records,
+)
 from repro.engine.feed import (
     RECORD_CHANGE,
     SCHEMA_TOPIC,
@@ -128,6 +134,11 @@ class ReplicaHypergraph:
         extra_referenced: FK-referenced relations protected by
             constraints *outside* this replica's list (other shards');
             forwarded into detection's restricted-class check.
+        batch_apply: apply polled records to the replica database through
+            the batched :func:`~repro.engine.database.apply_feed_records`
+            (the default) instead of record-at-a-time; the final state is
+            identical either way -- the switch exists so benchmarks can
+            measure the per-record baseline.
 
     Raises:
         FeedError: when the committed prefix is no longer retained and
@@ -145,9 +156,11 @@ class ReplicaHypergraph:
         checkpoint_records: Optional[int] = None,
         topics: Optional[Iterable[str]] = None,
         extra_referenced: Iterable[str] = (),
+        batch_apply: bool = True,
     ) -> None:
         self.feed = feed
         self.group = group
+        self.batch_apply = batch_apply
         self.constraints = list(constraints)
         self.topics = (
             None
@@ -200,8 +213,7 @@ class ReplicaHypergraph:
                 # still surface as a FeedError mid-replay, so the whole
                 # replay is inside the fallback's try.
                 with self.db.changes.feed.suspended():
-                    for record in self.feed.iter_records(upto=committed):
-                        apply_feed_record(self.db, record)
+                    self._apply_stream(self.feed.iter_records(upto=committed))
             except FeedError:
                 snapshot = self._consumer.load_snapshot()
                 if snapshot is None:
@@ -210,10 +222,11 @@ class ReplicaHypergraph:
                 self.db = Database()  # discard the half-applied replay
                 with self.db.changes.feed.suspended():
                     restore_database(self.db, payload)
-                    for record in self.feed.iter_records(
-                        start=snap_committed, upto=committed
-                    ):
-                        apply_feed_record(self.db, record)
+                    self._apply_stream(
+                        self.feed.iter_records(
+                            start=snap_committed, upto=committed
+                        )
+                    )
         try:
             self._full_detect()
         except CatalogError:
@@ -222,6 +235,28 @@ class ReplicaHypergraph:
             # carries that DDL) runs the deferred full detection.
             self._detector = None
             self._needs_full = True
+
+    def _apply_stream(self, records: Iterable[FeedRecord]) -> None:
+        """Apply a record stream to the replica database in batches.
+
+        Bootstrap replays feed segments lazily (one resident per topic),
+        so batching must be bounded: records accumulate up to the replay
+        batch size, then one batched apply folds them in.  With
+        ``batch_apply`` off, falls back to record-at-a-time (the
+        benchmark baseline); the resulting state is identical.
+        """
+        if not self.batch_apply:
+            for record in records:
+                apply_feed_record(self.db, record)
+            return
+        batch: list[FeedRecord] = []
+        for record in records:
+            batch.append(record)
+            if len(batch) >= REPLAY_BATCH_RECORDS:
+                apply_feed_records(self.db, batch)
+                batch.clear()
+        if batch:
+            apply_feed_records(self.db, batch)
 
     def _seed_from_writer_checkpoint(self) -> bool:
         """Bootstrap a brand-new group over an already-reclaimed feed.
@@ -352,12 +387,11 @@ class ReplicaHypergraph:
                 lag=self._consumer.lag,
                 seconds=time.perf_counter() - started,
             )
-        # 1) Advance the replica database (the durable part of the cut).
-        ddl = False
+        # 1) Advance the replica database (the durable part of the cut),
+        #    batched so a big poll amortizes per-record overhead.
+        ddl = any(record.kind != RECORD_CHANGE for record in records)
         with self.db.changes.feed.suspended():
-            for record in records:
-                ddl = ddl or record.kind != RECORD_CHANGE
-                apply_feed_record(self.db, record)
+            self._apply_stream(records)
         # 2) Commit the cut: a crash from here on re-attaches *after*
         #    these records, and full detection rebuilds the graph.
         self._consumer.commit()

@@ -337,12 +337,20 @@ class MergedHypergraph:
 
     @property
     def graph(self) -> ConflictHypergraph:
+        """The merged graph, rebuilt from the shard graphs *now*.
+
+        Never cached: each access re-merges, so it is always consistent
+        with the workers' latest synced cuts (callers wanting a stable
+        view across several reads should bind the property once).
+        """
         return merge_graphs(
             (worker.graph for worker in self.workers if worker.ready),
             self.constraint_names,
         )
 
     def as_dict(self) -> dict[frozenset[Vertex], str]:
+        """Edge -> constraint-name mapping of the merged graph (built
+        fresh per call, like :attr:`graph`)."""
         return self.graph.as_dict()
 
 
@@ -367,6 +375,7 @@ class ShardWorker(ReplicaHypergraph):
         group: Optional[str] = None,
         snapshots: bool = True,
         checkpoint_records: Optional[int] = None,
+        batch_apply: bool = True,
     ) -> None:
         self.spec = spec
         super().__init__(
@@ -377,6 +386,7 @@ class ShardWorker(ReplicaHypergraph):
             checkpoint_records=checkpoint_records,
             topics=spec.subscribed,
             extra_referenced=plan.referenced,
+            batch_apply=batch_apply,
         )
 
 

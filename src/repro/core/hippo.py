@@ -133,6 +133,10 @@ class HippoEngine:
         self.membership_strategy = membership
         self.use_core = use_core
         self._schema = CatalogSchemaProvider(db.catalog)
+        # Binding a constraint set changes planner-relevant state (e.g.
+        # detection creates indexes): cached statement plans must not
+        # survive the transition.
+        db.invalidate_plans()
         if hypergraph is not None:
             # Externally-maintained detection (e.g. a merged shard
             # view): the engine answers from it statically -- detached,

@@ -708,3 +708,62 @@ class NoPrintRule(Rule):
                     "print() in library code; raise, log via the caller, or"
                     " return the value instead",
                 )
+
+
+@register
+class PublicDocstringsRule(Rule):
+    """HL011: contract-bearing modules document every public def.
+
+    The feed, the planner (statement/plan cache), the shard merge view
+    and the rewriting facade all carry concurrency or invalidation
+    contracts that are invisible in signatures -- when may a cached plan
+    be reused, who may mutate under which lock, how fresh a merged graph
+    is.  A public def without a docstring in these modules is a contract
+    nobody wrote down.
+    """
+
+    id = "HL011"
+    name = "public-docstrings"
+    summary = (
+        "every public class/function in engine/feed.py, engine/planner.py,"
+        " conflicts/shard.py and rewriting/__init__.py has a docstring"
+    )
+    rationale = (
+        "docs/ARCHITECTURE.md cites these contracts; dynamic twin: the"
+        " plan-cache invalidation suite in tests/engine/test_plan_cache.py"
+        " exercises what the docstrings promise"
+    )
+
+    MODULES = (
+        "engine/feed.py",
+        "engine/planner.py",
+        "conflicts/shard.py",
+        "rewriting/__init__.py",
+    )
+
+    def applies_to(self, module: SourceModule) -> bool:
+        return module.is_module(*self.MODULES)
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        yield from self._walk(module.tree.body)
+
+    def _walk(self, body: list[ast.stmt]) -> Iterator[Finding]:
+        """Public defs at module/class level (nested functions are
+        implementation detail and exempt, as is anything underscored)."""
+        for node in body:
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if node.name.startswith("_"):
+                continue
+            kind = "class" if isinstance(node, ast.ClassDef) else "def"
+            if ast.get_docstring(node) is None:
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    f"public {kind} {node.name} has no docstring; state its"
+                    " contract (concurrency, invalidation, errors)",
+                )
+            if isinstance(node, ast.ClassDef):
+                yield from self._walk(node.body)

@@ -84,6 +84,22 @@ class ChangeLog:
         self.feed = (
             feed if feed is not None else ChangeFeed(max_retained=max_pending)
         )
+        #: Planner-visible epoch for changes ``schema_version`` does not
+        #: cover (index creation, constraint attach/drop): bumping it
+        #: invalidates every cached statement plan keyed against it.
+        #: In-process only -- unlike ``schema_version`` it does not ride
+        #: the feed, since access paths are a per-process choice.
+        self.plan_epoch = 0
+
+    def invalidate_plans(self) -> None:
+        """Bump :attr:`plan_epoch`, forcing fresh plans for all cached
+        statements of every database bound to this log.
+
+        Called by the storage layer when an index appears and by the CQA
+        engines when the constraint set changes -- anything that can
+        alter which physical plan the planner would pick.
+        """
+        self.plan_epoch += 1
 
     # ------------------------------------------------------------- writing
 

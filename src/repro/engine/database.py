@@ -23,7 +23,7 @@ from repro.engine.feed import (
 )
 from repro.engine.expressions import ExpressionCompiler, Scope
 from repro.engine.plan import Filter, Scan, run_plan
-from repro.engine.planner import PlannedQuery, Planner
+from repro.engine.planner import PlanCache, PlannedQuery, Planner
 from repro.engine.schema import Column, TableSchema
 from repro.engine.snapshot import restore_database, snapshot_database
 from repro.engine.stats import ExecutionStats
@@ -40,6 +40,11 @@ from repro.sql.parser import parse_script, parse_statement
 #: before the first checkpoint the registration pins the whole history
 #: -- a writer can never truncate records it would need to reopen.
 WRITER_GROUP = "__writer__"
+
+#: Batch size for streamed feed replay: large enough to amortize
+#: per-record overhead, small enough that recovery memory stays bounded
+#: by the database plus one batch.
+REPLAY_BATCH_RECORDS = 512
 
 
 @dataclass
@@ -99,6 +104,10 @@ class Database:
             once at least this many new feed records have been published
             since the last one (checked after each executed statement
             and bulk insert); needs a durable feed.
+        plan_cache: whether :meth:`execute` / :meth:`query` reuse plans
+            for repeated statement texts (see
+            :class:`~repro.engine.planner.PlanCache`); disabling it is
+            for benchmarking the uncached baseline.
     """
 
     def __init__(
@@ -107,6 +116,7 @@ class Database:
         feed: Optional[ChangeFeed] = None,
         retention: Optional[str] = None,
         checkpoint_records: Optional[int] = None,
+        plan_cache: bool = True,
     ) -> None:
         if durable is not None and feed is not None:
             raise ExecutionError("pass either durable= or feed=, not both")
@@ -124,6 +134,8 @@ class Database:
             raise ExecutionError("checkpoint_records= needs a durable feed")
         self.catalog = Catalog(self.changes)
         self.stats = ExecutionStats()
+        #: statement→plan cache keyed on normalized text + catalog epoch.
+        self.plan_cache = PlanCache(self.stats, enabled=plan_cache)
         # index name (lower) -> (table name, column names) for diagnostics.
         self._indexes: dict[str, tuple[str, tuple[str, ...]]] = {}
         self.checkpoint_records = checkpoint_records
@@ -233,7 +245,13 @@ class Database:
 
     def _replay(self, snapshot: Optional[tuple[dict[str, int], dict]]) -> int:
         """Apply the feed (past ``snapshot``'s cut, when given); returns
-        the number of records replayed."""
+        the number of records replayed.
+
+        Records are applied in bounded batches through
+        :func:`apply_feed_records`, so replay amortizes per-record
+        overhead while keeping recovery memory proportional to the
+        database plus one batch, not the feed history.
+        """
         feed = self.changes.feed
         start = None
         if snapshot is not None:
@@ -241,28 +259,86 @@ class Database:
             restore_database(self, payload)
             start = committed
         count = 0
+        batch: list[FeedRecord] = []
         with feed.suspended():
             for record in feed.iter_records(start=start):
-                apply_feed_record(self, record)
+                batch.append(record)
                 count += 1
+                if len(batch) >= REPLAY_BATCH_RECORDS:
+                    apply_feed_records(self, batch)
+                    batch.clear()
+            if batch:
+                apply_feed_records(self, batch)
         return count
 
     # ------------------------------------------------------------- execution
 
     def execute(self, sql: str) -> Result:
-        """Parse and execute a single SQL statement."""
-        return self.execute_statement(parse_statement(sql))
+        """Parse and execute a single SQL statement.
+
+        Repeated SELECT texts skip parsing and planning entirely when
+        the statement→plan cache holds a plan compiled under the current
+        catalog epoch (see :meth:`invalidate_plans`).
+        """
+        cached = self._run_cached(sql)
+        if cached is not None:
+            return cached
+        statement = parse_statement(sql)
+        if isinstance(statement, ast.SelectStatement):
+            return self._run_select(sql, statement.query)
+        return self.execute_statement(statement)
 
     def execute_script(self, sql: str) -> list[Result]:
         """Execute a ``;``-separated script, returning one result each."""
         return [self.execute_statement(stmt) for stmt in parse_script(sql)]
 
     def query(self, sql: str) -> Result:
-        """Execute a statement that must be a query."""
+        """Execute a statement that must be a query (plan-cached like
+        :meth:`execute`)."""
+        cached = self._run_cached(sql)
+        if cached is not None:
+            return cached
         statement = parse_statement(sql)
         if not isinstance(statement, ast.SelectStatement):
             raise ExecutionError("query() requires a SELECT statement")
-        return self.execute_statement(statement)
+        return self._run_select(sql, statement.query)
+
+    def _plan_epoch(self) -> tuple[int, int]:
+        """The catalog epoch cached plans are stamped with: DDL bumps
+        the first component, index/constraint changes the second."""
+        return (self.changes.schema_version, self.changes.plan_epoch)
+
+    def invalidate_plans(self) -> None:
+        """Force fresh plans for every statement from now on.
+
+        Bumps the change log's plan epoch, so the invalidation reaches
+        every database bound to the same log.  Called automatically when
+        indexes appear and when a CQA engine (re)binds a constraint set;
+        exposed for anything else that changes planner-relevant state.
+        """
+        self.changes.invalidate_plans()
+
+    def _run_cached(self, sql: str) -> Optional[Result]:
+        """Execute ``sql`` from the plan cache; None on a cache miss."""
+        planned = self.plan_cache.get(sql, self._plan_epoch())
+        if planned is None:
+            return None
+        self.stats.statements += 1
+        rows = run_plan(planned.plan)
+        self._maybe_checkpoint()
+        return Result(planned.columns, rows, len(rows))
+
+    def _run_select(self, sql: str, query: ast.Query) -> Result:
+        """Plan, cache (when safe) and execute a SELECT."""
+        self.stats.statements += 1
+        self.stats.plan_cache_misses += 1
+        planner = Planner(self.catalog, self.stats)
+        planned = planner.plan_query(query)
+        if planner.cacheable:
+            self.plan_cache.put(sql, self._plan_epoch(), planned)
+        rows = run_plan(planned.plan)
+        self._maybe_checkpoint()
+        return Result(planned.columns, rows, len(rows))
 
     def execute_statement(self, statement: ast.Statement) -> Result:
         """Execute an already-parsed statement."""
@@ -488,3 +564,42 @@ def apply_feed_record(db: Database, record: FeedRecord) -> None:
         db.catalog.drop_table(record.table, if_exists=True)
         return
     raise FeedError(f"unknown feed record kind {record.kind!r}")
+
+
+def apply_feed_records(db: Database, records: Sequence[FeedRecord]) -> None:
+    """Apply a poll batch of feed records (batched replay primitive).
+
+    Equivalent to calling :func:`apply_feed_record` on each record in
+    order, but runs of change records on the same topic are folded into
+    one :meth:`~repro.engine.storage.Table.apply_changes` call -- one
+    catalog lookup, one columnar-cache invalidation and one tight loop
+    per run instead of full per-record dispatch.  This is what lets feed
+    replay and replica sync amortize per-record overhead across a batch.
+
+    Order is preserved exactly (a DDL record ends the current run), so
+    the database state after this call is identical to the per-record
+    replay -- including on failure, where every record before the
+    failing one has been applied.
+
+    Raises:
+        FeedError: for an unknown record kind.
+    """
+    count = len(records)
+    start = 0
+    while start < count:
+        record = records[start]
+        if record.kind != RECORD_CHANGE:
+            apply_feed_record(db, record)
+            start += 1
+            continue
+        topic = record.topic
+        stop = start + 1
+        while stop < count:
+            nxt = records[stop]
+            if nxt.kind != RECORD_CHANGE or nxt.topic != topic:
+                break
+            stop += 1
+        db.catalog.table(topic).apply_changes(
+            [(r.tid, r.row, r.op) for r in records[start:stop]]
+        )
+        start = stop

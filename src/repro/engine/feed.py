@@ -450,10 +450,14 @@ class ChangeFeed:
 
     @property
     def is_suspended(self) -> bool:
+        """Whether publishing is currently suspended (replay in
+        progress); nested :meth:`suspended` blocks stack."""
         return self._suspended > 0
 
     @property
     def durable(self) -> bool:
+        """Whether this feed persists to a directory (False: in-memory
+        retention only, lagging consumers can lose history)."""
         return self.directory is not None
 
     @property
@@ -469,6 +473,7 @@ class ChangeFeed:
 
     @next_seq.setter
     def next_seq(self, value: int) -> None:
+        """Set the recovered sequence cursor (manifest reopen path)."""
         self._next_seq = value
 
     @property

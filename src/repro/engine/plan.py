@@ -52,6 +52,13 @@ class PlanNode:
 class Scan(PlanNode):
     """Full scan of a stored table.
 
+    Unrestricted scans run over the table's cached column-major batch
+    (:meth:`~repro.engine.storage.Table.columnar`): the whole batch is
+    produced as one materialized list and ``rows_scanned`` is bumped
+    once per batch rather than once per row -- a consumer that stops
+    early has still "scanned" the batch.  Restricted scans (``keep_tids``)
+    keep the row-at-a-time path, since they only touch a subset.
+
     Args:
         table: the storage table.
         stats: counter sink.
@@ -76,9 +83,17 @@ class Scan(PlanNode):
         self.width = table.schema.arity + (1 if include_tid else 0)
 
     def rows(self, env: Env) -> Iterator[Row]:
+        if self.keep_tids is None:
+            store = self.table.columnar()
+            batch = store.tid_rows() if self.include_tid else store.rows
+            self.stats.rows_scanned += len(batch)
+            return iter(batch)
+        return self._restricted(self.keep_tids)
+
+    def _restricted(self, keep: frozenset[int]) -> Iterator[Row]:
         include_tid = self.include_tid
         stats = self.stats
-        for tid, row in self.table.restricted_rows(self.keep_tids):
+        for tid, row in self.table.restricted_rows(keep):
             stats.rows_scanned += 1
             yield row + (tid,) if include_tid else row
 
@@ -124,6 +139,44 @@ class IndexScan(PlanNode):
             self.table.schema.column_names[p] for p in self.positions
         )
         return f"IndexScan({self.table.schema.name} on [{columns}])"
+
+
+class ColumnEqScan(PlanNode):
+    """Vectorized constant-equality scan over the columnar batch.
+
+    The planner's fallback between :class:`IndexScan` (a hash index
+    covers the equality columns) and ``Filter(Scan(...))`` (arbitrary
+    predicates): when equality-with-constant conjuncts are present but
+    no index exists, the filter runs as a tight comparison loop over the
+    table's column arrays instead of a compiled predicate call per row.
+    Matching :class:`IndexScan`, ``=`` with NULL produces nothing, and
+    ``rows_scanned`` counts the rows *inspected* -- the full batch, since
+    a column filter reads every value of the filtered column.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        stats: ExecutionStats,
+        positions: Sequence[int],
+        values: Sequence[SQLValue],
+    ) -> None:
+        self.table = table
+        self.stats = stats
+        self.positions = tuple(positions)
+        self.values = tuple(values)
+        self.width = table.schema.arity
+
+    def rows(self, env: Env) -> Iterator[Row]:
+        store = self.table.columnar()
+        self.stats.rows_scanned += len(store)
+        return iter(store.select_equals(self.positions, self.values))
+
+    def describe(self) -> str:
+        columns = ", ".join(
+            self.table.schema.column_names[p] for p in self.positions
+        )
+        return f"ColumnEqScan({self.table.schema.name} on [{columns}])"
 
 
 class Values(PlanNode):

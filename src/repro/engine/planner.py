@@ -29,10 +29,30 @@ from repro.engine.expressions import (
     Scope,
 )
 from repro.engine.stats import ExecutionStats
+from repro.engine.types import SQLType, SQLValue, infer_type
 from repro.errors import PlanError
 from repro.sql import ast
 
 _SENTINEL = object()
+
+_NUMERIC = frozenset({SQLType.INTEGER, SQLType.REAL})
+
+
+def _eq_types_compatible(column_type: SQLType, value: SQLValue) -> bool:
+    """Whether ``column = literal`` is well-typed under SQL comparison rules.
+
+    Mirrors :func:`repro.engine.types.compare_values`: identical types or
+    numeric-with-numeric compare fine; everything else raises there, so
+    the vectorized equality path must decline and leave the conjunct to
+    the compiled predicate (which surfaces the error).  A NULL literal is
+    fine -- ``= NULL`` matches nothing on every path.
+    """
+    if value is None:
+        return True
+    value_type = infer_type(value)
+    if value_type is column_type:
+        return True
+    return value_type in _NUMERIC and column_type in _NUMERIC
 
 
 class _AbortDecorrelation(Exception):
@@ -61,6 +81,111 @@ class PlannedQuery:
 
     plan: plan.PlanNode
     columns: list[str]
+
+
+def normalize_statement(sql: str) -> str:
+    """The statement-cache key form of a SQL text.
+
+    Only the *outside* of the statement is normalized (surrounding
+    whitespace, a trailing ``;``): anything heavier -- collapsing inner
+    whitespace, case folding -- could merge statements that differ inside
+    string literals, silently sharing a plan between distinct queries.
+    """
+    return sql.strip().rstrip(";").rstrip()
+
+
+class PlanCache:
+    """A keyed statement→plan cache with epoch-based invalidation.
+
+    Maps :func:`normalize_statement` text to the :class:`PlannedQuery`
+    compiled for it, stamped with the *catalog epoch* the plan was built
+    under -- ``(schema_version, plan_epoch)`` from the database's
+    :class:`~repro.engine.changelog.ChangeLog`.  DDL bumps
+    ``schema_version``; index creation and constraint attach/drop bump
+    ``plan_epoch`` -- either makes every older entry stale.  A lookup
+    that finds a stale entry drops it and counts an invalidation, so
+    statements never observe a plan from a previous schema.
+
+    Concurrency contract: the cache is bound to one database and shares
+    its single-threaded execution discipline; entries are immutable
+    (plan, columns) pairs, and the stats sink is the caller's
+    :class:`~repro.engine.stats.ExecutionStats`.
+
+    Args:
+        stats: counter sink for hit/miss/invalidation counters.
+        max_entries: LRU bound; the least recently used entry is evicted
+            (not counted as an invalidation) when the cache is full.
+        enabled: an off switch (used by benchmarks to measure the
+            uncached baseline); a disabled cache misses on every lookup
+            and stores nothing.
+    """
+
+    def __init__(
+        self,
+        stats: ExecutionStats,
+        max_entries: int = 256,
+        enabled: bool = True,
+    ) -> None:
+        self.stats = stats
+        self.max_entries = max_entries
+        self.enabled = enabled
+        self._entries: dict[str, tuple[tuple[int, int], PlannedQuery]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, sql: str, epoch: tuple[int, int]) -> Optional[PlannedQuery]:
+        """The cached plan for ``sql`` at ``epoch``, or None.
+
+        A stale entry (cached under an older epoch) is evicted and
+        counted as an invalidation -- the caller replans.  Misses are
+        *not* counted here: the database counts one when it actually
+        plans a SELECT, so DML/DDL statements passing through the lookup
+        do not pollute the miss counter.
+        """
+        if not self.enabled:
+            return None
+        key = normalize_statement(sql)
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        cached_epoch, planned = entry
+        if cached_epoch != epoch:
+            del self._entries[key]
+            self.stats.plan_cache_invalidations += 1
+            return None
+        # Refresh LRU recency (dicts preserve insertion order).
+        del self._entries[key]
+        self._entries[key] = entry
+        self.stats.plan_cache_hits += 1
+        return planned
+
+    def put(
+        self, sql: str, epoch: tuple[int, int], planned: PlannedQuery
+    ) -> None:
+        """Store a freshly compiled plan under the current epoch."""
+        if not self.enabled:
+            return
+        key = normalize_statement(sql)
+        self._entries.pop(key, None)
+        if len(self._entries) >= self.max_entries:
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+        self._entries[key] = (epoch, planned)
+
+    def clear(self) -> None:
+        """Drop every entry, counting each as an invalidation."""
+        self.stats.plan_cache_invalidations += len(self._entries)
+        self._entries.clear()
+
+    def snapshot(self) -> dict[str, int]:
+        """Counter snapshot for the CLI ``.stats`` report."""
+        return {
+            "entries": len(self._entries),
+            "hits": self.stats.plan_cache_hits,
+            "misses": self.stats.plan_cache_misses,
+            "invalidations": self.stats.plan_cache_invalidations,
+        }
 
 
 @dataclass
@@ -255,6 +380,10 @@ class Planner:
         self.stats = stats
         # Active capture collectors: (site_level, set of (level, index)).
         self._collectors: list[tuple[int, set[tuple[int, int]]]] = []
+        #: Whether the produced plan may be reused by later statements.
+        #: Cleared when planning compiles a subplan, whose memo caches
+        #: are only valid within the statement that populated them.
+        self.cacheable = True
 
     # --------------------------------------------------------------- public
 
@@ -443,7 +572,14 @@ class Planner:
     def _try_index_scan(
         self, source: _Source, local: list[ast.Expression]
     ) -> list[ast.Expression]:
-        """Replace a plain scan with an index lookup when possible."""
+        """Replace a plain scan with a better constant-equality access path.
+
+        Preference order: an :class:`~repro.engine.plan.IndexScan` when a
+        hash index covers the equality columns, else a vectorized
+        :class:`~repro.engine.plan.ColumnEqScan` over the columnar batch
+        (same NULL-never-matches semantics, no index required).  Consumed
+        conjuncts are recorded on the source so callers drop them.
+        """
         node = source.node
         if (
             not isinstance(node, plan.Scan)
@@ -469,7 +605,29 @@ class Planner:
                 if best is None or len(positions) > len(best):
                     best = positions
         if best is None:
-            return local
+            # No covering index: vectorized equality over the columnar
+            # batch still beats a per-row compiled predicate -- but only
+            # where SQL comparison rules would not raise (a Filter
+            # rejects TEXT = INTEGER; the batch path must too, so it
+            # leaves incomparable conjuncts to the compiled predicate).
+            positions_eq = tuple(
+                sorted(
+                    p
+                    for p, (_conjunct, value) in by_position.items()
+                    if _eq_types_compatible(
+                        table.schema.columns[p].sql_type, value
+                    )
+                )
+            )
+            if not positions_eq:
+                return local
+            consumed = [by_position[p][0] for p in positions_eq]
+            values = [by_position[p][1] for p in positions_eq]
+            source.node = plan.ColumnEqScan(
+                table, self.stats, positions_eq, values
+            )
+            source.consumed.extend(consumed)
+            return [c for c in local if c not in consumed]
         consumed = [by_position[p][0] for p in best]
         values = [by_position[p][1] for p in best]
         source.node = plan.IndexScan(table, self.stats, best, values)
@@ -776,6 +934,11 @@ class Planner:
     def _plan_subquery(
         self, query: ast.Query, site_scope: Scope
     ) -> Union[_Subplan, _DecorrelatedSubplan]:
+        # Subplans memoize results across the *statement* they belong to
+        # (exists/values caches, the decorrelated hash table), so a plan
+        # containing one must not be reused by a later statement that may
+        # observe different data.  Mark the whole plan non-cacheable.
+        self.cacheable = False
         decorrelated = self._try_decorrelate(query, site_scope)
         if decorrelated is not None:
             return decorrelated

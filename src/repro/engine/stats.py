@@ -22,6 +22,11 @@ class ExecutionStats:
         statements: SQL statements executed.
         subquery_evaluations: correlated-subquery executions.
         subquery_cache_hits: correlated-subquery results served from cache.
+        plan_cache_hits: statements served from the statement→plan cache.
+        plan_cache_misses: statements that had to be parsed and planned.
+        plan_cache_invalidations: cached plans discarded because the
+            catalog epoch moved past them (DDL, index or constraint
+            changes).
     """
 
     rows_scanned: int = 0
@@ -29,6 +34,9 @@ class ExecutionStats:
     statements: int = 0
     subquery_evaluations: int = 0
     subquery_cache_hits: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    plan_cache_invalidations: int = 0
 
     def reset(self) -> None:
         """Zero all counters."""
@@ -37,6 +45,9 @@ class ExecutionStats:
         self.statements = 0
         self.subquery_evaluations = 0
         self.subquery_cache_hits = 0
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+        self.plan_cache_invalidations = 0
 
     def snapshot(self) -> dict[str, int]:
         """Copy the counters into a plain dict (for reports)."""
@@ -46,4 +57,7 @@ class ExecutionStats:
             "statements": self.statements,
             "subquery_evaluations": self.subquery_evaluations,
             "subquery_cache_hits": self.subquery_cache_hits,
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_cache_misses": self.plan_cache_misses,
+            "plan_cache_invalidations": self.plan_cache_invalidations,
         }

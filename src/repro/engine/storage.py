@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, Optional, Sequence, Set, Tuple
 
 from repro.engine.changelog import OP_DELETE, OP_INSERT, Change, ChangeLog
+from repro.engine.columnar import ColumnStore
 from repro.engine.schema import TableSchema
 from repro.engine.types import SQLValue
 from repro.errors import ExecutionError
@@ -49,6 +50,8 @@ class Table:
         self._next_tid = 0
         self._changelog = changelog
         self._key = schema.name.lower()
+        # Column-major snapshot for batch scans; dropped on any mutation.
+        self._columnar: Optional[ColumnStore] = None
 
     # -------------------------------------------------------------- indexes
 
@@ -66,6 +69,10 @@ class Table:
         for tid, row in self._rows.items():
             index.setdefault(tuple(row[p] for p in key), set()).add(tid)
         self._indexes[key] = index
+        # A new access path can change which plan the planner would pick;
+        # force cached statement plans to be rebuilt.
+        if self._changelog is not None:
+            self._changelog.invalidate_plans()
 
     def has_index(self, positions: Sequence[int]) -> bool:
         """Whether an index over exactly these positions exists."""
@@ -113,6 +120,7 @@ class Table:
         self._rows[tid] = row
         self._by_value.setdefault(row, set()).add(tid)
         self._index_add(tid, row)
+        self._columnar = None
         if self._changelog is not None:
             self._changelog.record(Change(self._key, tid, row, OP_INSERT))
         return tid
@@ -156,6 +164,58 @@ class Table:
         self._rows[tid] = row
         self._by_value.setdefault(row, set()).add(tid)
         self._index_add(tid, row)
+        self._columnar = None
+
+    def apply_changes(
+        self, changes: Sequence[tuple[int, Optional[Sequence[SQLValue]], str]]
+    ) -> None:
+        """Replay a batch of feed change records as ``(tid, row, op)``.
+
+        The batched twin of :meth:`restore` + :meth:`delete` for feed
+        replay: one call amortizes attribute lookups, the columnar-cache
+        invalidation and the publish check across the whole poll batch
+        instead of paying them per record.  Exactly like :meth:`restore`,
+        nothing is published to the change log -- replay is history.
+
+        Raises:
+            ExecutionError: on a tid collision (insert) or a missing tid
+                (delete); storage state reflects every change before the
+                failing one, matching the record-at-a-time replay.
+        """
+        rows = self._rows
+        by_value = self._by_value
+        indexes = self._indexes
+        coerce = self.schema.coerce_row
+        next_tid = self._next_tid
+        self._columnar = None
+        for tid, values, op in changes:
+            if op == OP_INSERT:
+                if tid in rows:
+                    self._next_tid = next_tid
+                    raise ExecutionError(
+                        f"table {self.schema.name!r} already stores tid {tid}"
+                    )
+                row = coerce(values)
+                if tid >= next_tid:
+                    next_tid = tid + 1
+                rows[tid] = row
+                by_value.setdefault(row, set()).add(tid)
+                if indexes:
+                    self._index_add(tid, row)
+            else:
+                old = rows.pop(tid, None)
+                if old is None:
+                    self._next_tid = next_tid
+                    raise ExecutionError(
+                        f"table {self.schema.name!r} has no tuple with tid {tid}"
+                    )
+                owners = by_value[old]
+                owners.discard(tid)
+                if not owners:
+                    del by_value[old]
+                if indexes:
+                    self._index_remove(tid, old)
+        self._next_tid = next_tid
 
     def delete(self, tid: int) -> None:
         """Delete a row by tid.
@@ -173,6 +233,7 @@ class Table:
         if not owners:
             del self._by_value[row]
         self._index_remove(tid, row)
+        self._columnar = None
         if self._changelog is not None:
             self._changelog.record(Change(self._key, tid, row, OP_DELETE))
 
@@ -196,6 +257,7 @@ class Table:
         self._rows[tid] = new_row
         self._by_value.setdefault(new_row, set()).add(tid)
         self._index_add(tid, new_row)
+        self._columnar = None
         if self._changelog is not None:
             self._changelog.record(Change(self._key, tid, old_row, OP_DELETE))
             self._changelog.record(Change(self._key, tid, new_row, OP_INSERT))
@@ -247,6 +309,21 @@ class Table:
     def has_duplicates(self) -> bool:
         """Whether any row value occurs more than once (bag, not set)."""
         return any(len(owners) > 1 for owners in self._by_value.values())
+
+    def columnar(self) -> ColumnStore:
+        """The column-major batch snapshot of the current rows.
+
+        Built lazily and cached; **any** mutation (insert / delete /
+        update / replay) drops the cache, so the returned store always
+        reflects the table as of this call.  Scan/filter hot loops use
+        it to amortize per-row overhead into per-batch operations (see
+        :mod:`repro.engine.columnar` for the full contract).
+        """
+        store = self._columnar
+        if store is None:
+            store = ColumnStore(list(self._rows.items()), self.schema.arity)
+            self._columnar = store
+        return store
 
     def snapshot(self) -> Dict[int, Row]:
         """A shallow copy of the tid -> row mapping (for repair checkers)."""

@@ -9,6 +9,14 @@ checks without further queries.
 Every scan can also be *restricted* to a tid set: evaluating a query over
 a repair, over the conflict-free core of the database (``Q-down``), or over
 the full instance (``Q-up``) all go through the same code path.
+
+Unrestricted scans (``restrict`` returning None, the ``Q-up`` /
+envelope-evaluation case) execute over the table's cached column-major
+batch (:meth:`repro.engine.storage.Table.columnar`), including the
+trailing tid column: repeated envelope evaluations over an unchanged
+table reuse the materialized ``row + (tid,)`` batch instead of
+re-walking the row dict, and the per-row ``rows_scanned`` bump collapses
+into one per batch.  Restricted scans keep the row-at-a-time path.
 """
 
 from __future__ import annotations

@@ -98,6 +98,9 @@ class RewritingEngine:
         self.denials: list[DenialConstraint] = to_denial_constraints(constraints)
         self._schema = CatalogSchemaProvider(db.catalog)
         self._fresh = itertools.count()
+        # Same contract as HippoEngine: binding a constraint set drops
+        # cached statement plans, so classify-then-execute replans.
+        db.invalidate_plans()
 
     # -------------------------------------------------------------- public
 

@@ -1,0 +1,14 @@
+# hippolint-fixture: src/repro/engine/planner.py
+"""Bad: public defs in a contract-bearing module without docstrings."""
+
+
+class PlanCacheLike:
+    def get(self, sql: str, epoch: int) -> None:
+        return None
+
+    def put(self, sql: str, epoch: int, planned: object) -> None:
+        self._entry = (epoch, planned)
+
+
+def normalize(sql: str) -> str:
+    return sql.strip()

@@ -1,0 +1,26 @@
+# hippolint-fixture: src/repro/engine/planner.py
+"""Good: every public def states its contract; private helpers are exempt."""
+
+
+class PlanCacheLike:
+    """A keyed plan cache (single-threaded; epoch-stamped entries)."""
+
+    def get(self, sql: str, epoch: int) -> None:
+        """The cached plan at ``epoch``; stale entries are evicted."""
+        return None
+
+    def put(self, sql: str, epoch: int, planned: object) -> None:
+        """Store a plan under the current epoch (LRU-bounded)."""
+        self._entry = (epoch, planned)
+
+    def _evict(self) -> None:
+        return None
+
+
+def normalize(sql: str) -> str:
+    """The cache-key form of a statement text (outside-only trimming)."""
+    return sql.strip()
+
+
+def _helper(sql: str) -> str:
+    return sql

@@ -1,0 +1,308 @@
+"""Statement→plan cache: hits, epoch invalidation, and correctness.
+
+The cache must never serve a stale plan: any DDL, index creation or
+constraint (re)binding moves the catalog epoch and forces a replan.  The
+final class is the property-style check -- cached answers must equal the
+answers of an identical database with the cache disabled, over random
+mixed workloads.
+"""
+
+from __future__ import annotations
+
+import io
+import random
+
+import pytest
+
+from repro.cli import HippoShell
+from repro.constraints import FunctionalDependency
+from repro.core.hippo import HippoEngine
+from repro.engine.database import Database
+from repro.engine.planner import PlanCache, normalize_statement
+from repro.engine.stats import ExecutionStats
+from repro.errors import CatalogError
+from repro.rewriting import RewritingEngine
+
+
+def fresh_db() -> Database:
+    db = Database()
+    db.execute("CREATE TABLE emp (name TEXT, salary INTEGER)")
+    db.execute("INSERT INTO emp VALUES ('ann', 10), ('bob', 5)")
+    return db
+
+
+class TestNormalization:
+    def test_outside_only_trimming(self):
+        assert normalize_statement("  SELECT 1 ;  ") == "SELECT 1"
+        assert normalize_statement("SELECT 1") == "SELECT 1"
+
+    def test_inner_text_is_preserved(self):
+        # Inner whitespace and case must NOT be folded: they can differ
+        # inside string literals, and folding would share a plan between
+        # genuinely distinct statements.
+        assert normalize_statement("SELECT  'a  b'") == "SELECT  'a  b'"
+
+    def test_trailing_semicolon_variants_share_an_entry(self):
+        db = fresh_db()
+        db.execute("SELECT name FROM emp")
+        db.execute("SELECT name FROM emp;")
+        db.execute("  SELECT name FROM emp ;  ")
+        assert db.stats.plan_cache_misses == 1
+        assert db.stats.plan_cache_hits == 2
+
+
+class TestCacheHits:
+    def test_repeated_select_hits(self):
+        db = fresh_db()
+        first = db.execute("SELECT name FROM emp ORDER BY name")
+        second = db.execute("SELECT name FROM emp ORDER BY name")
+        assert first.rows == second.rows == [("ann",), ("bob",)]
+        assert db.stats.plan_cache_misses == 1
+        assert db.stats.plan_cache_hits == 1
+
+    def test_cached_plan_sees_fresh_data(self):
+        # Plans read live tables: DML does not invalidate, yet a cache
+        # hit must observe the mutation.
+        db = fresh_db()
+        assert db.execute("SELECT COUNT(*) FROM emp").scalar() == 2
+        db.execute("INSERT INTO emp VALUES ('cyd', 7)")
+        assert db.execute("SELECT COUNT(*) FROM emp").scalar() == 3
+        db.execute("DELETE FROM emp WHERE name = 'ann'")
+        assert db.execute("SELECT COUNT(*) FROM emp").scalar() == 2
+        assert db.stats.plan_cache_hits == 2
+
+    def test_query_and_execute_share_the_cache(self):
+        db = fresh_db()
+        db.query("SELECT salary FROM emp")
+        db.execute("SELECT salary FROM emp")
+        assert db.stats.plan_cache_hits == 1
+
+    def test_dml_does_not_pollute_miss_counter(self):
+        db = fresh_db()
+        db.execute("INSERT INTO emp VALUES ('dee', 1)")
+        db.execute("DELETE FROM emp WHERE name = 'dee'")
+        assert db.stats.plan_cache_misses == 0
+
+    def test_disabled_cache_never_hits(self):
+        db = Database(plan_cache=False)
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.execute("INSERT INTO t VALUES (1)")
+        for _ in range(3):
+            assert db.execute("SELECT a FROM t").rows == [(1,)]
+        assert db.stats.plan_cache_hits == 0
+        assert db.stats.plan_cache_misses == 3
+        assert len(db.plan_cache) == 0
+
+
+class TestEpochInvalidation:
+    def test_ddl_bumps_schema_version_and_invalidates(self):
+        db = fresh_db()
+        db.execute("SELECT name FROM emp")
+        before = db.changes.schema_version
+        db.execute("CREATE TABLE other (x INTEGER)")
+        assert db.changes.schema_version > before
+        db.execute("SELECT name FROM emp")
+        assert db.stats.plan_cache_invalidations == 1
+        assert db.stats.plan_cache_misses == 2
+        assert db.stats.plan_cache_hits == 0
+
+    def test_drop_table_prevents_serving_the_stale_plan(self):
+        db = fresh_db()
+        db.execute("SELECT name FROM emp")
+        db.execute("DROP TABLE emp")
+        with pytest.raises(CatalogError):
+            db.execute("SELECT name FROM emp")
+
+    def test_create_index_bumps_plan_epoch(self):
+        db = fresh_db()
+        db.execute("SELECT salary FROM emp WHERE name = 'ann'")
+        before = db.changes.plan_epoch
+        db.execute("CREATE INDEX idx_name ON emp (name)")
+        assert db.changes.plan_epoch > before
+        db.execute("SELECT salary FROM emp WHERE name = 'ann'")
+        # The replan (not the stale plan) picks the new index up.
+        assert db.stats.plan_cache_invalidations == 1
+        assert "IndexScan" in db.explain(
+            "SELECT salary FROM emp WHERE name = 'ann'"
+        )
+
+    def test_hippo_engine_binding_invalidates(self):
+        db = fresh_db()
+        db.execute("SELECT name FROM emp")
+        HippoEngine(db, [FunctionalDependency("emp", ["name"], ["salary"])])
+        db.execute("SELECT name FROM emp")
+        assert db.stats.plan_cache_hits == 0
+        assert db.stats.plan_cache_misses == 2
+
+    def test_rewriting_engine_binding_invalidates(self):
+        db = fresh_db()
+        db.execute("SELECT name FROM emp")
+        RewritingEngine(
+            db, [FunctionalDependency("emp", ["name"], ["salary"])]
+        )
+        db.execute("SELECT name FROM emp")
+        assert db.stats.plan_cache_hits == 0
+        assert db.stats.plan_cache_misses == 2
+
+    def test_constraint_drop_invalidates(self):
+        # "Dropping" a constraint set is rebinding an engine with fewer
+        # constraints; the new binding must also force fresh plans.
+        db = fresh_db()
+        fd = FunctionalDependency("emp", ["name"], ["salary"])
+        HippoEngine(db, [fd])
+        db.execute("SELECT name FROM emp")
+        HippoEngine(db, [])
+        db.execute("SELECT name FROM emp")
+        assert db.stats.plan_cache_hits == 0
+
+    def test_explicit_invalidate_plans(self):
+        db = fresh_db()
+        db.execute("SELECT name FROM emp")
+        db.invalidate_plans()
+        db.execute("SELECT name FROM emp")
+        assert db.stats.plan_cache_hits == 0
+        assert db.stats.plan_cache_invalidations == 1
+
+
+class TestUncacheableStatements:
+    def test_subquery_plans_are_not_cached(self):
+        # _Subplan / _DecorrelatedSubplan memoize per-statement results;
+        # caching them would serve stale subquery answers after DML.
+        db = fresh_db()
+        sql = (
+            "SELECT name FROM emp e WHERE EXISTS"
+            " (SELECT 1 FROM emp x WHERE x.salary > e.salary)"
+        )
+        assert db.execute(sql).as_set() == {("bob",)}
+        assert len(db.plan_cache) == 0
+        db.execute("INSERT INTO emp VALUES ('zed', 99)")
+        assert db.execute(sql).as_set() == {("ann",), ("bob",)}
+        assert db.stats.plan_cache_hits == 0
+
+
+class TestCacheBounds:
+    def test_lru_eviction_respects_max_entries(self):
+        stats = ExecutionStats()
+        cache = PlanCache(stats, max_entries=2)
+        epoch = (0, 0)
+        cache.put("SELECT 1", epoch, "p1")  # type: ignore[arg-type]
+        cache.put("SELECT 2", epoch, "p2")  # type: ignore[arg-type]
+        cache.put("SELECT 3", epoch, "p3")  # type: ignore[arg-type]
+        assert len(cache) == 2
+        assert cache.get("SELECT 1", epoch) is None  # evicted, not stale
+        assert stats.plan_cache_invalidations == 0
+        assert cache.get("SELECT 3", epoch) == "p3"
+
+    def test_lru_recency_refresh_on_hit(self):
+        stats = ExecutionStats()
+        cache = PlanCache(stats, max_entries=2)
+        epoch = (0, 0)
+        cache.put("SELECT 1", epoch, "p1")  # type: ignore[arg-type]
+        cache.put("SELECT 2", epoch, "p2")  # type: ignore[arg-type]
+        cache.get("SELECT 1", epoch)  # refresh: 2 is now the LRU entry
+        cache.put("SELECT 3", epoch, "p3")  # type: ignore[arg-type]
+        assert cache.get("SELECT 1", epoch) == "p1"
+        assert cache.get("SELECT 2", epoch) is None
+
+    def test_clear_counts_invalidations(self):
+        stats = ExecutionStats()
+        cache = PlanCache(stats)
+        cache.put("SELECT 1", (0, 0), "p1")  # type: ignore[arg-type]
+        cache.clear()
+        assert len(cache) == 0
+        assert stats.plan_cache_invalidations == 1
+
+
+class TestShellIntegration:
+    def run_shell(self, script: str) -> str:
+        out = io.StringIO()
+        shell = HippoShell(out=out)
+        shell.run(script.splitlines())
+        return out.getvalue()
+
+    SETUP = (
+        "CREATE TABLE emp (name TEXT, salary INTEGER);\n"
+        "INSERT INTO emp VALUES ('ann', 10), ('ann', 20), ('bob', 5);\n"
+        ".constraint FD emp: name -> salary\n"
+    )
+
+    def test_stats_reports_plan_cache_counters(self):
+        output = self.run_shell(
+            self.SETUP
+            + "SELECT name FROM emp;\nSELECT name FROM emp;\n.stats"
+        )
+        assert "plan cache:" in output
+        assert "  hits: 1" in output
+        assert "  misses: 1" in output
+        assert "  entries: 1" in output
+
+    def test_classify_then_execute_observes_a_fresh_plan(self):
+        output = self.run_shell(
+            self.SETUP
+            + "SELECT name FROM emp;\n"
+            ".classify SELECT * FROM emp;\n"
+            "SELECT name FROM emp;\n"
+            ".stats"
+        )
+        # The re-execute after .classify replanned: the first plan was
+        # invalidated, not served.
+        assert "  hits: 0" in output
+        assert "  misses: 2" in output
+        assert "  invalidations: 1" in output
+
+
+class TestCachedEqualsUncached:
+    """Property: a cached database answers exactly like an uncached one
+    over random mixed workloads (DDL + DML + repeated queries)."""
+
+    QUERIES = [
+        "SELECT a, b FROM t ORDER BY a, b",
+        "SELECT b FROM t WHERE a = 1",
+        "SELECT COUNT(*) FROM t",
+        "SELECT a, SUM(b) FROM t GROUP BY a ORDER BY a",
+        "SELECT t.a, s.c FROM t, s WHERE t.a = s.a ORDER BY t.a, s.c",
+        "SELECT a FROM t WHERE b > 10 ORDER BY a",
+    ]
+
+    def random_actions(self, rng: random.Random) -> list[str]:
+        actions: list[str] = [
+            "CREATE TABLE t (a INTEGER, b INTEGER)",
+            "CREATE TABLE s (a INTEGER, c TEXT)",
+        ]
+        for _ in range(60):
+            roll = rng.random()
+            if roll < 0.25:
+                actions.append(
+                    f"INSERT INTO t VALUES"
+                    f" ({rng.randint(0, 4)}, {rng.randint(0, 30)})"
+                )
+            elif roll < 0.35:
+                actions.append(
+                    f"INSERT INTO s VALUES"
+                    f" ({rng.randint(0, 4)}, 'v{rng.randint(0, 3)}')"
+                )
+            elif roll < 0.42:
+                actions.append(f"DELETE FROM t WHERE b = {rng.randint(0, 30)}")
+            elif roll < 0.47:
+                actions.append(
+                    f"UPDATE t SET b = b + 1 WHERE a = {rng.randint(0, 4)}"
+                )
+            elif roll < 0.52:
+                actions.append("CREATE INDEX IF NOT EXISTS idx_ta ON t (a)")
+            else:
+                actions.append(rng.choice(self.QUERIES))
+        return actions
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_workload_equivalence(self, seed):
+        actions = self.random_actions(random.Random(seed))
+        cached = Database()
+        uncached = Database(plan_cache=False)
+        for sql in actions:
+            left = cached.execute(sql)
+            right = uncached.execute(sql)
+            assert left.columns == right.columns, sql
+            assert left.rows == right.rows, sql
+        # The workload repeated queries, so the cache was exercised.
+        assert cached.stats.plan_cache_hits > 0
+        assert uncached.stats.plan_cache_hits == 0

@@ -1,0 +1,139 @@
+"""Backend pushdown: native engine vs SQLite on the CQA hot paths.
+
+The paper's rewriting baseline produces plain first-order SQL -- exactly
+the workload a pushdown backend exists for.  This suite times the two
+pushed shapes at N = 16k (consistent-query answering through the
+rewriting baseline, and conflict detection's residual joins) on the
+native engine and on the SQLite backend, and **gates correctness at
+bench scale**: the backend's consistent answers and conflict edges must
+equal the native oracle's exactly before any timing is reported.
+
+Record a full run into ``BENCH_backend_pushdown.json`` (capped history,
+see :mod:`benchmarks.common`) with::
+
+    python benchmarks/common.py --record backend_pushdown
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import Database
+from repro.backends import NativeBackend, SQLiteBackend
+from repro.conflicts import detect_conflicts
+from repro.rewriting import RewritingEngine
+from repro.workloads import generate_key_conflict_table
+
+from benchmarks.common import scaled
+
+N_TUPLES = scaled(16_000, 300)
+CONFLICTS = 0.05
+TRIALS = 3
+
+#: A rewritable consistent query (selection on the key-FD table).
+CQA_SQL = "SELECT a, b0 FROM r WHERE b0 >= 500000"
+
+
+@pytest.fixture(scope="module")
+def setup():
+    db = Database()
+    table = generate_key_conflict_table(db, "r", N_TUPLES, CONFLICTS, seed=29)
+    # The rewriting's NOT EXISTS residue probes r by key; without this
+    # index the native baseline is a quadratic scan at 16k tuples.
+    db.execute("CREATE INDEX idx_r_key ON r (a)")
+    rewriting = RewritingEngine(db, [table.fd])
+    sqlite = SQLiteBackend()
+    sqlite.attach(db)
+    native = NativeBackend()
+    native.attach(db)
+    yield db, table, rewriting, sqlite, native
+    sqlite.close()
+
+
+def min_of_trials(run):
+    best = float("inf")
+    for _ in range(TRIALS):
+        started = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+# ---------------------------------------------------------------- the gates
+
+
+def test_gate_consistent_answers_match_oracle(setup):
+    """SQLite's rewritten-CQA answers equal the native oracle's at 16k."""
+    _db, _table, rewriting, sqlite, _native = setup
+    pushed = rewriting.consistent_answers(CQA_SQL, backend=sqlite)
+    native = rewriting.consistent_answers(CQA_SQL)
+    assert pushed.columns == native.columns
+    assert pushed.rows == native.rows
+    assert len(native.rows) > 0
+
+
+def test_gate_conflict_edges_match_oracle(setup):
+    """SQLite's residual-join edges equal the native oracle's at 16k."""
+    db, table, _rewriting, sqlite, _native = setup
+    pushed = detect_conflicts(db, [table.fd], backend=sqlite)
+    native = detect_conflicts(db, [table.fd])
+    assert set(pushed.hypergraph.edges) == set(native.hypergraph.edges)
+    assert len(native.hypergraph.edges) > 0
+
+
+# -------------------------------------------------------------- the timings
+
+
+@pytest.mark.benchmark(group="pushdown-cqa")
+def test_cqa_native(benchmark, setup):
+    _db, _table, rewriting, _sqlite, _native = setup
+    result = benchmark(lambda: rewriting.consistent_answers(CQA_SQL))
+    benchmark.extra_info["rows"] = len(result.rows)
+
+
+@pytest.mark.benchmark(group="pushdown-cqa")
+def test_cqa_sqlite(benchmark, setup):
+    _db, _table, rewriting, sqlite, _native = setup
+    result = benchmark(
+        lambda: rewriting.consistent_answers(CQA_SQL, backend=sqlite)
+    )
+    benchmark.extra_info["rows"] = len(result.rows)
+
+
+@pytest.mark.benchmark(group="pushdown-detection")
+def test_detection_native(benchmark, setup):
+    db, table, _rewriting, _sqlite, _native = setup
+    report = benchmark(lambda: detect_conflicts(db, [table.fd]))
+    benchmark.extra_info["edges"] = len(report.hypergraph)
+
+
+@pytest.mark.benchmark(group="pushdown-detection")
+def test_detection_sqlite(benchmark, setup):
+    db, table, _rewriting, sqlite, _native = setup
+    report = benchmark(
+        lambda: detect_conflicts(db, [table.fd], backend=sqlite)
+    )
+    benchmark.extra_info["edges"] = len(report.hypergraph)
+
+
+def test_report_min_of_trials(setup, capsys):
+    """A one-line native-vs-SQLite summary, independent of the plugin."""
+    db, table, rewriting, sqlite, _native = setup
+    sqlite.sync()  # exclude the first mirror build from the timings
+    native_cqa = min_of_trials(lambda: rewriting.consistent_answers(CQA_SQL))
+    sqlite_cqa = min_of_trials(
+        lambda: rewriting.consistent_answers(CQA_SQL, backend=sqlite)
+    )
+    native_det = min_of_trials(lambda: detect_conflicts(db, [table.fd]))
+    sqlite_det = min_of_trials(
+        lambda: detect_conflicts(db, [table.fd], backend=sqlite)
+    )
+    with capsys.disabled():
+        print(
+            f"\npushdown @ N={N_TUPLES}: cqa native {native_cqa * 1e3:.1f}ms"
+            f" vs sqlite {sqlite_cqa * 1e3:.1f}ms; detection native"
+            f" {native_det * 1e3:.1f}ms vs sqlite {sqlite_det * 1e3:.1f}ms"
+        )
+    assert min(native_cqa, sqlite_cqa, native_det, sqlite_det) > 0

@@ -110,11 +110,86 @@ def union_tables(
     )
 
 
+# ---------------------------------------------------------------------------
+# Result history (BENCH_<suite>.json at the repo root)
+# ---------------------------------------------------------------------------
+
+#: How many runs a suite's result file keeps (oldest dropped first).
+HISTORY_KEEP = 3
+
+#: Where BENCH_<suite>.json files live.
+RESULTS_DIR = Path(__file__).resolve().parent.parent
+
+
+def result_path(suite: str) -> Path:
+    """The result file for a benchmark suite name (e.g. ``"pipeline"``)."""
+    return RESULTS_DIR / f"BENCH_{suite}.json"
+
+
+def compact_run(run: dict) -> dict:
+    """One recorded run, with per-benchmark raw sample arrays stripped.
+
+    pytest-benchmark's JSON carries every raw timing sample under
+    ``benchmarks[*].stats.data`` -- thousands of lines per run that the
+    summary statistics already describe.  History entries keep only the
+    summaries, so a capped history stays a few hundred lines per suite.
+    """
+    compacted = dict(run)
+    benchmarks = []
+    for bench in run.get("benchmarks", []):
+        bench = dict(bench)
+        stats = bench.get("stats")
+        if isinstance(stats, dict) and "data" in stats:
+            stats = {k: v for k, v in stats.items() if k != "data"}
+            bench["stats"] = stats
+        benchmarks.append(bench)
+    compacted["benchmarks"] = benchmarks
+    return compacted
+
+
+def load_history(path: Path) -> list[dict]:
+    """The runs recorded at ``path``, oldest first.
+
+    Tolerates the legacy layout (one bare pytest-benchmark run dict)
+    by treating it as a single-entry history.
+    """
+    import json
+
+    if not path.exists():
+        return []
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if isinstance(payload, dict) and "history" in payload:
+        return list(payload["history"])
+    if isinstance(payload, dict):
+        return [payload]  # legacy: a single raw run
+    return list(payload)
+
+
+def record_run(path: Path, run: dict, keep: int = HISTORY_KEEP) -> list[dict]:
+    """Append ``run`` to the history at ``path``, keeping the last ``keep``.
+
+    Returns the history as written.  Existing legacy single-run files
+    are converted (and compacted) on first append.
+    """
+    import json
+
+    history = [compact_run(entry) for entry in load_history(path)]
+    history.append(compact_run(run))
+    history = history[-keep:]
+    payload = {"keep": keep, "history": history}
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return history
+
+
 def main(argv=None) -> int:
-    """The benchmark smoke gate (see module docstring)."""
+    """The benchmark smoke gate and history recorder (see docstring)."""
     import argparse
+    import json
     import subprocess
     import sys
+    import tempfile
     import time
     from pathlib import Path
 
@@ -130,9 +205,56 @@ def main(argv=None) -> int:
         default=60.0,
         help="wall-clock budget in seconds for --smoke (default 60)",
     )
+    parser.add_argument(
+        "--record",
+        metavar="SUITE",
+        help=(
+            "run benchmarks/bench_<SUITE>.py at full size and append the"
+            f" result to BENCH_<SUITE>.json (last {HISTORY_KEEP} runs kept)"
+        ),
+    )
     args = parser.parse_args(argv)
+    if args.record:
+        bench_dir = Path(__file__).resolve().parent
+        repo_root = bench_dir.parent
+        module = bench_dir / f"bench_{args.record}.py"
+        if not module.is_file():
+            parser.error(f"no such suite: {module.name}")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo_root / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        with tempfile.TemporaryDirectory() as tmp:
+            json_path = Path(tmp) / "run.json"
+            status = subprocess.call(
+                [
+                    sys.executable,
+                    "-m",
+                    "pytest",
+                    str(module),
+                    "-q",
+                    "-p",
+                    "no:cacheprovider",
+                    f"--benchmark-json={json_path}",
+                ],
+                cwd=repo_root,
+                env=env,
+            )
+            if status != 0:
+                print(f"bench record: FAIL (pytest exit {status})")
+                return status
+            run = json.loads(json_path.read_text(encoding="utf-8"))
+        history = record_run(result_path(args.record), run)
+        print(
+            f"bench record: OK ({result_path(args.record).name},"
+            f" {len(history)} run(s) kept)"
+        )
+        return 0
     if not args.smoke:
-        parser.error("pass --smoke (full runs go through pytest-benchmark)")
+        parser.error(
+            "pass --smoke (or --record SUITE; full runs go through"
+            " pytest-benchmark)"
+        )
 
     bench_dir = Path(__file__).resolve().parent
     repo_root = bench_dir.parent

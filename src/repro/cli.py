@@ -32,7 +32,10 @@ Meta-commands (everything else is executed as SQL):
 ``.raw SQL``           evaluate ignoring inconsistency
 ``.rewrite SQL``       show the PODS'99 rewritten SQL and its answers
 ``.classify SQL``      which CQA path applies (rewriting vs. hypergraph)
+``.backend [NAME]``    show or switch the execution backend (native /
+                       sqlite / duckdb); pushdown falls back to native
 ``.explain SQL``       show the envelope query handed to the RDBMS
+                       (parameterized, with its bound arguments)
 ``.why SQL ; TUPLE``   explain why a tuple is / is not consistent
 ``.repairs``           exact repair count (component factorization)
 ``.stats``             execution counters + statement/plan cache
@@ -46,12 +49,13 @@ from __future__ import annotations
 import sys
 from typing import IO, Iterable, Optional
 
+from repro.backends import Backend, available_backends, create_backend
 from repro.constraints.parser import parse_constraint
 from repro.core.hippo import AnswerSet, HippoEngine
 from repro.engine.database import Database
-from repro.engine.types import format_value
+from repro.engine.types import format_value, literal_sql
 from repro.errors import ReproError
-from repro.ra import CatalogSchemaProvider, tree_to_sql
+from repro.ra import CatalogSchemaProvider, render_tree
 from repro.repairs import TooManyRepairsError, count_repairs_exact
 from repro.rewriting import RewritingEngine, classify
 
@@ -73,6 +77,7 @@ class HippoShell:
         self.db = Database(durable=durable)
         self.constraints: list = []
         self._engine: Optional[HippoEngine] = None
+        self._backend: Optional[Backend] = None
         self._out = out if out is not None else sys.stdout
         self._buffer: list[str] = []
 
@@ -90,7 +95,10 @@ class HippoShell:
         """
         if self._engine is None:
             self._engine = HippoEngine(
-                self.db, self.constraints, group="hippo-cli"
+                self.db,
+                self.constraints,
+                group="hippo-cli",
+                backend=self._backend,
             )
         return self._engine
 
@@ -333,7 +341,25 @@ class HippoShell:
         if command == ".rewrite":
             rewriting = RewritingEngine(self.db, self.constraints)
             self._print(rewriting.rewrite_sql(argument))
-            self._print_answers(rewriting.consistent_answers(argument), "answer")
+            self._print_answers(
+                rewriting.consistent_answers(argument, backend=self._backend),
+                "answer",
+            )
+            return True
+        if command == ".backend":
+            if not argument:
+                self._print(f"backend: {self.db.backend_id}")
+                self._print("available: " + ", ".join(available_backends()))
+                return True
+            backend = create_backend(argument, self.db)
+            if backend.capabilities.pushes_sql:
+                self.db.attach_backend(backend)
+                self._backend = backend
+            else:
+                self.db.detach_backend()
+                self._backend = None
+            self._invalidate()
+            self._print(f"backend: {backend.name}")
             return True
         if command == ".classify":
             result = classify(argument, self.constraints, schema=self.db)
@@ -353,6 +379,8 @@ class HippoShell:
                 "point_lookups",
                 "subquery_evaluations",
                 "subquery_cache_hits",
+                "backend_pushdowns",
+                "backend_fallbacks",
             ):
                 self._print(f"  {name}: {counters[name]}")
             self._print(
@@ -364,7 +392,10 @@ class HippoShell:
             return True
         if command == ".explain":
             tree, _ = self._hippo().parse(argument)
-            self._print("envelope: " + tree_to_sql(tree))
+            rendered = render_tree(tree)
+            self._print("envelope: " + rendered.text)
+            bound = ", ".join(literal_sql(v) for v in rendered.params)
+            self._print("bound arguments: " + (bound or "(none)"))
             return True
         if command == ".why":
             query_text, _, tuple_text = argument.partition(";")

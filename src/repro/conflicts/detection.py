@@ -14,7 +14,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.backends.base import Backend
 
 from repro.constraints.denial import DenialConstraint, to_denial_constraints
 from repro.constraints.foreign_key import ForeignKeyConstraint, topological_fk_order
@@ -25,7 +28,7 @@ from repro.conflicts.hypergraph import (
     vertex,
 )
 from repro.engine.database import Database
-from repro.errors import ConstraintError
+from repro.errors import BackendError, ConstraintError
 from repro.ra.compile import compile_core
 from repro.ra.sjud import Atom, SJUDCore
 
@@ -73,19 +76,34 @@ class DetectionReport:
 
 
 def violations_of(
-    db: Database, constraint: DenialConstraint
+    db: Database,
+    constraint: DenialConstraint,
+    backend: Optional["Backend"] = None,
 ) -> list[frozenset[Vertex]]:
-    """All violation sets of one denial constraint (not yet minimized)."""
+    """All violation sets of one denial constraint (not yet minimized).
+
+    The constraint body is structurally an SJ query; with a ``backend``
+    its residual join is pushed down there (falling back to native
+    evaluation if the backend declines), otherwise it is compiled
+    through the native plan machinery as always.
+    """
     core = SJUDCore(
         atoms=tuple(Atom(a.alias, a.relation) for a in constraint.atoms),
         condition=constraint.condition,
         outputs=(),
     )
-    node = compile_core(core, db)
     relations = [a.relation.lower() for a in constraint.atoms]
+    rows: Iterable[tuple]
+    if backend is not None:
+        try:
+            rows = backend.residual_join(core)
+        except BackendError:
+            rows = compile_core(core, db).rows(())
+    else:
+        rows = compile_core(core, db).rows(())
     results: list[frozenset[Vertex]] = []
     seen: set[frozenset[Vertex]] = set()
-    for row in node.rows(()):
+    for row in rows:
         edge = frozenset(
             vertex(relation, tid) for relation, tid in zip(relations, row)
         )
@@ -100,6 +118,7 @@ def detect_conflicts(
     constraints: Iterable[object],
     keep_raw: bool = False,
     extra_referenced: Iterable[str] = (),
+    backend: Optional["Backend"] = None,
 ) -> DetectionReport:
     """Run Conflict Detection for a set of constraints.
 
@@ -118,6 +137,10 @@ def detect_conflicts(
             slice passes the global FK-referenced set here, so a denial
             conflict on a relation some *other* shard's FK references
             raises exactly like monolithic detection would.
+        backend: an execution backend to push each denial constraint's
+            residual join to (see :mod:`repro.backends`); the FK
+            dangling pass always runs natively, and a backend that
+            declines a join falls back to native evaluation.
 
     Raises:
         ConstraintError: when a foreign key falls outside the restricted
@@ -136,7 +159,7 @@ def detect_conflicts(
     labels: list[str] = []
     per_constraint: dict[str, int] = {}
     for constraint in denials:
-        found = violations_of(db, constraint)
+        found = violations_of(db, constraint, backend=backend)
         per_constraint[constraint.name] = len(found)
         edges.extend(found)
         labels.extend([constraint.name] * len(found))

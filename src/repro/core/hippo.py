@@ -25,7 +25,10 @@ from __future__ import annotations
 import time
 import weakref
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Sequence, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.backends.base import Backend
 
 from repro.conflicts.detection import DetectionReport, detect_conflicts
 from repro.conflicts.hypergraph import ConflictHypergraph
@@ -37,7 +40,7 @@ from repro.core.prover import Prover
 from repro.engine.database import Database
 from repro.engine.feed import ChangeFeed, FeedConsumer
 from repro.engine.types import sort_key
-from repro.errors import UnsupportedQueryError
+from repro.errors import BackendError, UnsupportedQueryError
 from repro.ra.compile import evaluate_tree
 from repro.ra.sjud import (
     CatalogSchemaProvider,
@@ -99,6 +102,14 @@ class HippoEngine:
             uses to answer queries from a merged shard view.  An
             explicit :meth:`refresh` still falls back to full
             detection.
+        backend: an execution backend (a registry name like
+            ``"sqlite"``, or a constructed
+            :class:`~repro.backends.base.Backend`) that full detection
+            pushes residual joins to and :meth:`raw_answers` evaluates
+            on.  The envelope/Prover pipeline itself stays native -- its
+            restriction-driven evaluation is not SQL-expressible.  A
+            pushing backend that declines work falls back to native
+            execution; None (default) runs everything natively.
 
     The conflict hypergraph is built eagerly and then maintained
     *incrementally*: the engine is a consumer group of the database's
@@ -127,12 +138,14 @@ class HippoEngine:
         feed: Optional[ChangeFeed] = None,
         group: Optional[str] = None,
         hypergraph: Optional[ConflictHypergraph] = None,
+        backend: Optional[Union["Backend", str]] = None,
     ) -> None:
         self.db = db
         self.constraints = list(constraints)
         self.membership_strategy = membership
         self.use_core = use_core
         self._schema = CatalogSchemaProvider(db.catalog)
+        self.backend = self._resolve_backend(backend, db)
         # Binding a constraint set changes planner-relevant state (e.g.
         # detection creates indexes): cached statement plans must not
         # survive the transition.
@@ -174,6 +187,20 @@ class HippoEngine:
 
     # ------------------------------------------------------------ plumbing
 
+    @staticmethod
+    def _resolve_backend(
+        spec: Optional[Union["Backend", str]], db: Database
+    ) -> Optional["Backend"]:
+        """Resolve a ``backend=`` argument and attach it to ``db``."""
+        if spec is None:
+            return None
+        if isinstance(spec, str):
+            from repro.backends import create_backend
+
+            return create_backend(spec, db)
+        spec.attach(db)
+        return spec
+
     @property
     def hypergraph(self) -> ConflictHypergraph:
         """The conflict hypergraph built by Conflict Detection."""
@@ -194,8 +221,12 @@ class HippoEngine:
         if self._consumer is None:
             # Detached engine: no deltas will ever arrive, so don't
             # build (and keep) a shadow store nobody can consume.
-            return detect_conflicts(self.db, self.constraints)
-        report = detect_conflicts(self.db, self.constraints, keep_raw=True)
+            return detect_conflicts(
+                self.db, self.constraints, backend=self.backend
+            )
+        report = detect_conflicts(
+            self.db, self.constraints, keep_raw=True, backend=self.backend
+        )
         self._incremental = IncrementalDetector(self.db, self.constraints)
         self._incremental.bootstrap(report)
         report.raw_edges = None  # the shadow store owns the raw stream now
@@ -441,12 +472,22 @@ class HippoEngine:
 
         This is the paper's "execution time of this query by the RDBMS
         backend ... the approach when we ignore the fact that the database
-        is inconsistent".
+        is inconsistent".  With a pushing ``backend=`` bound to the
+        engine, that RDBMS is literal: the tree is rendered to
+        parameterized SQL and executed there (native fallback on
+        decline).
         """
         started = time.perf_counter()
         tree, order_by = self.parse(query)
         columns = list(output_names_of(tree))
-        rows = evaluate_tree(tree, self.db)
+        rows: Iterable[tuple]
+        if self.backend is not None and self.backend.capabilities.pushes_sql:
+            try:
+                rows = self.backend.execute_tree(tree)
+            except BackendError:
+                rows = evaluate_tree(tree, self.db)
+        else:
+            rows = evaluate_tree(tree, self.db)
         ordered = self._order(rows, columns, order_by)
         return AnswerSet(
             columns, ordered, {"total_seconds": time.perf_counter() - started}

@@ -8,7 +8,7 @@ execution statistics so the Hippo layer's optimizations are observable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Sequence
 
 from repro.engine.catalog import Catalog
 from repro.engine.changelog import ChangeLog
@@ -29,9 +29,17 @@ from repro.engine.snapshot import restore_database, snapshot_database
 from repro.engine.stats import ExecutionStats
 from repro.engine.storage import Table
 from repro.engine.types import SQLType, SQLValue, type_from_name
-from repro.errors import CatalogError, ExecutionError, FeedRetentionError
+from repro.errors import (
+    BackendError,
+    CatalogError,
+    ExecutionError,
+    FeedRetentionError,
+)
 from repro.sql import ast
 from repro.sql.parser import parse_script, parse_statement
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.backends.base import Backend
 
 #: The consumer-group name under which a durable database's writer
 #: registers itself as a retention participant.  Its latest checkpoint
@@ -159,6 +167,9 @@ class Database:
         self._checkpoint_seq = (
             self.changes.end if checkpoint_records is not None else 0
         )
+        #: optional execution backend SELECTs are routed through (see
+        #: :meth:`attach_backend`); None means native execution.
+        self._backend: Optional["Backend"] = None
 
     # ------------------------------------------------------------ durability
 
@@ -318,9 +329,55 @@ class Database:
         """
         self.changes.invalidate_plans()
 
+    # ------------------------------------------------------------- backends
+
+    def attach_backend(self, backend: "Backend") -> None:
+        """Route SELECT execution through ``backend``.
+
+        The database stays the source of truth (DML and DDL always run
+        natively); SELECTs are offered to the backend first when it
+        pushes SQL, falling back to the native executor on
+        :class:`~repro.errors.BackendError`.  Plan-cache entries are
+        keyed on the backend id, so switching backends never replays a
+        plan compiled for another executor.
+        """
+        backend.attach(self)
+        self._backend = backend
+
+    def detach_backend(self) -> None:
+        """Return to native-only execution (the backend stays usable)."""
+        self._backend = None
+
+    @property
+    def backend(self) -> Optional["Backend"]:
+        """The attached execution backend, if any."""
+        return self._backend
+
+    @property
+    def backend_id(self) -> str:
+        """The plan-cache key component naming the current executor."""
+        return self._backend.name if self._backend is not None else "native"
+
+    def _push_select(self, query: ast.Query) -> Optional[Result]:
+        """Offer a SELECT to the attached backend; None means run natively."""
+        backend = self._backend
+        if backend is None or not backend.capabilities.pushes_sql:
+            return None
+        try:
+            columns, rows = backend.execute_query(query)
+        except BackendError:
+            self.stats.backend_fallbacks += 1
+            return None
+        self._maybe_checkpoint()
+        return Result(list(columns), rows, len(rows))
+
+    # ------------------------------------------------------------- execution
+
     def _run_cached(self, sql: str) -> Optional[Result]:
         """Execute ``sql`` from the plan cache; None on a cache miss."""
-        planned = self.plan_cache.get(sql, self._plan_epoch())
+        planned = self.plan_cache.get(
+            sql, self._plan_epoch(), backend=self.backend_id
+        )
         if planned is None:
             return None
         self.stats.statements += 1
@@ -331,11 +388,16 @@ class Database:
     def _run_select(self, sql: str, query: ast.Query) -> Result:
         """Plan, cache (when safe) and execute a SELECT."""
         self.stats.statements += 1
+        pushed = self._push_select(query)
+        if pushed is not None:
+            return pushed
         self.stats.plan_cache_misses += 1
         planner = Planner(self.catalog, self.stats)
         planned = planner.plan_query(query)
         if planner.cacheable:
-            self.plan_cache.put(sql, self._plan_epoch(), planned)
+            self.plan_cache.put(
+                sql, self._plan_epoch(), planned, backend=self.backend_id
+            )
         rows = run_plan(planned.plan)
         self._maybe_checkpoint()
         return Result(planned.columns, rows, len(rows))
@@ -423,6 +485,9 @@ class Database:
     # ------------------------------------------------------------- internals
 
     def _execute_select(self, query: ast.Query) -> Result:
+        pushed = self._push_select(query)
+        if pushed is not None:
+            return pushed
         planned = self.plan(query)
         rows = run_plan(planned.plan)
         return Result(planned.columns, rows, len(rows))

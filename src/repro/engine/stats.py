@@ -27,6 +27,12 @@ class ExecutionStats:
         plan_cache_invalidations: cached plans discarded because the
             catalog epoch moved past them (DDL, index or constraint
             changes).
+        backend_pushdowns: statements a pushdown backend executed
+            (routed SELECTs, pushed rewritten queries and residual
+            joins alike).
+        backend_fallbacks: SELECTs a pushdown backend declined
+            (:class:`~repro.errors.BackendError`) that fell back to
+            native execution.
     """
 
     rows_scanned: int = 0
@@ -37,6 +43,8 @@ class ExecutionStats:
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
     plan_cache_invalidations: int = 0
+    backend_pushdowns: int = 0
+    backend_fallbacks: int = 0
 
     def reset(self) -> None:
         """Zero all counters."""
@@ -48,6 +56,8 @@ class ExecutionStats:
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
         self.plan_cache_invalidations = 0
+        self.backend_pushdowns = 0
+        self.backend_fallbacks = 0
 
     def snapshot(self) -> dict[str, int]:
         """Copy the counters into a plain dict (for reports)."""
@@ -60,4 +70,6 @@ class ExecutionStats:
             "plan_cache_hits": self.plan_cache_hits,
             "plan_cache_misses": self.plan_cache_misses,
             "plan_cache_invalidations": self.plan_cache_invalidations,
+            "backend_pushdowns": self.backend_pushdowns,
+            "backend_fallbacks": self.backend_fallbacks,
         }

@@ -52,6 +52,9 @@ class Table:
         self._key = schema.name.lower()
         # Column-major snapshot for batch scans; dropped on any mutation.
         self._columnar: Optional[ColumnStore] = None
+        # Monotone mutation counter; backends compare it against the
+        # version they last mirrored to decide whether to re-sync.
+        self.version = 0
 
     # -------------------------------------------------------------- indexes
 
@@ -121,6 +124,7 @@ class Table:
         self._by_value.setdefault(row, set()).add(tid)
         self._index_add(tid, row)
         self._columnar = None
+        self.version += 1
         if self._changelog is not None:
             self._changelog.record(Change(self._key, tid, row, OP_INSERT))
         return tid
@@ -165,6 +169,7 @@ class Table:
         self._by_value.setdefault(row, set()).add(tid)
         self._index_add(tid, row)
         self._columnar = None
+        self.version += 1
 
     def apply_changes(
         self, changes: Sequence[tuple[int, Optional[Sequence[SQLValue]], str]]
@@ -188,6 +193,7 @@ class Table:
         coerce = self.schema.coerce_row
         next_tid = self._next_tid
         self._columnar = None
+        self.version += 1
         for tid, values, op in changes:
             if op == OP_INSERT:
                 if tid in rows:
@@ -234,6 +240,7 @@ class Table:
             del self._by_value[row]
         self._index_remove(tid, row)
         self._columnar = None
+        self.version += 1
         if self._changelog is not None:
             self._changelog.record(Change(self._key, tid, row, OP_DELETE))
 
@@ -258,6 +265,7 @@ class Table:
         self._by_value.setdefault(new_row, set()).add(tid)
         self._index_add(tid, new_row)
         self._columnar = None
+        self.version += 1
         if self._changelog is not None:
             self._changelog.record(Change(self._key, tid, old_row, OP_DELETE))
             self._changelog.record(Change(self._key, tid, new_row, OP_INSERT))

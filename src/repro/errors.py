@@ -95,3 +95,14 @@ class ConstraintError(ReproError):
 
 class RewritingError(ReproError):
     """Raised when the PODS'99 query-rewriting baseline is not applicable."""
+
+
+class BackendError(ReproError):
+    """Raised when an execution backend cannot honour a pushdown request.
+
+    Covers driver-level failures (connection lost, dialect rejection),
+    unsupported capabilities (a backend asked to push SQL it cannot
+    lower), and sync failures while mirroring relations.  Callers that
+    hold a native fallback treat this error as "run it on the native
+    engine instead"; callers that do not re-raise it.
+    """

@@ -26,7 +26,15 @@ from repro.ra.sjud import (
     reconstruction_map,
     validate_tree,
 )
-from repro.ra.to_sql import tree_to_query, tree_to_sql
+from repro.ra.to_sql import (
+    PARAM_STYLES,
+    ParameterizedSQL,
+    render_core_tids,
+    render_query,
+    render_tree,
+    tree_to_query,
+    tree_to_sql,
+)
 
 __all__ = [
     "Atom",
@@ -47,6 +55,11 @@ __all__ = [
     "evaluate_core",
     "evaluate_tree",
     "unrestricted",
+    "PARAM_STYLES",
+    "ParameterizedSQL",
+    "render_core_tids",
+    "render_query",
+    "render_tree",
     "tree_to_query",
     "tree_to_sql",
 ]

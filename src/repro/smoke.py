@@ -33,7 +33,7 @@ def _bench_smoke(n_tuples: int = 4000, updates: int = 5) -> int:
     incremental = full = 0.0
     next_key = 10 * n_tuples + 1  # outside the generator's key domain
     for step in range(updates):
-        db.execute(f"INSERT INTO r VALUES ({next_key + step}, {step})")
+        db.insert_rows("r", [(next_key + step, step)])
         started = time.perf_counter()
         engine.refresh()
         incremental += time.perf_counter() - started

@@ -4,14 +4,26 @@ Used to display the output of the query-rewriting baseline (which builds
 ``NOT EXISTS`` residues as ASTs), to round-trip queries in tests, and to
 show envelope queries in the examples -- mirroring how Hippo hands the
 envelope to the RDBMS as SQL.
+
+Every rendering function accepts a ``literals`` hook that maps a literal
+value to its textual form.  The default inlines SQL literals
+(:func:`~repro.engine.types.literal_sql`); the parameterized renderer in
+:mod:`repro.ra.to_sql` passes a collector that emits a placeholder and
+records the value instead, which is how pushdown backends receive SQL
+with bound arguments rather than interpolated text.  Literals are always
+rendered in left-to-right textual order, so the collected parameter
+sequence lines up with the placeholders.
 """
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Callable, Union
 
-from repro.engine.types import literal_sql
+from repro.engine.types import SQLValue, literal_sql
 from repro.sql import ast
+
+#: A literal-rendering hook: value -> SQL fragment (text or placeholder).
+LiteralRenderer = Callable[[SQLValue], str]
 
 _IDENT_SAFE = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_")
 
@@ -27,101 +39,112 @@ def format_identifier(name: str) -> str:
     return f'"{escaped}"'
 
 
-def format_expression(expr: ast.Expression) -> str:
+def format_expression(
+    expr: ast.Expression, literals: LiteralRenderer = literal_sql
+) -> str:
     """Render an expression (fully parenthesized where precedence matters)."""
     if isinstance(expr, ast.Literal):
-        return literal_sql(expr.value)
+        return literals(expr.value)
     if isinstance(expr, ast.ColumnRef):
         column = format_identifier(expr.name)
         if expr.table:
             return f"{format_identifier(expr.table)}.{column}"
         return column
     if isinstance(expr, ast.BinaryOp):
-        left = format_expression(expr.left)
-        right = format_expression(expr.right)
+        left = format_expression(expr.left, literals)
+        right = format_expression(expr.right, literals)
         if expr.op in ("AND", "OR"):
             return f"({left} {expr.op} {right})"
         return f"({left} {expr.op} {right})"
     if isinstance(expr, ast.UnaryOp):
-        operand = format_expression(expr.operand)
+        operand = format_expression(expr.operand, literals)
         if expr.op == "NOT":
             return f"(NOT {operand})"
         return f"({expr.op}{operand})"
     if isinstance(expr, ast.FunctionCall):
         if expr.star:
             return f"{expr.name}(*)"
-        args = ", ".join(format_expression(arg) for arg in expr.args)
+        args = ", ".join(format_expression(arg, literals) for arg in expr.args)
         distinct = "DISTINCT " if expr.distinct else ""
         return f"{expr.name}({distinct}{args})"
     if isinstance(expr, ast.IsNull):
         not_part = " NOT" if expr.negated else ""
-        return f"({format_expression(expr.operand)} IS{not_part} NULL)"
+        return f"({format_expression(expr.operand, literals)} IS{not_part} NULL)"
     if isinstance(expr, ast.InList):
-        items = ", ".join(format_expression(item) for item in expr.items)
+        # Operand renders before the list so collected parameters stay in
+        # textual order.
+        operand = format_expression(expr.operand, literals)
+        items = ", ".join(format_expression(item, literals) for item in expr.items)
         not_part = "NOT " if expr.negated else ""
-        return f"({format_expression(expr.operand)} {not_part}IN ({items}))"
+        return f"({operand} {not_part}IN ({items}))"
     if isinstance(expr, ast.Between):
         not_part = "NOT " if expr.negated else ""
-        return (
-            f"({format_expression(expr.operand)} {not_part}BETWEEN "
-            f"{format_expression(expr.low)} AND {format_expression(expr.high)})"
-        )
+        operand = format_expression(expr.operand, literals)
+        low = format_expression(expr.low, literals)
+        high = format_expression(expr.high, literals)
+        return f"({operand} {not_part}BETWEEN {low} AND {high})"
     if isinstance(expr, ast.Like):
         not_part = "NOT " if expr.negated else ""
-        return (
-            f"({format_expression(expr.operand)} {not_part}LIKE "
-            f"{format_expression(expr.pattern)})"
-        )
+        operand = format_expression(expr.operand, literals)
+        pattern = format_expression(expr.pattern, literals)
+        return f"({operand} {not_part}LIKE {pattern})"
     if isinstance(expr, ast.Exists):
         not_part = "NOT " if expr.negated else ""
-        return f"({not_part}EXISTS ({format_query(expr.query)}))"
+        return f"({not_part}EXISTS ({format_query(expr.query, literals)}))"
     if isinstance(expr, ast.InSubquery):
         not_part = "NOT " if expr.negated else ""
-        return (
-            f"({format_expression(expr.operand)} {not_part}IN "
-            f"({format_query(expr.query)}))"
-        )
+        operand = format_expression(expr.operand, literals)
+        return f"({operand} {not_part}IN ({format_query(expr.query, literals)}))"
     if isinstance(expr, ast.Case):
         parts = ["CASE"]
         if expr.operand is not None:
-            parts.append(format_expression(expr.operand))
+            parts.append(format_expression(expr.operand, literals))
         for condition, result in expr.whens:
-            parts.append(
-                f"WHEN {format_expression(condition)} THEN {format_expression(result)}"
-            )
+            when = format_expression(condition, literals)
+            then = format_expression(result, literals)
+            parts.append(f"WHEN {when} THEN {then}")
         if expr.else_ is not None:
-            parts.append(f"ELSE {format_expression(expr.else_)}")
+            parts.append(f"ELSE {format_expression(expr.else_, literals)}")
         parts.append("END")
         return " ".join(parts)
     raise TypeError(f"cannot format expression node {type(expr).__name__}")
 
 
-def _format_from_item(item: ast.FromItem) -> str:
+def _format_from_item(
+    item: ast.FromItem, literals: LiteralRenderer = literal_sql
+) -> str:
     if isinstance(item, ast.TableRef):
         text = format_identifier(item.name)
         if item.alias:
             text += f" AS {format_identifier(item.alias)}"
         return text
     if isinstance(item, ast.DerivedTable):
-        return f"({format_query(item.query)}) AS {format_identifier(item.alias)}"
+        query = format_query(item.query, literals)
+        return f"({query}) AS {format_identifier(item.alias)}"
     if isinstance(item, ast.Join):
-        left = _format_from_item(item.left)
-        right = _format_from_item(item.right)
+        left = _format_from_item(item.left, literals)
+        right = _format_from_item(item.right, literals)
         if item.kind == "cross":
             return f"{left} CROSS JOIN {right}"
         keyword = {"inner": "JOIN", "left": "LEFT JOIN"}[item.kind]
-        on = f" ON {format_expression(item.on)}" if item.on is not None else ""
+        on = (
+            f" ON {format_expression(item.on, literals)}"
+            if item.on is not None
+            else ""
+        )
         return f"{left} {keyword} {right}{on}"
     raise TypeError(f"cannot format FROM item {type(item).__name__}")
 
 
-def _format_core(core: ast.SelectCore) -> str:
+def _format_core(
+    core: ast.SelectCore, literals: LiteralRenderer = literal_sql
+) -> str:
     items = []
     for item in core.items:
         if isinstance(item, ast.Star):
             items.append(f"{format_identifier(item.table)}.*" if item.table else "*")
         else:
-            rendered = format_expression(item.expr)
+            rendered = format_expression(item.expr, literals)
             if item.alias:
                 rendered += f" AS {format_identifier(item.alias)}"
             items.append(rendered)
@@ -131,30 +154,57 @@ def _format_core(core: ast.SelectCore) -> str:
     parts.append(", ".join(items))
     if core.from_items:
         parts.append("FROM")
-        parts.append(", ".join(_format_from_item(item) for item in core.from_items))
+        parts.append(
+            ", ".join(
+                _format_from_item(item, literals) for item in core.from_items
+            )
+        )
     if core.where is not None:
-        parts.append(f"WHERE {format_expression(core.where)}")
+        parts.append(f"WHERE {format_expression(core.where, literals)}")
     if core.group_by:
-        keys = ", ".join(format_expression(key) for key in core.group_by)
+        keys = ", ".join(format_expression(key, literals) for key in core.group_by)
         parts.append(f"GROUP BY {keys}")
     if core.having is not None:
-        parts.append(f"HAVING {format_expression(core.having)}")
+        parts.append(f"HAVING {format_expression(core.having, literals)}")
     return " ".join(parts)
 
 
-def _format_body(body: Union[ast.SelectCore, ast.SetOperation]) -> str:
+def _format_body(
+    body: Union[ast.SelectCore, ast.SetOperation],
+    literals: LiteralRenderer = literal_sql,
+) -> str:
     if isinstance(body, ast.SelectCore):
-        return _format_core(body)
+        return _format_core(body, literals)
     op = body.op.upper() + (" ALL" if body.all else "")
-    return f"({_format_body(body.left)}) {op} ({_format_body(body.right)})"
+    left = _format_body(body.left, literals)
+    # Left-associative chains render bare: UNION/EXCEPT share one
+    # precedence level and INTERSECT binds tighter in every dialect we
+    # target, so parentheses are needed only where bare text would parse
+    # differently -- a UNION/EXCEPT under INTERSECT, or any compound as
+    # the right operand.  (SQLite rejects parenthesized compound
+    # operands outright; pushdown then falls back to the native engine
+    # rather than risk a silent re-association.)
+    if (
+        body.op == "intersect"
+        and isinstance(body.left, ast.SetOperation)
+        and body.left.op != "intersect"
+    ):
+        left = f"({left})"
+    right = _format_body(body.right, literals)
+    if isinstance(body.right, ast.SetOperation):
+        right = f"({right})"
+    return f"{left} {op} {right}"
 
 
-def format_query(query: ast.Query) -> str:
+def format_query(
+    query: ast.Query, literals: LiteralRenderer = literal_sql
+) -> str:
     """Render a :class:`~repro.sql.ast.Query` as SQL text."""
-    parts = [_format_body(query.body)]
+    parts = [_format_body(query.body, literals)]
     if query.order_by:
         keys = ", ".join(
-            format_expression(item.expr) + ("" if item.ascending else " DESC")
+            format_expression(item.expr, literals)
+            + ("" if item.ascending else " DESC")
             for item in query.order_by
         )
         parts.append(f"ORDER BY {keys}")
@@ -165,10 +215,12 @@ def format_query(query: ast.Query) -> str:
     return " ".join(parts)
 
 
-def format_statement(statement: ast.Statement) -> str:
+def format_statement(
+    statement: ast.Statement, literals: LiteralRenderer = literal_sql
+) -> str:
     """Render any supported statement as SQL text."""
     if isinstance(statement, ast.SelectStatement):
-        return format_query(statement.query)
+        return format_query(statement.query, literals)
     if isinstance(statement, ast.CreateTable):
         column_parts = []
         for column in statement.columns:
@@ -199,7 +251,9 @@ def format_statement(statement: ast.Statement) -> str:
         if statement.columns:
             columns = f" ({', '.join(format_identifier(c) for c in statement.columns)})"
         rows = ", ".join(
-            "(" + ", ".join(format_expression(value) for value in row) + ")"
+            "("
+            + ", ".join(format_expression(value, literals) for value in row)
+            + ")"
             for row in statement.rows
         )
         return (
@@ -208,18 +262,18 @@ def format_statement(statement: ast.Statement) -> str:
         )
     if isinstance(statement, ast.Delete):
         where = (
-            f" WHERE {format_expression(statement.where)}"
+            f" WHERE {format_expression(statement.where, literals)}"
             if statement.where is not None
             else ""
         )
         return f"DELETE FROM {format_identifier(statement.table)}{where}"
     if isinstance(statement, ast.Update):
         assignments = ", ".join(
-            f"{format_identifier(column)} = {format_expression(value)}"
+            f"{format_identifier(column)} = {format_expression(value, literals)}"
             for column, value in statement.assignments
         )
         where = (
-            f" WHERE {format_expression(statement.where)}"
+            f" WHERE {format_expression(statement.where, literals)}"
             if statement.where is not None
             else ""
         )

@@ -1,0 +1,9 @@
+# hippolint-fixture: src/repro/engine/example.py
+"""Bad: SQL assembled by interpolation at execute call sites."""
+
+
+def store(db, conn, name, tid, row) -> None:
+    db.execute(f"INSERT INTO {name} VALUES ({tid})")
+    db.query("SELECT * FROM " + name)
+    conn.execute("DELETE FROM %s" % name)
+    conn.executemany("INSERT INTO {} VALUES (?)".format(name), [row])

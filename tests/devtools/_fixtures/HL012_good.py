@@ -1,0 +1,11 @@
+# hippolint-fixture: src/repro/engine/example.py
+"""Good: SQL text comes from the to_sql renderers; values are bound."""
+
+from repro.ra.to_sql import insert_sql, render_tree
+
+
+def store(db, conn, name, tid, row, tree) -> None:
+    conn.execute(insert_sql(name, len(row) + 1), (tid,) + row)
+    rendered = render_tree(tree)
+    conn.execute(rendered.text, rendered.params)
+    db.query("SELECT a FROM r WHERE a = 1")

@@ -446,6 +446,68 @@ class TestMultiLineStatements:
         assert "error:" in output
 
 
+class TestBackendCommand:
+    def test_show_current_and_available(self):
+        output = run_shell(SETUP + ".backend")
+        assert "backend: native" in output
+        assert "available: native, sqlite" in output
+
+    def test_switch_to_sqlite_and_back(self):
+        output = run_shell(
+            SETUP
+            + ".backend sqlite\nSELECT * FROM emp WHERE salary > 1;\n"
+            + ".backend\n.backend native\n.backend"
+        )
+        assert "backend: sqlite" in output
+        assert "(3 rows)" in output
+        assert output.count("backend: native") >= 1
+
+    def test_sqlite_backend_answers_match_native(self):
+        script = SETUP + ".consistent SELECT * FROM emp;"
+        native = run_shell(script)
+        pushed = run_shell(SETUP + ".backend sqlite\n.consistent SELECT * FROM emp;")
+        assert "(bob, 5)" in native and "(bob, 5)" in pushed
+
+    def test_stats_show_pushdown_counters(self):
+        output = run_shell(
+            SETUP + ".backend sqlite\nSELECT * FROM emp;\n.stats"
+        )
+        assert "backend_pushdowns" in output
+        assert "backend_fallbacks" in output
+
+    def test_unknown_backend_is_an_error(self):
+        output = run_shell(SETUP + ".backend postgres")
+        assert "error:" in output and "unknown backend" in output
+
+    def test_missing_duckdb_driver_reported(self):
+        from repro.backends import duckdb_available
+
+        if duckdb_available():  # pragma: no cover - driver-dependent
+            output = run_shell(SETUP + ".backend duckdb")
+            assert "backend: duckdb" in output
+        else:
+            output = run_shell(SETUP + ".backend duckdb")
+            assert "error:" in output and "not installed" in output
+
+
+class TestExplainParameterized:
+    def test_explain_prints_parameterized_envelope(self):
+        output = run_shell(SETUP + ".explain SELECT * FROM emp WHERE salary > 1;")
+        assert "envelope: SELECT DISTINCT" in output
+        assert "WHERE (emp.salary > ?)" in output or "salary > ?" in output
+        assert "bound arguments: 1" in output
+
+    def test_explain_without_literals_has_no_arguments(self):
+        output = run_shell(SETUP + ".explain SELECT * FROM emp;")
+        assert "bound arguments: (none)" in output
+
+    def test_explain_quotes_text_arguments(self):
+        output = run_shell(
+            SETUP + ".explain SELECT * FROM emp WHERE name = 'ann';"
+        )
+        assert "bound arguments: 'ann'" in output
+
+
 class TestScriptedDemo:
     def test_edbt_demo_session(self):
         from pathlib import Path

@@ -1,7 +1,16 @@
-"""Tests for rendering SJUD trees back to SQL."""
+"""Tests for rendering SJUD trees back to SQL.
+
+Covers the display form (``tree_to_sql``), the parameterized pushdown
+form (``render_tree`` / ``render_query`` with every parameter style),
+the residual-join form conflict detection pushes to SQL backends, and
+the quoting/DDL helpers -- plus a round-trip suite asserting rendered
+SQL for every SJUD node shape re-parses and re-compiles to an
+equivalent tree.
+"""
 
 import pytest
 
+from repro.errors import AlgebraError
 from repro.ra import (
     Atom,
     CatalogSchemaProvider,
@@ -9,9 +18,21 @@ from repro.ra import (
     OutputColumn,
     SJUDCore,
     Union_,
+    evaluate_tree,
     from_sql_query,
+    render_core_tids,
+    render_query,
+    render_tree,
     tree_to_query,
     tree_to_sql,
+)
+from repro.ra.to_sql import (
+    PARAM_STYLES,
+    create_index_sql,
+    create_table_sql,
+    drop_table_sql,
+    insert_sql,
+    quote_identifier,
 )
 from repro.sql import ast
 from repro.sql.parser import parse_query
@@ -68,6 +89,34 @@ class TestRendering:
             tree_to_sql("not a tree")  # type: ignore[arg-type]
 
 
+#: One query per SJUD node shape: every comparison operator, the boolean
+#: connectives, IS [NOT] NULL, [NOT] IN, [NOT] BETWEEN, joins, unions and
+#: differences (LIKE needs a text column and lives in TestLikeShape).
+NODE_SHAPE_QUERIES = [
+    "SELECT * FROM r WHERE a = 1",
+    "SELECT * FROM r WHERE a <> 1",
+    "SELECT * FROM r WHERE a < 3",
+    "SELECT * FROM r WHERE a <= 2",
+    "SELECT * FROM r WHERE b > 4",
+    "SELECT * FROM r WHERE b >= 5",
+    "SELECT * FROM r WHERE a >= 2 AND b < 6",
+    "SELECT * FROM r WHERE a = 1 OR b = 4",
+    "SELECT * FROM r WHERE NOT a = 1",
+    "SELECT * FROM r WHERE a IS NULL",
+    "SELECT * FROM r WHERE b IS NOT NULL",
+    "SELECT * FROM r WHERE a IN (1, 2, 4)",
+    "SELECT * FROM r WHERE a NOT IN (5, 6)",
+    "SELECT * FROM r WHERE a BETWEEN 1 AND 3",
+    "SELECT * FROM r WHERE b NOT BETWEEN 2 AND 9",
+    "SELECT x.a, x.b, y.a, y.b FROM r x, s y WHERE x.a = y.a AND x.b <> y.b",
+    "SELECT * FROM r UNION SELECT * FROM s",
+    "SELECT * FROM r EXCEPT SELECT * FROM s WHERE a = 1",
+    "SELECT a, b FROM r WHERE b = 2 UNION SELECT a, b FROM s WHERE b = 3",
+    "SELECT * FROM r WHERE a IN (1, 9) UNION SELECT * FROM s"
+    " EXCEPT SELECT * FROM s WHERE a BETWEEN 3 AND 5",
+]
+
+
 class TestRoundTrip:
     QUERIES = [
         "SELECT * FROM r WHERE a >= 2 AND b < 3",
@@ -75,12 +124,10 @@ class TestRoundTrip:
         "SELECT * FROM r UNION SELECT * FROM s",
         "SELECT * FROM r EXCEPT SELECT * FROM s WHERE a = 1",
         "SELECT a, b FROM r WHERE b = 2 UNION SELECT a, b FROM s WHERE b = 3",
-    ]
+    ] + NODE_SHAPE_QUERIES
 
     @pytest.mark.parametrize("text", QUERIES)
     def test_semantics_preserved(self, two_table_db, text):
-        from repro.ra import evaluate_tree
-
         tree = tree_of(two_table_db, text)
         rendered = tree_to_sql(tree)
         reparsed = tree_of(two_table_db, rendered)
@@ -89,6 +136,176 @@ class TestRoundTrip:
         )
 
     @pytest.mark.parametrize("text", QUERIES)
+    def test_recompiles_to_equivalent_tree(self, two_table_db, text):
+        """Rendering is a fixed point: rendered SQL re-compiles to a tree
+        whose own rendering is identical."""
+        tree = tree_of(two_table_db, text)
+        rendered = tree_to_sql(tree)
+        assert tree_to_sql(tree_of(two_table_db, rendered)) == rendered
+
+    @pytest.mark.parametrize("text", QUERIES)
     def test_engine_accepts_rendered_sql(self, two_table_db, text):
         tree = tree_of(two_table_db, text)
         two_table_db.query(tree_to_sql(tree))  # must parse and run
+
+
+class TestLikeShape:
+    @pytest.fixture
+    def text_db(self, db):
+        db.execute("CREATE TABLE t (name TEXT, tag TEXT)")
+        db.execute(
+            "INSERT INTO t VALUES ('alpha','x'), ('beta','y'), ('Alto','x')"
+        )
+        return db
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "SELECT * FROM t WHERE name LIKE 'al%'",
+            "SELECT * FROM t WHERE name NOT LIKE '%a'",
+            "SELECT * FROM t WHERE name LIKE 'a_t%' AND tag = 'x'",
+        ],
+    )
+    def test_like_round_trips(self, text_db, text):
+        tree = tree_of(text_db, text)
+        rendered = tree_to_sql(tree)
+        reparsed = tree_of(text_db, rendered)
+        assert evaluate_tree(tree, text_db) == evaluate_tree(reparsed, text_db)
+        assert tree_to_sql(reparsed) == rendered
+
+    def test_like_pattern_is_parameterized(self, text_db):
+        tree = tree_of(text_db, "SELECT * FROM t WHERE name LIKE 'al%'")
+        rendered = render_tree(tree)
+        assert "al%" not in rendered.text
+        assert rendered.params == ("al%",)
+
+
+class TestParameterized:
+    @pytest.mark.parametrize("text", TestRoundTrip.QUERIES)
+    def test_inline_matches_display_form(self, two_table_db, text):
+        tree = tree_of(two_table_db, text)
+        for style in PARAM_STYLES:
+            rendered = render_tree(tree, style)
+            assert rendered.style == style
+            assert rendered.inline() == tree_to_sql(tree)
+
+    @pytest.mark.parametrize("text", TestRoundTrip.QUERIES)
+    def test_inline_reparses_equivalently(self, two_table_db, text):
+        tree = tree_of(two_table_db, text)
+        reparsed = tree_of(two_table_db, render_tree(tree).inline())
+        assert evaluate_tree(tree, two_table_db) == evaluate_tree(
+            reparsed, two_table_db
+        )
+
+    def test_placeholders_match_param_count(self, two_table_db):
+        tree = tree_of(
+            two_table_db,
+            "SELECT * FROM r WHERE a IN (1, 2) AND b BETWEEN 3 AND 4 OR a = 5",
+        )
+        rendered = render_tree(tree)
+        assert rendered.text.count("?") == len(rendered.params) == 5
+
+    def test_params_follow_text_order(self, two_table_db):
+        tree = tree_of(
+            two_table_db,
+            "SELECT * FROM r WHERE b BETWEEN 30 AND 40 AND a IN (10, 20)",
+        )
+        rendered = render_tree(tree)
+        assert rendered.params == (30, 40, 10, 20)
+
+    def test_numeric_and_named_placeholders(self, two_table_db):
+        tree = tree_of(two_table_db, "SELECT * FROM r WHERE a = 1 AND b = 2")
+        numeric = render_tree(tree, "numeric")
+        assert ":1" in numeric.text and ":2" in numeric.text
+        named = render_tree(tree, "named")
+        assert ":p0" in named.text and ":p1" in named.text
+        assert named.named_params == {"p0": 1, "p1": 2}
+
+    def test_no_literals_means_no_params(self, two_table_db):
+        rendered = render_tree(tree_of(two_table_db, "SELECT * FROM r"))
+        assert rendered.params == ()
+        assert "?" not in rendered.text
+
+    def test_unknown_style_rejected(self, two_table_db):
+        tree = tree_of(two_table_db, "SELECT * FROM r")
+        with pytest.raises(AlgebraError, match="parameter style"):
+            render_tree(tree, "pyformat")
+        with pytest.raises(AlgebraError, match="parameter style"):
+            render_query(tree_to_query(tree), "pyformat")
+
+    def test_render_query_accepts_plain_ast(self, two_table_db):
+        query = parse_query("SELECT a FROM r WHERE a > 7")
+        rendered = render_query(query)
+        assert rendered.params == (7,)
+        assert "?" in rendered.text
+
+
+class TestResidualJoinForm:
+    def core(self):
+        condition = ast.BinaryOp(
+            "AND",
+            ast.BinaryOp(
+                "=",
+                ast.ColumnRef("t0", "a"),
+                ast.ColumnRef("t1", "a"),
+            ),
+            ast.BinaryOp(
+                "<>",
+                ast.ColumnRef("t0", "b"),
+                ast.ColumnRef("t1", "b"),
+            ),
+        )
+        return SJUDCore((Atom("t0", "r"), Atom("t1", "r")), condition, ())
+
+    def test_one_tid_per_atom_in_order(self):
+        rendered = render_core_tids(self.core(), "rowid")
+        assert "t0.rowid AS tid_0" in rendered.text
+        assert "t1.rowid AS tid_1" in rendered.text
+        assert rendered.text.index("tid_0") < rendered.text.index("tid_1")
+        assert rendered.params == ()
+
+    def test_custom_tid_column(self):
+        rendered = render_core_tids(self.core(), "_tid")
+        assert "t0._tid AS tid_0" in rendered.text
+        assert "rowid" not in rendered.text
+
+    def test_literals_still_parameterized(self):
+        core = SJUDCore(
+            (Atom("t0", "r"),),
+            ast.BinaryOp(">", ast.ColumnRef("t0", "b"), ast.Literal(5)),
+            (),
+        )
+        rendered = render_core_tids(core, "rowid")
+        assert rendered.params == (5,)
+        assert "5" not in rendered.text
+
+
+class TestQuotingHelpers:
+    def test_create_table_quotes_identifiers(self):
+        sql = create_table_sql("order", [("from", "INTEGER"), ("b", "TEXT")])
+        assert quote_identifier("order") in sql
+        assert quote_identifier("from") in sql
+        assert "INTEGER" in sql and "TEXT" in sql
+
+    def test_drop_table_is_idempotent_form(self):
+        assert drop_table_sql("r").startswith("DROP TABLE IF EXISTS")
+
+    def test_create_index_names_all_columns(self):
+        sql = create_index_sql("idx_r_0", "r", ["a", "b"])
+        assert "CREATE INDEX" in sql
+        assert quote_identifier("a") in sql and quote_identifier("b") in sql
+
+    def test_insert_styles(self):
+        assert insert_sql("r", 2).endswith("VALUES (?, ?)")
+        assert insert_sql("r", 2, "numeric").endswith("VALUES (:1, :2)")
+        assert insert_sql("r", 2, "named").endswith("VALUES (:p0, :p1)")
+
+    def test_insert_named_columns(self):
+        sql = insert_sql("r", 3, columns=["rowid", "a", "b"])
+        assert "rowid" in sql and sql.count("?") == 3
+
+    def test_insert_validates(self):
+        with pytest.raises(AlgebraError, match="arity"):
+            insert_sql("r", 2, columns=["a"])
+        with pytest.raises(AlgebraError, match="parameter style"):
+            insert_sql("r", 2, "pyformat")

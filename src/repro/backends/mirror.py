@@ -85,11 +85,16 @@ class MirrorBackend(Backend):
 
     def close(self) -> None:
         """Drop mirrors state and close the driver connection."""
-        if self._conn is not None:
-            self._conn.close()
+        try:
+            if self._conn is not None:
+                self._conn.close()
+        finally:
+            # Even a failing driver close() must not leave the backend
+            # half-alive: the next use would sync against stale mirror
+            # signatures over a dead connection.
             self._conn = None
-        self._mirrored.clear()
-        super().close()
+            self._mirrored.clear()
+            super().close()
 
     # ----------------------------------------------------------------- sync
 

@@ -49,7 +49,11 @@ class SQLiteBackend(MirrorBackend):
     def _connect(self) -> sqlite3.Connection:
         """An in-memory database aligned with native semantics."""
         conn = sqlite3.connect(":memory:")
-        conn.execute("PRAGMA case_sensitive_like = ON")
+        try:
+            conn.execute("PRAGMA case_sensitive_like = ON")
+        except BaseException:
+            conn.close()
+            raise
         return conn
 
     def _driver_errors(self) -> tuple[type[BaseException], ...]:

@@ -186,11 +186,18 @@ class ReplicaHypergraph:
         self._consumer = feed.consumer(
             group, start="beginning", topics=self.topics
         )
-        #: the replica's own database, rebuilt purely from the feed.
-        self.db = Database()
-        self._detector: Optional[IncrementalDetector] = None
-        self._needs_full = False
-        self._bootstrap()
+        try:
+            #: the replica's own database, rebuilt purely from the feed.
+            self.db = Database()
+            self._detector: Optional[IncrementalDetector] = None
+            self._needs_full = False
+            self._bootstrap()
+        except BaseException:
+            # A failed bootstrap must release the consumer-group
+            # registration, or the half-built replica pins feed
+            # retention forever.
+            self._consumer.close()
+            raise
 
     # ------------------------------------------------------------ bootstrap
 

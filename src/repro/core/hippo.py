@@ -165,22 +165,23 @@ class HippoEngine:
             return
         source = feed if feed is not None else db.changes.feed
         self._consumer: Optional[FeedConsumer] = source.consumer(group)
-        # The engine is about to run full detection on the *current*
-        # state: history before that (e.g. a resumed named group's
-        # backlog) must not be re-applied on top of it.
-        self._consumer.seek_to_end()
-        # An engine dropped without detach() must not pin the change feed
-        # forever (dbs commonly outlive engines, e.g. in tests and the
-        # CLI); closing is idempotent, so detach() and GC can both run.
-        self._consumer_finalizer = weakref.finalize(
-            self, self._consumer.close
-        )
-        self._schema_version = db.changes.schema_version
-        self._constraints_snapshot = tuple(self.constraints)
-        self._incremental: Optional[IncrementalDetector] = None
         try:
+            # The engine is about to run full detection on the *current*
+            # state: history before that (e.g. a resumed named group's
+            # backlog) must not be re-applied on top of it.
+            self._consumer.seek_to_end()
+            # An engine dropped without detach() must not pin the change
+            # feed forever (dbs commonly outlive engines, e.g. in tests
+            # and the CLI); closing is idempotent, so detach() and GC
+            # can both run.
+            self._consumer_finalizer = weakref.finalize(
+                self, self._consumer.close
+            )
+            self._schema_version = db.changes.schema_version
+            self._constraints_snapshot = tuple(self.constraints)
+            self._incremental: Optional[IncrementalDetector] = None
             self.detection: DetectionReport = self._full_detection()
-        except Exception:
+        except BaseException:
             self._consumer.close()
             raise
         self._enveloper = Enveloper(db, self.hypergraph)

@@ -28,6 +28,7 @@ from repro.devtools.framework import (
     register,
 )
 from repro.devtools import rules as _rules  # noqa: F401  (registers the rules)
+from repro.devtools import flow_rules as _flow_rules  # noqa: F401  (HL013-HL016)
 
 __all__ = [
     "Diagnostic",

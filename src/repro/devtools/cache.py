@@ -1,0 +1,166 @@
+"""Incremental per-file result cache for hippolint.
+
+Lint results are a pure function of (analyzer sources, file content,
+rule selection) -- every hippolint rule is per-file, including HL016,
+whose layer contract check is deliberately local -- so results can be
+reused as long as all three match.  The cache lives in
+``.hippolint_cache/results.json`` under the working directory (the
+directory is git-ignored) and is keyed by:
+
+* an **analyzer fingerprint**: a digest over every ``.py`` source of
+  the ``repro.devtools`` package, so editing any rule, domain or the
+  framework invalidates everything at once;
+* the file's content digest;
+* the normalized ``--select`` set.
+
+``hippolint --no-cache`` bypasses reads and writes entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.devtools.diagnostics import Diagnostic
+
+#: Directory (relative to the working directory) holding the cache.
+CACHE_DIR = ".hippolint_cache"
+
+
+def analyzer_fingerprint() -> str:
+    """A digest over the analyzer's own sources.
+
+    Any change to the devtools package -- a new rule, an edited domain,
+    a framework tweak -- yields a new fingerprint and therefore a cold
+    cache; stale findings can never survive an analyzer upgrade.
+    """
+    package_dir = Path(__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(package_dir.rglob("*.py")):
+        digest.update(str(path.relative_to(package_dir)).encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def content_digest(data: bytes) -> str:
+    """The cache key digest of one file's bytes."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def select_key(select: Optional[Iterable[str]]) -> str:
+    """Canonical form of a ``--select`` set (``*`` = all rules)."""
+    if select is None:
+        return "*"
+    return ",".join(sorted(set(select)))
+
+
+class ResultCache:
+    """The on-disk cache: load once, query per file, save once."""
+
+    def __init__(self, root: Optional[Path] = None) -> None:
+        base = root if root is not None else Path(CACHE_DIR)
+        self.path = base / "results.json"
+        self.fingerprint = analyzer_fingerprint()
+        self.entries: dict[str, dict[str, object]] = {}
+        self.dirty = False
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            raw = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(raw, dict):
+            return
+        if raw.get("fingerprint") != self.fingerprint:
+            return  # Analyzer changed: start cold.
+        entries = raw.get("files")
+        if isinstance(entries, dict):
+            self.entries = entries
+
+    def get(
+        self, file_path: str, digest: str, selection: str
+    ) -> Optional[list[Diagnostic]]:
+        """Cached diagnostics for ``file_path``, or None on a miss."""
+        entry = self.entries.get(file_path)
+        if (
+            not isinstance(entry, dict)
+            or entry.get("digest") != digest
+            or entry.get("select") != selection
+        ):
+            self.misses += 1
+            return None
+        findings = entry.get("findings")
+        if not isinstance(findings, list):
+            self.misses += 1
+            return None
+        diagnostics: list[Diagnostic] = []
+        for item in findings:
+            if not (isinstance(item, list) and len(item) == 5):
+                self.misses += 1
+                return None
+            line, col, rule_id, rule_name, message = item
+            diagnostics.append(
+                Diagnostic(
+                    file_path,
+                    int(line),
+                    int(col),
+                    str(rule_id),
+                    str(rule_name),
+                    str(message),
+                )
+            )
+        self.hits += 1
+        return diagnostics
+
+    def put(
+        self,
+        file_path: str,
+        digest: str,
+        selection: str,
+        diagnostics: list[Diagnostic],
+    ) -> None:
+        """Record ``file_path``'s results for the next run."""
+        self.entries[file_path] = {
+            "digest": digest,
+            "select": selection,
+            "findings": [
+                [d.line, d.col, d.rule_id, d.rule_name, d.message]
+                for d in diagnostics
+            ],
+        }
+        self.dirty = True
+
+    def save(self) -> None:
+        """Atomically persist the cache (best effort: failures are not
+        the analyzer's problem -- the next run just starts cold)."""
+        if not self.dirty:
+            return
+        payload = json.dumps(
+            {"fingerprint": self.fingerprint, "files": self.entries},
+            separators=(",", ":"),
+        )
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            handle = tempfile.NamedTemporaryFile(
+                "w",
+                dir=str(self.path.parent),
+                suffix=".tmp",
+                delete=False,
+                encoding="utf-8",
+            )
+            try:
+                handle.write(payload)
+            finally:
+                handle.close()
+            os.replace(handle.name, self.path)
+        except OSError:
+            return

@@ -1,18 +1,40 @@
 """The ``hippolint`` console entry point.
 
 Exit status 0 means no diagnostics; 1 means findings (or parse errors);
-2 means bad usage.  Output is one ``path:line:col: ID [name] message``
-line per finding so editors and CI annotate it directly.
+2 means bad usage.  The default ``text`` format prints one
+``path:line:col: ID [name] message`` line per finding; ``--format=json``
+emits a single machine-readable document on stdout and
+``--format=github`` emits GitHub Actions workflow annotations.
+
+Results are cached per file under ``.hippolint_cache/`` (keyed by
+analyzer fingerprint, file digest and rule selection); ``--no-cache``
+bypasses the cache entirely.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
-from typing import Optional, Sequence
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
 
-from repro.devtools.framework import all_rules, analyze_paths
+from repro.devtools.cache import (
+    ResultCache,
+    content_digest,
+    select_key,
+)
+from repro.devtools.diagnostics import Diagnostic
+from repro.devtools.framework import (
+    PARSE_ERROR_ID,
+    all_rules,
+    analyze_source,
+    analyze_paths,
+    iter_python_files,
+)
+
+FORMATS = ("text", "json", "github")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -37,6 +59,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run only the given rule id (repeatable, e.g. --select HL003)",
     )
     parser.add_argument(
+        "--format",
+        choices=FORMATS,
+        default="text",
+        dest="output_format",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not update the .hippolint_cache directory",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="describe every registered rule and exit",
@@ -49,6 +83,81 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _analyze_cached(
+    paths: Iterable[str], select: Optional[Iterable[str]]
+) -> tuple[list[Diagnostic], int, ResultCache]:
+    """Like :func:`analyze_paths`, but reusing per-file cached results."""
+    cache = ResultCache()
+    selection = select_key(select)
+    diagnostics: list[Diagnostic] = []
+    checked = 0
+    for file_path in iter_python_files(paths):
+        checked += 1
+        try:
+            data = Path(file_path).read_bytes()
+            source = data.decode("utf-8")
+        except (OSError, UnicodeDecodeError) as error:
+            diagnostics.append(
+                Diagnostic(
+                    file_path,
+                    1,
+                    0,
+                    PARSE_ERROR_ID,
+                    "parse-error",
+                    f"cannot read file: {error}",
+                )
+            )
+            continue
+        digest = content_digest(data)
+        cached = cache.get(file_path, digest, selection)
+        if cached is not None:
+            diagnostics.extend(cached)
+            continue
+        fresh = analyze_source(source, file_path, select)
+        cache.put(file_path, digest, selection, fresh)
+        diagnostics.extend(fresh)
+    cache.save()
+    return diagnostics, checked, cache
+
+
+def _emit_text(diagnostics: list[Diagnostic]) -> None:
+    for diagnostic in diagnostics:
+        print(diagnostic.render())
+
+
+def _emit_json(
+    diagnostics: list[Diagnostic], checked: int, elapsed: float
+) -> None:
+    document = {
+        "checked_files": checked,
+        "elapsed_seconds": round(elapsed, 3),
+        "finding_count": len(diagnostics),
+        "findings": [
+            {
+                "path": d.path,
+                "line": d.line,
+                "col": d.col,
+                "rule_id": d.rule_id,
+                "rule_name": d.rule_name,
+                "message": d.message,
+            }
+            for d in diagnostics
+        ],
+    }
+    print(json.dumps(document, indent=2, sort_keys=True))
+
+
+def _emit_github(diagnostics: list[Diagnostic]) -> None:
+    for d in diagnostics:
+        # Workflow-command annotations; GitHub renders them inline on
+        # the PR diff.  Newlines must be URL-encoded per the spec.
+        message = d.message.replace("%", "%25").replace("\n", "%0A")
+        print(
+            f"::error file={d.path},line={d.line},col={d.col},"
+            f"title={d.rule_id} [{d.rule_name}]::{message}"
+        )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Run the analyzer; returns the process exit status."""
     options = _build_parser().parse_args(argv)
@@ -59,10 +168,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"    rationale: {rule.rationale}")
         return 0
     started = time.perf_counter()
-    diagnostics, checked = analyze_paths(options.paths, options.select)
+    if options.no_cache:
+        diagnostics, checked = analyze_paths(options.paths, options.select)
+    else:
+        diagnostics, checked, _ = _analyze_cached(
+            options.paths, options.select
+        )
     elapsed = time.perf_counter() - started
-    for diagnostic in diagnostics:
-        print(diagnostic.render())
+    if options.output_format == "json":
+        _emit_json(diagnostics, checked, elapsed)
+    elif options.output_format == "github":
+        _emit_github(diagnostics)
+    else:
+        _emit_text(diagnostics)
     if diagnostics:
         print(
             f"hippolint: {len(diagnostics)} finding(s) in {checked} file(s)"

@@ -1,0 +1,140 @@
+"""A forward worklist dataflow engine with pluggable abstract domains.
+
+A :class:`Domain` supplies the lattice (``initial``/``join``) and the
+per-element transfer functions; :func:`analyze` drives them to a
+fixpoint over a :class:`~repro.devtools.hippoflow.cfg.CFG` and returns
+the state at the entry of every reachable block.
+
+Exception edges carry the join of :meth:`Domain.transfer_exception`
+applied to the state observed *before* each may-raise element of the
+block -- a failed call's normal effect never happened.  Domains
+override ``transfer_exception`` when part of the effect survives the
+raise (a ``close()`` that fails has still consumed the handle, the
+standard leak-checker convention).
+
+Unreachable blocks have no entry in the result (their state is bottom).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Iterator, Optional
+
+from repro.devtools.hippoflow.cfg import CFG, Block, Element, may_raise
+
+#: Abstract states are domain-defined; the engine only needs ``==``.
+State = Any
+
+
+class Domain:
+    """Base class for abstract domains.
+
+    Subclasses define the state representation (any value supporting
+    ``==``; treat states as immutable -- ``transfer`` returns fresh
+    values) and override :meth:`initial`, :meth:`join` and
+    :meth:`transfer`.  ``transfer_exception`` defaults to the
+    pre-element state.
+    """
+
+    def initial(self) -> State:
+        """The state at function entry."""
+        raise NotImplementedError
+
+    def join(self, left: State, right: State) -> State:
+        """The least upper bound of two states."""
+        raise NotImplementedError
+
+    def transfer(self, element: Element, state: State) -> State:
+        """The state after ``element`` executes normally."""
+        raise NotImplementedError
+
+    def transfer_exception(self, element: Element, state: State) -> State:
+        """The state flowing on ``element``'s exception edge."""
+        return state
+
+
+def flow_block(
+    domain: Domain, block: Block, state: State
+) -> tuple[State, Optional[State]]:
+    """Push ``state`` through ``block``.
+
+    Returns ``(out_state, exceptional_state)`` where the exceptional
+    state is the join over every may-raise element, or ``None`` when
+    nothing in the block can raise.
+    """
+    exceptional: Optional[State] = None
+    for element in block.elements:
+        if may_raise(element):
+            raised = domain.transfer_exception(element, state)
+            exceptional = (
+                raised
+                if exceptional is None
+                else domain.join(exceptional, raised)
+            )
+        state = domain.transfer(element, state)
+    return state, exceptional
+
+
+def analyze(cfg: CFG, domain: Domain) -> dict[int, State]:
+    """Run ``domain`` to fixpoint over ``cfg``.
+
+    Returns block id -> state at block entry, for reachable blocks.
+    """
+    in_states: dict[int, State] = {cfg.entry.id: domain.initial()}
+    queue: deque[Block] = deque([cfg.entry])
+    queued: set[int] = {cfg.entry.id}
+    steps = 0
+    limit = 64 * max(1, len(cfg.blocks)) * max(1, len(cfg.blocks))
+    while queue:
+        steps += 1
+        if steps > limit:  # pragma: no cover - domains must be finite
+            raise RuntimeError(
+                f"dataflow did not converge in {limit} steps"
+                f" ({type(domain).__name__})"
+            )
+        block = queue.popleft()
+        queued.discard(block.id)
+        out_state, exc_state = flow_block(domain, block, in_states[block.id])
+        for target in block.succ:
+            _propagate(domain, in_states, queue, queued, target, out_state)
+        if exc_state is not None:
+            for target in block.exc:
+                _propagate(domain, in_states, queue, queued, target, exc_state)
+    return in_states
+
+
+def _propagate(
+    domain: Domain,
+    in_states: dict[int, State],
+    queue: deque[Block],
+    queued: set[int],
+    target: Block,
+    state: State,
+) -> None:
+    if target.id in in_states:
+        merged = domain.join(in_states[target.id], state)
+        if merged == in_states[target.id]:
+            return
+        in_states[target.id] = merged
+    else:
+        in_states[target.id] = state
+    if target.id not in queued:
+        queued.add(target.id)
+        queue.append(target)
+
+
+def replay(
+    cfg: CFG, domain: Domain, in_states: dict[int, State]
+) -> Iterator[tuple[Element, State]]:
+    """Yield ``(element, state-before-element)`` for reachable blocks.
+
+    Rules use this after :func:`analyze` to check program points (e.g.
+    a guarded call must see the lock held in the state *before* it).
+    """
+    for block in cfg.blocks:
+        if block.id not in in_states:
+            continue
+        state = in_states[block.id]
+        for element in block.elements:
+            yield element, state
+            state = domain.transfer(element, state)

@@ -894,7 +894,7 @@ class ChangeFeed:
                 # rebuild-from-scratch fallback.  Lock-free by design:
                 # this path only *reads* the foreign manifest and raises
                 # our in-memory base; it never writes MANIFEST.
-                # hippolint: disable-next-line=HL001 -- read-only fold
+                # hippolint: disable-next-line=HL001,HL014 -- read-only fold
                 self._merge_disk_retention()
                 raise FeedRetentionError(
                     f"topic {topic.name!r}: sealed segment {name} is"
@@ -1457,10 +1457,14 @@ class ChangeFeed:
     def _rotate(self, topic: _Topic) -> None:
         """Seal the active segment: fsync it, then cut a new one."""
         writer = self._writers.pop(topic.name)
-        writer.flush()
-        os.fsync(writer.fileno())
-        writer.close()
-        self._active_counts.pop(topic.name, None)
+        try:
+            writer.flush()
+            os.fsync(writer.fileno())
+        finally:
+            # A failed flush/fsync must not strand the popped handle:
+            # nothing references it once it leaves self._writers.
+            writer.close()
+            self._active_counts.pop(topic.name, None)
         # The next append opens the successor segment (named by the
         # first offset it will hold) and records it in the manifest; the
         # resident tail keeps serving readers until then.
@@ -1760,9 +1764,11 @@ class ChangeFeed:
         """Flush and close the durable writers (idempotent)."""
         for name in list(self._writers):
             writer = self._writers.pop(name)
-            writer.flush()
-            os.fsync(writer.fileno())
-            writer.close()
+            try:
+                writer.flush()
+                os.fsync(writer.fileno())
+            finally:
+                writer.close()
         self._active_counts.clear()
         self._cache.clear()
 

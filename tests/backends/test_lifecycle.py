@@ -1,0 +1,59 @@
+"""Regression tests for backend connection lifecycle (HL013 fixes).
+
+A driver connection must never outlive the backend that owns it:
+neither a failed post-connect configuration step nor a failing driver
+``close()`` may leave a live or half-alive connection behind.
+"""
+
+import pytest
+
+from repro.backends import sqlite as sqlite_module
+from repro.backends.sqlite import SQLiteBackend
+
+
+class FakeConnection:
+    def __init__(self, fail_execute=False, fail_close=False):
+        self.fail_execute = fail_execute
+        self.fail_close = fail_close
+        self.closed = False
+
+    def execute(self, *args, **kwargs):
+        if self.fail_execute:
+            raise RuntimeError("pragma rejected")
+
+    def close(self):
+        self.closed = True
+        if self.fail_close:
+            raise RuntimeError("driver close failed")
+
+
+def test_failed_pragma_closes_the_fresh_connection(monkeypatch):
+    conn = FakeConnection(fail_execute=True)
+    monkeypatch.setattr(
+        sqlite_module.sqlite3, "connect", lambda *a, **k: conn
+    )
+    backend = SQLiteBackend()
+    with pytest.raises(RuntimeError):
+        backend.connection
+    assert conn.closed
+    assert backend._conn is None  # next use would reconnect, not reuse
+
+
+def test_failing_driver_close_still_resets_the_backend():
+    backend = SQLiteBackend()
+    conn = FakeConnection(fail_close=True)
+    backend._conn = conn
+    backend._mirrored["emp"] = object()
+    with pytest.raises(RuntimeError):
+        backend.close()
+    assert conn.closed
+    assert backend._conn is None
+    assert backend._mirrored == {}
+
+
+def test_close_is_idempotent():
+    backend = SQLiteBackend()
+    assert backend.connection is not None
+    backend.close()
+    backend.close()
+    assert backend._conn is None

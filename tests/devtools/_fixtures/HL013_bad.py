@@ -1,0 +1,20 @@
+# hippolint-fixture: src/repro/engine/example.py
+"""Bad: acquired handles leak when a later call raises."""
+
+import os
+
+
+class Feed:
+    def rotate(self, name: str) -> None:
+        # flush()/fsync() can raise after the writer left _writers:
+        # nothing references the handle anymore, so it is stranded.
+        writer = self._writers.pop(name)
+        writer.flush()
+        os.fsync(writer.fileno())
+        writer.close()
+
+    def read_all(self, path: str) -> str:
+        handle = open(path, "r", encoding="utf-8")
+        data = handle.read()
+        handle.close()
+        return data

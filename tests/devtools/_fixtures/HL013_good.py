@@ -1,0 +1,31 @@
+# hippolint-fixture: src/repro/engine/example.py
+"""Good: every acquisition is closed on all paths or escapes ownership."""
+
+import os
+
+
+class Feed:
+    def rotate(self, name: str) -> None:
+        writer = self._writers.pop(name)
+        try:
+            writer.flush()
+            os.fsync(writer.fileno())
+        finally:
+            writer.close()
+
+    def read_all(self, path: str) -> str:
+        with open(path, "r", encoding="utf-8") as handle:
+            return handle.read()
+
+    def adopt(self, path: str) -> None:
+        # Ownership escapes into the registry; close() happens elsewhere.
+        self._writers[path] = open(path, "a", encoding="utf-8")
+
+    def guarded_connect(self, factory: object) -> object:
+        conn = factory.connect()
+        try:
+            conn.ping()
+        except BaseException:
+            conn.close()
+            raise
+        return conn

@@ -1,0 +1,17 @@
+# hippolint-fixture: src/repro/engine/feed.py
+"""Good: the lock context flows through a variable; the must-analysis
+still proves it held at every mutation (a purely lexical check cannot).
+"""
+
+
+class Feed:
+    def compact(self) -> None:
+        guard = self._manifest_lock()
+        # hippolint: disable-next-line=HL001 -- held via `guard`; HL014 proves it
+        with guard:
+            self._merge_disk_retention()
+            self._sweep_orphans()
+
+    def store(self) -> None:
+        with self._manifest_lock():
+            self._merge_disk_retention()

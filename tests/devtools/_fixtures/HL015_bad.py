@@ -1,0 +1,14 @@
+# hippolint-fixture: src/repro/engine/example.py
+"""Bad: interpolated SQL flows through variables into execute sinks."""
+
+
+def fetch(conn: object, table: str) -> list:
+    query = f"SELECT * FROM {table}"
+    rows = conn.execute(query)
+    return list(rows)
+
+
+def purge(conn: object, table: str, keep: int) -> None:
+    statement = "DELETE FROM " + table
+    statement += " WHERE id > %d" % keep
+    conn.execute(statement)

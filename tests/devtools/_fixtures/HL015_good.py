@@ -1,0 +1,17 @@
+# hippolint-fixture: src/repro/engine/example.py
+"""Good: constant SQL may travel through variables; interpolated text
+never reaches an executor, and reassignment kills stale taint."""
+
+
+def fetch(conn: object) -> list:
+    query = "SELECT a, b FROM r WHERE a = ?"
+    rows = conn.execute(query, (1,))
+    return list(rows)
+
+
+def relabel(conn: object, table: str, audit: object) -> None:
+    label = f"checking {table}"
+    audit.record(label)
+    query = label
+    query = "SELECT 1"
+    conn.execute(query)

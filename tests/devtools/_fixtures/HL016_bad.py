@@ -1,0 +1,10 @@
+# hippolint-fixture: src/repro/engine/example.py
+"""Bad: the engine layer reaches up into conflicts and backends at
+import time, inverting the layer contract."""
+
+from repro.conflicts import hypergraph
+from repro.backends.sqlite import SQLiteBackend
+
+
+def use() -> tuple:
+    return hypergraph, SQLiteBackend

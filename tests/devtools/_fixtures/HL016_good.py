@@ -1,0 +1,21 @@
+# hippolint-fixture: src/repro/engine/example.py
+"""Good: engine leans only on errors/sql at import time; anything
+heavier is type-only or deferred into a function body."""
+
+from typing import TYPE_CHECKING
+
+from repro.errors import FeedError
+from repro.sql import parser
+
+if TYPE_CHECKING:
+    from repro.conflicts import hypergraph
+
+
+def late() -> object:
+    from repro.rewriting import rewrite
+
+    return rewrite
+
+
+def touch() -> tuple:
+    return FeedError, parser

@@ -1,0 +1,317 @@
+"""Unit tests for the hippoflow CFG builder."""
+
+import ast
+
+import pytest
+
+from repro.devtools.hippoflow.cfg import (
+    WithEnter,
+    WithExit,
+    build_cfg,
+    may_raise,
+)
+
+
+def cfg_of(source: str):
+    """Build the CFG of the first function defined in ``source``."""
+    tree = ast.parse(source)
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return build_cfg(node)
+    raise AssertionError("no function in source")
+
+
+def element_lines(cfg) -> set:
+    """Line numbers of every AST element across all blocks."""
+    return {
+        element.lineno
+        for block in cfg.blocks
+        for element in block.elements
+        if isinstance(element, ast.AST) and hasattr(element, "lineno")
+    }
+
+
+def blocks_reaching(cfg, target) -> list:
+    return [
+        block
+        for block in cfg.blocks
+        if target in block.succ or target in block.exc
+    ]
+
+
+# ------------------------------------------------------------ basic shapes
+
+
+def test_linear_function_runs_entry_to_exit():
+    cfg = cfg_of(
+        """
+def f(x):
+    a = x + 1
+    b = a * 2
+    return b
+"""
+    )
+    assert cfg.entry.succ or cfg.entry.elements
+    reachable = cfg.reachable()
+    assert cfg.exit.id in reachable
+    assert element_lines(cfg) == {3, 4, 5}
+
+
+def test_if_else_branches_rejoin():
+    cfg = cfg_of(
+        """
+def f(x):
+    if x:
+        a = 1
+    else:
+        a = 2
+    return a
+"""
+    )
+    reachable = cfg.reachable()
+    labels = [block.label for block in cfg.blocks if block.id in reachable]
+    assert "if-then" in labels and "if-else" in labels
+    # Both branch bodies flow into the join block before the return.
+    joins = [block for block in cfg.blocks if block.label == "after-if"]
+    assert len(joins) == 1
+    assert len(blocks_reaching(cfg, joins[0])) == 2
+
+
+def test_while_loop_has_back_edge():
+    cfg = cfg_of(
+        """
+def f(n):
+    while n:
+        n = n - 1
+    return n
+"""
+    )
+    heads = [block for block in cfg.blocks if block.label == "loop-head"]
+    assert len(heads) == 1
+    # The loop body ends with an edge back to the head.
+    assert any(
+        heads[0] in block.succ and block is not heads[0]
+        for block in cfg.blocks
+        if block.label != "entry"
+    )
+
+
+def test_early_return_skips_rest():
+    cfg = cfg_of(
+        """
+def f(x):
+    if x:
+        return 1
+    return 2
+"""
+    )
+    into_exit = blocks_reaching(cfg, cfg.exit)
+    assert len(into_exit) == 2  # both returns reach exit directly
+
+
+def test_break_and_continue_edges():
+    cfg = cfg_of(
+        """
+def f(items):
+    for item in items:
+        if item:
+            break
+        continue
+    return 0
+"""
+    )
+    after = [b for b in cfg.blocks if b.label == "after-loop"][0]
+    head = [b for b in cfg.blocks if b.label == "loop-head"][0]
+    assert blocks_reaching(cfg, after)  # break path exists
+    assert len(blocks_reaching(cfg, head)) >= 2  # entry + continue
+
+
+def test_dead_code_after_return_is_unreachable():
+    cfg = cfg_of(
+        """
+def f():
+    return 1
+    x = 2
+"""
+    )
+    reachable = cfg.reachable()
+    dead = [b for b in cfg.blocks if b.label == "unreachable"]
+    assert dead and all(block.id not in reachable for block in dead)
+
+
+# ------------------------------------------------------- exception edges
+
+
+def test_call_gets_exception_edge_to_raise_exit():
+    cfg = cfg_of(
+        """
+def f(x):
+    y = g(x)
+    return y
+"""
+    )
+    reachable = cfg.reachable()
+    assert any(
+        cfg.raise_exit in block.exc
+        for block in cfg.blocks
+        if block.id in reachable
+    )
+
+
+def test_raise_flows_to_raise_exit_not_exit():
+    cfg = cfg_of(
+        """
+def f():
+    raise ValueError("boom")
+"""
+    )
+    assert cfg.exit.id not in cfg.reachable()
+    assert blocks_reaching(cfg, cfg.raise_exit)
+
+
+def test_try_except_routes_body_exceptions_to_handler():
+    cfg = cfg_of(
+        """
+def f():
+    try:
+        risky()
+    except ValueError:
+        return -1
+    return 0
+"""
+    )
+    dispatch = [b for b in cfg.blocks if b.label == "except-dispatch"][0]
+    body = [b for b in cfg.blocks if b.label == "try-body"][0]
+    assert dispatch in body.exc
+    # A ValueError handler is not total: unmatched exceptions escape.
+    assert cfg.raise_exit in dispatch.succ
+
+
+def test_catch_all_handler_stops_propagation():
+    cfg = cfg_of(
+        """
+def f():
+    try:
+        risky()
+    except BaseException:
+        cleanup()
+        raise
+    return 0
+"""
+    )
+    dispatch = [b for b in cfg.blocks if b.label == "except-dispatch"][0]
+    assert cfg.raise_exit not in dispatch.succ
+
+
+def test_finally_sits_on_both_paths():
+    cfg = cfg_of(
+        """
+def f():
+    try:
+        risky()
+    finally:
+        cleanup()
+    return 0
+"""
+    )
+    fin = [b for b in cfg.blocks if b.label == "finally"][0]
+    feeders = blocks_reaching(cfg, fin)
+    # Reached both on fall-through and on the exception edge.
+    assert any(fin in block.succ for block in feeders)
+    assert any(fin in block.exc for block in feeders)
+    # And it continues to the normal after-block AND the raise exit.
+    fin_region = {fin}
+    frontier = [fin]
+    while frontier:
+        block = frontier.pop()
+        for nxt in block.succ:
+            if nxt not in fin_region:
+                fin_region.add(nxt)
+                frontier.append(nxt)
+    assert cfg.raise_exit in fin_region
+    assert cfg.exit in fin_region
+
+
+def test_with_emits_enter_and_exit_markers():
+    cfg = cfg_of(
+        """
+def f(path):
+    with open(path) as handle:
+        return handle.read()
+"""
+    )
+    kinds = [
+        type(element).__name__
+        for block in cfg.blocks
+        for element in block.elements
+    ]
+    assert "WithEnter" in kinds and "WithExit" in kinds
+
+
+def test_with_cleanup_serves_the_exception_path():
+    cfg = cfg_of(
+        """
+def f(lock):
+    with lock:
+        risky()
+    return 0
+"""
+    )
+    cleanups = [
+        block
+        for block in cfg.blocks
+        if any(isinstance(e, WithExit) for e in block.elements)
+    ]
+    # One inline exit on the normal path, one cleanup block for the
+    # exceptional path that continues to the raise exit.
+    assert any(cfg.raise_exit in block.succ for block in cleanups)
+
+
+# ------------------------------------------------------------- may_raise
+
+
+@pytest.mark.parametrize(
+    "snippet,expected",
+    [
+        ("x = 1", False),
+        ("x = f()", True),
+        ("raise ValueError()", True),
+        ("assert x", True),
+        ("x = y + 1", False),
+        ("x = [i for i in items]", False),
+    ],
+)
+def test_may_raise_heuristic(snippet, expected):
+    statement = ast.parse(snippet).body[0]
+    assert may_raise(statement) is expected
+
+
+def test_may_raise_ignores_nested_function_bodies():
+    statement = ast.parse(
+        "def inner():\n    risky()\n"
+    ).body[0]
+    assert may_raise(statement) is False
+
+
+def test_except_handler_element_does_not_re_raise_for_its_body():
+    cfg = cfg_of(
+        """
+def f():
+    try:
+        risky()
+    except BaseException:
+        cleanup()
+        raise
+"""
+    )
+    handler_blocks = [
+        block
+        for block in cfg.blocks
+        if any(isinstance(e, ast.ExceptHandler) for e in block.elements)
+    ]
+    handler = handler_blocks[0]
+    binding = [
+        e for e in handler.elements if isinstance(e, ast.ExceptHandler)
+    ][0]
+    # The binding marker itself cannot raise; only its body elements do.
+    assert may_raise(binding) is False

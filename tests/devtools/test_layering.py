@@ -1,0 +1,222 @@
+"""Tests for the import-graph layering analyzer."""
+
+import ast
+from pathlib import Path
+
+from repro.devtools.hippoflow.layering import (
+    LAYERS,
+    check_module,
+    check_tree,
+    find_cycles,
+    main,
+    module_name_for,
+    resolve_targets,
+    scan_tree,
+)
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def write_tree(tmp_path, files: dict) -> Path:
+    """Materialize a ``repro/`` package tree from {relpath: source}."""
+    root = tmp_path / "repro"
+    for relative, source in files.items():
+        path = root / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+    for directory in root.rglob("*"):
+        if directory.is_dir() and not (directory / "__init__.py").exists():
+            (directory / "__init__.py").write_text("", encoding="utf-8")
+    if not (root / "__init__.py").exists():
+        (root / "__init__.py").write_text("", encoding="utf-8")
+    return root
+
+
+# --------------------------------------------------------- the real tree
+
+
+def test_real_tree_satisfies_the_contract():
+    assert REPO_SRC.is_dir()
+    violations = check_tree(REPO_SRC)
+    assert violations == [], "\n".join(v.render() for v in violations)
+
+
+def test_every_real_layer_is_in_the_contract():
+    layers = {
+        child.name
+        for child in REPO_SRC.iterdir()
+        if child.is_dir() and (child / "__init__.py").exists()
+    }
+    assert layers <= set(LAYERS), layers - set(LAYERS)
+
+
+# ------------------------------------------------------- contract checks
+
+
+def test_injected_engine_to_conflicts_import_is_flagged(tmp_path):
+    root = write_tree(
+        tmp_path,
+        {
+            "engine/feed.py": "from repro.conflicts import hypergraph\n",
+            "conflicts/hypergraph.py": "",
+        },
+    )
+    violations = check_tree(root)
+    messages = [v.message for v in violations]
+    assert any(
+        "'engine' must not import from 'conflicts'" in m for m in messages
+    ), messages
+
+
+def test_allowed_import_passes(tmp_path):
+    root = write_tree(
+        tmp_path,
+        {
+            "engine/feed.py": "from repro.errors import FeedError\n",
+            "errors/__init__.py": "FeedError = object\n",
+        },
+    )
+    assert check_tree(root) == []
+
+
+def test_unknown_layer_is_itself_a_violation():
+    tree = ast.parse("x = 1\n")
+    findings = check_module("repro.mystery.thing", tree)
+    assert findings and "not in the LAYERS contract" in findings[0][2]
+
+
+def test_root_facade_is_exempt():
+    tree = ast.parse("from repro.core import HippoEngine\n")
+    assert check_module("repro", tree, is_package=True) == []
+
+
+def test_type_checking_imports_are_exempt():
+    tree = ast.parse(
+        "from typing import TYPE_CHECKING\n"
+        "if TYPE_CHECKING:\n"
+        "    from repro.conflicts import hypergraph\n"
+    )
+    assert check_module("repro.engine.feed", tree) == []
+
+
+def test_function_level_imports_are_exempt():
+    tree = ast.parse(
+        "def late():\n"
+        "    from repro.conflicts import hypergraph\n"
+        "    return hypergraph\n"
+    )
+    assert check_module("repro.engine.feed", tree) == []
+
+
+def test_try_guarded_import_still_counts():
+    tree = ast.parse(
+        "try:\n"
+        "    from repro.conflicts import hypergraph\n"
+        "except ImportError:\n"
+        "    hypergraph = None\n"
+    )
+    findings = check_module("repro.engine.feed", tree)
+    assert findings and "'conflicts'" in findings[0][2]
+
+
+# ------------------------------------------------------- name resolution
+
+
+def test_module_name_for_maps_init_to_package(tmp_path):
+    root = write_tree(tmp_path, {"engine/feed.py": ""})
+    assert module_name_for(root / "engine" / "feed.py", root) == (
+        "repro.engine.feed"
+    )
+    assert module_name_for(root / "engine" / "__init__.py", root) == (
+        "repro.engine"
+    )
+    assert module_name_for(root / "__init__.py", root) == "repro"
+
+
+def test_relative_import_resolves_within_package():
+    statement = ast.parse("from . import feed").body[0]
+    targets = resolve_targets(statement, "repro.engine.topics", False)
+    assert targets == ["repro.engine"]
+
+
+def test_facade_import_resolves_to_real_module(tmp_path):
+    root = write_tree(
+        tmp_path,
+        {
+            "engine/feed.py": "",
+            "core/hippo.py": "from repro.engine import feed\n",
+        },
+    )
+    project = scan_tree(root)
+    edges = {
+        (e.module, e.target)
+        for e in project.import_edges
+        if e.module == "repro.core.hippo"
+    }
+    assert ("repro.core.hippo", "repro.engine.feed") in edges
+
+
+# ------------------------------------------------------------- cycles
+
+
+def test_mutual_imports_are_a_cycle(tmp_path):
+    root = write_tree(
+        tmp_path,
+        {
+            "engine/alpha.py": "from repro.engine import beta\n",
+            "engine/beta.py": "from repro.engine import alpha\n",
+        },
+    )
+    cycles = find_cycles(scan_tree(root))
+    assert ["repro.engine.alpha", "repro.engine.beta"] in cycles
+
+
+def test_cycle_is_reported_as_violation(tmp_path):
+    root = write_tree(
+        tmp_path,
+        {
+            "engine/alpha.py": "from repro.engine import beta\n",
+            "engine/beta.py": "from repro.engine import alpha\n",
+        },
+    )
+    violations = check_tree(root)
+    assert any("import cycle" in v.message for v in violations)
+
+
+def test_facade_reexport_is_not_a_cycle(tmp_path):
+    root = write_tree(
+        tmp_path,
+        {
+            "engine/__init__.py": "from repro.engine.feed import ChangeFeed\n",
+            "engine/feed.py": "from repro.errors import FeedError\n",
+            "errors/__init__.py": "FeedError = object\n",
+        },
+    )
+    assert find_cycles(scan_tree(root)) == []
+
+
+# ------------------------------------------------------------- CLI
+
+
+def test_main_exit_zero_on_real_tree(capsys):
+    assert main([str(REPO_SRC)]) == 0
+    assert "contract holds" in capsys.readouterr().err
+
+
+def test_main_exit_one_on_violating_tree(tmp_path, capsys):
+    root = write_tree(
+        tmp_path,
+        {
+            "engine/feed.py": "from repro.conflicts import hypergraph\n",
+            "conflicts/hypergraph.py": "",
+        },
+    )
+    assert main([str(root)]) == 1
+    captured = capsys.readouterr()
+    assert "must not import" in captured.out
+    assert "violation(s)" in captured.err
+
+
+def test_main_exit_two_on_missing_tree(tmp_path, capsys):
+    assert main([str(tmp_path / "nowhere")]) == 2
+    assert "no such tree" in capsys.readouterr().err

@@ -72,7 +72,7 @@ def test_no_orphan_fixtures():
 
 
 def test_registry_is_complete():
-    assert len(RULE_IDS) == 12
+    assert len(RULE_IDS) == 16
     assert RULE_IDS == sorted(RULE_IDS)
     for rule in all_rules():
         assert rule.summary, f"{rule.id} lacks a summary"

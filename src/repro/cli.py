@@ -25,6 +25,11 @@ Meta-commands (everything else is executed as SQL):
 ``.feed tail DIR S K/N``  tail only shard K of an N-way constraint-aware plan
 ``.feed compact``      reclaim consumed feed segments (truncate + rewrite)
 ``.shards [N]``        the constraint-aware N-way shard plan (default 2)
+``.shards --live [DIR]``  the *persisted* ownership manifest of a process
+                       executor on DIR: owners, epoch, per-worker lag,
+                       pending transfer packets
+``.rebalance [DIR] [N]``  dry-run rebalance advisor: the topic move
+                       ``choose_move`` would make from live lag skew
 ``.checkpoint``        store a writer recovery snapshot (durable shells)
 ``.consistent SQL``    consistent answers to a query
 ``.possible SQL``      possible answers (true in some repair)
@@ -322,6 +327,8 @@ class HippoShell:
             return True
         if command == ".shards":
             return self._shards(argument)
+        if command == ".rebalance":
+            return self._rebalance(argument)
         if command == ".consistent":
             self._print_answers(
                 self._hippo().consistent_answers(argument), "consistent answer"
@@ -441,21 +448,30 @@ class HippoShell:
         return True
 
     def _shards(self, argument: str) -> bool:
-        """``.shards [N]``: the constraint-aware shard plan.
+        """``.shards [N]`` / ``.shards --live [DIR]``.
 
-        Computes the N-way topic assignment
+        Without ``--live``, computes the N-way topic assignment
         (:func:`repro.conflicts.shard.plan_assignment`) over the
         shell's current constraints and tables: which worker owns which
         topics, which constraints each evaluates, and which constraints
         are cross-shard (owned by their anchor's worker, which also
         subscribes to the foreign topics).
+
+        With ``--live``, reads the *persisted* state of a process
+        executor on ``DIR`` (default: this shell's durable feed):
+        the ownership manifest (``shards.json``), each worker group's
+        registered lag against the feed ends, and any pending transfer
+        packets from an in-flight handoff.
         """
         from repro.conflicts.shard import plan_assignment
 
+        tokens = argument.split()
+        if tokens[:1] == ["--live"]:
+            return self._shards_live(tokens[1:])
         try:
             workers = int(argument) if argument else 2
         except ValueError:
-            self._print("usage: .shards [WORKERS]")
+            self._print("usage: .shards [WORKERS] | .shards --live [DIR]")
             return True
         relations = [name.lower() for name in self.db.catalog.table_names()]
         plan = plan_assignment(
@@ -478,6 +494,164 @@ class HippoShell:
                 label = str(constraint)
                 marker = " [cross-shard]" if label in spec.cross_shard else ""
                 self._print(f"    {label}{marker}")
+        return True
+
+    def _shards_live(self, args: list[str]) -> bool:
+        """``.shards --live [DIR]``: a process executor's durable state.
+
+        Reads the ownership manifest (``shards.json``), each worker
+        group's registered lag against the feed ends, and any pending
+        transfer packets -- all without attaching workers, so it is
+        safe to run against a live executor from another process.  A
+        worker that died between checkpoint and commit still shows here
+        as *lagging*: its group registration (and so its retention
+        floor) survives the crash.
+        """
+        from repro.conflicts.executor import OWNERSHIP_FILE, load_ownership
+        from repro.engine.feed import ChangeFeed
+
+        own = self.db.changes.feed
+        if args:
+            directory = args[0]
+        elif own.durable:
+            directory = str(own.directory)
+        else:
+            self._print(
+                "usage: .shards --live DIRECTORY"
+                " (this shell's feed is in-memory)"
+            )
+            return True
+        try:
+            ownership = load_ownership(directory)
+        except ReproError as error:
+            self._print(f"error: {error}")
+            return True
+        if ownership is None:
+            self._print(
+                f"no ownership manifest ({OWNERSHIP_FILE}) in {directory}"
+            )
+            return True
+        foreign = not (own.durable and str(own.directory) == str(directory))
+        feed = ChangeFeed(directory) if foreign else own
+        try:
+            self._print(
+                f"process executor: {ownership.workers} workers,"
+                f" epoch {ownership.epoch} ({directory})"
+            )
+            for name in sorted(ownership.owner):
+                self._print(f"  topic {name} -> worker {ownership.owner[name]}")
+            ends = feed.end_offsets()
+            recovery = feed.recovery_points()
+            for index in range(ownership.workers):
+                groups = [
+                    g for g in sorted(recovery) if g.endswith(f"-{index}")
+                ]
+                for group_name in groups:
+                    point = recovery[group_name]
+                    lag = sum(
+                        max(end - point.committed.get(name, 0), 0)
+                        for name, end in ends.items()
+                        if point.topics is None or name in point.topics
+                    )
+                    owned = sorted(
+                        t for t, w in ownership.owner.items() if w == index
+                    )
+                    self._print(
+                        f"  worker {index} ({group_name}):"
+                        f" lag {lag}, owns [{', '.join(owned) or '-'}],"
+                        f" recovery {point.source}"
+                    )
+            for name, cut in sorted(feed.transfers().items()):
+                self._print(
+                    f"  transfer packet {name} @ {cut}"
+                    " (handoff in flight; pins retention)"
+                )
+        finally:
+            if foreign:
+                feed.close()
+        return True
+
+    def _rebalance(self, argument: str) -> bool:
+        """``.rebalance [DIR] [WORKERS]``: dry-run rebalance advisor.
+
+        Computes the single topic move
+        :func:`repro.conflicts.shard.choose_move` would make from the
+        registered per-worker lag skew -- the same pure chooser the
+        in-process coordinator and the process executor call, so the
+        advice here is exactly the move a live ``rebalance()`` would
+        perform.  With ``DIR``, reads that executor's manifest and
+        feed; otherwise uses this shell's durable feed.  Constraints
+        come from the shell (declare them first for a faithful plan).
+        Nothing is moved: this only prints the advice.
+        """
+        from repro.conflicts.executor import load_ownership
+        from repro.conflicts.shard import choose_move, plan_assignment
+        from repro.engine.feed import SCHEMA_TOPIC, ChangeFeed
+
+        directory: Optional[str] = None
+        workers: Optional[int] = None
+        for token in argument.split():
+            if token.isdigit():
+                workers = int(token)
+            else:
+                directory = token
+        own = self.db.changes.feed
+        if directory is None:
+            if not own.durable:
+                self._print(
+                    "usage: .rebalance DIRECTORY [WORKERS]"
+                    " (this shell's feed is in-memory)"
+                )
+                return True
+            directory = str(own.directory)
+        foreign = not (own.durable and str(own.directory) == str(directory))
+        try:
+            ownership = load_ownership(directory)
+        except ReproError as error:
+            self._print(f"error: {error}")
+            return True
+        feed = ChangeFeed(directory) if foreign else own
+        try:
+            if workers is None:
+                workers = ownership.workers if ownership else 2
+            assignment = dict(ownership.owner) if ownership else None
+            relations = [
+                t.name for t in feed.topics() if t.name != SCHEMA_TOPIC
+            ]
+            plan = plan_assignment(
+                self.constraints,
+                workers,
+                relations=relations,
+                assignment=assignment,
+            )
+            ends = feed.end_offsets()
+            recovery = feed.recovery_points()
+            committed: list[dict[str, int]] = []
+            for index in range(workers):
+                merged: dict[str, int] = {}
+                for group_name in sorted(recovery):
+                    if group_name.endswith(f"-{index}"):
+                        merged.update(recovery[group_name].committed)
+                committed.append(merged)
+            move = choose_move(plan, committed, ends)
+            if move is None:
+                self._print(
+                    f"balanced: no single move improves the skew"
+                    f" ({workers} workers, {len(plan.topic_owner)} topics)"
+                )
+            else:
+                self._print(
+                    f"advice: move topic {move.topic}"
+                    f" from worker {move.source} to worker {move.target}"
+                    f" (skew {move.skew_before} -> {move.skew_after})"
+                )
+                self._print(
+                    "  (dry run -- a live executor applies it via"
+                    " rebalance())"
+                )
+        finally:
+            if foreign:
+                feed.close()
         return True
 
     def _feed_compact(self) -> bool:

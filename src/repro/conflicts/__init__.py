@@ -1,6 +1,16 @@
 """Conflict detection (full and incremental) and the conflict hypergraph."""
 
 from repro.conflicts.detection import DetectionReport, detect_conflicts, violations_of
+from repro.conflicts.executor import (
+    ChaosPlan,
+    HandoffReport,
+    Ownership,
+    ProcessShardExecutor,
+    WorkerEvent,
+    WorkerStatus,
+    load_ownership,
+    store_ownership,
+)
 from repro.conflicts.hypergraph import (
     ConflictHypergraph,
     Vertex,
@@ -11,10 +21,15 @@ from repro.conflicts.incremental import DeltaStats, IncrementalDetector
 from repro.conflicts.replica import ReplicaHypergraph, ReplicaSync
 from repro.conflicts.shard import (
     MergedHypergraph,
+    RebalanceMove,
     ShardCoordinator,
     ShardPlan,
+    ShardReshape,
     ShardSpec,
+    ShardStatus,
     ShardWorker,
+    TopicResume,
+    choose_move,
     merge_graphs,
     plan_assignment,
 )
@@ -23,6 +38,14 @@ __all__ = [
     "DetectionReport",
     "detect_conflicts",
     "violations_of",
+    "ChaosPlan",
+    "HandoffReport",
+    "Ownership",
+    "ProcessShardExecutor",
+    "WorkerEvent",
+    "WorkerStatus",
+    "load_ownership",
+    "store_ownership",
     "ConflictHypergraph",
     "Vertex",
     "minimal_edges",
@@ -32,10 +55,15 @@ __all__ = [
     "ReplicaHypergraph",
     "ReplicaSync",
     "MergedHypergraph",
+    "RebalanceMove",
     "ShardCoordinator",
     "ShardPlan",
+    "ShardReshape",
     "ShardSpec",
+    "ShardStatus",
     "ShardWorker",
+    "TopicResume",
+    "choose_move",
     "merge_graphs",
     "plan_assignment",
 ]

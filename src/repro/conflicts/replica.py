@@ -139,6 +139,14 @@ class ReplicaHypergraph:
             (the default) instead of record-at-a-time; the final state is
             identical either way -- the switch exists so benchmarks can
             measure the per-record baseline.
+        bootstrap: ``"replay"`` (default) streams the committed prefix
+            and falls back to the group snapshot only when retention
+            truncated it; ``"snapshot"`` restores the group snapshot
+            first whenever one exists and replays only the gap -- what
+            a supervisor respawning a crashed shard worker wants, since
+            it makes restart cost proportional to the suffix, not the
+            history.  ``restore_mode`` / ``restore_records`` record
+            what actually happened.
 
     Raises:
         FeedError: when the committed prefix is no longer retained and
@@ -157,10 +165,24 @@ class ReplicaHypergraph:
         topics: Optional[Iterable[str]] = None,
         extra_referenced: Iterable[str] = (),
         batch_apply: bool = True,
+        bootstrap: str = "replay",
     ) -> None:
+        if bootstrap not in ("replay", "snapshot"):
+            raise FeedError(f"unknown bootstrap mode {bootstrap!r}")
         self.feed = feed
         self.group = group
         self.batch_apply = batch_apply
+        self._prefer_snapshot = bootstrap == "snapshot"
+        #: how the last bootstrap rebuilt the database: ``"replay"``
+        #: (committed prefix streamed), ``"snapshot"`` (group snapshot
+        #: restored + gap replayed) or ``"seeded"`` (writer checkpoint).
+        self.restore_mode = "replay"
+        #: feed records replayed by the last bootstrap.
+        self.restore_records = 0
+        #: per-topic records applied over this replica's lifetime
+        #: (bootstrap replay included) -- what lets a handoff assert
+        #: "resumed from the cut, replayed exactly the retained suffix".
+        self.applied_records: dict[str, int] = {}
         self.constraints = list(constraints)
         self.topics = (
             None
@@ -213,27 +235,25 @@ class ReplicaHypergraph:
         own) seeds itself from the writer's checkpoint instead.
         """
         committed = self._consumer.committed
-        if committed or not self._seed_from_writer_checkpoint():
+        if not committed and self._seed_from_writer_checkpoint():
+            self.restore_mode = "seeded"
+        elif self._prefer_snapshot and self._restore_from_snapshot(committed):
+            pass  # snapshot + gap replay, done
+        else:
             try:
                 # iter_records validates retention eagerly, but segment
                 # files are read lazily -- a truncation racing us can
                 # still surface as a FeedError mid-replay, so the whole
                 # replay is inside the fallback's try.
                 with self.db.changes.feed.suspended():
-                    self._apply_stream(self.feed.iter_records(upto=committed))
-            except FeedError:
-                snapshot = self._consumer.load_snapshot()
-                if snapshot is None:
-                    raise
-                snap_committed, payload = snapshot
-                self.db = Database()  # discard the half-applied replay
-                with self.db.changes.feed.suspended():
-                    restore_database(self.db, payload)
-                    self._apply_stream(
-                        self.feed.iter_records(
-                            start=snap_committed, upto=committed
-                        )
+                    self.restore_records = self._apply_stream(
+                        self.feed.iter_records(upto=committed)
                     )
+                self.restore_mode = "replay"
+            except FeedError:
+                self.db = Database()  # discard the half-applied replay
+                if not self._restore_from_snapshot(committed):
+                    raise
         try:
             self._full_detect()
         except CatalogError:
@@ -243,27 +263,57 @@ class ReplicaHypergraph:
             self._detector = None
             self._needs_full = True
 
-    def _apply_stream(self, records: Iterable[FeedRecord]) -> None:
+    def _apply_stream(self, records: Iterable[FeedRecord]) -> int:
         """Apply a record stream to the replica database in batches.
 
         Bootstrap replays feed segments lazily (one resident per topic),
         so batching must be bounded: records accumulate up to the replay
         batch size, then one batched apply folds them in.  With
         ``batch_apply`` off, falls back to record-at-a-time (the
-        benchmark baseline); the resulting state is identical.
+        benchmark baseline); the resulting state is identical.  Returns
+        the number of records applied (and counts them per topic into
+        ``applied_records``).
         """
+        applied = 0
         if not self.batch_apply:
             for record in records:
                 apply_feed_record(self.db, record)
-            return
+                applied += 1
+                self.applied_records[record.topic] = (
+                    self.applied_records.get(record.topic, 0) + 1
+                )
+            return applied
         batch: list[FeedRecord] = []
         for record in records:
             batch.append(record)
+            self.applied_records[record.topic] = (
+                self.applied_records.get(record.topic, 0) + 1
+            )
             if len(batch) >= REPLAY_BATCH_RECORDS:
                 apply_feed_records(self.db, batch)
+                applied += len(batch)
                 batch.clear()
         if batch:
             apply_feed_records(self.db, batch)
+            applied += len(batch)
+        return applied
+
+    def _restore_from_snapshot(self, committed: dict[str, int]) -> bool:
+        """Restore the group's snapshot into the (fresh) database and
+        replay the retained gap up to ``committed``.  Returns False when
+        the group never stored a snapshot."""
+        snapshot = self._consumer.load_snapshot()
+        if snapshot is None:
+            return False
+        snap_committed, payload = snapshot
+        self.applied_records = {}
+        with self.db.changes.feed.suspended():
+            restore_database(self.db, payload)
+            self.restore_records = self._apply_stream(
+                self.feed.iter_records(start=snap_committed, upto=committed)
+            )
+        self.restore_mode = "snapshot"
+        return True
 
     def _seed_from_writer_checkpoint(self) -> bool:
         """Bootstrap a brand-new group over an already-reclaimed feed.
@@ -301,6 +351,16 @@ class ReplicaHypergraph:
         self._consumer.commit()
         return True
 
+    def _mark(self, phase: str, topic: Optional[str] = None) -> None:
+        """Crash-phase seam: called at the durability-critical points of
+        the pipeline (``"apply"`` after records hit the database but
+        before the offset commit, ``"checkpoint"`` just before the
+        snapshot store, and the shard handoff phases ``"release"`` /
+        ``"adopt"``).  A no-op here; the process executor's chaos layer
+        overrides it to SIGKILL the worker at an armed phase, so the
+        fault-injection suite can pin recovery at every boundary."""
+        return None
+
     def _full_detect(self) -> None:
         report = detect_conflicts(
             self.db,
@@ -328,6 +388,7 @@ class ReplicaHypergraph:
         Raises:
             FeedError: on an in-memory feed (nothing durable to bind to).
         """
+        self._mark("checkpoint")
         self._consumer.store_snapshot(snapshot_database(self.db))
         self._since_checkpoint = 0
 
@@ -354,6 +415,11 @@ class ReplicaHypergraph:
         """Feed records past this replica's committed cut (re-scans the
         directory on reader instances, so writer appends show up)."""
         return self._consumer.lag
+
+    @property
+    def committed(self) -> dict[str, int]:
+        """The consumer group's committed offset per topic (a copy)."""
+        return self._consumer.committed
 
     def sync(self, limit: Optional[int] = None) -> ReplicaSync:
         """Consume pending feed records and advance the hypergraph.
@@ -399,6 +465,7 @@ class ReplicaHypergraph:
         ddl = any(record.kind != RECORD_CHANGE for record in records)
         with self.db.changes.feed.suspended():
             self._apply_stream(records)
+        self._mark("apply")
         # 2) Commit the cut: a crash from here on re-attaches *after*
         #    these records, and full detection rebuilds the graph.
         self._consumer.commit()
@@ -506,6 +573,8 @@ class ReplicaHypergraph:
         if self._closed:
             return
         self._closed = True
-        if self._snapshots:
+        # An abandoned consumer (simulated crash) cannot checkpoint;
+        # closing the replica around it must not raise.
+        if self._snapshots and not self._consumer.closed:
             self.checkpoint()
         self._consumer.close()

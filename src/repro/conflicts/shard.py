@@ -56,7 +56,15 @@ cross-shard edge produced exactly once.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Iterable, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    Mapping,
+    Optional,
+    Sequence,
+)
 
 from repro.conflicts.hypergraph import ConflictHypergraph, Vertex
 from repro.conflicts.replica import ReplicaHypergraph, ReplicaSync
@@ -68,7 +76,7 @@ from repro.constraints.foreign_key import (
 from repro.engine.database import Database
 from repro.engine.feed import SCHEMA_TOPIC, ChangeFeed
 from repro.engine.snapshot import restore_database, snapshot_database
-from repro.errors import ConstraintError
+from repro.errors import CatalogError, ConstraintError, FeedError
 
 if TYPE_CHECKING:
     from repro.core.hippo import HippoEngine
@@ -159,6 +167,135 @@ class ShardPlan:
         for spec in self.shards:
             labels.extend(spec.cross_shard)
         return tuple(labels)
+
+
+@dataclass(frozen=True)
+class TopicResume:
+    """How one :meth:`ShardWorker.reshape` acquired one new topic.
+
+    Attributes:
+        topic: the adopted topic.
+        cut: the offset the worker resumed the topic from (the handoff
+            cut when a transfer packet existed, else 0).
+        end: the topic's feed end at adoption time -- ``end - cut`` is
+            the retained suffix the worker will replay through ordinary
+            syncs (the "no full re-bootstrap" bound).
+        mode: ``"packet"`` (restored a transfer packet) or ``"replay"``
+            (no packet pending; the topic replays from offset 0).
+        baseline: the worker's ``applied_records`` count for the topic
+            at adoption -- subtract it later to measure exactly how
+            many records the resume replayed.
+    """
+
+    topic: str
+    cut: int
+    end: int
+    mode: str
+    baseline: int
+
+
+@dataclass(frozen=True)
+class ShardReshape:
+    """What one :meth:`ShardWorker.reshape` transition did."""
+
+    added: tuple[TopicResume, ...]
+    dropped: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ShardStatus:
+    """One worker's row in :meth:`ShardCoordinator.status`.
+
+    A worker whose consumer is closed or abandoned (it died somewhere
+    in the apply/commit/checkpoint pipeline) is reported with
+    ``alive=False`` and its lag computed from the group's *registered*
+    offsets -- lagging, never silently absent."""
+
+    index: int
+    group: str
+    alive: bool
+    ready: bool
+    lag: int
+    edges: int
+    owned: tuple[str, ...]
+    committed: dict[str, int]
+
+
+@dataclass(frozen=True)
+class RebalanceMove:
+    """One ownership move proposed by :func:`choose_move`."""
+
+    topic: str
+    source: int
+    target: int
+    skew_before: int
+    skew_after: int
+
+
+def choose_move(
+    plan: ShardPlan,
+    committed_by_worker: Sequence[Mapping[str, int]],
+    ends: Mapping[str, int],
+    threshold: int = 0,
+    edges: Optional[Sequence[int]] = None,
+) -> Optional[RebalanceMove]:
+    """Deterministically pick one topic move that reduces load skew.
+
+    A worker's load is its pending records across *owned* topics (feed
+    end minus committed offset), plus its hypergraph edge count when
+    ``edges`` is given -- the two skew signals the rebalance trigger
+    watches.  When the heaviest and lightest workers differ by more
+    than ``threshold``, the candidate moves are the heavy worker's
+    owned topics; the move minimizing the resulting skew wins (ties
+    break on topic name), and None is returned when the skew is within
+    threshold or no single move strictly improves it.  Pure and
+    deterministic, so the in-process coordinator, the process executor
+    and the CLI's dry-run advisor all agree on the same move.
+    """
+    workers = len(plan.shards)
+    if workers < 2:
+        return None
+    lags: list[dict[str, int]] = []
+    for spec in plan.shards:
+        committed = (
+            committed_by_worker[spec.index]
+            if spec.index < len(committed_by_worker)
+            else {}
+        )
+        lags.append(
+            {
+                name: max(int(ends.get(name, 0)) - int(committed.get(name, 0)), 0)
+                for name in spec.owned
+            }
+        )
+    loads = [
+        (edges[index] if edges is not None and index < len(edges) else 0)
+        + sum(lags[index].values())
+        for index in range(workers)
+    ]
+    heavy = max(range(workers), key=lambda i: (loads[i], -i))
+    light = min(range(workers), key=lambda i: (loads[i], i))
+    skew = loads[heavy] - loads[light]
+    if heavy == light or skew <= threshold:
+        return None
+    best: Optional[RebalanceMove] = None
+    for name in sorted(lags[heavy]):
+        weight = lags[heavy][name]
+        if weight <= 0:
+            continue  # moving a drained topic moves no load
+        moved = list(loads)
+        moved[heavy] -= weight
+        moved[light] += weight
+        new_skew = max(moved) - min(moved)
+        if new_skew < skew and (best is None or new_skew < best.skew_after):
+            best = RebalanceMove(
+                topic=name,
+                source=heavy,
+                target=light,
+                skew_before=skew,
+                skew_after=new_skew,
+            )
+    return best
 
 
 def plan_assignment(
@@ -376,6 +513,7 @@ class ShardWorker(ReplicaHypergraph):
         snapshots: bool = True,
         checkpoint_records: Optional[int] = None,
         batch_apply: bool = True,
+        bootstrap: str = "replay",
     ) -> None:
         self.spec = spec
         super().__init__(
@@ -387,7 +525,130 @@ class ShardWorker(ReplicaHypergraph):
             topics=spec.subscribed,
             extra_referenced=plan.referenced,
             batch_apply=batch_apply,
+            bootstrap=bootstrap,
         )
+
+    # ------------------------------------------------------------- handoff
+
+    def export_topic(self, topic: str) -> int:
+        """Store a transfer packet for ``topic`` at this worker's
+        committed cut: the *releasing* half of the handoff protocol.
+
+        Call at a sync boundary (between :meth:`sync` calls), where the
+        worker's database reflects its committed offsets exactly -- the
+        packet it stores then *is* the topic's state at the cut, and
+        the adopting worker resumes from it plus the retained suffix.
+        The packet itself pins the topic's retention at the cut, so the
+        suffix stays readable across the whole handoff window, whatever
+        order the two workers persist their resubscriptions in.  This
+        worker keeps serving the topic until :meth:`reshape` drops it.
+        Returns the cut offset.
+
+        Raises:
+            FeedError: when this worker does not subscribe the topic.
+        """
+        name = str(topic).lower()
+        if self.topics is not None and name not in self.topics:
+            raise FeedError(
+                f"worker group {self.group!r} does not subscribe {name!r}"
+            )
+        cut = self._consumer.committed.get(name, 0)
+        self.feed.store_transfer(
+            name, cut, snapshot_database(self.db, tables=[name])
+        )
+        self._mark("release", name)
+        return cut
+
+    def reshape(self, spec: ShardSpec, plan: ShardPlan) -> ShardReshape:
+        """Transition this worker to a new plan slice, in place.
+
+        The *adopting* half of the handoff protocol.  Every newly
+        subscribed topic resumes from its pending transfer packet --
+        the releasing worker's state at the handoff cut, restored
+        directly into the partial database -- so only the retained
+        suffix past the cut replays through ordinary syncs: no full
+        re-bootstrap.  (With no packet pending, a new topic replays
+        its retained history from offset 0.)  Topics dropped from the
+        subscription release their rows and their retention hold.  The
+        worker's constraint slice and detector are rebuilt for the new
+        spec, and a checkpoint binds the result (durable feeds), after
+        which the packet and the releasing worker's floor no longer
+        pin retention.
+
+        Raises:
+            FeedError: when a new topic has neither a transfer packet
+                nor its history retained from offset 0 -- adopting it
+                would silently lose records.
+        """
+        new_topics = frozenset(
+            {str(t).lower() for t in spec.subscribed} | {SCHEMA_TOPIC}
+        )
+        old_topics = (
+            self.topics if self.topics is not None else new_topics
+        )
+        added = sorted(new_topics - old_topics)
+        dropped = sorted(old_topics - new_topics)
+        self.feed.refresh()
+        starts = {t.name: t.start for t in self.feed.topics()}
+        ends = self.feed.end_offsets()
+        positions: dict[str, int] = {}
+        resumes: list[TopicResume] = []
+        for name in added:
+            packet = self.feed.load_transfer(name)
+            if packet is not None:
+                cut, payload = packet
+                restore_database(self.db, payload, tables=[name], merge=True)
+                mode = "packet"
+            elif starts.get(name, 0) > 0:
+                raise FeedError(
+                    f"cannot adopt topic {name!r}: no transfer packet is"
+                    f" pending and its history below offset"
+                    f" {starts[name]} was reclaimed"
+                )
+            else:
+                cut, mode = 0, "replay"
+            positions[name] = cut
+            resumes.append(
+                TopicResume(
+                    topic=name,
+                    cut=cut,
+                    end=ends.get(name, 0),
+                    mode=mode,
+                    baseline=self.applied_records.get(name, 0),
+                )
+            )
+        with self.db.changes.feed.suspended():
+            for name in dropped:
+                self._release_rows(name)
+        # The resubscription is the worker's durable half of the grant:
+        # from here its registration pins the new topics at their cuts
+        # and no longer pins the dropped ones.
+        self._consumer.resubscribe(new_topics, positions)
+        self.topics = new_topics
+        self.spec = spec
+        self.constraints = list(spec.constraints)
+        self.extra_referenced = plan.referenced
+        self._mark("adopt", added[0] if added else None)
+        # The constraint slice changed: rebuild detection over the new
+        # partial database (cheap -- in-memory, no feed replay).
+        self._detector = None
+        self._needs_full = True
+        try:
+            self._full_detect()
+        except CatalogError:
+            pass  # stays deferred until the missing DDL replicates
+        if self._snapshots:
+            self.checkpoint()
+        return ShardReshape(added=tuple(resumes), dropped=tuple(dropped))
+
+    def _release_rows(self, topic: str) -> None:
+        """Drop every row of a released topic's table (the schema stays
+        -- it replicates via ``_schema`` for everyone)."""
+        if not self.db.catalog.has_table(topic):
+            return
+        table = self.db.table(topic)
+        for tid in list(table.tids()):
+            table.delete(tid)
 
 
 class ShardCoordinator:
@@ -487,17 +748,67 @@ class ShardCoordinator:
         for worker in self.workers:
             worker.checkpoint()
 
+    def status(self) -> list[ShardStatus]:
+        """Live per-worker status, dead workers included.
+
+        A worker whose consumer is closed or abandoned -- it died
+        somewhere between applying records, committing and
+        checkpointing -- must show up *lagging* (its group's registered
+        offsets against the feed end), never silently absent or
+        caught-up-at-zero: an operator reading this view decides what
+        to restart from it.
+        """
+        self.feed.refresh()
+        ends = self.feed.end_offsets()
+        registered = self.feed.recovery_points()
+        rows: list[ShardStatus] = []
+        for worker in self.workers:
+            alive = not worker._consumer.closed
+            if alive:
+                lag = worker.lag
+                committed = worker._consumer.committed
+            else:
+                point = registered.get(worker.group)
+                committed = dict(point.committed) if point else {}
+                topics = point.topics if point else worker.topics
+                lag = sum(
+                    max(end - committed.get(name, 0), 0)
+                    for name, end in ends.items()
+                    if topics is None or name in topics
+                )
+            rows.append(
+                ShardStatus(
+                    index=worker.spec.index,
+                    group=worker.group,
+                    alive=alive,
+                    ready=worker.ready,
+                    lag=lag,
+                    edges=len(worker.graph.edges) if worker.ready else 0,
+                    owned=worker.spec.owned,
+                    committed=committed,
+                )
+            )
+        return rows
+
     def restart(self, index: int) -> ShardWorker:
         """Kill one worker and re-attach it from its durable state.
 
-        The old worker's uncommitted progress is discarded (its
-        consumer deregisters in memory only -- committed offsets and
-        shard checkpoints survive, exactly like a process crash); the
-        fresh worker bootstraps from the group's snapshot / committed
-        cut and resumes.  Returns the replacement.
+        The old worker's consumer is *abandoned*, not closed: its group
+        registration -- committed offsets, subscription, retention
+        floor -- survives exactly as if the process had been killed, so
+        if the re-attach itself fails the group still shows up lagging
+        in :meth:`status` and the ``.feed`` view instead of vanishing.
+        (In-memory feeds have no registration to resume from; there the
+        old consumer deregisters and the fresh worker replays from the
+        beginning, as before.)  The fresh worker bootstraps from the
+        group's snapshot / committed cut and resumes.  Returns the
+        replacement.
         """
         old = self.workers[index]
-        old._consumer.close()
+        if self.feed.durable:
+            old._consumer.abandon()
+        else:
+            old._consumer.close()
         self.workers[index] = ShardWorker(
             self.feed,
             self.plan.shards[index],
@@ -507,6 +818,134 @@ class ShardCoordinator:
             checkpoint_records=self._checkpoint_records,
         )
         return self.workers[index]
+
+    # ------------------------------------------------------------- handoff
+
+    def handoff(
+        self,
+        topic: str,
+        to: int,
+        on_step: Optional[Callable[[str], None]] = None,
+    ) -> ShardPlan:
+        """Move ``topic``'s ownership to worker ``to``, live.
+
+        The five-step protocol (each step leaves a recoverable state;
+        ``on_step`` is called after each with its name -- the chaos
+        suite's hook for killing the pipeline mid-handoff):
+
+        1. ``released`` -- the owning worker checkpoints the topic into
+           a transfer packet at its committed cut (it keeps serving).
+        2. ``granted``  -- the coordinator commits the new ownership
+           (here: the plan swap; the process executor persists it).
+        3. ``adopted``  -- workers gaining topics resubscribe: restore
+           the packet at the cut, pin their floors, re-detect,
+           checkpoint.
+        4. ``pruned``   -- workers losing topics resubscribe away,
+           releasing rows and retention holds.
+        5. ``cleared``  -- the transfer packets are deleted.
+
+        Constraints follow their anchor relations: the new plan is
+        recomputed with the full ownership map pinned, so cross-shard
+        flags, foreign subscriptions and each worker's constraint slice
+        all move consistently.  Returns the new plan.
+
+        Raises:
+            ConstraintError: for an unknown topic or worker index.
+        """
+        name = str(topic).lower()
+        if name not in self.plan.topic_owner:
+            raise ConstraintError(f"unknown topic {name!r}")
+        if not 0 <= to < len(self.workers):
+            raise ConstraintError(
+                f"worker {to} out of range (plan has"
+                f" {len(self.workers)} workers)"
+            )
+        if self.plan.topic_owner[name] == to:
+            return self.plan
+        assignment = dict(self.plan.topic_owner)
+        assignment[name] = to
+        new_plan = plan_assignment(
+            self.constraints, len(self.workers), assignment=assignment
+        )
+        self._transition(new_plan, on_step or (lambda step: None))
+        return self.plan
+
+    def rebalance(
+        self,
+        threshold: int = 0,
+        on_step: Optional[Callable[[str], None]] = None,
+    ) -> Optional[RebalanceMove]:
+        """Trigger at most one ownership move when per-worker load skew
+        (pending records over owned topics, plus hypergraph edge
+        counts) exceeds ``threshold``.  Returns the move made, or None
+        when the shards are balanced (see :func:`choose_move`)."""
+        self.feed.refresh()
+        ends = self.feed.end_offsets()
+        committed = [worker._consumer.committed for worker in self.workers]
+        edges = [
+            len(worker.graph.edges) if worker.ready else 0
+            for worker in self.workers
+        ]
+        move = choose_move(
+            self.plan, committed, ends, threshold=threshold, edges=edges
+        )
+        if move is None:
+            return None
+        self.handoff(move.topic, move.target, on_step=on_step)
+        return move
+
+    def _transition(
+        self, new_plan: ShardPlan, on_step: Callable[[str], None]
+    ) -> None:
+        """Drive every worker from the current plan to ``new_plan``
+        through the handoff protocol (see :meth:`handoff`)."""
+        old_plan = self.plan
+        count = len(self.workers)
+        old_subs = [
+            frozenset(worker.topics or ()) for worker in self.workers
+        ]
+        new_subs = [
+            frozenset(
+                {str(t).lower() for t in spec.subscribed} | {SCHEMA_TOPIC}
+            )
+            for spec in new_plan.shards
+        ]
+        needed: set[str] = set()
+        for index in range(count):
+            needed |= new_subs[index] - old_subs[index]
+        needed.discard(SCHEMA_TOPIC)
+        # 1) Release: every topic someone must acquire gets a transfer
+        #    packet from the worker currently serving it as owner.
+        for name in sorted(needed):
+            exporter = old_plan.topic_owner.get(name)
+            if exporter is not None and name in old_subs[exporter]:
+                self.workers[exporter].export_topic(name)
+        on_step("released")
+        # 2) Grant: the plan swap is the in-process ownership commit.
+        self.plan = new_plan
+        on_step("granted")
+        # 3) Adopt before 4) prune: an adopter's registration pins its
+        #    new topics at their cuts before any releaser lets go, so
+        #    the retention floor never gaps (the packets cover the
+        #    window in between anyway).
+        adopters = [
+            index for index in range(count) if new_subs[index] - old_subs[index]
+        ]
+        for index in adopters:
+            self.workers[index].reshape(new_plan.shards[index], new_plan)
+        on_step("adopted")
+        for index in range(count):
+            if index not in adopters and (
+                new_subs[index] != old_subs[index]
+                or new_plan.shards[index] != old_plan.shards[index]
+            ):
+                self.workers[index].reshape(new_plan.shards[index], new_plan)
+        on_step("pruned")
+        # 5) The adopters checkpointed past their cuts; the packets no
+        #    longer pin anything anyone needs.
+        for name in sorted(needed):
+            self.feed.clear_transfer(name)
+        on_step("cleared")
 
     # ------------------------------------------------------------ querying
 

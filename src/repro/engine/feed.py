@@ -108,6 +108,13 @@ RECORD_DROP_TABLE = "drop_table"
 #: The topic DDL records are published to.
 SCHEMA_TOPIC = "_schema"
 
+#: Reserved pseudo-group prefix for shard-handoff transfer packets: a
+#: packet for topic ``t`` is stored as the snapshot of group
+#: ``__transfer__.t`` (sidecar subscribed to ``t`` only), so the
+#: ordinary retention floor scan pins the topic's records past the
+#: handoff cut for exactly as long as the packet exists.
+TRANSFER_PREFIX = "__transfer__."
+
 #: Manifest file name inside a feed directory.
 MANIFEST = "manifest.json"
 
@@ -407,6 +414,9 @@ class ChangeFeed:
         #: group -> subscribed topic names (None = all topics).
         self._subscriptions: dict[str, Optional[frozenset[str]]] = {}
         self._ephemeral: set[str] = set()  # anonymous groups (no disk state)
+        #: in-memory transfer packets (durable feeds store them as
+        #: ``__transfer__.<topic>`` snapshots instead).
+        self._transfers: dict[str, tuple[int, dict]] = {}
         self._next_anonymous = 0
         self._suspended = 0
         #: records dropped because nobody was listening (in-memory feeds
@@ -611,6 +621,57 @@ class ChangeFeed:
                 with self._manifest_lock():
                     self._store_committed(group, committed)
         return FeedConsumer(self, group)
+
+    def update_subscription(
+        self,
+        group: str,
+        topics: Iterable[str],
+        positions: Optional[dict[str, int]] = None,
+    ) -> dict[str, int]:
+        """Rewrite a named group's topic subscription in place.
+
+        The group keeps its committed offsets for topics it retains;
+        a newly subscribed topic starts at its ``positions`` entry
+        (omitted = offset 0, a full replay); dropped topics leave the
+        registration entirely, releasing their retention hold.  The
+        rewrite is persisted under the manifest lock, so a concurrent
+        truncation sees either the old floor set or the new one --
+        never a torn mixture.  This is the shard-handoff primitive:
+        transferring a topic is exactly a resubscription pair (the new
+        owner pins the topic at the handoff cut, then the old owner
+        releases it).  Returns the group's new committed offsets.
+
+        Raises:
+            FeedError: for an ephemeral (anonymous) group -- its
+                registration is process-local and not transferable.
+        """
+        if group in self._ephemeral:
+            raise FeedError(
+                f"cannot resubscribe ephemeral group {group!r}"
+            )
+        subscription = frozenset(str(t).lower() for t in topics)
+        committed = self._groups.get(group)
+        if committed is None:
+            committed = self._load_committed(group) or {}
+        fresh = {
+            str(name).lower(): int(offset)
+            for name, offset in (positions or {}).items()
+        }
+        merged = {
+            name: offset
+            for name, offset in committed.items()
+            if name in subscription
+        }
+        for name, offset in fresh.items():
+            if name in subscription:
+                merged.setdefault(name, offset)
+        self._subscriptions[group] = subscription
+        self._groups[group] = merged
+        if self.durable:
+            with self._manifest_lock():
+                self._store_committed(group, merged)
+        self._compact()
+        return dict(merged)
 
     def close_group(self, group: str) -> None:
         """Drop a group's in-memory registration (durable commits stay)."""
@@ -1193,7 +1254,13 @@ class ChangeFeed:
                             group=group, committed={}, topics=topics
                         )
                         by_group[group] = entry
-                    elif topics is not None:
+                    elif topics is not None and entry.topics is None:
+                        # The registration is the live subscription
+                        # truth (a resubscribe rewrites it immediately;
+                        # the sidecar only updates at checkpoint time).
+                        # A topic subscribed but not yet covered by the
+                        # snapshot pins at 0 -- conservative until the
+                        # group's next checkpoint.
                         entry.topics = topics
                     # The snapshot is the group's recovery point: it
                     # overrides the (>=) committed offsets.
@@ -1548,17 +1615,29 @@ class ChangeFeed:
             raise FeedError(f"corrupt consumer state {path}") from exc
 
     def store_snapshot(
-        self, group: str, committed: dict[str, int], payload: dict
+        self,
+        group: str,
+        committed: dict[str, int],
+        payload: dict,
+        topics: Optional[Iterable[str]] = None,
     ) -> None:
         """Persist a group's recovery snapshot: an opaque payload bound
         to the committed offsets it captures.  Retention never deletes
         past a group's snapshot, so the group can always restore the
-        payload and replay forward from those offsets."""
+        payload and replay forward from those offsets.  ``topics``
+        overrides the subscription recorded in the sidecar (which
+        otherwise comes from the group's live registration) -- what a
+        pseudo-group with no live consumer, like a transfer packet,
+        needs so its floor pins only the topics it actually covers."""
         if not self.durable:
             raise FeedError("snapshots need a durable feed")
         directory = self._snapshots_dir()
         directory.mkdir(parents=True, exist_ok=True)
-        subscription = self._subscriptions.get(group)
+        subscription = (
+            frozenset(str(t).lower() for t in topics)
+            if topics is not None
+            else self._subscriptions.get(group)
+        )
         extra: dict[str, object] = (
             {} if subscription is None else {"topics": sorted(subscription)}
         )
@@ -1602,6 +1681,71 @@ class ChangeFeed:
             return committed, data["payload"]
         except (ValueError, KeyError) as exc:
             raise FeedError(f"corrupt snapshot {path}") from exc
+
+    # ---------------------------------------------------- transfer packets
+
+    def store_transfer(self, topic: str, cut: int, payload: dict) -> None:
+        """Persist a shard-handoff transfer packet for ``topic``.
+
+        The packet carries the releasing worker's slice of the database
+        for the topic at its committed ``cut``; the adopting worker
+        restores it and replays only the retained suffix past the cut
+        (no full re-bootstrap).  On durable feeds it is stored as the
+        snapshot of the reserved pseudo-group ``__transfer__.<topic>``
+        with a sidecar subscribed to the topic alone, so the ordinary
+        retention floor scan keeps the suffix readable for as long as
+        the packet exists; in-memory feeds keep it in the instance.
+        """
+        name = str(topic).lower()
+        if not self.durable:
+            self._transfers[name] = (int(cut), dict(payload))
+            return
+        self.store_snapshot(
+            f"{TRANSFER_PREFIX}{name}",
+            {name: int(cut)},
+            payload,
+            topics=(name,),
+        )
+
+    def load_transfer(self, topic: str) -> Optional[tuple[int, dict]]:
+        """The pending transfer packet for ``topic`` as ``(cut,
+        payload)``, or None when no handoff is in flight."""
+        name = str(topic).lower()
+        if not self.durable:
+            entry = self._transfers.get(name)
+            return None if entry is None else (entry[0], dict(entry[1]))
+        snapshot = self.load_snapshot(f"{TRANSFER_PREFIX}{name}")
+        if snapshot is None:
+            return None
+        committed, payload = snapshot
+        return committed.get(name, 0), payload
+
+    def clear_transfer(self, topic: str) -> None:
+        """Delete ``topic``'s transfer packet (after the adopting worker
+        checkpointed past the handoff cut), releasing its retention
+        pin.  A no-op when no packet exists."""
+        name = str(topic).lower()
+        self._transfers.pop(name, None)
+        if self.durable:
+            group = f"{TRANSFER_PREFIX}{name}"
+            for path in (
+                self._snapshots_dir() / f"{group}.json",
+                self._snapshots_dir() / f"{group}.offsets.json",
+            ):
+                with contextlib.suppress(OSError):
+                    path.unlink()
+        self._compact()
+
+    def transfers(self) -> dict[str, int]:
+        """Pending transfer packets: topic -> handoff cut (on-disk
+        packets of other processes included)."""
+        pending = {name: cut for name, (cut, _) in self._transfers.items()}
+        if self.durable:
+            for group, recovery in self._registered_floors().items():
+                if group.startswith(TRANSFER_PREFIX):
+                    name = group[len(TRANSFER_PREFIX):]
+                    pending[name] = recovery.floor.get(name, 0)
+        return pending
 
     @staticmethod
     def _atomic_json(path: Path, payload: dict) -> None:
@@ -1828,6 +1972,12 @@ class FeedConsumer:
         return dict(self.feed._groups.get(self.group, {}))
 
     @property
+    def closed(self) -> bool:
+        """Whether this consumer was closed or abandoned (its group may
+        still be registered -- see :meth:`abandon`)."""
+        return self._closed
+
+    @property
     def lag(self) -> int:
         """Records past the *committed* position (includes unpolled;
         subscribed topics only)."""
@@ -1851,6 +2001,31 @@ class FeedConsumer:
             return False
         self.feed.refresh()
         return self.feed._lost(self._positions, self.topics)
+
+    def resubscribe(
+        self,
+        topics: Iterable[str],
+        positions: Optional[dict[str, int]] = None,
+    ) -> dict[str, int]:
+        """Rewrite this group's topic subscription in place (see
+        :meth:`ChangeFeed.update_subscription`): kept topics keep their
+        committed offsets, new topics start at their ``positions``
+        entry (the handoff cut), dropped topics release their retention
+        hold.  The read position resets to the new committed offsets,
+        so call at a sync boundary (read position == committed).
+        Returns the new committed offsets.
+
+        Raises:
+            FeedError: on a closed consumer or an ephemeral group.
+        """
+        if self._closed:
+            raise FeedError(
+                f"consumer group {self.group!r} is closed"
+            )
+        merged = self.feed.update_subscription(self.group, topics, positions)
+        self.topics = self.feed._subscriptions.get(self.group)
+        self._positions = dict(merged)
+        return merged
 
     def seek(self, positions: dict[str, int]) -> None:
         """Set the read position per topic (uncommitted until
@@ -1931,6 +2106,18 @@ class FeedConsumer:
     def load_snapshot(self) -> Optional[tuple[dict[str, int], dict]]:
         """This group's snapshot ``(committed offsets, payload)``, if any."""
         return self.feed.load_snapshot(self.group)
+
+    def abandon(self) -> None:
+        """Mark this consumer dead *without* deregistering its group.
+
+        The crash simulation: the group's registration -- committed
+        offsets, subscription, retention floor -- survives in memory
+        and on disk exactly as if the owning process had been killed,
+        so status views report the group as lagging (not absent) and a
+        successor re-attaching under the same name resumes from the
+        committed cut.  Compare :meth:`close`, which deregisters the
+        group's in-memory state (a deliberate detach)."""
+        self._closed = True
 
     def close(self) -> None:
         """Deregister the group (in-memory registration only)."""

@@ -72,6 +72,14 @@ class FeedRetentionError(FeedError):
     """
 
 
+class ExecutorError(ReproError):
+    """Raised by the multi-process shard executor: a worker process
+    died or hung mid-request, a control message failed on the worker
+    side, or a handoff/rebalance could not be driven to completion.
+    The supervisor loop treats dead workers as respawnable; callers
+    seeing this error should run a supervision pass and retry."""
+
+
 class AlgebraError(ReproError):
     """Raised for malformed relational-algebra expressions."""
 

@@ -1,10 +1,140 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and test-harness plumbing for the test suite.
+
+Two harness services live here besides the database fixtures:
+
+* **Deterministic repro.**  A single session seed (``--seed N``, random
+  otherwise) drives every randomized suite: the :func:`rng_seed`
+  fixture derives a stable per-test seed from it, and hypothesis is
+  pointed at the same session seed.  When a seeded test fails, the
+  report carries the seed and a one-line reproduction command, so a CI
+  failure replays locally with ``--seed``.
+* **Per-test deadlines.**  Tests marked ``@pytest.mark.slow`` (the
+  multi-process / chaos tier, excluded from tier-1 by the default
+  ``-m "not slow"``) get a SIGALRM-enforced wall-clock deadline so a
+  deadlocked worker process fails the test instead of hanging CI.
+  ``@pytest.mark.deadline(seconds)`` overrides the limit per test.
+"""
 
 from __future__ import annotations
+
+import random
+import signal
+import threading
+import zlib
+from typing import Iterator, Optional
 
 import pytest
 
 from repro.engine import Database
+
+_SLOW_DEADLINE = 120.0  # seconds; default for @pytest.mark.slow
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--seed",
+        type=int,
+        default=None,
+        help="session seed for randomized suites (chaos schedules,"
+        " seeded workloads, hypothesis); random when omitted",
+    )
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    seed = config.getoption("--seed")
+    if seed is None:
+        seed = random.SystemRandom().randrange(2**32)
+    config._session_seed = seed  # type: ignore[attr-defined]
+    # Derive hypothesis's randomization from the same session seed, so
+    # the printed repro command replays hypothesis failures too.
+    if getattr(config.option, "hypothesis_seed", None) is None:
+        config.option.hypothesis_seed = str(seed)
+
+
+def pytest_report_header(config: pytest.Config) -> str:
+    return f"session seed: {config._session_seed}"  # type: ignore[attr-defined]
+
+
+def _test_seed(config: pytest.Config, nodeid: str) -> int:
+    """A stable per-test seed: session seed mixed with the node id."""
+    session_seed: int = config._session_seed  # type: ignore[attr-defined]
+    return (session_seed ^ zlib.crc32(nodeid.encode())) % 2**32
+
+
+@pytest.fixture
+def rng_seed(request: pytest.FixtureRequest) -> int:
+    """This test's seed, derived from the session seed.
+
+    Tests build their randomness from it (``random.Random(rng_seed)``);
+    on failure the report prints the seed and the ``--seed`` command
+    that reproduces it.
+    """
+    seed = _test_seed(request.config, request.node.nodeid)
+    request.node._repro_seed = seed
+    return seed
+
+
+@pytest.fixture
+def rng(rng_seed: int) -> random.Random:
+    """A :class:`random.Random` seeded from :func:`rng_seed`."""
+    return random.Random(rng_seed)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(
+    item: pytest.Item, call: pytest.CallInfo
+) -> Iterator[None]:
+    outcome = yield
+    report = outcome.get_result()  # type: ignore[attr-defined]
+    if report.when != "call" or not report.failed:
+        return
+    session_seed = item.config._session_seed  # type: ignore[attr-defined]
+    lines = []
+    seed = getattr(item, "_repro_seed", None)
+    if seed is not None:
+        lines.append(f"test seed: {seed} (session seed {session_seed})")
+    if seed is not None or item.get_closest_marker("hypothesis") is not None:
+        lines.append(
+            "repro: PYTHONPATH=src python -m pytest"
+            f' "{item.nodeid}" --seed={session_seed} -m ""'
+        )
+    if lines:
+        report.sections.append(("deterministic repro", "\n".join(lines)))
+
+
+def _deadline_of(item: pytest.Item) -> Optional[float]:
+    marker = item.get_closest_marker("deadline")
+    if marker is not None:
+        return float(marker.args[0]) if marker.args else _SLOW_DEADLINE
+    if item.get_closest_marker("slow") is not None:
+        return _SLOW_DEADLINE
+    return None
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item: pytest.Item) -> Iterator[None]:
+    limit = _deadline_of(item)
+    if (
+        limit is None
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _expired(signum: int, frame: object) -> None:
+        raise TimeoutError(
+            f"test exceeded its {limit:.0f}s deadline"
+            " (a worker process is likely hung)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, limit)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

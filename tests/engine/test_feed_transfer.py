@@ -1,0 +1,166 @@
+"""Tests for the handoff primitives: resubscription, transfer packets,
+and abandoned consumers.
+
+These are the feed-level halves of shard handoff: a topic moves between
+consumer groups as a *resubscription pair* (the adopter pins the topic
+at the handoff cut before the releaser drops it), and the suffix in
+between is protected by a transfer packet whose pseudo-group snapshot
+pins the topic for the packet's lifetime.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.feed import TRANSFER_PREFIX, ChangeFeed
+from repro.errors import FeedError
+
+
+def build(directory, statements):
+    feed = ChangeFeed(directory)
+    db = Database(feed=feed)
+    for statement in statements:
+        db.execute(statement)
+    feed.flush()
+    return feed, db
+
+SETUP = [
+    "CREATE TABLE a (id INTEGER)",
+    "CREATE TABLE b (id INTEGER)",
+    "INSERT INTO a VALUES (1), (2)",
+    "INSERT INTO b VALUES (1)",
+]
+
+
+class TestUpdateSubscription:
+    def test_adding_a_topic_pins_it_at_the_given_position(self, tmp_path):
+        feed, db = build(tmp_path / "f", SETUP)
+        reader = ChangeFeed(tmp_path / "f")
+        consumer = reader.consumer("g", topics=("a", "_schema"))
+        list(consumer.poll())
+        consumer.commit()
+        merged = consumer.resubscribe(("a", "b", "_schema"), {"b": 1})
+        assert merged["b"] == 1
+        point = reader.recovery_points()["g"]
+        assert point.topics is not None and "b" in point.topics
+        assert point.committed["b"] == 1
+        reader.close()
+        feed.close()
+
+    def test_dropping_a_topic_releases_its_registration(self, tmp_path):
+        feed, db = build(tmp_path / "f", SETUP)
+        reader = ChangeFeed(tmp_path / "f")
+        consumer = reader.consumer("g", topics=("a", "b", "_schema"))
+        list(consumer.poll())
+        consumer.commit()
+        merged = consumer.resubscribe(("a", "_schema"))
+        assert "b" not in merged
+        point = reader.recovery_points()["g"]
+        assert point.topics is not None and "b" not in point.topics
+        assert "b" not in point.committed
+        reader.close()
+        feed.close()
+
+    def test_existing_committed_wins_over_fresh_position(self, tmp_path):
+        # Re-applying a resubscription must be idempotent: the group's
+        # own committed offset is never rewound by the fresh position.
+        feed, db = build(tmp_path / "f", SETUP)
+        reader = ChangeFeed(tmp_path / "f")
+        consumer = reader.consumer("g", topics=("a", "b", "_schema"))
+        list(consumer.poll())
+        consumer.commit()
+        before = dict(consumer.committed)
+        merged = consumer.resubscribe(("a", "b", "_schema"), {"a": 0})
+        assert merged["a"] == before["a"]
+        reader.close()
+        feed.close()
+
+    def test_ephemeral_groups_cannot_resubscribe(self):
+        db = Database()
+        consumer = db.changes.feed.consumer()
+        with pytest.raises(FeedError):
+            consumer.resubscribe(("a",))
+
+    def test_survives_a_fresh_feed_instance(self, tmp_path):
+        # The durable half: a foreign process's retention scan sees the
+        # updated registration.
+        feed, db = build(tmp_path / "f", SETUP)
+        reader = ChangeFeed(tmp_path / "f")
+        consumer = reader.consumer("g", topics=("a", "_schema"))
+        list(consumer.poll())
+        consumer.commit()
+        consumer.resubscribe(("a", "b", "_schema"), {"b": 1})
+        reader.close()
+        fresh = ChangeFeed(tmp_path / "f")
+        point = fresh.recovery_points()["g"]
+        assert point.topics == frozenset({"a", "b", "_schema"})
+        fresh.close()
+        feed.close()
+
+
+class TestTransferPackets:
+    def test_roundtrip_and_clear(self, tmp_path):
+        feed, db = build(tmp_path / "f", SETUP)
+        feed.store_transfer("a", 2, {"rows": [1, 2]})
+        assert feed.transfers() == {"a": 2}
+        cut, payload = feed.load_transfer("a")
+        assert cut == 2 and payload == {"rows": [1, 2]}
+        feed.clear_transfer("a")
+        assert feed.transfers() == {}
+        assert feed.load_transfer("a") is None
+        feed.close()
+
+    def test_packet_pins_only_its_topic(self, tmp_path):
+        feed, db = build(tmp_path / "f", SETUP)
+        feed.store_transfer("a", 2, {})
+        point = feed.recovery_points()[f"{TRANSFER_PREFIX}a"]
+        assert point.topics == frozenset({"a"})
+        assert point.floor == {"a": 2}
+        feed.close()
+
+    def test_packet_survives_a_fresh_feed_instance(self, tmp_path):
+        feed, db = build(tmp_path / "f", SETUP)
+        feed.store_transfer("a", 2, {"x": 1})
+        feed.close()
+        fresh = ChangeFeed(tmp_path / "f")
+        assert fresh.transfers() == {"a": 2}
+        assert fresh.load_transfer("a") == (2, {"x": 1})
+        fresh.close()
+
+    def test_in_memory_packets(self):
+        db = Database()
+        feed = db.changes.feed
+        feed.store_transfer("a", 3, {"x": 1})
+        assert feed.transfers() == {"a": 3}
+        assert feed.load_transfer("a") == (3, {"x": 1})
+        feed.clear_transfer("a")
+        assert feed.load_transfer("a") is None
+
+
+class TestAbandonedConsumers:
+    def test_abandon_keeps_the_registration(self, tmp_path):
+        # abandon() simulates a crash: the consumer object is dead, but
+        # the durable registration -- and so the retention floor and
+        # the lag accounting -- survives.
+        feed, db = build(tmp_path / "f", SETUP)
+        reader = ChangeFeed(tmp_path / "f")
+        consumer = reader.consumer("g", topics=("a", "_schema"))
+        list(consumer.poll())
+        consumer.commit()
+        consumer.abandon()
+        assert consumer.closed
+        assert "g" in reader.recovery_points()
+        db.execute("INSERT INTO a VALUES (9)")
+        feed.flush()
+        fresh = ChangeFeed(tmp_path / "f")
+        point = fresh.recovery_points()["g"]
+        fresh.close()
+        lag = sum(
+            max(end - point.committed.get(name, 0), 0)
+            for name, end in feed.end_offsets().items()
+            if point.topics is None or name in point.topics
+        )
+        assert lag == 1  # the crashed group shows as lagging, not gone
+        reader.close()
+        feed.close()

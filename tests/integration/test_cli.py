@@ -393,6 +393,137 @@ class TestDurableShell:
         output = run_shell(".shards two")
         assert "usage: .shards" in output
 
+    def test_shards_live_reports_manifest_lag_and_packets(self, tmp_path):
+        from repro.conflicts import (
+            Ownership,
+            ShardCoordinator,
+            store_ownership,
+        )
+        from repro.constraints import FunctionalDependency
+        from repro.engine.database import Database
+        from repro.engine.feed import ChangeFeed
+
+        directory = str(tmp_path / "db")
+        feed = ChangeFeed(directory)
+        db = Database(feed=feed)
+        db.execute("CREATE TABLE a (id INTEGER, v INTEGER)")
+        db.execute("CREATE TABLE b (id INTEGER, v INTEGER)")
+        db.execute("INSERT INTO a VALUES (1, 1), (1, 2)")
+        db.execute("INSERT INTO b VALUES (1, 1)")
+        feed.flush()
+        coordinator = ShardCoordinator(
+            feed,
+            [FunctionalDependency("a", ["id"], ["v"])],
+            workers=2,
+            assignment={"a": 0, "b": 1},
+        )
+        coordinator.drain()
+        coordinator.checkpoint()
+        coordinator.close()
+        store_ownership(
+            directory, Ownership(workers=2, owner={"a": 0, "b": 1}, epoch=3)
+        )
+        feed.store_transfer("a", 2, {})
+        db.execute("INSERT INTO b VALUES (2, 2)")  # post-checkpoint lag
+        feed.flush()
+        feed.close()
+        output = run_shell(f".shards --live {directory}")
+        assert "process executor: 2 workers, epoch 3" in output
+        assert "topic a -> worker 0" in output
+        assert "topic b -> worker 1" in output
+        assert "worker 0 (shard-0): lag 0" in output
+        # The crashed-or-lagging worker is *visible*, never absent.
+        assert "worker 1 (shard-1): lag 1" in output
+        assert "transfer packet a @ 2" in output
+
+    def test_shards_live_without_manifest(self, tmp_path):
+        output = run_shell(f".shards --live {tmp_path}")
+        assert "no ownership manifest" in output
+
+    def test_shards_live_needs_a_directory_in_memory(self):
+        output = run_shell(".shards --live")
+        assert "usage: .shards --live" in output
+
+    def test_rebalance_advises_the_skew_minimizing_move(self, tmp_path):
+        from repro.conflicts import Ownership, store_ownership
+        from repro.engine.database import Database
+        from repro.engine.feed import ChangeFeed
+
+        directory = str(tmp_path / "db")
+        feed = ChangeFeed(directory)
+        db = Database(feed=feed)
+        for name, rows in (("a", 6), ("b", 3), ("c", 1)):
+            db.execute(f"CREATE TABLE {name} (id INTEGER)")
+            for i in range(rows):
+                db.execute(f"INSERT INTO {name} VALUES ({i})")
+        feed.flush()
+        feed.close()
+        store_ownership(
+            directory,
+            Ownership(workers=2, owner={"a": 0, "b": 0, "c": 0}, epoch=0),
+        )
+        output = run_shell(f".rebalance {directory}")
+        assert "advice: move topic a from worker 0 to worker 1" in output
+        assert "dry run" in output
+
+    def test_rebalance_reports_balance(self, tmp_path):
+        from repro.conflicts import Ownership, store_ownership
+        from repro.engine.database import Database
+        from repro.engine.feed import ChangeFeed
+
+        directory = str(tmp_path / "db")
+        feed = ChangeFeed(directory)
+        db = Database(feed=feed)
+        for name in ("a", "b"):
+            db.execute(f"CREATE TABLE {name} (id INTEGER)")
+            db.execute(f"INSERT INTO {name} VALUES (1)")
+        feed.flush()
+        feed.close()
+        store_ownership(
+            directory, Ownership(workers=2, owner={"a": 0, "b": 1}, epoch=0)
+        )
+        output = run_shell(f".rebalance {directory}")
+        assert "balanced: no single move improves the skew" in output
+
+    def test_rebalance_needs_a_directory_in_memory(self):
+        output = run_shell(".rebalance")
+        assert "usage: .rebalance" in output
+
+    def test_feed_listing_shows_a_crashed_worker_as_lagging(self, tmp_path):
+        # The `.feed` half of the regression: a shard group whose
+        # process died between checkpoint and commit keeps its
+        # registration, so the listing shows it lagging -- not gone.
+        from repro.conflicts import ShardCoordinator
+        from repro.constraints import FunctionalDependency
+        from repro.engine.database import Database
+        from repro.engine.feed import ChangeFeed
+
+        directory = str(tmp_path / "db")
+        feed = ChangeFeed(directory)
+        db = Database(feed=feed)
+        db.execute("CREATE TABLE a (id INTEGER, v INTEGER)")
+        db.execute("INSERT INTO a VALUES (1, 1), (1, 2)")
+        feed.flush()
+        coordinator = ShardCoordinator(
+            feed,
+            [FunctionalDependency("a", ["id"], ["v"])],
+            workers=1,
+        )
+        coordinator.drain()
+        coordinator.checkpoint()
+        coordinator.workers[0]._consumer.abandon()  # crash, not close
+        coordinator.close()
+        db.execute("INSERT INTO a VALUES (2, 2)")
+        feed.flush()
+        feed.close()
+        out = io.StringIO()
+        shell = HippoShell(out=out, durable=directory)
+        shell.run([".feed"])
+        shell.db.changes.feed.close()
+        output = out.getvalue()
+        assert "consumer shard-0: lag 1" in output
+        assert "recovery point: snapshot" in output
+
     def test_feed_tail_follows_one_shard_of_the_plan(self, tmp_path):
         directory = str(tmp_path / "db")
         writer_out = io.StringIO()

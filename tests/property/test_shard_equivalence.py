@@ -14,9 +14,11 @@ twin-feed pattern from ``test_replica_equivalence.py``).
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.conflicts import (
+    ProcessShardExecutor,
     ReplicaHypergraph,
     ShardCoordinator,
     detect_conflicts,
@@ -241,3 +243,58 @@ def test_shards_survive_truncation_and_restart_from_checkpoints(
     monolith.close()
     reader.close()
     feed.close()
+
+
+@pytest.mark.slow
+@pytest.mark.deadline(120)
+@settings(max_examples=5, deadline=None)
+@given(
+    sequence=ops,
+    assignment=assignments,
+    moves=st.lists(
+        st.tuples(
+            st.sampled_from(("p", "c", "u")),
+            st.integers(min_value=0, max_value=1),
+        ),
+        max_size=3,
+    ),
+)
+def test_process_executor_matches_monolith_across_handoffs(
+    tmp_path_factory, sequence, assignment, moves
+):
+    """The in-process invariant, over real OS processes: for random
+    workloads, assignments and live handoffs, the executor's merged
+    graph equals full re-detection on the writer at every aligned cut."""
+    directory = tmp_path_factory.mktemp("feed") / "segments"
+    constraints = constraint_set()
+    feed = ChangeFeed(directory, segment_records=8)
+    db = Database(feed=feed)
+    seed(db)
+    feed.flush()
+    executor = ProcessShardExecutor(
+        directory,
+        constraints,
+        workers=2,
+        assignment={"p": assignment[0], "c": assignment[1], "u": assignment[2]},
+        mp_context="fork",
+        request_timeout=30.0,
+    )
+    try:
+        for step in sequence:
+            run_step(db, step)
+        feed.flush()
+        executor.drain()
+        expected = detect_conflicts(db, constraints).hypergraph.as_dict()
+        assert executor.merged_graph().as_dict() == expected
+        for topic, target in moves:
+            executor.handoff(topic, target)
+            for step in sequence[:3]:
+                run_step(db, step)
+            feed.flush()
+            executor.drain()
+            expected = detect_conflicts(db, constraints).hypergraph.as_dict()
+            assert executor.merged_graph().as_dict() == expected
+        assert executor.feed.transfers() == {}
+    finally:
+        executor.close()
+        feed.close()
